@@ -1,0 +1,78 @@
+// Shared harness for the paper-reproduction benchmarks: builds the standard
+// campaign sets (workload × middleware configurations of the paper's
+// evaluation) with a disk cache, so each table/figure binary can be run
+// independently without repeating multi-minute campaigns.
+//
+// Environment knobs:
+//   DTS_BENCH_CACHE      cache directory (default ".dts_bench_cache";
+//                        set to "" to disable caching)
+//   DTS_BENCH_FAULT_CAP  cap faults per workload set (0 = full sweep)
+//   DTS_BENCH_SEED       campaign seed (default 7)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/report.h"
+
+namespace dts::bench {
+
+inline std::string cache_dir() {
+  const char* v = std::getenv("DTS_BENCH_CACHE");
+  return v != nullptr ? std::string(v) : std::string(".dts_bench_cache");
+}
+
+inline std::size_t fault_cap() {
+  const char* v = std::getenv("DTS_BENCH_FAULT_CAP");
+  return v != nullptr ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10)) : 0;
+}
+
+inline std::uint64_t bench_seed() {
+  const char* v = std::getenv("DTS_BENCH_SEED");
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : 7;
+}
+
+inline core::WorkloadSetResult run_set(const std::string& workload, mw::MiddlewareKind m,
+                                       mw::WatchdVersion v = mw::WatchdVersion::kV3) {
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name(workload);
+  cfg.middleware = m;
+  cfg.watchd_version = v;
+  core::CampaignOptions opt;
+  opt.seed = bench_seed();
+  opt.max_faults = fault_cap();
+  std::string label = workload + "/";
+  label += m == mw::MiddlewareKind::kWatchd ? std::string(to_string(v))
+                                            : std::string(to_string(m));
+  std::fprintf(stderr, "[campaign] %s ...\n", label.c_str());
+  return core::load_or_run_workload_set(cfg, opt, cache_dir());
+}
+
+/// The paper's main grid (Figs. 2-4, Tables 1-2): every workload as a
+/// stand-alone service, with MSCS, and with (the improved) watchd.
+inline std::vector<core::WorkloadSetResult> standard_grid() {
+  std::vector<core::WorkloadSetResult> sets;
+  for (const char* w : {"Apache1", "Apache2", "IIS", "SQL"}) {
+    sets.push_back(run_set(w, mw::MiddlewareKind::kNone));
+    sets.push_back(run_set(w, mw::MiddlewareKind::kMscs));
+    sets.push_back(run_set(w, mw::MiddlewareKind::kWatchd, mw::WatchdVersion::kV3));
+  }
+  return sets;
+}
+
+/// The Fig. 5 grid: the three watchd iterations over the three workloads the
+/// paper shows (Apache2 omitted — watchd has no effect on it, §4.3).
+inline std::vector<core::WorkloadSetResult> watchd_grid() {
+  std::vector<core::WorkloadSetResult> sets;
+  for (const char* w : {"Apache1", "IIS", "SQL"}) {
+    sets.push_back(run_set(w, mw::MiddlewareKind::kWatchd, mw::WatchdVersion::kV1));
+    sets.push_back(run_set(w, mw::MiddlewareKind::kWatchd, mw::WatchdVersion::kV2));
+    sets.push_back(run_set(w, mw::MiddlewareKind::kWatchd, mw::WatchdVersion::kV3));
+  }
+  return sets;
+}
+
+}  // namespace dts::bench

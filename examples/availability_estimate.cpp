@@ -1,0 +1,97 @@
+// Availability modelling from fault-injection data — the paper's §5 future
+// work: "The DTS tool may play a role in providing testing-based parameters
+// as input to analytical models that would then be able to yield
+// [availability] estimates that are more precise."
+//
+//   $ ./availability_estimate [workload] [faults-per-config]
+//
+// Runs a capped campaign per middleware configuration, extracts
+//   - failure coverage c (fraction of faults the system survives), and
+//   - mean time to recover MTTR (mean response time of restart outcomes),
+// then feeds them into a standard alternating-renewal availability model:
+//
+//   A = MTTF_eff / (MTTF_eff + MTTR_eff)
+//     with MTTF_eff = MTTF_fault / (1 - c)      (only uncovered faults fail)
+//     and  MTTR_eff = manual repair time        (uncovered faults need a human)
+//
+// yielding "number of nines" per configuration.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/report.h"
+
+int main(int argc, char** argv) {
+  using namespace dts;
+
+  const std::string workload = argc > 1 ? argv[1] : "IIS";
+  const std::size_t cap = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 150;
+
+  // Model assumptions (documented, adjustable): a fault arrives on average
+  // once every 3 days; an uncovered failure needs 30 minutes of human repair;
+  // covered faults cost only their measured recovery time.
+  const double mttf_fault_hours = 72.0;
+  const double manual_repair_hours = 0.5;
+
+  std::printf("Availability estimate for %s (assumes one fault per %.0f h, "
+              "%.0f min manual repair)\n\n",
+              workload.c_str(), mttf_fault_hours, manual_repair_hours * 60);
+  std::printf("%-12s %10s %12s %14s %12s %8s\n", "config", "coverage", "auto-MTTR",
+              "unavailability", "availability", "nines");
+
+  struct Config {
+    const char* label;
+    mw::MiddlewareKind kind;
+    mw::WatchdVersion version;
+  };
+  const Config configs[] = {
+      {"stand-alone", mw::MiddlewareKind::kNone, mw::WatchdVersion::kV3},
+      {"MSCS", mw::MiddlewareKind::kMscs, mw::WatchdVersion::kV3},
+      {"Watchd3", mw::MiddlewareKind::kWatchd, mw::WatchdVersion::kV3},
+  };
+  for (const Config& c : configs) {
+    core::RunConfig cfg;
+    cfg.workload = core::workload_by_name(workload);
+    cfg.middleware = c.kind;
+    cfg.watchd_version = c.version;
+    core::CampaignOptions opt;
+    opt.seed = 7;
+    opt.max_faults = cap;
+    std::fprintf(stderr, "campaign: %s...\n", c.label);
+    const core::WorkloadSetResult set = core::run_workload_set(cfg, opt);
+
+    const double failure_fraction = set.percent(core::Outcome::kFailure) / 100.0;
+    const double coverage = 1.0 - failure_fraction;
+
+    // Automatic recovery time: mean response time of restart-involving
+    // outcomes (the time a fault-hit request window lasts).
+    stats::Accumulator recovery;
+    for (const auto& r : set.runs) {
+      if (!r.activated) continue;
+      if (r.outcome == core::Outcome::kRestartSuccess ||
+          r.outcome == core::Outcome::kRestartRetrySuccess) {
+        recovery.add(r.response_time.to_seconds() / 3600.0);  // hours
+      }
+    }
+    const double auto_mttr_hours = recovery.count() > 0 ? recovery.mean() : 0.0;
+
+    // Expected downtime per fault: covered faults cost the automatic
+    // recovery window; uncovered ones cost the manual repair time.
+    const double downtime_per_fault =
+        coverage * auto_mttr_hours + failure_fraction * manual_repair_hours;
+    const double availability =
+        mttf_fault_hours / (mttf_fault_hours + downtime_per_fault);
+    const double unavail_minutes_per_month = (1.0 - availability) * 30 * 24 * 60;
+    const double nines = -std::log10(1.0 - availability);
+
+    std::printf("%-12s %9.2f%% %10.1f s %11.1f m/mo %11.5f%% %7.2f\n", c.label,
+                coverage * 100, auto_mttr_hours * 3600, unavail_minutes_per_month,
+                availability * 100, nines);
+  }
+
+  std::printf(
+      "\nReading: higher failure coverage turns most faults into seconds of\n"
+      "automatic recovery instead of minutes of paging a human — each step of\n"
+      "middleware quality buys a visible fraction of a 'nine'.\n");
+  return 0;
+}

@@ -1,0 +1,593 @@
+#include "apps/sql_engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace dts::apps::sql {
+
+namespace {
+
+std::string lower(std::string v) {
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return v;
+}
+
+bool iequal(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string to_string(const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  return std::get<std::string>(v);
+}
+
+// ---------------------------------------------------------------- storage
+
+int Table::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (iequal(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Table::insert(std::vector<Value> row) {
+  if (row.size() != columns_.size()) return false;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const bool is_int = std::holds_alternative<std::int64_t>(row[i]);
+    if (is_int != (columns_[i].type == ColumnType::kInt)) return false;
+  }
+  rows_.push_back(std::move(row));
+  return true;
+}
+
+void Table::remove_rows(const std::vector<std::size_t>& indices) {
+  // Indices must be removed from the back so earlier ones stay valid.
+  std::vector<std::size_t> sorted = indices;
+  std::sort(sorted.rbegin(), sorted.rend());
+  for (std::size_t idx : sorted) {
+    if (idx < rows_.size()) rows_.erase(rows_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+}
+
+Table* Database::find(std::string_view name) {
+  auto it = tables_.find(lower(std::string(name)));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const Table* Database::find(std::string_view name) const {
+  auto it = tables_.find(lower(std::string(name)));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+bool Database::create(std::string name, std::vector<Column> columns) {
+  const std::string key = lower(name);
+  if (tables_.contains(key)) return false;
+  tables_.emplace(key, Table{std::move(name), std::move(columns)});
+  return true;
+}
+
+bool Database::drop(std::string_view name) {
+  return tables_.erase(lower(std::string(name))) > 0;
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> out;
+  for (const auto& [_, t] : tables_) out.push_back(t.name());
+  return out;
+}
+
+std::string Database::serialize() const {
+  // Line-oriented image: T <name> <col:type>... then R <values...> (tab-sep).
+  std::ostringstream out;
+  for (const auto& [_, t] : tables_) {
+    out << "T\t" << t.name();
+    for (const auto& c : t.columns()) {
+      out << '\t' << c.name << ':' << (c.type == ColumnType::kInt ? "int" : "text");
+    }
+    out << '\n';
+    for (const auto& row : t.rows()) {
+      out << 'R';
+      for (const auto& v : row) out << '\t' << to_string(v);
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::optional<Database> Database::deserialize(const std::string& image) {
+  Database db;
+  Table* current = nullptr;
+  std::istringstream in(image);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+      const auto tab = line.find('\t', start);
+      fields.push_back(line.substr(start, tab - start));
+      if (tab == std::string::npos) break;
+      start = tab + 1;
+    }
+    if (fields[0] == "T") {
+      if (fields.size() < 3) return std::nullopt;
+      std::vector<Column> cols;
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        const auto colon = fields[i].find(':');
+        if (colon == std::string::npos) return std::nullopt;
+        Column c;
+        c.name = fields[i].substr(0, colon);
+        const std::string type = fields[i].substr(colon + 1);
+        if (type == "int") {
+          c.type = ColumnType::kInt;
+        } else if (type == "text") {
+          c.type = ColumnType::kText;
+        } else {
+          return std::nullopt;
+        }
+        cols.push_back(std::move(c));
+      }
+      if (!db.create(fields[1], std::move(cols))) return std::nullopt;
+      current = db.find(fields[1]);
+    } else if (fields[0] == "R") {
+      if (current == nullptr || fields.size() != current->columns().size() + 1) {
+        return std::nullopt;
+      }
+      std::vector<Value> row;
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        if (current->columns()[i - 1].type == ColumnType::kInt) {
+          std::int64_t v = 0;
+          const auto& f = fields[i];
+          auto [p, ec] = std::from_chars(f.data(), f.data() + f.size(), v);
+          if (ec != std::errc{} || p != f.data() + f.size()) return std::nullopt;
+          row.emplace_back(v);
+        } else {
+          row.emplace_back(fields[i]);
+        }
+      }
+      if (!current->insert(std::move(row))) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return db;
+}
+
+// ---------------------------------------------------------------- lexer
+
+std::optional<std::vector<Token>> lex(const std::string& statement, std::string* error) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const auto n = statement.size();
+  while (i < n) {
+    const char c = statement[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(statement[j])) != 0 ||
+                       statement[j] == '_')) {
+        ++j;
+      }
+      out.push_back({Token::Kind::kIdent, statement.substr(i, j - i)});
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(statement[i + 1])) != 0)) {
+      std::size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(statement[j])) != 0) ++j;
+      out.push_back({Token::Kind::kNumber, statement.substr(i, j - i)});
+      i = j;
+    } else if (c == '\'') {
+      std::string text;
+      std::size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (statement[j] == '\'') {
+          if (j + 1 < n && statement[j + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text.push_back(statement[j]);
+        ++j;
+      }
+      if (!closed) {
+        if (error != nullptr) *error = "unterminated string literal";
+        return std::nullopt;
+      }
+      out.push_back({Token::Kind::kString, std::move(text)});
+      i = j;
+    } else if (c == '<' || c == '>' || c == '!') {
+      // two-char operators <=, >=, <>, !=
+      if (i + 1 < n && (statement[i + 1] == '=' || (c == '<' && statement[i + 1] == '>'))) {
+        out.push_back({Token::Kind::kSymbol, statement.substr(i, 2)});
+        i += 2;
+      } else if (c == '!') {
+        if (error != nullptr) *error = "unexpected '!'";
+        return std::nullopt;
+      } else {
+        out.push_back({Token::Kind::kSymbol, std::string(1, c)});
+        ++i;
+      }
+    } else if (c == '=' || c == ',' || c == '(' || c == ')' || c == '*' || c == ';') {
+      out.push_back({Token::Kind::kSymbol, std::string(1, c)});
+      ++i;
+    } else {
+      if (error != nullptr) *error = std::string("unexpected character '") + c + "'";
+      return std::nullopt;
+    }
+  }
+  out.push_back({Token::Kind::kEnd, ""});
+  return out;
+}
+
+// ---------------------------------------------------------------- parser/executor
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  const Token& peek() const { return toks_[pos_]; }
+  Token take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+
+  bool accept_kw(std::string_view kw) {
+    if (peek().kind == Token::Kind::kIdent && iequal(peek().text, kw)) {
+      take();
+      return true;
+    }
+    return false;
+  }
+  bool accept_sym(std::string_view s) {
+    if (peek().kind == Token::Kind::kSymbol && peek().text == s) {
+      take();
+      return true;
+    }
+    return false;
+  }
+  std::optional<std::string> ident() {
+    if (peek().kind != Token::Kind::kIdent) return std::nullopt;
+    return take().text;
+  }
+
+ private:
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+QueryResult fail(std::string msg) {
+  QueryResult r;
+  r.ok = false;
+  r.error = std::move(msg);
+  return r;
+}
+
+std::optional<Value> parse_literal(Parser& p, ColumnType expected) {
+  if (p.peek().kind == Token::Kind::kNumber) {
+    if (expected != ColumnType::kInt) return std::nullopt;
+    std::int64_t v = 0;
+    const std::string text = p.take().text;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc{}) return std::nullopt;
+    return Value{v};
+  }
+  if (p.peek().kind == Token::Kind::kString) {
+    if (expected != ColumnType::kText) return std::nullopt;
+    return Value{p.take().text};
+  }
+  return std::nullopt;
+}
+
+struct Predicate {
+  int column = -1;
+  std::string op;  // = < > <= >= <>
+  Value rhs;
+
+  bool matches(const std::vector<Value>& row) const {
+    const Value& lhs = row[static_cast<std::size_t>(column)];
+    auto cmp = [&]() -> int {
+      if (const auto* li = std::get_if<std::int64_t>(&lhs)) {
+        const auto ri = std::get<std::int64_t>(rhs);
+        return *li < ri ? -1 : (*li == ri ? 0 : 1);
+      }
+      const auto& ls = std::get<std::string>(lhs);
+      const auto& rs = std::get<std::string>(rhs);
+      return ls < rs ? -1 : (ls == rs ? 0 : 1);
+    }();
+    if (op == "=") return cmp == 0;
+    if (op == "<") return cmp < 0;
+    if (op == ">") return cmp > 0;
+    if (op == "<=") return cmp <= 0;
+    if (op == ">=") return cmp >= 0;
+    if (op == "<>" || op == "!=") return cmp != 0;
+    return false;
+  }
+};
+
+/// Parses "WHERE col op literal" if present. Returns false on syntax errors.
+bool parse_where(Parser& p, const Table& table, std::optional<Predicate>* out,
+                 std::string* error) {
+  if (!p.accept_kw("where")) {
+    out->reset();
+    return true;
+  }
+  auto col = p.ident();
+  if (!col) {
+    *error = "expected column name after WHERE";
+    return false;
+  }
+  const int idx = table.column_index(*col);
+  if (idx < 0) {
+    *error = "unknown column '" + *col + "'";
+    return false;
+  }
+  if (p.peek().kind != Token::Kind::kSymbol) {
+    *error = "expected comparison operator";
+    return false;
+  }
+  const std::string op = p.take().text;
+  if (op != "=" && op != "<" && op != ">" && op != "<=" && op != ">=" && op != "<>") {
+    *error = "unsupported operator '" + op + "'";
+    return false;
+  }
+  auto rhs = parse_literal(p, table.columns()[static_cast<std::size_t>(idx)].type);
+  if (!rhs) {
+    *error = "type mismatch or bad literal in WHERE";
+    return false;
+  }
+  *out = Predicate{idx, op, *rhs};
+  return true;
+}
+
+QueryResult exec_create(Database& db, Parser& p) {
+  if (!p.accept_kw("table")) return fail("expected TABLE after CREATE");
+  auto name = p.ident();
+  if (!name) return fail("expected table name");
+  if (!p.accept_sym("(")) return fail("expected '('");
+  std::vector<Column> cols;
+  for (;;) {
+    auto col = p.ident();
+    if (!col) return fail("expected column name");
+    Column c;
+    c.name = *col;
+    if (p.accept_kw("int") || p.accept_kw("integer")) {
+      c.type = ColumnType::kInt;
+    } else if (p.accept_kw("text") || p.accept_kw("varchar")) {
+      // optional (N) length suffix
+      if (p.accept_sym("(")) {
+        if (p.peek().kind != Token::Kind::kNumber) return fail("expected length");
+        p.take();
+        if (!p.accept_sym(")")) return fail("expected ')'");
+      }
+      c.type = ColumnType::kText;
+    } else {
+      return fail("expected column type");
+    }
+    cols.push_back(std::move(c));
+    if (p.accept_sym(",")) continue;
+    if (p.accept_sym(")")) break;
+    return fail("expected ',' or ')'");
+  }
+  if (cols.empty()) return fail("a table needs at least one column");
+  if (!db.create(*name, std::move(cols))) return fail("table already exists");
+  QueryResult r;
+  r.ok = true;
+  return r;
+}
+
+QueryResult exec_insert(Database& db, Parser& p) {
+  if (!p.accept_kw("into")) return fail("expected INTO after INSERT");
+  auto name = p.ident();
+  if (!name) return fail("expected table name");
+  Table* t = db.find(*name);
+  if (t == nullptr) return fail("unknown table '" + *name + "'");
+  if (!p.accept_kw("values")) return fail("expected VALUES");
+  if (!p.accept_sym("(")) return fail("expected '('");
+  std::vector<Value> row;
+  for (std::size_t i = 0;; ++i) {
+    if (i >= t->columns().size()) return fail("too many values");
+    auto v = parse_literal(p, t->columns()[i].type);
+    if (!v) return fail("bad literal for column " + t->columns()[i].name);
+    row.push_back(*v);
+    if (p.accept_sym(",")) continue;
+    if (p.accept_sym(")")) break;
+    return fail("expected ',' or ')'");
+  }
+  if (!t->insert(std::move(row))) return fail("arity mismatch");
+  QueryResult r;
+  r.ok = true;
+  r.affected = 1;
+  return r;
+}
+
+QueryResult exec_select(Database& db, Parser& p) {
+  std::vector<std::string> wanted;
+  bool star = false;
+  if (p.accept_sym("*")) {
+    star = true;
+  } else {
+    for (;;) {
+      auto col = p.ident();
+      if (!col) return fail("expected column name");
+      wanted.push_back(*col);
+      if (!p.accept_sym(",")) break;
+    }
+  }
+  if (!p.accept_kw("from")) return fail("expected FROM");
+  auto name = p.ident();
+  if (!name) return fail("expected table name");
+  const Table* t = db.find(*name);
+  if (t == nullptr) return fail("unknown table '" + *name + "'");
+
+  std::vector<int> indices;
+  QueryResult r;
+  if (star) {
+    for (std::size_t i = 0; i < t->columns().size(); ++i) {
+      indices.push_back(static_cast<int>(i));
+      r.column_names.push_back(t->columns()[i].name);
+    }
+  } else {
+    for (const auto& col : wanted) {
+      const int idx = t->column_index(col);
+      if (idx < 0) return fail("unknown column '" + col + "'");
+      indices.push_back(idx);
+      r.column_names.push_back(t->columns()[static_cast<std::size_t>(idx)].name);
+    }
+  }
+
+  std::optional<Predicate> pred;
+  std::string err;
+  if (!parse_where(p, *t, &pred, &err)) return fail(err);
+
+  int order_col = -1;
+  bool descending = false;
+  if (p.accept_kw("order")) {
+    if (!p.accept_kw("by")) return fail("expected BY after ORDER");
+    auto col = p.ident();
+    if (!col) return fail("expected column after ORDER BY");
+    order_col = t->column_index(*col);
+    if (order_col < 0) return fail("unknown column '" + *col + "'");
+    if (p.accept_kw("desc")) {
+      descending = true;
+    } else {
+      (void)p.accept_kw("asc");
+    }
+  }
+
+  std::vector<const std::vector<Value>*> selected;
+  for (const auto& row : t->rows()) {
+    if (!pred || pred->matches(row)) selected.push_back(&row);
+  }
+  if (order_col >= 0) {
+    std::stable_sort(selected.begin(), selected.end(),
+                     [order_col, descending](const auto* a, const auto* b) {
+                       const Value& x = (*a)[static_cast<std::size_t>(order_col)];
+                       const Value& y = (*b)[static_cast<std::size_t>(order_col)];
+                       const bool less = x < y;
+                       return descending ? y < x : less;
+                     });
+  }
+  for (const auto* row : selected) {
+    std::vector<Value> out;
+    for (int idx : indices) out.push_back((*row)[static_cast<std::size_t>(idx)]);
+    r.rows.push_back(std::move(out));
+  }
+  r.ok = true;
+  return r;
+}
+
+QueryResult exec_delete(Database& db, Parser& p) {
+  if (!p.accept_kw("from")) return fail("expected FROM after DELETE");
+  auto name = p.ident();
+  if (!name) return fail("expected table name");
+  Table* t = db.find(*name);
+  if (t == nullptr) return fail("unknown table '" + *name + "'");
+  std::optional<Predicate> pred;
+  std::string err;
+  if (!parse_where(p, *t, &pred, &err)) return fail(err);
+  std::vector<std::size_t> doomed;
+  for (std::size_t i = 0; i < t->rows().size(); ++i) {
+    if (!pred || pred->matches(t->rows()[i])) doomed.push_back(i);
+  }
+  t->remove_rows(doomed);
+  QueryResult r;
+  r.ok = true;
+  r.affected = doomed.size();
+  return r;
+}
+
+QueryResult exec_update(Database& db, Parser& p) {
+  auto name = p.ident();
+  if (!name) return fail("expected table name after UPDATE");
+  Table* t = db.find(*name);
+  if (t == nullptr) return fail("unknown table '" + *name + "'");
+  if (!p.accept_kw("set")) return fail("expected SET");
+  auto col = p.ident();
+  if (!col) return fail("expected column name");
+  const int idx = t->column_index(*col);
+  if (idx < 0) return fail("unknown column '" + *col + "'");
+  if (!p.accept_sym("=")) return fail("expected '='");
+  auto value = parse_literal(p, t->columns()[static_cast<std::size_t>(idx)].type);
+  if (!value) return fail("bad literal");
+  std::optional<Predicate> pred;
+  std::string err;
+  if (!parse_where(p, *t, &pred, &err)) return fail(err);
+  QueryResult r;
+  for (auto& row : t->mutable_rows()) {
+    if (!pred || pred->matches(row)) {
+      row[static_cast<std::size_t>(idx)] = *value;
+      ++r.affected;
+    }
+  }
+  r.ok = true;
+  return r;
+}
+
+}  // namespace
+
+std::string QueryResult::to_text() const {
+  std::ostringstream out;
+  if (!ok) {
+    out << "ERROR " << error << '\n';
+    return out.str();
+  }
+  if (!column_names.empty()) {
+    out << "COLS";
+    for (const auto& c : column_names) out << '\t' << c;
+    out << '\n';
+    for (const auto& row : rows) {
+      out << "ROW";
+      for (const auto& v : row) out << '\t' << to_string(v);
+      out << '\n';
+    }
+    out << "DONE " << rows.size() << '\n';
+  } else {
+    out << "OK " << affected << '\n';
+  }
+  return out.str();
+}
+
+QueryResult execute(Database& db, const std::string& statement) {
+  std::string lex_error;
+  auto tokens = lex(statement, &lex_error);
+  if (!tokens) return fail("syntax error: " + lex_error);
+  Parser p(std::move(*tokens));
+
+  if (p.accept_kw("create")) return exec_create(db, p);
+  if (p.accept_kw("insert")) return exec_insert(db, p);
+  if (p.accept_kw("select")) return exec_select(db, p);
+  if (p.accept_kw("delete")) return exec_delete(db, p);
+  if (p.accept_kw("update")) return exec_update(db, p);
+  if (p.accept_kw("drop")) {
+    if (!p.accept_kw("table")) return fail("expected TABLE after DROP");
+    auto name = p.ident();
+    if (!name) return fail("expected table name");
+    if (!db.drop(*name)) return fail("unknown table '" + *name + "'");
+    QueryResult r;
+    r.ok = true;
+    return r;
+  }
+  return fail("unsupported statement");
+}
+
+}  // namespace dts::apps::sql

@@ -1,0 +1,99 @@
+// Miniature SQL engine backing the simulated SQL Server 7.
+//
+// Supports the statement classes the paper's SqlClient workload needs —
+// CREATE TABLE, INSERT, and single-table SELECT with WHERE / ORDER BY — plus
+// enough surface (DROP, DELETE, UPDATE) to be a usable substrate. Pure
+// in-memory compute; the server process around it does the (injectable)
+// file I/O.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dts::apps::sql {
+
+// ---------------------------------------------------------------- values
+
+using Value = std::variant<std::int64_t, std::string>;
+
+std::string to_string(const Value& v);
+
+enum class ColumnType { kInt, kText };
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+};
+
+// ---------------------------------------------------------------- storage
+
+class Table {
+ public:
+  Table(std::string name, std::vector<Column> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<std::vector<Value>>& rows() const { return rows_; }
+
+  /// Index of a column by (case-insensitive) name, or -1.
+  int column_index(std::string_view name) const;
+
+  /// Appends a row; returns false on arity or type mismatch.
+  bool insert(std::vector<Value> row);
+
+  void remove_rows(const std::vector<std::size_t>& indices);
+  std::vector<std::vector<Value>>& mutable_rows() { return rows_; }
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+class Database {
+ public:
+  Table* find(std::string_view name);
+  const Table* find(std::string_view name) const;
+  bool create(std::string name, std::vector<Column> columns);
+  bool drop(std::string_view name);
+  std::vector<std::string> table_names() const;
+
+  /// Serializes / restores the whole database as a text image (what the
+  /// simulated .mdf file holds).
+  std::string serialize() const;
+  static std::optional<Database> deserialize(const std::string& image);
+
+ private:
+  std::map<std::string, Table> tables_;  // keyed by lower-cased name
+};
+
+// ---------------------------------------------------------------- queries
+
+struct QueryResult {
+  bool ok = false;
+  std::string error;
+  std::vector<std::string> column_names;          // for SELECT
+  std::vector<std::vector<Value>> rows;           // for SELECT
+  std::size_t affected = 0;                       // for INSERT/DELETE/UPDATE
+
+  /// Tabular text form (the wire format the simulated TDS protocol carries).
+  std::string to_text() const;
+};
+
+/// Parses and executes one SQL statement against the database.
+QueryResult execute(Database& db, const std::string& statement);
+
+// Exposed for unit tests: the token stream.
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kSymbol, kEnd } kind = Kind::kEnd;
+  std::string text;
+};
+std::optional<std::vector<Token>> lex(const std::string& statement, std::string* error);
+
+}  // namespace dts::apps::sql

@@ -1,0 +1,287 @@
+#include "core/campaign.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace dts::core {
+
+std::size_t WorkloadSetResult::activated_faults() const {
+  std::size_t n = 0;
+  for (const auto& r : runs) n += r.activated ? 1 : 0;
+  return n;
+}
+
+std::map<Outcome, std::size_t> WorkloadSetResult::outcome_counts() const {
+  std::map<Outcome, std::size_t> counts;
+  for (const auto& r : runs) {
+    if (r.activated) ++counts[r.outcome];
+  }
+  return counts;
+}
+
+double WorkloadSetResult::percent(Outcome o) const {
+  const std::size_t total = activated_faults();
+  if (total == 0) return 0.0;
+  const auto counts = outcome_counts();
+  auto it = counts.find(o);
+  const std::size_t n = it == counts.end() ? 0 : it->second;
+  return 100.0 * static_cast<double>(n) / static_cast<double>(total);
+}
+
+std::size_t WorkloadSetResult::failures_with_response() const {
+  std::size_t n = 0;
+  for (const auto& r : runs) {
+    if (r.activated && r.outcome == Outcome::kFailure && r.response_received) ++n;
+  }
+  return n;
+}
+
+std::size_t WorkloadSetResult::failures_without_response() const {
+  std::size_t n = 0;
+  for (const auto& r : runs) {
+    if (r.activated && r.outcome == Outcome::kFailure && !r.response_received) ++n;
+  }
+  return n;
+}
+
+std::string WorkloadSetResult::label() const {
+  std::string out = base_config.workload.name;
+  out += "/";
+  if (base_config.middleware == mw::MiddlewareKind::kWatchd) {
+    out += to_string(base_config.watchd_version);
+  } else {
+    out += to_string(base_config.middleware);
+  }
+  return out;
+}
+
+std::set<nt::Fn> profile_workload(const RunConfig& base, std::uint64_t seed) {
+  RunConfig cfg = base;
+  cfg.seed = sim::Rng::mix(seed, sim::Rng::hash("profile"));
+  FaultInjectionRun run(cfg);
+  (void)run.execute(std::nullopt);
+  return run.activated_functions();
+}
+
+WorkloadSetResult run_workload_set(const RunConfig& base, const CampaignOptions& options) {
+  WorkloadSetResult result;
+  result.base_config = base;
+
+  // Profiling pass: which functions does this workload activate at all?
+  result.activated_functions = profile_workload(base, options.seed);
+
+  inject::FaultList list =
+      options.profile_first
+          ? inject::FaultList::for_functions(base.workload.target_image,
+                                             result.activated_functions, options.iterations)
+          : inject::FaultList::full_sweep(base.workload.target_image, options.iterations);
+  if (options.max_faults > 0 && list.faults.size() > options.max_faults) {
+    // Sample evenly across the whole list rather than truncating: a prefix
+    // slice would cover only the catalogue's first functions and badly skew
+    // the outcome mix.
+    std::vector<inject::FaultSpec> sampled;
+    sampled.reserve(options.max_faults);
+    const std::size_t n = list.faults.size();
+    for (std::size_t i = 0; i < options.max_faults; ++i) {
+      sampled.push_back(list.faults[i * n / options.max_faults]);
+    }
+    list.faults = std::move(sampled);
+  }
+
+  // The skip-uncalled rule (paper §4): once a function proves uncalled, the
+  // rest of its faults are skipped. With profiling this rarely triggers, but
+  // nondeterminism can still starve a function of calls.
+  std::set<nt::Fn> uncalled;
+
+  std::size_t done = 0;
+  for (const auto& fault : list.faults) {
+    ++done;
+    if (uncalled.contains(fault.fn)) {
+      RunResult skipped;
+      skipped.fault = fault;
+      skipped.activated = false;
+      skipped.detail = "skipped: function not called by this workload";
+      result.runs.push_back(std::move(skipped));
+      continue;
+    }
+
+    RunConfig cfg = base;
+    cfg.seed = sim::Rng::mix(options.seed, sim::Rng::hash(fault.id()));
+    FaultInjectionRun run(cfg);
+    RunResult r = run.execute(fault);
+    if (!r.activated && !run.interceptor().target_function_called()) {
+      uncalled.insert(fault.fn);
+    }
+    result.runs.push_back(std::move(r));
+
+    if (options.on_progress) options.on_progress(done, list.faults.size());
+  }
+  return result;
+}
+
+namespace {
+
+std::string_view mw_code(mw::MiddlewareKind k) {
+  switch (k) {
+    case mw::MiddlewareKind::kNone: return "none";
+    case mw::MiddlewareKind::kMscs: return "mscs";
+    case mw::MiddlewareKind::kWatchd: return "watchd";
+  }
+  return "?";
+}
+
+std::optional<mw::MiddlewareKind> mw_from_code(std::string_view s) {
+  if (s == "none") return mw::MiddlewareKind::kNone;
+  if (s == "mscs") return mw::MiddlewareKind::kMscs;
+  if (s == "watchd") return mw::MiddlewareKind::kWatchd;
+  return std::nullopt;
+}
+
+std::string_view outcome_code(Outcome o) {
+  switch (o) {
+    case Outcome::kNormalSuccess: return "normal";
+    case Outcome::kRestartSuccess: return "restart";
+    case Outcome::kRestartRetrySuccess: return "restart_retry";
+    case Outcome::kRetrySuccess: return "retry";
+    case Outcome::kFailure: return "failure";
+  }
+  return "?";
+}
+
+std::optional<Outcome> outcome_from(std::string_view s) {
+  if (s == "normal") return Outcome::kNormalSuccess;
+  if (s == "restart") return Outcome::kRestartSuccess;
+  if (s == "restart_retry") return Outcome::kRestartRetrySuccess;
+  if (s == "retry") return Outcome::kRetrySuccess;
+  if (s == "failure") return Outcome::kFailure;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string serialize_workload_set(const WorkloadSetResult& set) {
+  std::ostringstream out;
+  out << "DTSCAMPAIGN v1\n";
+  out << "workload " << set.base_config.workload.name << "\n";
+  out << "middleware " << mw_code(set.base_config.middleware) << "\n";
+  out << "watchd_version " << static_cast<int>(set.base_config.watchd_version) << "\n";
+  out << "seed " << set.base_config.seed << "\n";
+  out << "functions";
+  for (nt::Fn fn : set.activated_functions) out << ' ' << nt::to_string(fn);
+  out << "\n";
+  for (const auto& r : set.runs) {
+    out << "run " << r.fault.id() << ' ' << (r.activated ? 1 : 0) << ' '
+        << outcome_code(r.outcome) << ' ' << (r.response_received ? 1 : 0) << ' '
+        << r.response_time.count_micros() << ' ' << r.restarts << ' ' << r.retries << ' '
+        << (r.client_finished ? 1 : 0) << "\n";
+  }
+  return out.str();
+}
+
+std::optional<WorkloadSetResult> deserialize_workload_set(const std::string& text,
+                                                          std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "DTSCAMPAIGN v1") return fail("bad header");
+
+  WorkloadSetResult set;
+  const auto& reg = nt::Kernel32Registry::instance();
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "workload") {
+      std::string name;
+      ls >> name;
+      try {
+        set.base_config.workload = workload_by_name(name);
+      } catch (const std::exception& e) {
+        return fail(e.what());
+      }
+    } else if (tag == "middleware") {
+      std::string code;
+      ls >> code;
+      auto m = mw_from_code(code);
+      if (!m) return fail("bad middleware code");
+      set.base_config.middleware = *m;
+    } else if (tag == "watchd_version") {
+      int v = 0;
+      ls >> v;
+      if (v < 1 || v > 3) return fail("bad watchd version");
+      set.base_config.watchd_version = static_cast<mw::WatchdVersion>(v);
+    } else if (tag == "seed") {
+      ls >> set.base_config.seed;
+    } else if (tag == "functions") {
+      std::string fn_name;
+      while (ls >> fn_name) {
+        const nt::FunctionInfo* info = reg.by_name(fn_name);
+        if (info == nullptr) return fail("unknown function " + fn_name);
+        set.activated_functions.insert(static_cast<nt::Fn>(info->id));
+      }
+    } else if (tag == "run") {
+      std::string fault_id, outcome_s;
+      int activated = 0, resp = 0, restarts = 0, retries = 0, finished = 0;
+      std::int64_t time_us = 0;
+      ls >> fault_id >> activated >> outcome_s >> resp >> time_us >> restarts >> retries >>
+          finished;
+      if (!ls) return fail("bad run line: " + line);
+      auto spec = inject::parse_fault_id(set.base_config.workload.target_image, fault_id);
+      if (!spec) return fail("bad fault id: " + fault_id);
+      auto outcome = outcome_from(outcome_s);
+      if (!outcome) return fail("bad outcome: " + outcome_s);
+      RunResult r;
+      r.fault = *spec;
+      r.activated = activated != 0;
+      r.outcome = *outcome;
+      r.response_received = resp != 0;
+      r.response_time = sim::Duration::micros(time_us);
+      r.restarts = restarts;
+      r.retries = retries;
+      r.client_finished = finished != 0;
+      set.runs.push_back(std::move(r));
+    } else {
+      return fail("unknown tag: " + tag);
+    }
+  }
+  return set;
+}
+
+WorkloadSetResult load_or_run_workload_set(const RunConfig& base,
+                                           const CampaignOptions& options,
+                                           const std::string& cache_dir) {
+  std::string path;
+  if (!cache_dir.empty()) {
+    const std::uint64_t key = sim::Rng::mix(
+        sim::Rng::hash(base.workload.name),
+        sim::Rng::mix(static_cast<std::uint64_t>(base.middleware) * 131 +
+                          static_cast<std::uint64_t>(base.watchd_version),
+                      sim::Rng::mix(options.seed,
+                                    static_cast<std::uint64_t>(options.iterations) * 1000003 +
+                                        options.max_faults)));
+    char name[64];
+    std::snprintf(name, sizeof name, "dts_%016llx.campaign",
+                  static_cast<unsigned long long>(key));
+    std::filesystem::create_directories(cache_dir);
+    path = cache_dir + "/" + name;
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream buf;
+      buf << in.rdbuf();
+      if (auto cached = deserialize_workload_set(buf.str())) return *cached;
+    }
+  }
+  WorkloadSetResult result = run_workload_set(base, options);
+  if (!path.empty()) {
+    std::ofstream out(path);
+    out << serialize_workload_set(result);
+  }
+  return result;
+}
+
+}  // namespace dts::core

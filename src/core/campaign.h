@@ -1,0 +1,77 @@
+// Campaign orchestration — the paper's experiment flow chart (Fig. 1):
+// for each workload, for each function, for each parameter, for each
+// iteration, for each fault type: one fault-injection run.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/run.h"
+#include "inject/fault_list.h"
+
+namespace dts::core {
+
+/// All runs of one workload set (one workload × one middleware config).
+struct WorkloadSetResult {
+  RunConfig base_config;
+  std::set<nt::Fn> activated_functions;  // paper Table 1
+  std::vector<RunResult> runs;           // in fault-list order
+
+  /// Faults that actually fired (the denominator for outcome percentages —
+  /// the paper reports "percentage of the total number of activated faults").
+  std::size_t activated_faults() const;
+  std::map<Outcome, std::size_t> outcome_counts() const;
+  double percent(Outcome o) const;
+  /// Failure split for Fig. 4.
+  std::size_t failures_with_response() const;
+  std::size_t failures_without_response() const;
+
+  std::string label() const;  // e.g. "Apache1/MSCS"
+};
+
+struct CampaignOptions {
+  /// How many invocations of each function to inject (the I axis). The paper
+  /// uses 1: "only the first invocation of each function was injected".
+  int iterations = 1;
+
+  /// Run one fault-free profiling pass first and restrict the fault list to
+  /// functions the target actually calls. Equivalent to the paper's dynamic
+  /// skip-uncalled-functions rule, minus the probe runs.
+  bool profile_first = true;
+
+  /// Root seed; each run derives its own from this and the fault id.
+  std::uint64_t seed = 1;
+
+  /// Optional progress callback (runs completed, total runs).
+  std::function<void(std::size_t, std::size_t)> on_progress;
+
+  /// Optional cap on the number of faults (for quick smoke experiments);
+  /// 0 = no cap.
+  std::size_t max_faults = 0;
+};
+
+/// Runs a complete workload set and returns its results.
+WorkloadSetResult run_workload_set(const RunConfig& base, const CampaignOptions& options = {});
+
+/// Profiling only: the set of activated functions (no faults injected).
+std::set<nt::Fn> profile_workload(const RunConfig& base, std::uint64_t seed = 1);
+
+/// Text serialization of a workload-set result (configuration identity,
+/// activated functions, one line per run). Round-trips through
+/// deserialize_workload_set; used by the benchmark harness cache so each
+/// table/figure binary can reuse campaign data instead of re-running it.
+std::string serialize_workload_set(const WorkloadSetResult& set);
+std::optional<WorkloadSetResult> deserialize_workload_set(const std::string& text,
+                                                          std::string* error = nullptr);
+
+/// Runs the workload set, or loads it from `cache_dir` if an identical
+/// configuration was run before (empty cache_dir = always run). The cache
+/// key covers workload, middleware, watchd version, seed, iterations and
+/// fault cap.
+WorkloadSetResult load_or_run_workload_set(const RunConfig& base,
+                                           const CampaignOptions& options,
+                                           const std::string& cache_dir);
+
+}  // namespace dts::core

@@ -1,0 +1,193 @@
+#include "core/config.h"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace dts::core {
+
+namespace {
+
+std::string trim(std::string v) {
+  std::size_t b = 0;
+  while (b < v.size() && std::isspace(static_cast<unsigned char>(v[b])) != 0) ++b;
+  std::size_t e = v.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(v[e - 1])) != 0) --e;
+  return v.substr(b, e - b);
+}
+
+std::string lower(std::string v) {
+  for (char& ch : v) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  return v;
+}
+
+bool parse_int(const std::string& v, std::int64_t* out) {
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), *out);
+  return ec == std::errc{} && p == v.data() + v.size();
+}
+
+bool parse_double(const std::string& v, double* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stod(v, &pos);
+    return pos == v.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::optional<DtsConfig> parse_config(const std::string& text, std::string* error) {
+  DtsConfig cfg;
+  cfg.run.workload = iis_workload();  // default workload
+
+  std::string section;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = "line " + std::to_string(line_no) + ": " + msg;
+    return std::nullopt;
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // strip comments (';' or '#')
+    const auto comment = raw.find_first_of(";#");
+    std::string line = trim(comment == std::string::npos ? raw : raw.substr(0, comment));
+    if (line.empty()) continue;
+    if (line.front() == '[' && line.back() == ']') {
+      section = lower(trim(line.substr(1, line.size() - 2)));
+      if (section != "test" && section != "client" && section != "machine" &&
+          section != "middleware") {
+        return fail("unknown section [" + section + "]");
+      }
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) return fail("expected key = value");
+    const std::string key = lower(trim(line.substr(0, eq)));
+    const std::string value = trim(line.substr(eq + 1));
+    std::int64_t iv = 0;
+    double dv = 0;
+
+    if (section == "test") {
+      if (key == "workload") {
+        try {
+          cfg.run.workload = workload_by_name(value);
+        } catch (const std::exception& e) {
+          return fail(e.what());
+        }
+      } else if (key == "middleware") {
+        const std::string m = lower(value);
+        if (m == "none") cfg.run.middleware = mw::MiddlewareKind::kNone;
+        else if (m == "mscs") cfg.run.middleware = mw::MiddlewareKind::kMscs;
+        else if (m == "watchd") cfg.run.middleware = mw::MiddlewareKind::kWatchd;
+        else return fail("bad middleware '" + value + "'");
+      } else if (key == "watchd_version") {
+        if (!parse_int(value, &iv) || iv < 1 || iv > 3) return fail("bad watchd_version");
+        cfg.run.watchd_version = static_cast<mw::WatchdVersion>(iv);
+      } else if (key == "seed") {
+        if (!parse_int(value, &iv) || iv < 0) return fail("bad seed");
+        cfg.campaign.seed = static_cast<std::uint64_t>(iv);
+      } else if (key == "iterations") {
+        if (!parse_int(value, &iv) || iv < 1) return fail("bad iterations");
+        cfg.campaign.iterations = static_cast<int>(iv);
+      } else if (key == "max_faults") {
+        if (!parse_int(value, &iv) || iv < 0) return fail("bad max_faults");
+        cfg.campaign.max_faults = static_cast<std::size_t>(iv);
+      } else if (key == "fault_list_file") {
+        cfg.fault_list_file = value;
+      } else {
+        return fail("unknown key '" + key + "' in [test]");
+      }
+    } else if (section == "client") {
+      if (key == "response_timeout_s") {
+        if (!parse_int(value, &iv) || iv < 1) return fail("bad response_timeout_s");
+        cfg.run.client.response_timeout = sim::Duration::seconds(iv);
+      } else if (key == "retry_wait_s") {
+        if (!parse_int(value, &iv) || iv < 0) return fail("bad retry_wait_s");
+        cfg.run.client.retry_wait = sim::Duration::seconds(iv);
+      } else if (key == "max_attempts") {
+        if (!parse_int(value, &iv) || iv < 1) return fail("bad max_attempts");
+        cfg.run.client.max_attempts = static_cast<int>(iv);
+      } else if (key == "server_up_timeout_s") {
+        if (!parse_int(value, &iv) || iv < 0) return fail("bad server_up_timeout_s");
+        cfg.run.client.server_up_timeout = sim::Duration::seconds(iv);
+      } else {
+        return fail("unknown key '" + key + "' in [client]");
+      }
+    } else if (section == "machine") {
+      if (key == "target_cpu_scale") {
+        if (!parse_double(value, &dv) || dv <= 0) return fail("bad target_cpu_scale");
+        cfg.run.target_cpu_scale = dv;
+      } else if (key == "run_timeout_s") {
+        if (!parse_int(value, &iv) || iv < 1) return fail("bad run_timeout_s");
+        cfg.run.run_timeout = sim::Duration::seconds(iv);
+      } else if (key == "target_jitter") {
+        if (!parse_double(value, &dv) || dv < 0 || dv > 1) return fail("bad target_jitter");
+        cfg.run.target_jitter = dv;
+      } else if (key == "apache_children") {
+        if (!parse_int(value, &iv) || iv < 1 || iv > 32) return fail("bad apache_children");
+        cfg.run.apache.max_children = static_cast<int>(iv);
+      } else {
+        return fail("unknown key '" + key + "' in [machine]");
+      }
+    } else if (section == "middleware") {
+      if (key == "mscs_poll_interval_s") {
+        if (!parse_int(value, &iv) || iv < 1) return fail("bad mscs_poll_interval_s");
+        cfg.run.mscs.poll_interval = sim::Duration::seconds(iv);
+      } else if (key == "mscs_pending_timeout_s") {
+        if (!parse_int(value, &iv) || iv < 1) return fail("bad mscs_pending_timeout_s");
+        cfg.run.mscs.pending_timeout = sim::Duration::seconds(iv);
+      } else if (key == "mscs_restart_threshold") {
+        if (!parse_int(value, &iv) || iv < 0) return fail("bad mscs_restart_threshold");
+        cfg.run.mscs.restart_threshold = static_cast<int>(iv);
+      } else if (key == "watchd_heartbeat") {
+        if (!parse_int(value, &iv) || (iv != 0 && iv != 1)) {
+          return fail("bad watchd_heartbeat");
+        }
+        cfg.run.watchd.heartbeat = iv == 1;
+      } else {
+        return fail("unknown key '" + key + "' in [middleware]");
+      }
+    } else {
+      return fail("key outside of any section");
+    }
+  }
+  cfg.run.seed = cfg.campaign.seed;
+  return cfg;
+}
+
+std::string serialize_config(const DtsConfig& cfg) {
+  std::ostringstream out;
+  out << "[test]\n";
+  out << "workload = " << cfg.run.workload.name << "\n";
+  out << "middleware = " << lower(std::string(to_string(cfg.run.middleware))) << "\n";
+  out << "watchd_version = " << static_cast<int>(cfg.run.watchd_version) << "\n";
+  out << "seed = " << cfg.campaign.seed << "\n";
+  out << "iterations = " << cfg.campaign.iterations << "\n";
+  out << "max_faults = " << cfg.campaign.max_faults << "\n";
+  if (!cfg.fault_list_file.empty()) out << "fault_list_file = " << cfg.fault_list_file << "\n";
+  out << "\n[client]\n";
+  out << "response_timeout_s = " << cfg.run.client.response_timeout.count_micros() / 1000000
+      << "\n";
+  out << "retry_wait_s = " << cfg.run.client.retry_wait.count_micros() / 1000000 << "\n";
+  out << "max_attempts = " << cfg.run.client.max_attempts << "\n";
+  out << "server_up_timeout_s = "
+      << cfg.run.client.server_up_timeout.count_micros() / 1000000 << "\n";
+  out << "\n[machine]\n";
+  out << "target_cpu_scale = " << cfg.run.target_cpu_scale << "\n";
+  out << "run_timeout_s = " << cfg.run.run_timeout.count_micros() / 1000000 << "\n";
+  out << "\n[middleware]\n";
+  out << "mscs_poll_interval_s = " << cfg.run.mscs.poll_interval.count_micros() / 1000000
+      << "\n";
+  out << "mscs_pending_timeout_s = "
+      << cfg.run.mscs.pending_timeout.count_micros() / 1000000 << "\n";
+  out << "mscs_restart_threshold = " << cfg.run.mscs.restart_threshold << "\n";
+  out << "watchd_heartbeat = " << (cfg.run.watchd.heartbeat ? 1 : 0) << "\n";
+  return out.str();
+}
+
+}  // namespace dts::core

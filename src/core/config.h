@@ -1,0 +1,56 @@
+// DTS configuration files (paper §3: "One main configuration file is used to
+// specify test parameters such as timeout periods, a fault list file name,
+// and workload parameters").
+//
+// Format: INI.
+//
+//   [test]
+//   workload        = IIS          ; Apache1 | Apache2 | IIS | SQL
+//   middleware      = watchd       ; none | mscs | watchd
+//   watchd_version  = 3            ; 1 | 2 | 3
+//   seed            = 1
+//   iterations      = 1            ; invocations injected per function
+//   max_faults      = 0            ; 0 = unlimited
+//   fault_list_file =              ; optional explicit fault list
+//
+//   [client]
+//   response_timeout_s  = 15
+//   retry_wait_s        = 15
+//   max_attempts        = 3
+//   server_up_timeout_s = 90
+//
+//   [machine]
+//   target_cpu_scale = 1.0         ; 1.0 = 100 MHz Pentium
+//   run_timeout_s    = 400
+//   target_jitter    = 0.0         ; execution-time noise (0..1)
+//   apache_children  = 1           ; Apache worker pool size
+//
+//   [middleware]
+//   mscs_poll_interval_s   = 5
+//   mscs_pending_timeout_s = 20
+//   mscs_restart_threshold = 2
+//   watchd_heartbeat       = 0     ; 1 enables the port heartbeat extension
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/campaign.h"
+
+namespace dts::core {
+
+struct DtsConfig {
+  RunConfig run;
+  CampaignOptions campaign;
+  std::string fault_list_file;  // empty: generate from profiling
+};
+
+/// Parses a configuration file's text. Returns nullopt and sets *error on
+/// any malformed or unknown entry (configs are validated strictly: a typo'd
+/// key must not silently disappear).
+std::optional<DtsConfig> parse_config(const std::string& text, std::string* error);
+
+/// Renders a config back to text (round-trips through parse_config).
+std::string serialize_config(const DtsConfig& cfg);
+
+}  // namespace dts::core

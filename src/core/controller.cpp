@@ -1,0 +1,176 @@
+#include "core/controller.h"
+
+#include <sstream>
+
+namespace dts::core {
+
+namespace {
+
+/// In-process transport: delivery is a direct call into the peer's receiver.
+class InProcessTransport final : public Transport {
+ public:
+  void send(const std::string& message) override {
+    if (peer_ != nullptr && peer_->receiver_) peer_->receiver_(message);
+  }
+  void set_receiver(std::function<void(const std::string&)> on_message) override {
+    receiver_ = std::move(on_message);
+  }
+
+  InProcessTransport* peer_ = nullptr;
+  std::function<void(const std::string&)> receiver_;
+};
+
+std::string_view outcome_code(Outcome o) {
+  switch (o) {
+    case Outcome::kNormalSuccess: return "normal";
+    case Outcome::kRestartSuccess: return "restart";
+    case Outcome::kRestartRetrySuccess: return "restart_retry";
+    case Outcome::kRetrySuccess: return "retry";
+    case Outcome::kFailure: return "failure";
+  }
+  return "?";
+}
+
+std::optional<Outcome> outcome_from_code(std::string_view s) {
+  if (s == "normal") return Outcome::kNormalSuccess;
+  if (s == "restart") return Outcome::kRestartSuccess;
+  if (s == "restart_retry") return Outcome::kRestartRetrySuccess;
+  if (s == "retry") return Outcome::kRetrySuccess;
+  if (s == "failure") return Outcome::kFailure;
+  return std::nullopt;
+}
+
+}  // namespace
+
+TransportPair make_in_process_transport() {
+  auto a = std::make_unique<InProcessTransport>();
+  auto b = std::make_unique<InProcessTransport>();
+  a->peer_ = b.get();
+  b->peer_ = a.get();
+  TransportPair pair;
+  pair.controller_end = std::move(a);
+  pair.agent_end = std::move(b);
+  return pair;
+}
+
+std::string encode_run_result(const RunResult& r) {
+  std::ostringstream out;
+  out << "RESULT fault=" << r.fault.id() << " activated=" << (r.activated ? 1 : 0)
+      << " outcome=" << outcome_code(r.outcome)
+      << " response_received=" << (r.response_received ? 1 : 0)
+      << " response_time_us=" << r.response_time.count_micros()
+      << " restarts=" << r.restarts << " retries=" << r.retries;
+  return out.str();
+}
+
+std::optional<RunResult> decode_run_result(const std::string& text) {
+  std::istringstream in(text);
+  std::string tag;
+  in >> tag;
+  if (tag != "RESULT") return std::nullopt;
+  RunResult r;
+  std::string field;
+  bool saw_outcome = false;
+  while (in >> field) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "fault") {
+      // The fault id is informational on the controller side; target image
+      // is tracked by the controller's own bookkeeping.
+      r.detail = value;
+    } else if (key == "activated") {
+      r.activated = value == "1";
+    } else if (key == "outcome") {
+      auto o = outcome_from_code(value);
+      if (!o) return std::nullopt;
+      r.outcome = *o;
+      saw_outcome = true;
+    } else if (key == "response_received") {
+      r.response_received = value == "1";
+    } else if (key == "response_time_us") {
+      r.response_time = sim::Duration::micros(std::stoll(value));
+    } else if (key == "restarts") {
+      r.restarts = std::stoi(value);
+    } else if (key == "retries") {
+      r.retries = std::stoi(value);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_outcome) return std::nullopt;
+  r.client_finished = true;
+  return r;
+}
+
+TargetAgent::TargetAgent(RunConfig base_config, Transport& transport)
+    : base_config_(std::move(base_config)), transport_(transport) {
+  transport_.set_receiver([this](const std::string& msg) { on_message(msg); });
+}
+
+void TargetAgent::on_message(const std::string& msg) {
+  if (msg == "PROFILE") {
+    const std::set<nt::Fn> fns = profile_workload(base_config_, base_config_.seed);
+    std::ostringstream out;
+    out << "PROFILE_RESULT " << fns.size();
+    for (nt::Fn fn : fns) out << ' ' << nt::to_string(fn);
+    transport_.send(out.str());
+    return;
+  }
+  if (msg.rfind("RUN ", 0) == 0) {
+    const std::string fault_id = msg.substr(4);
+    auto spec = inject::parse_fault_id(base_config_.workload.target_image, fault_id);
+    if (!spec) {
+      transport_.send("ERROR bad fault id: " + fault_id);
+      return;
+    }
+    RunConfig cfg = base_config_;
+    cfg.seed = sim::Rng::mix(base_config_.seed, sim::Rng::hash(fault_id));
+    RunResult r = execute_run(cfg, *spec);
+    transport_.send(encode_run_result(r));
+    return;
+  }
+  transport_.send("ERROR unknown command");
+}
+
+Controller::Controller(Transport& transport) : transport_(transport) {
+  transport_.set_receiver([this](const std::string& msg) { on_message(msg); });
+}
+
+void Controller::on_message(const std::string& msg) { last_reply_ = msg; }
+
+std::set<std::string> Controller::profile() {
+  last_reply_.reset();
+  transport_.send("PROFILE");
+  std::set<std::string> fns;
+  if (!last_reply_ || last_reply_->rfind("PROFILE_RESULT ", 0) != 0) {
+    ++protocol_errors_;
+    return fns;
+  }
+  std::istringstream in(last_reply_->substr(15));
+  std::size_t n = 0;
+  in >> n;
+  std::string name;
+  while (in >> name) fns.insert(name);
+  if (fns.size() != n) ++protocol_errors_;
+  return fns;
+}
+
+RunResult Controller::run_fault(const inject::FaultSpec& fault) {
+  last_reply_.reset();
+  transport_.send("RUN " + fault.id());
+  if (!last_reply_) {
+    ++protocol_errors_;
+    return {};
+  }
+  auto result = decode_run_result(*last_reply_);
+  if (!result) {
+    ++protocol_errors_;
+    return {};
+  }
+  result->fault = fault;
+  return *result;
+}
+
+}  // namespace dts::core

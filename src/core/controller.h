@@ -1,0 +1,79 @@
+// The DTS distributed architecture: "the management and user interface
+// software resides on the control machine and the fault injection mechanism,
+// workload generator, and data collector are present on a separate target
+// machine... necessary if there is a possibility of a machine crash caused
+// by an injected fault" (paper §3).
+//
+// The Controller drives a TargetAgent through a Transport. The in-process
+// transport provided here runs both in one address space (the paper notes
+// the tool "may be used with all components on a single machine"); the
+// protocol is line-oriented text so a socket transport drops in unchanged.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/campaign.h"
+
+namespace dts::core {
+
+/// One side of a bidirectional message channel.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void send(const std::string& message) = 0;
+  virtual void set_receiver(std::function<void(const std::string&)> on_message) = 0;
+};
+
+/// A connected pair of in-process transports.
+struct TransportPair {
+  std::unique_ptr<Transport> controller_end;
+  std::unique_ptr<Transport> agent_end;
+};
+TransportPair make_in_process_transport();
+
+/// Lives on the target machine: executes profiling and fault-injection runs
+/// on request. Stateless between requests (every run builds a fresh world).
+class TargetAgent {
+ public:
+  TargetAgent(RunConfig base_config, Transport& transport);
+
+  const RunConfig& base_config() const { return base_config_; }
+
+ private:
+  void on_message(const std::string& msg);
+
+  RunConfig base_config_;
+  Transport& transport_;
+};
+
+/// Lives on the control machine: sends commands, parses replies.
+class Controller {
+ public:
+  explicit Controller(Transport& transport);
+
+  /// Asks the agent for the workload's activated functions.
+  std::set<std::string> profile();
+
+  /// Asks the agent to execute one fault-injection run.
+  RunResult run_fault(const inject::FaultSpec& fault);
+
+  /// Number of protocol errors observed (malformed replies).
+  int protocol_errors() const { return protocol_errors_; }
+
+ private:
+  void on_message(const std::string& msg);
+
+  Transport& transport_;
+  std::optional<std::string> last_reply_;
+  int protocol_errors_ = 0;
+};
+
+/// Wire encoding of a RunResult (exposed for tests).
+std::string encode_run_result(const RunResult& r);
+std::optional<RunResult> decode_run_result(const std::string& text);
+
+}  // namespace dts::core

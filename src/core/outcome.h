@@ -1,0 +1,72 @@
+// Run outcomes — the paper's five-way classification (§3), plus the Fig. 4
+// refinement splitting failures into wrong-response and no-response.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "inject/fault.h"
+#include "sim/time.h"
+
+namespace dts::core {
+
+enum class Outcome {
+  kNormalSuccess,        // correct responses, no restart, no retries
+  kRestartSuccess,       // middleware restarted the server; no retries needed
+  kRestartRetrySuccess,  // restart + at least one client retry
+  kRetrySuccess,         // at least one client retry, no restart
+  kFailure,              // some request never got a correct response
+};
+
+constexpr Outcome kAllOutcomes[] = {
+    Outcome::kNormalSuccess, Outcome::kRestartSuccess, Outcome::kRestartRetrySuccess,
+    Outcome::kRetrySuccess, Outcome::kFailure,
+};
+
+std::string_view to_string(Outcome o);
+std::string_view short_label(Outcome o);  // for table columns
+
+/// One client request's fate across its (up to three) attempts.
+struct RequestResult {
+  bool ok = false;
+  int attempts = 0;
+  bool any_response = false;  // something came back, even if wrong
+  sim::Duration elapsed{};
+  std::string detail;
+};
+
+/// What the client program observed (most DTS results are client-oriented,
+/// paper §3).
+struct ClientReport {
+  std::vector<RequestResult> requests;
+  bool finished = false;
+  sim::TimePoint started_at{};
+  sim::TimePoint finished_at{};
+
+  bool all_ok() const;
+  int total_retries() const;
+  bool any_response() const;
+};
+
+/// Result of one fault-injection run.
+struct RunResult {
+  inject::FaultSpec fault;
+  bool activated = false;  // the armed fault actually fired
+
+  Outcome outcome = Outcome::kFailure;
+  bool response_received = false;  // failures: wrong response vs none (Fig. 4)
+  sim::Duration response_time{};   // workload start -> client completion
+  int restarts = 0;                // middleware-initiated restarts observed
+  int retries = 0;
+  bool client_finished = false;
+  std::string detail;  // e.g. the target's crash reason
+
+  /// Per-request detail (paper §3: "the specific response to each individual
+  /// request") — one entry per workload request, in order.
+  std::vector<RequestResult> requests;
+
+  /// One-line log form.
+  std::string summary() const;
+};
+
+}  // namespace dts::core

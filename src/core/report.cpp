@@ -1,0 +1,315 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace dts::core {
+
+namespace {
+
+/// Middleware column label for a configuration.
+std::string config_label(const RunConfig& cfg) {
+  if (cfg.middleware == mw::MiddlewareKind::kWatchd) {
+    return std::string(to_string(cfg.watchd_version));
+  }
+  return std::string(to_string(cfg.middleware));
+}
+
+/// Distinct values in first-appearance order.
+template <typename Fn>
+std::vector<std::string> distinct(std::span<const WorkloadSetResult> sets, Fn&& get) {
+  std::vector<std::string> out;
+  for (const auto& s : sets) {
+    const std::string v = get(s);
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+const WorkloadSetResult* find_set(std::span<const WorkloadSetResult> sets,
+                                  std::string_view workload, std::string_view label) {
+  for (const auto& s : sets) {
+    if (s.base_config.workload.name == workload && config_label(s.base_config) == label) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::string pad(std::string v, std::size_t width) {
+  if (v.size() < width) v.append(width - v.size(), ' ');
+  return v;
+}
+
+std::string fmt_pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%6.2f%%", v);
+  return buf;
+}
+
+std::string fmt_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+/// Fault keys activated in a set of runs.
+std::set<std::string> activated_keys(const WorkloadSetResult& s) {
+  std::set<std::string> keys;
+  for (const auto& r : s.runs) {
+    if (r.activated) keys.insert(fault_key(r.fault));
+  }
+  return keys;
+}
+
+OutcomeDistribution distribution_filtered(const WorkloadSetResult& s,
+                                          const std::set<std::string>& keys) {
+  OutcomeDistribution d;
+  for (const auto& r : s.runs) {
+    if (!r.activated || !keys.contains(fault_key(r.fault))) continue;
+    ++d.activated;
+    ++d.counts[r.outcome];
+  }
+  return d;
+}
+
+}  // namespace
+
+std::string fault_key(const inject::FaultSpec& f) {
+  return std::string(nt::to_string(f.fn)) + "." + std::to_string(f.param_index) + "#" +
+         std::to_string(f.invocation) + ":" + std::string(to_string(f.type));
+}
+
+double OutcomeDistribution::percent(Outcome o) const {
+  if (activated == 0) return 0.0;
+  auto it = counts.find(o);
+  const std::size_t n = it == counts.end() ? 0 : it->second;
+  return 100.0 * static_cast<double>(n) / static_cast<double>(activated);
+}
+
+double OutcomeDistribution::restart_percent() const {
+  return percent(Outcome::kRestartSuccess) + percent(Outcome::kRestartRetrySuccess);
+}
+
+double OutcomeDistribution::retry_percent() const {
+  return percent(Outcome::kRetrySuccess);
+}
+
+OutcomeDistribution distribution_of(const WorkloadSetResult& set) {
+  OutcomeDistribution d;
+  d.activated = set.activated_faults();
+  d.counts = set.outcome_counts();
+  return d;
+}
+
+OutcomeDistribution merge_distributions(std::span<const WorkloadSetResult* const> sets) {
+  OutcomeDistribution d;
+  for (const auto* s : sets) {
+    if (s == nullptr) continue;
+    d.activated += s->activated_faults();
+    for (const auto& [o, n] : s->outcome_counts()) d.counts[o] += n;
+  }
+  return d;
+}
+
+std::string table1_activated_functions(std::span<const WorkloadSetResult> sets) {
+  const auto workloads =
+      distinct(sets, [](const auto& s) { return s.base_config.workload.name; });
+  const auto labels = distinct(sets, [](const auto& s) { return config_label(s.base_config); });
+
+  std::ostringstream out;
+  out << "Table 1. Number of called KERNEL32 functions per workload\n";
+  out << pad("Server Program", 16);
+  for (const auto& l : labels) out << pad(l, 10);
+  out << "\n";
+  for (const auto& w : workloads) {
+    out << pad(w, 16);
+    for (const auto& l : labels) {
+      const WorkloadSetResult* s = find_set(sets, w, l);
+      out << pad(s != nullptr ? std::to_string(s->activated_functions.size()) : "-", 10);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string fig2_outcome_table(std::span<const WorkloadSetResult> sets) {
+  std::ostringstream out;
+  out << "Figure 2. Outcome distribution (percent of activated faults)\n";
+  out << pad("Workload set", 20) << pad("Activated", 10);
+  for (Outcome o : kAllOutcomes) out << pad(std::string(short_label(o)), 11);
+  out << pad("Fail(resp)", 11) << pad("Fail(none)", 11) << "\n";
+  for (const auto& s : sets) {
+    const OutcomeDistribution d = distribution_of(s);
+    out << pad(s.label(), 20) << pad(std::to_string(d.activated), 10);
+    for (Outcome o : kAllOutcomes) out << pad(fmt_pct(d.percent(o)), 11);
+    out << pad(std::to_string(s.failures_with_response()), 11)
+        << pad(std::to_string(s.failures_without_response()), 11) << "\n";
+  }
+  return out.str();
+}
+
+std::string fig3_apache_vs_iis(std::span<const WorkloadSetResult> sets) {
+  const auto labels = distinct(sets, [](const auto& s) { return config_label(s.base_config); });
+  std::ostringstream out;
+  out << "Figure 3. Apache (Apache1+Apache2 weighted) vs IIS\n";
+  out << pad("Config", 10) << pad("Server", 8) << pad("Activated", 10);
+  for (Outcome o : kAllOutcomes) out << pad(std::string(short_label(o)), 11);
+  out << "\n";
+  for (const auto& l : labels) {
+    const WorkloadSetResult* a1 = find_set(sets, "Apache1", l);
+    const WorkloadSetResult* a2 = find_set(sets, "Apache2", l);
+    const WorkloadSetResult* iis = find_set(sets, "IIS", l);
+    if (a1 == nullptr || a2 == nullptr || iis == nullptr) continue;
+    const WorkloadSetResult* apache_sets[] = {a1, a2};
+    const OutcomeDistribution apache = merge_distributions(apache_sets);
+    const OutcomeDistribution iis_d = distribution_of(*iis);
+
+    out << pad(l, 10) << pad("Apache", 8) << pad(std::to_string(apache.activated), 10);
+    for (Outcome o : kAllOutcomes) out << pad(fmt_pct(apache.percent(o)), 11);
+    out << "\n";
+    out << pad(l, 10) << pad("IIS", 8) << pad(std::to_string(iis_d.activated), 10);
+    for (Outcome o : kAllOutcomes) out << pad(fmt_pct(iis_d.percent(o)), 11);
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<TimingRow> response_time_rows(const WorkloadSetResult& set) {
+  // Six classes: the four success outcomes plus failure-with-wrong-response.
+  // Failures without a response have no finite response time (paper Fig. 4
+  // omits them).
+  std::map<std::string, stats::Accumulator> acc;
+  std::vector<std::string> order;
+  auto add = [&](const std::string& label, double seconds) {
+    if (!acc.contains(label)) order.push_back(label);
+    acc[label].add(seconds);
+  };
+  for (const auto& r : set.runs) {
+    if (!r.activated) continue;
+    if (r.outcome == Outcome::kFailure) {
+      if (r.response_received && r.client_finished) {
+        add("Failure (wrong response)", r.response_time.to_seconds());
+      }
+      continue;
+    }
+    add(std::string(short_label(r.outcome)), r.response_time.to_seconds());
+  }
+  // Stable, canonical ordering.
+  std::vector<TimingRow> rows;
+  for (Outcome o : kAllOutcomes) {
+    const std::string label = o == Outcome::kFailure ? "Failure (wrong response)"
+                                                     : std::string(short_label(o));
+    auto it = acc.find(label);
+    if (it == acc.end()) continue;
+    rows.push_back(TimingRow{label, it->second.summary()});
+  }
+  return rows;
+}
+
+std::string fig4_response_times(std::span<const WorkloadSetResult> sets) {
+  std::ostringstream out;
+  out << "Figure 4. Average response times (seconds, with 95% CI)\n";
+  out << pad("Workload set", 20) << pad("Outcome", 26) << pad("n", 6) << pad("mean", 10)
+      << pad("+/-95%", 10) << "\n";
+  for (const auto& s : sets) {
+    for (const auto& row : response_time_rows(s)) {
+      out << pad(s.label(), 20) << pad(row.outcome_label, 26)
+          << pad(std::to_string(row.seconds.n), 6) << pad(fmt_num(row.seconds.mean), 10)
+          << pad(fmt_num(row.seconds.ci95_half), 10) << "\n";
+    }
+  }
+  out << "(failures with no response have unbounded response time and are omitted)\n";
+  return out.str();
+}
+
+std::string table2_common_faults(std::span<const WorkloadSetResult> sets) {
+  const auto labels = distinct(sets, [](const auto& s) { return config_label(s.base_config); });
+  std::ostringstream out;
+  out << "Table 2. Apache vs IIS counting only common faults\n";
+  out << pad("Config", 10) << pad("Server Program", 18) << pad("Activated", 10)
+      << pad("Failure", 9) << pad("Restart", 9) << pad("Retry", 9) << "\n";
+  for (const auto& l : labels) {
+    const WorkloadSetResult* a1 = find_set(sets, "Apache1", l);
+    const WorkloadSetResult* a2 = find_set(sets, "Apache2", l);
+    const WorkloadSetResult* iis = find_set(sets, "IIS", l);
+    if (a1 == nullptr || a2 == nullptr || iis == nullptr) continue;
+
+    // Faults activated by both programs: IIS ∩ (Apache1 ∪ Apache2).
+    std::set<std::string> apache_keys = activated_keys(*a1);
+    for (const auto& k : activated_keys(*a2)) apache_keys.insert(k);
+    const std::set<std::string> iis_keys = activated_keys(*iis);
+    std::set<std::string> common;
+    for (const auto& k : apache_keys) {
+      if (iis_keys.contains(k)) common.insert(k);
+    }
+
+    auto row = [&](const std::string& name, const OutcomeDistribution& d) {
+      out << pad(l, 10) << pad(name, 18) << pad(std::to_string(d.activated), 10)
+          << pad(fmt_pct(d.percent(Outcome::kFailure)), 9)
+          << pad(fmt_pct(d.restart_percent()), 9) << pad(fmt_pct(d.retry_percent()), 9)
+          << "\n";
+    };
+    const OutcomeDistribution d1 = distribution_filtered(*a1, common);
+    const OutcomeDistribution d2 = distribution_filtered(*a2, common);
+    OutcomeDistribution d12;
+    d12.activated = d1.activated + d2.activated;
+    for (const auto& [o, n] : d1.counts) d12.counts[o] += n;
+    for (const auto& [o, n] : d2.counts) d12.counts[o] += n;
+    row("Apache1", d1);
+    row("Apache2", d2);
+    row("Apache1+Apache2", d12);
+    row("IIS", distribution_filtered(*iis, common));
+  }
+  return out.str();
+}
+
+std::string fig5_watchd_versions(std::span<const WorkloadSetResult> sets) {
+  std::ostringstream out;
+  out << "Figure 5. Original vs improved watchd (percent of activated faults)\n";
+  out << pad("Workload set", 20) << pad("Activated", 10);
+  for (Outcome o : kAllOutcomes) out << pad(std::string(short_label(o)), 11);
+  out << "\n";
+  for (const auto& s : sets) {
+    if (s.base_config.middleware != mw::MiddlewareKind::kWatchd) continue;
+    const OutcomeDistribution d = distribution_of(s);
+    out << pad(s.base_config.workload.name + "/" + config_label(s.base_config), 20)
+        << pad(std::to_string(d.activated), 10);
+    for (Outcome o : kAllOutcomes) out << pad(fmt_pct(d.percent(o)), 11);
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string runs_csv(const WorkloadSetResult& set) {
+  std::ostringstream out;
+  out << "workload,middleware,fault,activated,outcome,response_received,"
+         "response_time_s,restarts,retries,requests_ok,request_attempts,detail\n";
+  for (const auto& r : set.runs) {
+    out << set.base_config.workload.name << ',' << config_label(set.base_config) << ','
+        << r.fault.id() << ',' << (r.activated ? 1 : 0) << ',' << short_label(r.outcome)
+        << ',' << (r.response_received ? 1 : 0) << ',' << r.response_time.to_seconds()
+        << ',' << r.restarts << ',' << r.retries << ',';
+    // Per-request columns: "ok|ok" and "1|3"-style attempt lists.
+    for (std::size_t i = 0; i < r.requests.size(); ++i) {
+      if (i > 0) out << '|';
+      out << (r.requests[i].ok ? "ok" : "fail");
+    }
+    out << ',';
+    for (std::size_t i = 0; i < r.requests.size(); ++i) {
+      if (i > 0) out << '|';
+      out << r.requests[i].attempts;
+    }
+    out << ',';
+    // Escape commas in the detail field.
+    std::string detail = r.detail;
+    for (char& ch : detail) {
+      if (ch == ',') ch = ';';
+    }
+    out << detail << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dts::core

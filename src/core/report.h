@@ -1,0 +1,63 @@
+// Report generation: renders the paper's tables and figures (as text tables
+// and CSV) from campaign results.
+//
+//   Table 1 — activated KERNEL32 functions per workload × middleware
+//   Fig. 2  — outcome distribution per workload × middleware
+//   Fig. 3  — Apache (Apache1+Apache2, weighted by activated faults) vs IIS
+//   Fig. 4  — mean response time by outcome, 95 % CI, failures split into
+//             wrong-response / no-response
+//   Table 2 — Apache vs IIS restricted to faults activated by both
+//   Fig. 5  — Watchd1 vs Watchd2 vs Watchd3
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/campaign.h"
+#include "stats/stats.h"
+
+namespace dts::core {
+
+/// Fault identity independent of the target image — used for the
+/// common-fault comparison of Table 2 (same function/parameter/type).
+std::string fault_key(const inject::FaultSpec& f);
+
+/// Outcome percentages of a merged set of runs.
+struct OutcomeDistribution {
+  std::size_t activated = 0;
+  std::map<Outcome, std::size_t> counts;
+
+  double percent(Outcome o) const;
+  /// Restart column of Table 2: restart-involving successes.
+  double restart_percent() const;
+  /// Retry column of Table 2: retry-only successes.
+  double retry_percent() const;
+};
+
+OutcomeDistribution distribution_of(const WorkloadSetResult& set);
+
+/// Merges several workload sets into one distribution — summing counts is
+/// exactly the paper's "weighted based on the relative number of activated
+/// faults" combination of Apache1+Apache2.
+OutcomeDistribution merge_distributions(std::span<const WorkloadSetResult* const> sets);
+
+// --- renderers ---------------------------------------------------------------
+
+std::string table1_activated_functions(std::span<const WorkloadSetResult> sets);
+std::string fig2_outcome_table(std::span<const WorkloadSetResult> sets);
+std::string fig3_apache_vs_iis(std::span<const WorkloadSetResult> sets);
+std::string fig4_response_times(std::span<const WorkloadSetResult> sets);
+std::string table2_common_faults(std::span<const WorkloadSetResult> sets);
+std::string fig5_watchd_versions(std::span<const WorkloadSetResult> sets);
+
+/// Raw per-run CSV (one line per fault) for external analysis.
+std::string runs_csv(const WorkloadSetResult& set);
+
+/// Per-outcome response-time summary used by Fig. 4 (exposed for tests).
+struct TimingRow {
+  std::string outcome_label;
+  stats::Summary seconds;
+};
+std::vector<TimingRow> response_time_rows(const WorkloadSetResult& set);
+
+}  // namespace dts::core

@@ -1,0 +1,198 @@
+#include "core/run.h"
+
+#include "apps/http.h"
+#include "ntsim/kernel32.h"
+#include "ntsim/scm.h"
+
+namespace dts::core {
+
+/// The simulated world of one run. Declaration order is load-bearing: the
+/// Network must outlive the machines (see netsim.h).
+struct FaultInjectionRun::World {
+  World(std::uint64_t seed, double target_cpu_scale, double target_jitter)
+      : simulation(seed),
+        network(simulation),
+        target(simulation, nt::MachineConfig{.name = "target",
+                                             .cpu_scale = target_cpu_scale,
+                                             .jitter = target_jitter}),
+        control(simulation, nt::MachineConfig{.name = "control", .cpu_scale = 0.25}) {}
+
+  sim::Simulation simulation;
+  nt::net::Network network;
+  nt::Machine target;
+  nt::Machine control;
+  std::shared_ptr<ClientReport> report = std::make_shared<ClientReport>();
+};
+
+FaultInjectionRun::FaultInjectionRun(RunConfig config) : cfg_(std::move(config)) {
+  cfg_.mscs.service_name = cfg_.workload.service_name;
+  cfg_.watchd.service_name = cfg_.workload.service_name;
+  cfg_.watchd.version = cfg_.watchd_version;
+}
+
+FaultInjectionRun::~FaultInjectionRun() = default;
+
+nt::Machine& FaultInjectionRun::target() { return world_->target; }
+
+const std::set<nt::Fn>& FaultInjectionRun::activated_functions() const {
+  return interceptor_.called(cfg_.workload.target_image);
+}
+
+RunResult FaultInjectionRun::execute(const std::optional<inject::FaultSpec>& fault) {
+  world_ = std::make_unique<World>(cfg_.seed, cfg_.target_cpu_scale, cfg_.target_jitter);
+  World& w = *world_;
+
+  // --- install the server -----------------------------------------------------
+  std::string expected_index;
+  switch (cfg_.workload.server) {
+    case ServerKind::kApache:
+      expected_index = apps::install_apache(w.target, w.network, cfg_.apache);
+      break;
+    case ServerKind::kIis:
+      if (cfg_.workload.client == ClientKind::kFtp) cfg_.iis.enable_ftp = true;
+      expected_index = apps::install_iis(w.target, w.network, cfg_.iis);
+      break;
+    case ServerKind::kSql:
+      apps::install_sql_server(w.target, w.network, cfg_.sql);
+      break;
+  }
+
+  // --- install middleware ------------------------------------------------------
+  switch (cfg_.middleware) {
+    case mw::MiddlewareKind::kNone:
+      break;
+    case mw::MiddlewareKind::kMscs:
+      mw::install_mscs(w.target, cfg_.mscs);
+      break;
+    case mw::MiddlewareKind::kWatchd:
+      cfg_.watchd.heartbeat_port = cfg_.workload.port;
+      mw::install_watchd(w.target, cfg_.watchd, &w.network);
+      break;
+  }
+
+  // --- arm the injector ---------------------------------------------------------
+  interceptor_ = inject::Interceptor{};
+  interceptor_.set_trace_limit(cfg_.trace_limit);
+  if (fault) interceptor_.arm(*fault);
+  w.target.k32().set_hook(&interceptor_);
+
+  // --- start the service (directly, or via the middleware that owns it) ---------
+  switch (cfg_.middleware) {
+    case mw::MiddlewareKind::kNone:
+      w.target.scm().start_service(cfg_.workload.service_name);
+      break;
+    case mw::MiddlewareKind::kMscs:
+      mw::start_mscs(w.target, cfg_.mscs);
+      break;
+    case mw::MiddlewareKind::kWatchd:
+      mw::start_watchd(w.target, cfg_.watchd);
+      break;
+  }
+
+  // --- start the client workload -------------------------------------------------
+  ClientParams params;
+  params.target_machine = "target";
+  params.port = cfg_.workload.port;
+  params.config = cfg_.client;
+  params.report = w.report;
+
+  nt::net::Network* net = &w.network;
+  if (cfg_.workload.client == ClientKind::kFtp) {
+    const std::string expected = apps::ftp_download_content();
+    w.control.register_program("ftpclient.exe", [params, net, expected](nt::Ctx c) {
+      return ftp_client_program(c, net, params, "download.bin", expected);
+    });
+    w.control.start_process("ftpclient.exe", "ftpclient.exe");
+  } else if (cfg_.workload.client == ClientKind::kHttp) {
+    const std::string expected_cgi = apps::http::expected_cgi_body("id=42");
+    w.control.register_program(
+        "httpclient.exe", [params, net, expected_index, expected_cgi](nt::Ctx c) {
+          return http_client_program(c, net, params, expected_index, expected_cgi);
+        });
+    w.control.start_process("httpclient.exe", "httpclient.exe");
+  } else {
+    const std::string query = apps::sql_client_query();
+    const std::string expected = apps::expected_sql_reply(cfg_.sql);
+    w.control.register_program("sqlclient.exe",
+                               [params, net, query, expected](nt::Ctx c) {
+                                 return sql_client_program(c, net, params, query, expected);
+                               });
+    w.control.start_process("sqlclient.exe", "sqlclient.exe");
+  }
+
+  // --- run to completion -----------------------------------------------------------
+  const sim::TimePoint cap = w.simulation.now() + cfg_.run_timeout;
+  while (!w.report->finished && w.simulation.now() < cap &&
+         w.simulation.pending_events() > 0) {
+    w.simulation.step();
+  }
+  // Grace period: polling monitors (MSCS) may be one tick away from logging
+  // a restart the client already benefited from; let the world settle before
+  // reading the logs. Does not affect response times (client timestamps).
+  if (w.report->finished) {
+    sim::TimePoint settle = w.simulation.now() + sim::Duration::seconds(12);
+    if (cap < settle) settle = cap;
+    w.simulation.run_until(settle);
+  }
+
+  // --- classify ----------------------------------------------------------------------
+  RunResult result;
+  if (fault) result.fault = *fault;
+  result.activated = interceptor_.injected();
+  result.client_finished = w.report->finished;
+  result.retries = w.report->total_retries();
+  result.requests = w.report->requests;
+
+  // Restart accounting mirrors the paper: MSCS restarts come from the NT
+  // event log, watchd restarts from its own log file (§3).
+  switch (cfg_.middleware) {
+    case mw::MiddlewareKind::kNone:
+      result.restarts = 0;
+      break;
+    case mw::MiddlewareKind::kMscs:
+      result.restarts = static_cast<int>(
+          w.target.event_log().count("ClusSvc", mw::kMscsEventRestart));
+      break;
+    case mw::MiddlewareKind::kWatchd:
+      result.restarts =
+          static_cast<int>(mw::watchd_restarts_logged(w.target, cfg_.watchd.log_path));
+      break;
+  }
+
+  if (!w.report->finished) {
+    result.outcome = Outcome::kFailure;
+    result.response_received = w.report->any_response();
+    result.response_time = cfg_.run_timeout;
+    result.detail = "client did not complete within the run timeout";
+  } else {
+    result.response_time = w.report->finished_at - w.report->started_at;
+    if (!w.report->all_ok()) {
+      result.outcome = Outcome::kFailure;
+      result.response_received = w.report->any_response();
+    } else if (result.restarts > 0 && result.retries > 0) {
+      result.outcome = Outcome::kRestartRetrySuccess;
+    } else if (result.restarts > 0) {
+      result.outcome = Outcome::kRestartSuccess;
+    } else if (result.retries > 0) {
+      result.outcome = Outcome::kRetrySuccess;
+    } else {
+      result.outcome = Outcome::kNormalSuccess;
+    }
+  }
+
+  // Diagnostics: the target image's abnormal exits, if any.
+  for (const auto& rec : w.target.exit_history()) {
+    if (rec.image == cfg_.workload.target_image && rec.exit_code >= 0xC0000000u) {
+      result.detail = rec.reason;
+      break;
+    }
+  }
+  return result;
+}
+
+RunResult execute_run(const RunConfig& config, const std::optional<inject::FaultSpec>& fault) {
+  FaultInjectionRun run(config);
+  return run.execute(fault);
+}
+
+}  // namespace dts::core

@@ -1,0 +1,90 @@
+// A single fault-injection run: a fresh simulated world (target machine +
+// control machine + network), one server under an optional middleware
+// package, one armed fault, one client workload — then outcome
+// classification. One run = one Simulation instance, the reproducibility
+// guarantee DTS gets by restarting the workload programs for every fault.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "apps/apache.h"
+#include "apps/iis.h"
+#include "apps/sql_server.h"
+#include "core/clients.h"
+#include "core/outcome.h"
+#include "core/workload.h"
+#include "inject/interceptor.h"
+#include "middleware/middleware.h"
+#include "middleware/mscs.h"
+#include "middleware/watchd.h"
+
+namespace dts::core {
+
+struct RunConfig {
+  WorkloadSpec workload;
+  mw::MiddlewareKind middleware = mw::MiddlewareKind::kNone;
+  mw::WatchdVersion watchd_version = mw::WatchdVersion::kV3;
+
+  std::uint64_t seed = 1;
+  /// 1.0 models the paper's 100 MHz Pentium target; the control machine runs
+  /// at 0.25 (their 400 MHz Pentium II class box).
+  double target_cpu_scale = 1.0;
+
+  /// Execution-time noise on the target machine (see MachineConfig::jitter).
+  /// 0 by default: the calibrated experiments are bit-reproducible. The
+  /// multi-process ablation turns it on to surface Apache's accept-race
+  /// nondeterminism (paper §4.1).
+  double target_jitter = 0.0;
+
+  /// Hard cap on simulated time per run (a hung run ends here).
+  sim::Duration run_timeout = sim::Duration::seconds(400);
+
+  ClientConfig client;
+
+  /// When nonzero, the interceptor keeps the last N KERNEL32 calls of the
+  /// target image (post-corruption) — the paper's §4.3 debugging aid,
+  /// readable via FaultInjectionRun::interceptor().trace().
+  std::size_t trace_limit = 0;
+
+  // Application tuning knobs (defaults reproduce the paper's setup).
+  apps::ApacheConfig apache;
+  apps::IisConfig iis;
+  apps::SqlServerConfig sql;
+  mw::MscsConfig mscs;      // service_name filled from the workload
+  mw::WatchdConfig watchd;  // service_name/version filled from the config
+};
+
+/// Executes one run. Exposes the interceptor for activation accounting.
+class FaultInjectionRun {
+ public:
+  explicit FaultInjectionRun(RunConfig config);
+  ~FaultInjectionRun();
+
+  FaultInjectionRun(const FaultInjectionRun&) = delete;
+  FaultInjectionRun& operator=(const FaultInjectionRun&) = delete;
+
+  /// Runs the workload with `fault` armed (or no fault for a profiling run).
+  RunResult execute(const std::optional<inject::FaultSpec>& fault);
+
+  /// Injectable functions the target image called during the run — the
+  /// paper's "activated functions" (Table 1).
+  const std::set<nt::Fn>& activated_functions() const;
+
+  /// The world, accessible after execute() for inspection in tests.
+  nt::Machine& target();
+  const inject::Interceptor& interceptor() const { return interceptor_; }
+
+ private:
+  struct World;
+  RunConfig cfg_;
+  inject::Interceptor interceptor_;
+  std::unique_ptr<World> world_;
+};
+
+/// Convenience: build + execute in one call.
+RunResult execute_run(const RunConfig& config, const std::optional<inject::FaultSpec>& fault);
+
+}  // namespace dts::core

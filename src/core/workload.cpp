@@ -1,0 +1,68 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dts::core {
+
+WorkloadSpec apache1_workload() {
+  return WorkloadSpec{
+      .name = "Apache1",
+      .server = ServerKind::kApache,
+      .client = ClientKind::kHttp,
+      .service_name = "Apache",
+      .target_image = "apache.exe",
+      .port = 80,
+  };
+}
+
+WorkloadSpec apache2_workload() {
+  WorkloadSpec w = apache1_workload();
+  w.name = "Apache2";
+  w.target_image = "apache_child.exe";
+  return w;
+}
+
+WorkloadSpec iis_workload() {
+  return WorkloadSpec{
+      .name = "IIS",
+      .server = ServerKind::kIis,
+      .client = ClientKind::kHttp,
+      .service_name = "W3SVC",
+      .target_image = "inetinfo.exe",
+      .port = 80,
+  };
+}
+
+WorkloadSpec sql_workload() {
+  return WorkloadSpec{
+      .name = "SQL",
+      .server = ServerKind::kSql,
+      .client = ClientKind::kSql,
+      .service_name = "MSSQLServer",
+      .target_image = "sqlservr.exe",
+      .port = 1433,
+  };
+}
+
+WorkloadSpec iis_ftp_workload() {
+  WorkloadSpec w = iis_workload();
+  w.name = "IIS-FTP";
+  w.client = ClientKind::kFtp;
+  w.port = 21;
+  return w;
+}
+
+WorkloadSpec workload_by_name(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "apache1") return apache1_workload();
+  if (lower == "apache2") return apache2_workload();
+  if (lower == "iis") return iis_workload();
+  if (lower == "iis-ftp" || lower == "iisftp") return iis_ftp_workload();
+  if (lower == "sql") return sql_workload();
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+}  // namespace dts::core

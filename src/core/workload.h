@@ -1,0 +1,38 @@
+// Workload descriptions — the paper's four workload sets: Apache1 (master
+// process), Apache2 (worker process), IIS, SQL. The workload names the server
+// to install, the client to drive it, and the process image faults target.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dts::core {
+
+enum class ServerKind { kApache, kIis, kSql };
+enum class ClientKind { kHttp, kSql, kFtp };
+
+struct WorkloadSpec {
+  std::string name;          // "Apache1", "Apache2", "IIS", "SQL"
+  ServerKind server = ServerKind::kApache;
+  ClientKind client = ClientKind::kHttp;
+  std::string service_name;  // SCM service to start/monitor
+  std::string target_image;  // process image whose KERNEL32 calls are injected
+  std::uint16_t port = 80;
+};
+
+/// The four workload sets of the paper's evaluation. Apache1 and Apache2
+/// differ only in which of the two Apache processes is targeted (§4.1).
+WorkloadSpec apache1_workload();
+WorkloadSpec apache2_workload();
+WorkloadSpec iis_workload();
+WorkloadSpec sql_workload();
+
+/// Extension workload (not in the paper's evaluation): IIS's FTP service,
+/// driven by an FtpClient that downloads and verifies one file.
+WorkloadSpec iis_ftp_workload();
+
+/// Lookup by name ("Apache1"/"Apache2"/"IIS"/"SQL", case-insensitive).
+/// Throws std::invalid_argument on unknown names.
+WorkloadSpec workload_by_name(const std::string& name);
+
+}  // namespace dts::core

@@ -1,0 +1,71 @@
+#include "inject/fault.h"
+
+#include <charconv>
+
+namespace dts::inject {
+
+std::string_view to_string(FaultType t) {
+  switch (t) {
+    case FaultType::kZero: return "zero";
+    case FaultType::kOnes: return "ones";
+    case FaultType::kFlip: return "flip";
+  }
+  return "?";
+}
+
+std::optional<FaultType> fault_type_from_string(std::string_view s) {
+  if (s == "zero") return FaultType::kZero;
+  if (s == "ones") return FaultType::kOnes;
+  if (s == "flip") return FaultType::kFlip;
+  return std::nullopt;
+}
+
+std::string FaultSpec::id() const {
+  const auto& info = nt::Kernel32Registry::instance().info(fn);
+  std::string param = param_index >= 0 && param_index < info.param_count()
+                          ? std::string(info.params[static_cast<std::size_t>(param_index)])
+                          : "param" + std::to_string(param_index);
+  return std::string(info.name) + "." + param + "#" + std::to_string(invocation) + ":" +
+         std::string(to_string(type));
+}
+
+std::optional<FaultSpec> parse_fault_id(std::string_view target_image, std::string_view id) {
+  const auto dot = id.find('.');
+  const auto hash = id.rfind('#');
+  const auto colon = id.rfind(':');
+  if (dot == std::string_view::npos || hash == std::string_view::npos ||
+      colon == std::string_view::npos || !(dot < hash && hash < colon)) {
+    return std::nullopt;
+  }
+  const auto& reg = nt::Kernel32Registry::instance();
+  const nt::FunctionInfo* info = reg.by_name(id.substr(0, dot));
+  if (info == nullptr || !info->implemented) return std::nullopt;
+
+  const std::string_view param_name = id.substr(dot + 1, hash - dot - 1);
+  int param_index = -1;
+  for (int i = 0; i < info->param_count(); ++i) {
+    if (info->params[static_cast<std::size_t>(i)] == param_name) {
+      param_index = i;
+      break;
+    }
+  }
+  if (param_index < 0) return std::nullopt;
+
+  int invocation = 0;
+  const std::string_view inv = id.substr(hash + 1, colon - hash - 1);
+  auto [p, ec] = std::from_chars(inv.data(), inv.data() + inv.size(), invocation);
+  if (ec != std::errc{} || p != inv.data() + inv.size() || invocation < 1) return std::nullopt;
+
+  auto type = fault_type_from_string(id.substr(colon + 1));
+  if (!type) return std::nullopt;
+
+  FaultSpec spec;
+  spec.target_image = std::string(target_image);
+  spec.fn = static_cast<nt::Fn>(info->id);
+  spec.param_index = param_index;
+  spec.invocation = invocation;
+  spec.type = *type;
+  return spec;
+}
+
+}  // namespace dts::inject

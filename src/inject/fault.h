@@ -1,0 +1,51 @@
+// The DTS fault model: corrupt one input parameter of one invocation of one
+// KERNEL32 function, with one of three corruption types (paper §4: reset all
+// bits to zero, set all bits to one, flip all bits).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ntsim/kernel32_registry.h"
+#include "ntsim/types.h"
+
+namespace dts::inject {
+
+enum class FaultType { kZero, kOnes, kFlip };
+
+constexpr FaultType kAllFaultTypes[] = {FaultType::kZero, FaultType::kOnes, FaultType::kFlip};
+
+std::string_view to_string(FaultType t);
+std::optional<FaultType> fault_type_from_string(std::string_view s);
+
+/// Applies the corruption to a 32-bit parameter word.
+constexpr nt::Word corrupt(nt::Word value, FaultType t) {
+  switch (t) {
+    case FaultType::kZero: return 0;
+    case FaultType::kOnes: return 0xFFFFFFFFu;
+    case FaultType::kFlip: return ~value;
+  }
+  return value;
+}
+
+/// One fault to inject: which process image, which function, which parameter,
+/// which invocation (1-based; the paper injects only the first), which
+/// corruption.
+struct FaultSpec {
+  std::string target_image;
+  nt::Fn fn{};
+  int param_index = 0;  // 0-based
+  int invocation = 1;   // 1-based
+  FaultType type = FaultType::kZero;
+
+  /// Human-readable id, e.g. "ReadFileEx.nNumberOfBytesToRead#1:zero".
+  std::string id() const;
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+/// Parses an id produced by FaultSpec::id() (target image supplied
+/// separately). Nullopt on malformed input.
+std::optional<FaultSpec> parse_fault_id(std::string_view target_image, std::string_view id);
+
+}  // namespace dts::inject

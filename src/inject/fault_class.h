@@ -1,0 +1,57 @@
+// System-independent fault classes — the paper's §5 future-work direction:
+// "The fault and workload sets must be described in a system-independent way
+// that can be applied to both types of systems" (their Linux port).
+//
+// A FaultClass names WHAT is corrupted semantically (a file-path argument, a
+// synchronization handle, a buffer size, ...) instead of naming a KERNEL32
+// function. The taxonomy maps each class onto the concrete functions and
+// parameters of this platform's API surface; a POSIX port would provide its
+// own mapping and the same class-level fault list would apply to both.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "inject/fault_list.h"
+
+namespace dts::inject {
+
+enum class FaultClass {
+  kPathArgument,      // file/pipe name strings
+  kBufferPointer,     // data buffers for I/O and struct outputs
+  kBufferSize,        // lengths / byte counts
+  kSyncHandle,        // handles to waitable synchronization objects
+  kFileHandle,        // handles to files / pipes / search state
+  kProcessControl,    // process & thread creation/control arguments
+  kMemoryManagement,  // heap/virtual allocation arguments
+  kConfigString,      // configuration/profile string arguments
+  kTimeout,           // millisecond timeouts and wait limits
+  kFlags,             // mode/flag words
+};
+
+constexpr FaultClass kAllFaultClasses[] = {
+    FaultClass::kPathArgument,  FaultClass::kBufferPointer, FaultClass::kBufferSize,
+    FaultClass::kSyncHandle,    FaultClass::kFileHandle,    FaultClass::kProcessControl,
+    FaultClass::kMemoryManagement, FaultClass::kConfigString, FaultClass::kTimeout,
+    FaultClass::kFlags,
+};
+
+std::string_view to_string(FaultClass c);
+std::optional<FaultClass> fault_class_from_string(std::string_view s);
+
+/// Classifies one (function, parameter) injection point, or nullopt for
+/// parameters outside the taxonomy (reserved/unused arguments).
+std::optional<FaultClass> classify(nt::Fn fn, int param_index);
+
+/// All concrete injection points of a class on this platform (every matching
+/// function × parameter), restricted to `within` when non-empty — the bridge
+/// from a system-independent fault list to a platform campaign.
+FaultList faults_for_class(const std::string& target_image, FaultClass c,
+                           const std::set<nt::Fn>& within = {}, int iterations = 1);
+
+/// Per-class fault counts over a set of activated functions (reporting aid).
+std::vector<std::pair<FaultClass, std::size_t>> class_histogram(
+    const std::set<nt::Fn>& functions);
+
+}  // namespace dts::inject

@@ -1,0 +1,40 @@
+// Fault-list generation and the fault-list file format.
+//
+// The paper's fault space per workload: every parameter of every injectable
+// KERNEL32 function × three corruption types, first invocation only by
+// default (deeper iterations supported via the I axis of the experiment
+// flow chart, paper Fig. 1).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "inject/fault.h"
+
+namespace dts::inject {
+
+struct FaultList {
+  std::vector<FaultSpec> faults;
+
+  /// Full sweep over every injectable function in the KERNEL32 catalogue.
+  /// `iterations` extends the invocation axis (1 = paper default).
+  static FaultList full_sweep(const std::string& target_image, int iterations = 1);
+
+  /// Sweep restricted to functions a profiling run showed the target
+  /// actually calls — equivalent results to full_sweep thanks to the
+  /// skip-uncalled rule, without the probe runs.
+  static FaultList for_functions(const std::string& target_image,
+                                 const std::set<nt::Fn>& functions, int iterations = 1);
+
+  /// Serializes to the fault-list file format: one fault id per line,
+  /// '#'-comments allowed.
+  std::string serialize() const;
+
+  /// Parses a fault-list file. Returns nullopt (with *error set) on any
+  /// malformed line.
+  static std::optional<FaultList> parse(const std::string& target_image,
+                                        const std::string& text, std::string* error);
+};
+
+}  // namespace dts::inject

@@ -1,0 +1,76 @@
+#include "inject/interceptor.h"
+
+#include <cstdio>
+
+namespace dts::inject {
+
+namespace {
+const std::set<nt::Fn> kEmpty;
+}
+
+int Interceptor::invocations(const std::string& image, nt::Fn fn) const {
+  auto it = counts_.find({image, fn});
+  return it == counts_.end() ? 0 : it->second;
+}
+
+const std::set<nt::Fn>& Interceptor::called(const std::string& image) const {
+  auto it = called_.find(image);
+  return it == called_.end() ? kEmpty : it->second;
+}
+
+bool Interceptor::target_function_called() const {
+  if (!armed_) return false;
+  return invocations(armed_->target_image, armed_->fn) > 0;
+}
+
+std::string Interceptor::TraceEntry::to_string() const {
+  std::string out = "pid " + std::to_string(pid) + ": ";
+  out += nt::to_string(fn);
+  out += "(";
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) out += ", ";
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%X", args[static_cast<std::size_t>(i)]);
+    out += buf;
+  }
+  out += ")";
+  if (injected_here) out += "  <== FAULT INJECTED";
+  return out;
+}
+
+void Interceptor::on_call(const nt::Process& proc, nt::CallRecord& rec) {
+  ++calls_observed_;
+  const std::string& image = proc.image();
+
+  const int count = ++counts_[{image, rec.fn}];
+  if (rec.argc > 0) called_[image].insert(rec.fn);
+
+  bool injected_here = false;
+  if (armed_ && !injected_) {
+    const FaultSpec& f = *armed_;
+    if (image == f.target_image && rec.fn == f.fn && count == f.invocation &&
+        f.param_index >= 0 && f.param_index < rec.argc) {
+      auto& word = rec.args[static_cast<std::size_t>(f.param_index)];
+      original_word_ = word;
+      corrupted_word_ = corrupt(word, f.type);
+      word = corrupted_word_;
+      injected_ = true;
+      injected_here = true;
+    }
+  }
+
+  // Trace target-image calls (post-corruption: the trace shows what the
+  // kernel actually received, which is what the debugger needs).
+  if (trace_limit_ > 0 && (!armed_ || image == armed_->target_image)) {
+    TraceEntry entry;
+    entry.pid = proc.pid();
+    entry.fn = rec.fn;
+    entry.args = rec.args;
+    entry.argc = rec.argc;
+    entry.injected_here = injected_here;
+    trace_.push_back(std::move(entry));
+    if (trace_.size() > trace_limit_) trace_.pop_front();
+  }
+}
+
+}  // namespace dts::inject

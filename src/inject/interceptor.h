@@ -1,0 +1,88 @@
+// The library-call interceptor: DTS's injection mechanism.
+//
+// Installed as the Kernel32 dispatcher hook on the target machine, it counts
+// invocations per (image, function), records which injectable functions each
+// image activates (paper Table 1), and — when armed — corrupts exactly one
+// parameter word of one invocation.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "inject/fault.h"
+#include "ntsim/process.h"
+#include "ntsim/syscall.h"
+
+namespace dts::inject {
+
+class Interceptor final : public nt::SyscallHook {
+ public:
+  /// Arms a fault. At most one fault is injected per run (paper §4: "Only
+  /// one fault is injected for each execution of the server program").
+  void arm(FaultSpec fault) {
+    armed_ = std::move(fault);
+    injected_ = false;
+  }
+  void disarm() { armed_.reset(); }
+  const std::optional<FaultSpec>& armed() const { return armed_; }
+
+  /// True once the armed fault has fired.
+  bool injected() const { return injected_; }
+  nt::Word original_word() const { return original_word_; }
+  nt::Word corrupted_word() const { return corrupted_word_; }
+
+  /// Invocation counting is per image across process instances within one
+  /// run: a respawned Apache worker continues the count, but the fault is
+  /// one-shot so a clean respawn never re-injects.
+  int invocations(const std::string& image, nt::Fn fn) const;
+
+  /// Injectable functions (param count >= 1) called at least once by
+  /// processes of `image` — the paper's "activated functions".
+  const std::set<nt::Fn>& called(const std::string& image) const;
+
+  /// Whether the armed fault's function was called at all by the target
+  /// image (used for the skip-uncalled-functions rule).
+  bool target_function_called() const;
+
+  std::uint64_t calls_observed() const { return calls_observed_; }
+
+  /// One traced call from a target-image process.
+  struct TraceEntry {
+    nt::Pid pid = 0;
+    nt::Fn fn{};
+    std::array<nt::Word, nt::kMaxSyscallArgs> args{};
+    int argc = 0;
+    bool injected_here = false;
+
+    /// "pid 104: ReadFile(0x14, 0x00401000, 16384, ...)" form; marks the
+    /// injected call with " <== FAULT INJECTED".
+    std::string to_string() const;
+  };
+
+  /// Enables tracing of the target image's calls (bounded ring buffer; 0
+  /// disables). The trace is the paper's §4.3 debugging aid: it shows what
+  /// the server did right up to the failure.
+  void set_trace_limit(std::size_t limit) { trace_limit_ = limit; }
+  const std::deque<TraceEntry>& trace() const { return trace_; }
+
+  // nt::SyscallHook
+  void on_call(const nt::Process& proc, nt::CallRecord& rec) override;
+
+ private:
+  std::optional<FaultSpec> armed_;
+  bool injected_ = false;
+  nt::Word original_word_ = 0;
+  nt::Word corrupted_word_ = 0;
+  std::uint64_t calls_observed_ = 0;
+
+  std::map<std::pair<std::string, nt::Fn>, int> counts_;
+  std::map<std::string, std::set<nt::Fn>> called_;
+
+  std::size_t trace_limit_ = 0;
+  std::deque<TraceEntry> trace_;
+};
+
+}  // namespace dts::inject

@@ -1,0 +1,34 @@
+// Common vocabulary for the fault-tolerance middleware packages under test.
+#pragma once
+
+#include <string>
+
+namespace dts::mw {
+
+enum class MiddlewareKind { kNone, kMscs, kWatchd };
+
+/// The three watchd iterations of the paper's §4.3 improvement loop.
+enum class WatchdVersion { kV1 = 1, kV2 = 2, kV3 = 3 };
+
+std::string_view to_string(MiddlewareKind k);
+std::string_view to_string(WatchdVersion v);
+
+inline std::string_view to_string(MiddlewareKind k) {
+  switch (k) {
+    case MiddlewareKind::kNone: return "none";
+    case MiddlewareKind::kMscs: return "MSCS";
+    case MiddlewareKind::kWatchd: return "watchd";
+  }
+  return "?";
+}
+
+inline std::string_view to_string(WatchdVersion v) {
+  switch (v) {
+    case WatchdVersion::kV1: return "Watchd1";
+    case WatchdVersion::kV2: return "Watchd2";
+    case WatchdVersion::kV3: return "Watchd3";
+  }
+  return "?";
+}
+
+}  // namespace dts::mw

@@ -1,0 +1,47 @@
+// Microsoft Cluster Server — generic service resource monitor (the default
+// monitor, per the paper: "only the generic service resource monitor is
+// used"). Single-node configuration, as on the paper's testbed.
+//
+// Semantics modelled:
+//  * brings the service resource online and tolerates the pending state only
+//    up to a pending timeout;
+//  * polls IsAlive (SCM service status) at a fixed interval;
+//  * restarts on failure, but gives up after a restart threshold — on a
+//    single-node cluster there is nowhere to fail over, so the resource is
+//    left in the failed state. This is the mechanism that loses against the
+//    improved watchd on services with long start wait hints.
+#pragma once
+
+#include <string>
+
+#include "ntsim/kernel.h"
+
+namespace dts::mw {
+
+struct MscsConfig {
+  std::string service_name;
+  std::string image = "clussvc.exe";
+  sim::Duration poll_interval = sim::Duration::seconds(5);
+  /// How long an online attempt may stay pending before it counts as failed.
+  sim::Duration pending_timeout = sim::Duration::seconds(20);
+  /// Failed online/restart attempts before the resource is marked failed.
+  /// On a single-node cluster exceeding it leaves the resource failed.
+  int restart_threshold = 2;
+};
+
+/// Event-log ids written by the monitor (source "ClusSvc").
+constexpr std::uint32_t kMscsEventOnline = 1200;
+constexpr std::uint32_t kMscsEventRestart = 1201;
+constexpr std::uint32_t kMscsEventResourceFailed = 1203;
+
+/// Registers the cluster service program and re-registers the monitored
+/// service with the "/cluster" command-line switch (the resource monitor's
+/// interaction surface; paper Table 1 shows MSCS activating extra functions
+/// in the servers). Call start() afterwards to bring the resource online.
+void install_mscs(nt::Machine& machine, const MscsConfig& cfg);
+
+/// Starts the cluster service process (which immediately brings the
+/// monitored service online). Returns its pid.
+nt::Pid start_mscs(nt::Machine& machine, const MscsConfig& cfg);
+
+}  // namespace dts::mw

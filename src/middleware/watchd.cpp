@@ -1,0 +1,251 @@
+#include "middleware/watchd.h"
+
+#include "apps/winapp.h"
+#include "ntsim/scm.h"
+
+namespace dts::mw {
+
+namespace {
+
+using apps::Api;
+using nt::Ctx;
+using nt::Fn;
+using nt::ServiceState;
+using ProcObj = std::shared_ptr<nt::ProcessObject>;
+
+/// V1's acquisition: start, wait the window, then ask the SCM for the
+/// process. Returns null if the process died inside the window.
+sim::CoTask<ProcObj> acquire_v1(const Api& api, const WatchdConfig& cfg) {
+  nt::Scm& scm = api.machine().scm();
+  const nt::Win32Error err = scm.start_service(cfg.service_name);
+  if (err != nt::Win32Error::kSuccess && err != nt::Win32Error::kServiceAlreadyRunning) {
+    co_return nullptr;
+  }
+  co_await nt::sleep_in_sim(api.ctx(), cfg.v1_info_delay);  // the window
+  auto st = scm.query(cfg.service_name);
+  co_return st ? st->process : nullptr;
+}
+
+/// V2's acquisition: merged start + handle.
+sim::CoTask<ProcObj> acquire_v2(const Api& api, const WatchdConfig& cfg) {
+  ProcObj proc;
+  const nt::Win32Error err = api.machine().scm().start_service(cfg.service_name, &proc);
+  if (err != nt::Win32Error::kSuccess) co_return nullptr;
+  co_return proc;  // NOT validated — V2's residual hole
+}
+
+/// V3's acquisition: merged start + validation + SCM confirmation, patiently
+/// retried until the budget runs out. Logs "service restarted" whenever the
+/// server process had to be started more than once (`is_restart` forces the
+/// log even when the first attempt succeeds — the post-death path).
+sim::CoTask<ProcObj> acquire_v3(const Api& api, const WatchdConfig& cfg, nt::Word h_log,
+                                bool is_restart) {
+  nt::Scm& scm = api.machine().scm();
+  const sim::TimePoint budget_deadline = api.machine().sim().now() + cfg.long_retry_budget;
+  bool needed_retry = false;
+  auto success = [&](ProcObj proc) -> sim::CoTask<ProcObj> {
+    if (is_restart || needed_retry) {
+      co_await apps::log_line(api, h_log, "watchd: service restarted");
+    }
+    co_return proc;
+  };
+  while (api.machine().sim().now() < budget_deadline) {
+    if (scm.database_locked()) {
+      // A dead instance is stuck in a pending state; wait for the SCM to
+      // release the lock rather than burning attempts.
+      needed_retry = true;
+      co_await nt::sleep_in_sim(api.ctx(), cfg.retry_interval);
+      continue;
+    }
+    ProcObj proc;
+    const nt::Win32Error err = scm.start_service(cfg.service_name, &proc);
+    if (err == nt::Win32Error::kServiceAlreadyRunning) {
+      auto st = scm.query(cfg.service_name);
+      if (st && st->process) co_return co_await success(st->process);
+    }
+    if (err != nt::Win32Error::kSuccess || proc == nullptr || proc->exited()) {
+      // The explicit valid-handle check that distinguishes V3.
+      needed_retry = true;
+      co_await apps::log_line(api, h_log, "watchd: invalid service handle, retrying");
+      co_await nt::sleep_in_sim(api.ctx(), cfg.retry_interval);
+      continue;
+    }
+    // Confirm with the SCM that the service really reaches Running.
+    const sim::TimePoint confirm_deadline =
+        api.machine().sim().now() + cfg.confirm_timeout;
+    bool confirmed = false;
+    for (;;) {
+      auto st = scm.query(cfg.service_name);
+      if (st && st->state == ServiceState::kRunning && !proc->exited()) {
+        confirmed = true;
+        break;
+      }
+      if (!st || st->state == ServiceState::kStopped || proc->exited()) break;  // retry
+      if (api.machine().sim().now() >= confirm_deadline) break;
+      co_await nt::sleep_in_sim(api.ctx(), cfg.retry_interval);
+    }
+    if (confirmed) co_return co_await success(proc);
+    needed_retry = true;
+  }
+  co_return nullptr;
+}
+
+/// V1/V2 restart: brief retry loop, no validation beyond start success.
+sim::CoTask<ProcObj> restart_v12(const Api& api, const WatchdConfig& cfg, bool* gave_up) {
+  nt::Scm& scm = api.machine().scm();
+  const sim::TimePoint deadline = api.machine().sim().now() + cfg.short_retry_budget;
+  *gave_up = false;
+  for (;;) {
+    ProcObj proc;
+    nt::Win32Error err;
+    if (cfg.version == WatchdVersion::kV1) {
+      err = scm.start_service(cfg.service_name);
+    } else {
+      err = scm.start_service(cfg.service_name, &proc);
+    }
+    if (err == nt::Win32Error::kSuccess) {
+      if (cfg.version == WatchdVersion::kV1) {
+        co_await nt::sleep_in_sim(api.ctx(), cfg.v1_info_delay);
+        auto st = scm.query(cfg.service_name);
+        proc = st ? st->process : nullptr;
+      }
+      co_return proc;  // possibly null: restarted but unmonitored
+    }
+    if (api.machine().sim().now() >= deadline) {
+      *gave_up = true;
+      co_return nullptr;
+    }
+    co_await nt::sleep_in_sim(api.ctx(), cfg.retry_interval);
+  }
+}
+
+/// Heartbeat thread: probes the service port and terminates a hung service
+/// so the main loop's death-watch can restart it.
+sim::Task watchd_heartbeat_thread(Ctx c, WatchdConfig cfg, nt::net::Network* net) {
+  Api api(c);
+  nt::Scm& scm = api.machine().scm();
+  int misses = 0;
+  for (;;) {
+    co_await nt::sleep_in_sim(c, cfg.heartbeat_interval);
+    auto st = scm.query(cfg.service_name);
+    if (!st || st->state != ServiceState::kRunning) {
+      misses = 0;  // only a Running-but-unresponsive service is a hang
+      continue;
+    }
+    bool alive = false;
+    {
+      auto sock = co_await net->connect(c, api.machine().name(), cfg.heartbeat_port);
+      if (sock != nullptr) {
+        sock->send(cfg.heartbeat_probe);
+        auto first = co_await sock->recv(c, 64, cfg.heartbeat_timeout);
+        alive = first.has_value() && !first->empty();
+      }
+    }
+    if (alive) {
+      misses = 0;
+      continue;
+    }
+    if (++misses < cfg.heartbeat_misses) continue;
+    misses = 0;
+    // Hung: kill the service process; the death-watch performs the restart.
+    auto hung = scm.query(cfg.service_name);
+    if (hung && hung->pid != 0 && api.machine().alive(hung->pid)) {
+      api.machine().request_process_exit(hung->pid, nt::kExitCodeTerminated,
+                                         "watchd heartbeat: service hung");
+    }
+  }
+}
+
+sim::Task watchd_main(Ctx c, WatchdConfig cfg, nt::net::Network* net) {
+  Api api(c);
+  if (cfg.heartbeat && net != nullptr) {
+    api.proc().spawn_thread(
+        [cfg, net](Ctx tc) { return watchd_heartbeat_thread(tc, cfg, net); });
+  }
+  const nt::Word h_log =
+      co_await api(Fn::CreateFileA, api.str(cfg.log_path).addr, nt::kGenericWrite, 1, 0,
+                   nt::kOpenAlways, 0, 0);
+  co_await apps::log_line(api, h_log,
+                          "watchd (" + std::string(to_string(cfg.version)) +
+                              ") monitoring service " + cfg.service_name);
+
+  // --- initial start + handle acquisition ---------------------------------
+  ProcObj proc;
+  switch (cfg.version) {
+    case WatchdVersion::kV1: proc = co_await acquire_v1(api, cfg); break;
+    case WatchdVersion::kV2: proc = co_await acquire_v2(api, cfg); break;
+    case WatchdVersion::kV3:
+      proc = co_await acquire_v3(api, cfg, h_log, /*is_restart=*/false);
+      break;
+  }
+  if (proc == nullptr) {
+    // The paper's Watchd1 hole: the process died before getServiceInfo(),
+    // so there is nothing to monitor. watchd idles, blind.
+    co_await apps::log_line(api, h_log,
+                            "watchd: ERROR could not obtain service process info; "
+                            "service is not monitored");
+    for (;;) co_await nt::sleep_in_sim(c, sim::Duration::seconds(3600));
+  }
+  co_await apps::log_line(api, h_log, "watchd: service started, monitoring process");
+
+  // --- death-watch loop -----------------------------------------------------
+  for (;;) {
+    // Immediate notification (vs MSCS's polling): block on the process.
+    (void)co_await nt::wait_on_object(c, proc, nt::kInfinite);
+    co_await apps::log_line(api, h_log, "watchd: service process terminated; restarting");
+
+    if (cfg.version == WatchdVersion::kV3) {
+      // acquire_v3 logs the restart itself (it may perform several).
+      proc = co_await acquire_v3(api, cfg, h_log, /*is_restart=*/true);
+    } else {
+      bool gave_up = false;
+      proc = co_await restart_v12(api, cfg, &gave_up);
+      if (proc == nullptr && !gave_up) {
+        // Start succeeded but no handle (V1's window, again): the service
+        // runs unmonitored from here on.
+        co_await apps::log_line(api, h_log, "watchd: service restarted");
+        co_await apps::log_line(api, h_log,
+                                "watchd: WARNING could not re-obtain process info; "
+                                "service is no longer monitored");
+        for (;;) co_await nt::sleep_in_sim(c, sim::Duration::seconds(3600));
+      }
+    }
+    if (proc == nullptr) {
+      co_await apps::log_line(api, h_log,
+                              "watchd: ERROR restart failed, giving up on service");
+      for (;;) co_await nt::sleep_in_sim(c, sim::Duration::seconds(3600));
+    }
+    if (cfg.version != WatchdVersion::kV3) {
+      co_await apps::log_line(api, h_log, "watchd: service restarted");
+    }
+  }
+}
+
+}  // namespace
+
+void install_watchd(nt::Machine& machine, const WatchdConfig& cfg,
+                    nt::net::Network* network) {
+  machine.fs().mkdirs("C:\\watchd");
+  machine.register_program(cfg.image,
+                           [cfg, network](Ctx c) { return watchd_main(c, cfg, network); });
+  machine.scm().append_service_switch(cfg.service_name, "/watchd");
+}
+
+nt::Pid start_watchd(nt::Machine& machine, const WatchdConfig& cfg) {
+  return machine.start_process(cfg.image, cfg.image);
+}
+
+std::size_t watchd_restarts_logged(nt::Machine& machine, const std::string& log_path) {
+  auto content = machine.fs().get_file(log_path);
+  if (!content) return 0;
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  const std::string needle = "watchd: service restarted";
+  while ((pos = content->find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+}  // namespace dts::mw

@@ -1,0 +1,26 @@
+#include "ntsim/event_log.h"
+
+namespace dts::nt {
+
+void EventLog::write(sim::TimePoint time, EventSeverity sev, std::string source,
+                     std::uint32_t event_id, std::string message) {
+  entries_.push_back(EventLogEntry{time, sev, std::move(source), event_id, std::move(message)});
+}
+
+std::vector<EventLogEntry> EventLog::query(std::string_view source, sim::TimePoint since) const {
+  std::vector<EventLogEntry> out;
+  for (const auto& e : entries_) {
+    if (e.time >= since && e.source == source) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t EventLog::count(std::string_view source, std::uint32_t event_id) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.source == source && e.event_id == event_id) ++n;
+  }
+  return n;
+}
+
+}  // namespace dts::nt

@@ -1,0 +1,21 @@
+#include "ntsim/handle_table.h"
+
+namespace dts::nt {
+
+Handle HandleTable::insert(std::shared_ptr<KernelObject> obj) {
+  const Word value = next_;
+  next_ += 4;
+  table_.emplace(value, std::move(obj));
+  return Handle{value};
+}
+
+std::shared_ptr<KernelObject> HandleTable::get(Handle h) const {
+  auto it = table_.find(h.value);
+  return it == table_.end() ? nullptr : it->second;
+}
+
+bool HandleTable::close(Handle h) {
+  return table_.erase(h.value) > 0;
+}
+
+}  // namespace dts::nt

@@ -1,0 +1,221 @@
+// KERNEL32 memory management functions.
+//
+// Heap handles on NT are raw pointers dereferenced in user mode, so a
+// corrupted hHeap crashes (HeapAlloc/HeapFree were among DTS's most lethal
+// injection points). Allocation sizes corrupted to 0xFFFFFFFF fail cleanly
+// with NULL — which unprepared callers then dereference.
+#include <algorithm>
+#include <span>
+
+#include "ntsim/kernel.h"
+#include "ntsim/kernel32.h"
+
+namespace dts::nt::k32 {
+
+namespace {
+
+/// Resolves a heap handle. NT dereferences heap handles in user mode, so an
+/// unresolvable handle is an access violation (crash), not an error return.
+HeapObject* heap_of(Sys& s, Word handle) {
+  auto* h = dynamic_cast<HeapObject*>(s.resolve(handle).get());
+  if (h == nullptr) throw AccessViolation{handle, /*is_write=*/false};
+  return h;
+}
+
+/// Allocates from the process address space, returning 0 on exhaustion
+/// (covers sizes corrupted to 0xFFFFFFFF).
+Word try_alloc(Sys& s, Word bytes) {
+  try {
+    return s.mem().alloc(bytes).addr;
+  } catch (const std::bad_alloc&) {
+    return 0;
+  }
+}
+
+Word default_heap(Sys& s) {
+  if (s.p.user.default_heap == 0) {
+    auto heap = std::make_shared<HeapObject>(s.m.sim(), 0);
+    s.p.user.default_heap = s.p.handles().insert(std::move(heap)).value;
+  }
+  return s.p.user.default_heap;
+}
+
+}  // namespace
+
+Word sync_mem(Sys& s, const CallRecord& r) {
+  const auto& a = r.args;
+  switch (r.fn) {
+    case Fn::HeapCreate: {
+      auto heap = std::make_shared<HeapObject>(s.m.sim(), a[2]);
+      return s.p.handles().insert(std::move(heap)).value;
+    }
+    case Fn::HeapDestroy: {
+      HeapObject* h = heap_of(s, a[0]);
+      for (const Word base : h->blocks()) s.mem().free(Ptr{base});
+      h->blocks().clear();
+      s.p.handles().close(Handle{a[0]});
+      return 1;
+    }
+    case Fn::HeapAlloc: {
+      HeapObject* h = heap_of(s, a[0]);
+      const Word addr = try_alloc(s, a[2]);
+      if (addr == 0) return 0;  // HeapAlloc reports failure via NULL, no last-error
+      h->blocks().push_back(addr);
+      h->bytes_allocated += a[2];
+      return addr;
+    }
+    case Fn::HeapFree: {
+      HeapObject* h = heap_of(s, a[0]);
+      auto& blocks = h->blocks();
+      auto it = std::find(blocks.begin(), blocks.end(), a[2]);
+      if (it == blocks.end() || !s.mem().free(Ptr{a[2]})) {
+        return s.fail(Win32Error::kInvalidParameter);
+      }
+      blocks.erase(it);
+      return 1;
+    }
+    case Fn::HeapReAlloc: {
+      HeapObject* h = heap_of(s, a[0]);
+      const Word old_addr = a[2];
+      const Word old_size = s.mem().block_size(Ptr{old_addr});
+      if (old_size == 0) return s.fail(Win32Error::kInvalidParameter);
+      const Word new_addr = try_alloc(s, a[3]);
+      if (new_addr == 0) return 0;
+      const Word copy = std::min(old_size, a[3]);
+      if (copy > 0) {
+        auto data = s.mem().read(Ptr{old_addr}, copy);
+        s.mem().write(Ptr{new_addr}, data);
+      }
+      s.mem().free(Ptr{old_addr});
+      auto& blocks = h->blocks();
+      auto it = std::find(blocks.begin(), blocks.end(), old_addr);
+      if (it != blocks.end()) *it = new_addr;
+      else blocks.push_back(new_addr);
+      return new_addr;
+    }
+    case Fn::HeapSize: {
+      heap_of(s, a[0]);
+      const Word size = s.mem().block_size(Ptr{a[2]});
+      return size == 0 ? kInvalidHandleValue : size;  // (SIZE_T)-1 on failure
+    }
+    case Fn::GetProcessHeap:
+      return default_heap(s);
+    case Fn::VirtualAlloc: {
+      // lpAddress-directed placement is not modelled; reservations commit.
+      const Word addr = try_alloc(s, a[1]);
+      if (addr == 0) return s.fail(Win32Error::kNotEnoughMemory);
+      return addr;
+    }
+    case Fn::VirtualFree: {
+      if (!s.mem().free(Ptr{a[0]})) return s.fail(Win32Error::kInvalidAddress);
+      return 1;
+    }
+    case Fn::GlobalAlloc:
+    case Fn::LocalAlloc: {
+      // GMEM_FIXED semantics: the handle is the pointer.
+      const Word addr = try_alloc(s, a[1]);
+      if (addr == 0) return s.fail(Win32Error::kNotEnoughMemory);
+      return addr;
+    }
+    case Fn::GlobalFree:
+    case Fn::LocalFree: {
+      if (a[0] == 0) return 0;
+      if (!s.mem().free(Ptr{a[0]})) return s.fail(Win32Error::kInvalidHandle, a[0]);
+      return 0;  // NULL on success
+    }
+    case Fn::GlobalLock: {
+      if (s.mem().block_size(Ptr{a[0]}) == 0) return s.fail(Win32Error::kInvalidHandle);
+      return a[0];
+    }
+    case Fn::GlobalUnlock:
+      return 1;
+    case Fn::CreateFileMappingA: {
+      const Word size = a[4];  // dwMaximumSizeLow
+      if (size == 0 && a[3] == 0) return s.fail(Win32Error::kInvalidParameter);
+      // The paper's testbed had 48 MB of RAM: outsized sections (e.g. a size
+      // corrupted to 0xFFFFFFFF) fail cleanly.
+      if (a[3] != 0 || size > (64u << 20)) return s.fail(Win32Error::kNotEnoughMemory);
+      std::string name;
+      if (a[5] != 0) name = s.mem().read_cstr(Ptr{a[5]});  // user-mode read
+      if (!name.empty()) {
+        if (auto existing = s.k.find_named(name)) {
+          if (dynamic_cast<FileMappingObject*>(existing.get()) == nullptr) {
+            return s.fail(Win32Error::kInvalidHandle);
+          }
+          s.thread().last_error = to_dword(Win32Error::kAlreadyExists);
+          return s.p.handles().insert(std::move(existing)).value;
+        }
+      }
+      auto mapping = std::make_shared<FileMappingObject>(s.m.sim(), size);
+      if (!name.empty()) {
+        mapping->set_name(name);
+        s.k.publish_named(name, mapping);
+      }
+      return s.p.handles().insert(std::move(mapping)).value;
+    }
+    case Fn::MapViewOfFile: {
+      auto* mapping = dynamic_cast<FileMappingObject*>(s.resolve(a[0]).get());
+      if (mapping == nullptr) return s.fail(Win32Error::kInvalidHandle);
+      Word bytes = a[4];
+      if (bytes == 0) bytes = mapping->size();
+      bytes = std::min(bytes, mapping->size());
+      const Word addr = try_alloc(s, bytes);
+      if (addr == 0) return s.fail(Win32Error::kNotEnoughMemory);
+      // Copy-in snapshot; UnmapViewOfFile copies back (see DESIGN.md: views
+      // are process-local in the simulator).
+      auto backing = mapping->bytes();
+      s.mem().write(Ptr{addr}, std::span{backing->data(), bytes});
+      s.p.user.views[addr] = backing;
+      return addr;
+    }
+    case Fn::UnmapViewOfFile: {
+      auto it = s.p.user.views.find(a[0]);
+      if (it == s.p.user.views.end()) return s.fail(Win32Error::kInvalidAddress);
+      auto backing = it->second;
+      const Word bytes = std::min(s.mem().block_size(Ptr{a[0]}),
+                                  static_cast<Word>(backing->size()));
+      if (bytes > 0) {
+        auto data = s.mem().read(Ptr{a[0]}, bytes);
+        std::copy(data.begin(), data.end(), backing->begin());
+      }
+      s.mem().free(Ptr{a[0]});
+      s.p.user.views.erase(it);
+      return 1;
+    }
+    case Fn::GlobalMemoryStatus: {
+      // Writes a MEMORYSTATUS (32 bytes) in user mode: bad pointers crash.
+      const Ptr out{a[0]};
+      s.mem().write_u32(out, 32);                         // dwLength
+      s.mem().write_u32(out.offset(4), 30);               // dwMemoryLoad (%)
+      s.mem().write_u32(out.offset(8), 48u << 20);        // dwTotalPhys: 48 MB
+      s.mem().write_u32(out.offset(12), 32u << 20);       // dwAvailPhys
+      s.mem().write_u32(out.offset(16), 128u << 20);      // dwTotalPageFile
+      s.mem().write_u32(out.offset(20), 100u << 20);      // dwAvailPageFile
+      s.mem().write_u32(out.offset(24), 0x7FFE0000);      // dwTotalVirtual
+      s.mem().write_u32(out.offset(28), 0x70000000);      // dwAvailVirtual
+      return 0;  // void
+    }
+    case Fn::TlsAlloc:
+      return s.p.tls_alloc();
+    case Fn::TlsFree: {
+      if (!s.p.tls_free(a[0])) return s.fail(Win32Error::kInvalidParameter);
+      return 1;
+    }
+    case Fn::TlsGetValue: {
+      if (!s.p.tls_slot_valid(a[0])) return s.fail(Win32Error::kInvalidParameter);
+      s.thread().last_error = to_dword(Win32Error::kSuccess);
+      auto& tls = s.thread().tls;
+      auto it = tls.find(a[0]);
+      return it == tls.end() ? 0 : it->second;
+    }
+    case Fn::TlsSetValue: {
+      if (!s.p.tls_slot_valid(a[0])) return s.fail(Win32Error::kInvalidParameter);
+      s.thread().tls[a[0]] = a[1];
+      return 1;
+    }
+    default:
+      throw std::logic_error("sync_mem: unrouted function");
+  }
+}
+
+}  // namespace dts::nt::k32

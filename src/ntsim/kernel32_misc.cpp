@@ -1,0 +1,539 @@
+// KERNEL32 module / environment / time / string / locale / profile functions.
+//
+// The lstr* family is SEH-guarded on NT (returns NULL/0 on faults) while the
+// wide-char conversions and profile functions touch memory unguarded — both
+// behaviours are reproduced, because DTS results depend on which functions
+// crash and which fail soft.
+#include <algorithm>
+#include <cctype>
+
+#include "ntsim/kernel.h"
+#include "ntsim/kernel32.h"
+
+namespace dts::nt::k32 {
+
+namespace {
+
+/// Writes `value` into (buf, size) with truncation, returning the number of
+/// characters copied (excluding NUL). User-mode writes: bad pointers crash.
+Word write_string_out(Sys& s, Word buf, Word size, const std::string& value) {
+  if (size == 0) return 0;
+  const std::string out = value.substr(0, size - 1);
+  s.mem().write_cstr(Ptr{buf}, out);
+  return static_cast<Word>(out.size());
+}
+
+std::string upper(std::string v) {
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return v;
+}
+
+/// Minimal INI lookup for the GetPrivateProfile* family.
+std::optional<std::string> ini_lookup(const std::string& content, std::string_view section,
+                                      std::string_view key) {
+  std::string current;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    std::string_view line{content.data() + pos, eol - pos};
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.remove_suffix(1);
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (!line.empty() && line.front() == '[' && line.back() == ']') {
+      current = upper(std::string(line.substr(1, line.size() - 2)));
+    } else if (!line.empty() && line.front() != ';' && upper(current) == upper(std::string(section))) {
+      const auto eq = line.find('=');
+      if (eq != std::string_view::npos) {
+        std::string k = upper(std::string(line.substr(0, eq)));
+        while (!k.empty() && k.back() == ' ') k.pop_back();
+        if (k == upper(std::string(key))) {
+          std::string_view v = line.substr(eq + 1);
+          while (!v.empty() && v.front() == ' ') v.remove_prefix(1);
+          return std::string(v);
+        }
+      }
+    }
+    if (eol == content.size()) break;
+    pos = eol + 1;
+  }
+  return std::nullopt;
+}
+
+Word format_message(Sys& s, const CallRecord& r) {
+  constexpr Word kAllocateBuffer = 0x100;
+  char text[64];
+  std::snprintf(text, sizeof text, "Error 0x%08X.", r.args[2]);
+  const std::string msg = text;
+  if ((r.args[0] & kAllocateBuffer) != 0) {
+    // lpBuffer is an LPSTR*: allocate and store the pointer, in user mode.
+    const Word addr = s.mem().alloc_cstr(msg).addr;
+    s.mem().write_u32(Ptr{r.args[4]}, addr);
+    return static_cast<Word>(msg.size());
+  }
+  return write_string_out(s, r.args[4], r.args[5], msg);
+}
+
+Word multi_byte_to_wide_char(Sys& s, const CallRecord& r) {
+  const Word src = r.args[2];
+  const auto cb = static_cast<std::int32_t>(r.args[3]);
+  std::string input;
+  if (cb < 0) {
+    input = s.mem().read_cstr(Ptr{src});  // user-mode scan; crashes on bad ptr
+    input.push_back('\0');
+  } else {
+    input = s.mem().read_bytes(Ptr{src}, static_cast<Word>(cb));
+  }
+  if (r.args[5] == 0) return static_cast<Word>(input.size());  // size query
+  const Word out_chars = std::min<Word>(r.args[5], static_cast<Word>(input.size()));
+  std::string wide(out_chars * 2, '\0');
+  for (Word i = 0; i < out_chars; ++i) wide[i * 2] = input[i];
+  s.mem().write_bytes(Ptr{r.args[4]}, wide);  // unguarded user-mode write
+  return out_chars;
+}
+
+Word wide_char_to_multi_byte(Sys& s, const CallRecord& r) {
+  const Word src = r.args[2];
+  auto cch = static_cast<std::int32_t>(r.args[3]);
+  std::string narrow;
+  if (cch < 0) {
+    for (Word i = 0;; i += 2) {
+      const std::string two = s.mem().read_bytes(Ptr{src + i}, 2);
+      if (two[0] == '\0' && two[1] == '\0') break;
+      narrow.push_back(two[0]);
+    }
+    narrow.push_back('\0');
+  } else {
+    for (std::int32_t i = 0; i < cch; ++i) {
+      narrow.push_back(s.mem().read_bytes(Ptr{src + static_cast<Word>(i) * 2}, 1)[0]);
+    }
+  }
+  if (r.args[5] == 0) return static_cast<Word>(narrow.size());
+  const Word n = std::min<Word>(r.args[5], static_cast<Word>(narrow.size()));
+  s.mem().write_bytes(Ptr{r.args[4]}, narrow.substr(0, n));
+  return n;
+}
+
+/// Reads a 64-bit value (e.g. FILETIME) from user memory, crashing on bad
+/// pointers like the user-mode callers did.
+std::uint64_t mem64(Sys& s, Ptr p) {
+  const std::uint64_t lo = s.mem().read_u32(p);
+  const std::uint64_t hi = s.mem().read_u32(p.offset(4));
+  return (hi << 32) | lo;
+}
+
+/// SYSTEMTIME writer: simulation epoch is 1999-05-01 00:00 (the paper's
+/// experiments ran at Bell Labs in spring 1999).
+void write_systemtime(Sys& s, Ptr out) {
+  const std::int64_t total_ms = s.m.sim().now().count_micros() / 1000;
+  const auto ms = static_cast<Word>(total_ms % 1000);
+  const std::int64_t total_s = total_ms / 1000;
+  const auto sec = static_cast<Word>(total_s % 60);
+  const auto min = static_cast<Word>((total_s / 60) % 60);
+  const auto hour = static_cast<Word>((total_s / 3600) % 24);
+  const auto day = static_cast<Word>(1 + (total_s / 86400));
+  auto w16 = [&](Word off, Word v) {
+    std::byte raw[2] = {static_cast<std::byte>(v & 0xFF), static_cast<std::byte>(v >> 8)};
+    s.mem().write(out.offset(off), raw);
+  };
+  w16(0, 1999);        // wYear
+  w16(2, 5);           // wMonth
+  w16(4, 6);           // wDayOfWeek
+  w16(6, day);         // wDay
+  w16(8, hour);
+  w16(10, min);
+  w16(12, sec);
+  w16(14, ms);
+}
+
+}  // namespace
+
+Word sync_misc(Sys& s, const CallRecord& r) {
+  const auto& a = r.args;
+  switch (r.fn) {
+    case Fn::GetModuleHandleA: {
+      if (a[0] == 0) return 0x00400000;  // the process image base
+      const std::string name = upper(s.mem().read_cstr(Ptr{a[0]}));
+      if (name == "KERNEL32.DLL" || name == "KERNEL32") return 0x77F00000;
+      if (name == "NTDLL.DLL" || name == "NTDLL") return 0x77F70000;
+      auto it = s.p.user.modules.find(name);
+      if (it != s.p.user.modules.end()) return it->second;
+      return s.fail(Win32Error::kFileNotFound);
+    }
+    case Fn::GetModuleFileNameA: {
+      // Only the process image itself is queried by the simulated servers.
+      const std::string path = "C:\\Program Files\\" + s.p.image();
+      return write_string_out(s, a[1], a[2], path);
+    }
+    case Fn::LoadLibraryA: {
+      const std::string name = upper(s.mem().read_cstr(Ptr{a[0]}));
+      auto it = s.p.user.modules.find(name);
+      if (it != s.p.user.modules.end()) return it->second;
+      // Well-known system DLLs always load; anything else must exist on disk.
+      static constexpr std::string_view kSystemDlls[] = {
+          "WSOCK32.DLL", "WS2_32.DLL", "ADVAPI32.DLL", "USER32.DLL",
+          "MSVCRT.DLL",  "ODBC32.DLL", "RPCRT4.DLL",
+      };
+      const bool known =
+          std::find(std::begin(kSystemDlls), std::end(kSystemDlls), name) !=
+          std::end(kSystemDlls);
+      if (!known && !s.m.fs().is_file("C:\\WINNT\\system32\\" + name)) {
+        return s.fail(Win32Error::kFileNotFound);
+      }
+      const Word base = s.p.user.next_module_base;
+      s.p.user.next_module_base += 0x00100000;
+      s.p.user.modules[name] = base;
+      return base;
+    }
+    case Fn::FreeLibrary: {
+      for (auto it = s.p.user.modules.begin(); it != s.p.user.modules.end(); ++it) {
+        if (it->second == a[0]) {
+          s.p.user.modules.erase(it);
+          return 1;
+        }
+      }
+      return s.fail(Win32Error::kInvalidHandle);
+    }
+    case Fn::GetProcAddress: {
+      // HIWORD(lpProcName) == 0 means lookup by ordinal — so a zeroed pointer
+      // fails cleanly instead of crashing (a real NT asymmetry).
+      if ((a[1] >> 16) == 0) {
+        return a[1] == 0 ? s.fail(Win32Error::kInvalidParameter)
+                         : 0x20000000 + (a[1] & 0xFFFF);
+      }
+      const std::string name = s.mem().read_cstr(Ptr{a[1]});  // user-mode read
+      if (name.empty()) return s.fail(Win32Error::kInvalidParameter);
+      return 0x20000000 + (static_cast<Word>(sim::Rng::hash(name)) & 0xFFFF) + 0x10000;
+    }
+    case Fn::GetEnvironmentVariableA: {
+      const std::string name = upper(s.mem().read_cstr(Ptr{a[0]}));
+      auto it = s.p.env().find(name);
+      if (it == s.p.env().end()) return s.fail(Win32Error::kEnvVarNotFound);
+      const std::string& v = it->second;
+      if (a[2] < v.size() + 1) return static_cast<Word>(v.size()) + 1;
+      return write_string_out(s, a[1], a[2], v);
+    }
+    case Fn::SetEnvironmentVariableA: {
+      const std::string name = upper(s.mem().read_cstr(Ptr{a[0]}));
+      if (name.empty()) return s.fail(Win32Error::kInvalidParameter);
+      if (a[1] == 0) {
+        s.p.env().erase(name);
+      } else {
+        s.p.env()[name] = s.mem().read_cstr(Ptr{a[1]});
+      }
+      return 1;
+    }
+    case Fn::GetEnvironmentStrings: {
+      std::string block;
+      for (const auto& [k, v] : s.p.env()) block += k + "=" + v + '\0';
+      block += '\0';
+      const Ptr addr = s.mem().alloc(static_cast<Word>(block.size()));
+      s.mem().write_bytes(addr, block);
+      s.p.user.environment_block = addr.addr;
+      return addr.addr;
+    }
+    case Fn::FreeEnvironmentStringsA: {
+      if (!s.mem().free(Ptr{a[0]})) return s.fail(Win32Error::kInvalidParameter);
+      return 1;
+    }
+    case Fn::GetSystemDirectoryA:
+      return write_string_out(s, a[0], a[1], "C:\\WINNT\\system32");
+    case Fn::GetWindowsDirectoryA:
+      return write_string_out(s, a[0], a[1], "C:\\WINNT");
+    case Fn::GetComputerNameA: {
+      const Word size = s.mem().read_u32(Ptr{a[1]});  // in/out size, user mode
+      const std::string& name = s.m.name();
+      if (size < name.size() + 1) return s.fail(Win32Error::kInsufficientBuffer);
+      s.mem().write_cstr(Ptr{a[0]}, name);
+      s.mem().write_u32(Ptr{a[1]}, static_cast<Word>(name.size()));
+      return 1;
+    }
+    case Fn::GetVersion:
+      return 0x05650004;  // NT 4.0 build 1381
+    case Fn::GetVersionExA: {
+      const Word cb = s.mem().read_u32(Ptr{a[0]});
+      if (cb < 148) return s.fail(Win32Error::kInsufficientBuffer);
+      s.mem().write_u32(Ptr{a[0]}.offset(4), 4);      // major
+      s.mem().write_u32(Ptr{a[0]}.offset(8), 0);      // minor
+      s.mem().write_u32(Ptr{a[0]}.offset(12), 1381);  // build
+      s.mem().write_u32(Ptr{a[0]}.offset(16), 2);     // VER_PLATFORM_WIN32_NT
+      s.mem().write_cstr(Ptr{a[0]}.offset(20), "Service Pack 4");
+      return 1;
+    }
+    case Fn::GetSystemInfo: {
+      // SYSTEM_INFO, 36 bytes, written in user mode.
+      const Ptr out{a[0]};
+      s.mem().write_u32(out, 0);                   // PROCESSOR_ARCHITECTURE_INTEL
+      s.mem().write_u32(out.offset(4), 4096);      // dwPageSize
+      s.mem().write_u32(out.offset(8), 0x00010000);
+      s.mem().write_u32(out.offset(12), 0x7FFEFFFF);
+      s.mem().write_u32(out.offset(16), 1);        // active processor mask
+      s.mem().write_u32(out.offset(20), 1);        // dwNumberOfProcessors
+      s.mem().write_u32(out.offset(24), 586);      // dwProcessorType: Pentium
+      s.mem().write_u32(out.offset(28), 65536);    // allocation granularity
+      s.mem().write_u32(out.offset(32), 0x0205);   // level/revision
+      return 0;  // void
+    }
+    case Fn::GetTickCount:
+      return static_cast<Word>(s.m.sim().now().count_micros() / 1000);
+    case Fn::GetSystemTime:
+    case Fn::GetLocalTime:
+      write_systemtime(s, Ptr{a[0]});
+      return 0;  // void
+    case Fn::GetSystemTimeAsFileTime: {
+      const auto t = static_cast<std::uint64_t>(s.m.sim().now().count_micros()) * 10;
+      s.mem().write_u32(Ptr{a[0]}, static_cast<Word>(t & 0xFFFFFFFF));
+      s.mem().write_u32(Ptr{a[0]}.offset(4), static_cast<Word>(t >> 32));
+      return 0;
+    }
+    case Fn::QueryPerformanceCounter: {
+      const auto t = static_cast<std::uint64_t>(s.m.sim().now().count_micros());
+      s.mem().write_u32(Ptr{a[0]}, static_cast<Word>(t & 0xFFFFFFFF));
+      s.mem().write_u32(Ptr{a[0]}.offset(4), static_cast<Word>(t >> 32));
+      return 1;
+    }
+    case Fn::QueryPerformanceFrequency: {
+      s.mem().write_u32(Ptr{a[0]}, 1000000);
+      s.mem().write_u32(Ptr{a[0]}.offset(4), 0);
+      return 1;
+    }
+    case Fn::GetLastError:
+      return s.thread().last_error;
+    case Fn::SetLastError:
+      s.thread().last_error = a[0];
+      return 0;
+    case Fn::SetErrorMode: {
+      const Word prev = s.p.user.error_mode;
+      s.p.user.error_mode = a[0];
+      return prev;
+    }
+    case Fn::FormatMessageA:
+      return format_message(s, r);
+    case Fn::OutputDebugStringA:
+      (void)s.mem().read_cstr(Ptr{a[0]});  // user-mode scan; crashes on bad ptr
+      return 0;
+    case Fn::lstrlenA: {
+      // SEH-guarded on NT: returns 0 instead of crashing.
+      try {
+        return static_cast<Word>(s.mem().read_cstr(Ptr{a[0]}).size());
+      } catch (const AccessViolation&) {
+        return 0;
+      }
+    }
+    case Fn::lstrcpyA: {
+      try {
+        const std::string src = s.mem().read_cstr(Ptr{a[1]});
+        s.mem().write_cstr(Ptr{a[0]}, src);
+        return a[0];
+      } catch (const AccessViolation&) {
+        return s.fail(Win32Error::kInvalidParameter);
+      }
+    }
+    case Fn::lstrcpynA: {
+      try {
+        std::string src = s.mem().read_cstr(Ptr{a[1]});
+        if (a[2] == 0) return s.fail(Win32Error::kInvalidParameter);
+        src = src.substr(0, a[2] - 1);
+        s.mem().write_cstr(Ptr{a[0]}, src);
+        return a[0];
+      } catch (const AccessViolation&) {
+        return s.fail(Win32Error::kInvalidParameter);
+      }
+    }
+    case Fn::lstrcatA: {
+      try {
+        const std::string dst = s.mem().read_cstr(Ptr{a[0]});
+        const std::string src = s.mem().read_cstr(Ptr{a[1]});
+        s.mem().write_cstr(Ptr{a[0]}, dst + src);
+        return a[0];
+      } catch (const AccessViolation&) {
+        return s.fail(Win32Error::kInvalidParameter);
+      }
+    }
+    case Fn::lstrcmpA:
+    case Fn::lstrcmpiA: {
+      try {
+        std::string x = s.mem().read_cstr(Ptr{a[0]});
+        std::string y = s.mem().read_cstr(Ptr{a[1]});
+        if (r.fn == Fn::lstrcmpiA) {
+          x = upper(x);
+          y = upper(y);
+        }
+        return static_cast<Word>(x.compare(y) < 0 ? -1 : (x == y ? 0 : 1));
+      } catch (const AccessViolation&) {
+        return s.fail(Win32Error::kInvalidParameter);
+      }
+    }
+    case Fn::MultiByteToWideChar:
+      return multi_byte_to_wide_char(s, r);
+    case Fn::WideCharToMultiByte:
+      return wide_char_to_multi_byte(s, r);
+    case Fn::GetACP:
+      return 1252;
+    case Fn::GetCPInfo: {
+      // CPINFO, 20 bytes, user-mode write.
+      const Ptr out{a[1]};
+      s.mem().write_u32(out, 1);  // MaxCharSize
+      std::vector<std::byte> rest(16, std::byte{0});
+      s.mem().write(out.offset(4), rest);
+      return 1;
+    }
+    case Fn::GetLocaleInfoA: {
+      const std::string value = "1033";  // en-US for every LCType we model
+      if (a[3] == 0) return static_cast<Word>(value.size()) + 1;
+      return write_string_out(s, a[2], a[3], value) + 1;
+    }
+    case Fn::CompareStringA: {
+      auto read_counted = [&](Word ptr, Word count) {
+        if (static_cast<std::int32_t>(count) < 0) return s.mem().read_cstr(Ptr{ptr});
+        return s.mem().read_bytes(Ptr{ptr}, count);
+      };
+      std::string x = read_counted(a[2], a[3]);
+      std::string y = read_counted(a[4], a[5]);
+      if ((a[1] & 0x1) != 0) {  // NORM_IGNORECASE
+        x = upper(x);
+        y = upper(y);
+      }
+      const int c = x.compare(y);
+      return c < 0 ? 1 : (c == 0 ? 2 : 3);  // CSTR_LESS_THAN/EQUAL/GREATER_THAN
+    }
+    case Fn::GetPrivateProfileStringA: {
+      const std::string section = a[0] != 0 ? s.mem().read_cstr(Ptr{a[0]}) : "";
+      const std::string key = a[1] != 0 ? s.mem().read_cstr(Ptr{a[1]}) : "";
+      const std::string fallback = a[2] != 0 ? s.mem().read_cstr(Ptr{a[2]}) : "";
+      const std::string file = s.mem().read_cstr(Ptr{a[5]});
+      std::string value = fallback;
+      if (auto content = s.m.fs().get_file(file)) {
+        if (auto found = ini_lookup(*content, section, key)) value = *found;
+      }
+      return write_string_out(s, a[3], a[4], value);
+    }
+    case Fn::GetPrivateProfileIntA: {
+      const std::string section = s.mem().read_cstr(Ptr{a[0]});
+      const std::string key = s.mem().read_cstr(Ptr{a[1]});
+      const std::string file = s.mem().read_cstr(Ptr{a[3]});
+      if (auto content = s.m.fs().get_file(file)) {
+        if (auto found = ini_lookup(*content, section, key)) {
+          return static_cast<Word>(std::strtoul(found->c_str(), nullptr, 10));
+        }
+      }
+      return a[2];
+    }
+    case Fn::WritePrivateProfileStringA: {
+      const std::string section = s.mem().read_cstr(Ptr{a[0]});
+      const std::string key = s.mem().read_cstr(Ptr{a[1]});
+      const std::string value = a[2] != 0 ? s.mem().read_cstr(Ptr{a[2]}) : "";
+      const std::string file = s.mem().read_cstr(Ptr{a[3]});
+      std::string content = s.m.fs().get_file(file).value_or("");
+      // Append-only update: adequate for the config writes the servers do.
+      content += "[" + section + "]\n" + key + "=" + value + "\n";
+      s.m.fs().put_file(file, content);
+      return 1;
+    }
+    case Fn::IsBadReadPtr:
+    case Fn::IsBadWritePtr:
+      // SEH-probed on NT: never crashes; TRUE means the pointer is bad.
+      return s.mem().valid(Ptr{a[0]}, std::max<Word>(a[1], 1)) ? 0 : 1;
+    case Fn::SetUnhandledExceptionFilter: {
+      const Word prev = s.p.user.unhandled_filter;
+      s.p.user.unhandled_filter = a[0];
+      return prev;
+    }
+    case Fn::RaiseException:
+      throw RaisedException{a[0]};
+    case Fn::DebugBreak:
+      // No debugger is attached: a breakpoint is an unhandled exception.
+      throw RaisedException{0x80000003};  // STATUS_BREAKPOINT
+    case Fn::Beep:
+      return 1;
+    case Fn::DeviceIoControl: {
+      if (s.resolve(a[0]) == nullptr) return s.fail(Win32Error::kInvalidHandle);
+      return s.fail(Win32Error::kInvalidParameter);  // no devices are modelled
+    }
+    case Fn::GetSystemDefaultLangID:
+      return 0x0409;
+    case Fn::CompareFileTime: {
+      // Both FILETIMEs are read in user mode: corrupted pointers crash.
+      const std::uint64_t t1 = mem64(s, Ptr{a[0]});
+      const std::uint64_t t2 = mem64(s, Ptr{a[1]});
+      return t1 < t2 ? static_cast<Word>(-1) : (t1 == t2 ? 0 : 1);
+    }
+    case Fn::FileTimeToSystemTime: {
+      (void)mem64(s, Ptr{a[0]});  // user-mode read of the FILETIME
+      write_systemtime(s, Ptr{a[1]});
+      return 1;
+    }
+    case Fn::SystemTimeToFileTime: {
+      (void)s.mem().read(Ptr{a[0]}, 16);  // SYSTEMTIME, user-mode read
+      const auto t = static_cast<std::uint64_t>(s.m.sim().now().count_micros()) * 10;
+      s.mem().write_u32(Ptr{a[1]}, static_cast<Word>(t & 0xFFFFFFFF));
+      s.mem().write_u32(Ptr{a[1]}.offset(4), static_cast<Word>(t >> 32));
+      return 1;
+    }
+    case Fn::ExpandEnvironmentStringsA: {
+      // %VAR% expansion happens entirely in user mode.
+      const std::string src_text = s.mem().read_cstr(Ptr{a[0]});
+      std::string out;
+      std::size_t i = 0;
+      while (i < src_text.size()) {
+        if (src_text[i] == '%') {
+          const auto end = src_text.find('%', i + 1);
+          if (end != std::string::npos) {
+            std::string name = src_text.substr(i + 1, end - i - 1);
+            for (char& ch : name) {
+              ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+            }
+            auto it = s.p.env().find(name);
+            out += it != s.p.env().end() ? it->second : src_text.substr(i, end - i + 1);
+            i = end + 1;
+            continue;
+          }
+        }
+        out.push_back(src_text[i++]);
+      }
+      if (a[2] < out.size() + 1) return static_cast<Word>(out.size()) + 1;
+      s.mem().write_cstr(Ptr{a[1]}, out);
+      return static_cast<Word>(out.size()) + 1;
+    }
+    case Fn::GetLogicalDrives:
+      return 0x4;  // bit 2: C:
+    case Fn::GetOEMCP:
+      return 437;
+    case Fn::MulDiv: {
+      const auto n = static_cast<std::int64_t>(static_cast<std::int32_t>(a[0]));
+      const auto num = static_cast<std::int64_t>(static_cast<std::int32_t>(a[1]));
+      const auto den = static_cast<std::int64_t>(static_cast<std::int32_t>(a[2]));
+      if (den == 0) return static_cast<Word>(-1);
+      return static_cast<Word>(static_cast<std::int32_t>(n * num / den));
+    }
+    case Fn::IsBadStringPtrA: {
+      // SEH-probed: TRUE (1) means the string is bad; never crashes.
+      if (a[1] == 0) return 0;
+      try {
+        (void)s.mem().read_cstr(Ptr{a[0]}, a[1]);
+        return 0;
+      } catch (const AccessViolation&) {
+        return 1;
+      }
+    }
+    case Fn::GlobalSize: {
+      const Word size = s.mem().block_size(Ptr{a[0]});
+      return size == 0 ? s.fail(Win32Error::kInvalidHandle) : size;
+    }
+    case Fn::GetProfileStringA: {
+      // Reads WIN.INI (the pre-registry system profile).
+      const std::string section = a[0] != 0 ? s.mem().read_cstr(Ptr{a[0]}) : "";
+      const std::string key = a[1] != 0 ? s.mem().read_cstr(Ptr{a[1]}) : "";
+      const std::string fallback = a[2] != 0 ? s.mem().read_cstr(Ptr{a[2]}) : "";
+      std::string value = fallback;
+      if (auto content = s.m.fs().get_file("C:\\WINNT\\win.ini")) {
+        if (auto found = ini_lookup(*content, section, key)) value = *found;
+      }
+      return write_string_out(s, a[3], a[4], value);
+    }
+    default:
+      throw std::logic_error("sync_misc: unrouted function");
+  }
+}
+
+}  // namespace dts::nt::k32

@@ -1,0 +1,260 @@
+// KERNEL32 process / thread / handle functions (synchronous subset).
+//
+// Crash-versus-error behaviour mirrors NT 4.0: functions that touch caller
+// memory in their user-mode portion (CreateProcessA string parsing,
+// PROCESS_INFORMATION output, GetStartupInfoA, ...) let AccessViolation
+// escape — corrupted pointers crash the process. Handle arguments resolve
+// through the handle table and fail cleanly when corrupted.
+#include "ntsim/kernel.h"
+#include "ntsim/kernel32.h"
+
+namespace dts::nt::k32 {
+
+namespace {
+
+Word create_process_a(Sys& s, const CallRecord& r) {
+  const Ptr app_name{r.args[0]};
+  const Ptr cmd_line{r.args[1]};
+  const Word env_block = r.args[6];
+  const Ptr startup_info{r.args[8]};
+  const Ptr proc_info{r.args[9]};
+
+  // CreateProcessA parses its string arguments in user mode: corrupted
+  // pointers crash the caller.
+  std::string command;
+  if (!cmd_line.is_null()) command = s.mem().read_cstr(cmd_line);
+  std::string image;
+  if (!app_name.is_null()) {
+    image = s.mem().read_cstr(app_name);
+  } else {
+    // First whitespace-delimited token of the command line.
+    const auto end = command.find(' ');
+    image = command.substr(0, end);
+  }
+  if (image.empty()) return s.fail(Win32Error::kFileNotFound);
+
+  // lpStartupInfo is read (STARTUPINFOA, 68 bytes) in user mode.
+  constexpr Word kStartfUseStdHandles = 0x100;
+  Word si_flags = 0;
+  std::array<Word, 3> si_std{};  // hStdInput, hStdOutput, hStdError
+  if (!startup_info.is_null()) {
+    (void)s.mem().read(startup_info, 68);
+    si_flags = s.mem().read_u32(startup_info.offset(44));
+    if ((si_flags & kStartfUseStdHandles) != 0) {
+      si_std[0] = s.mem().read_u32(startup_info.offset(56));
+      si_std[1] = s.mem().read_u32(startup_info.offset(60));
+      si_std[2] = s.mem().read_u32(startup_info.offset(64));
+    }
+  }
+
+  // An explicit environment block is parsed in user mode (sequence of
+  // "K=V\0" strings, double-NUL terminated).
+  std::map<std::string, std::string> env;
+  bool has_env = false;
+  if (env_block != 0) {
+    has_env = true;
+    Word off = 0;
+    for (;;) {
+      const std::string entry = s.mem().read_cstr(Ptr{env_block + off});
+      if (entry.empty()) break;
+      off += static_cast<Word>(entry.size()) + 1;
+      const auto eq = entry.find('=');
+      if (eq != std::string::npos) env[entry.substr(0, eq)] = entry.substr(eq + 1);
+    }
+  }
+
+  const Pid child = s.m.start_process(image, command, s.p.pid());
+  if (child == 0) return s.fail(Win32Error::kFileNotFound);
+  Process* cp = s.m.find_process(child);
+  if (has_env) {
+    // Replace the default environment wholesale, as NT does.
+    cp->env() = std::move(env);
+  }
+
+  // STARTF_USESTDHANDLES: redirect the child's standard handles to (copies
+  // of) the parent's — the CGI stdout-pipe mechanism. Unresolvable handle
+  // values leave the child with its defaults, as NT's inheritance did.
+  if ((si_flags & kStartfUseStdHandles) != 0) {
+    const Dword ids[3] = {kStdInputHandle, kStdOutputHandle, kStdErrorHandle};
+    for (int i = 0; i < 3; ++i) {
+      if (auto obj = s.resolve(si_std[static_cast<std::size_t>(i)])) {
+        cp->user.std_handles[ids[i]] = cp->handles().insert(std::move(obj)).value;
+      }
+    }
+  }
+
+  const Handle h_process = s.p.handles().insert(cp->object());
+  Thread* main_thread = cp->find_thread(cp->main_tid());
+  const Handle h_thread = s.p.handles().insert(main_thread->object());
+
+  // PROCESS_INFORMATION is written in user mode: bad pointers crash.
+  s.mem().write_u32(proc_info, h_process.value);
+  s.mem().write_u32(proc_info.offset(4), h_thread.value);
+  s.mem().write_u32(proc_info.offset(8), child);
+  s.mem().write_u32(proc_info.offset(12), cp->main_tid());
+  return 1;
+}
+
+Word create_thread(Sys& s, const CallRecord& r) {
+  const Word start_address = r.args[2];
+  const Word parameter = r.args[3];
+  const Word tid_out = r.args[5];
+
+  const ThreadRoutine* routine = s.p.find_routine(start_address);
+  Thread* t = nullptr;
+  if (routine != nullptr) {
+    const ThreadRoutine fn = *routine;
+    t = &s.p.spawn_thread([fn, parameter](Ctx ctx) { return fn(ctx, parameter); });
+  } else {
+    // NT creates the thread regardless; it faults at the bogus start address
+    // on its first time slice, taking the whole process down.
+    t = &s.p.spawn_thread([start_address](Ctx) -> sim::Task {
+      throw AccessViolation{start_address, /*is_write=*/false};
+      co_return;  // unreachable; makes this a coroutine
+    });
+  }
+
+  const Handle h = s.p.handles().insert(t->object());
+  if (tid_out != 0) s.mem().write_u32(Ptr{tid_out}, t->tid());  // user-mode write
+  return h.value;
+}
+
+Word duplicate_handle(Sys& s, const CallRecord& r) {
+  auto src_proc = s.resolve(r.args[0]);
+  auto dst_proc = s.resolve(r.args[2]);
+  if (src_proc == nullptr || dst_proc == nullptr ||
+      src_proc->type() != ObjectType::kProcess || dst_proc->type() != ObjectType::kProcess) {
+    return s.fail(Win32Error::kInvalidHandle);
+  }
+  // Only same-process duplication is supported by the simulated servers.
+  auto* sp = static_cast<ProcessObject*>(src_proc.get());
+  auto* dp = static_cast<ProcessObject*>(dst_proc.get());
+  if (sp->pid() != s.p.pid() || dp->pid() != s.p.pid()) {
+    return s.fail(Win32Error::kAccessDenied);
+  }
+  auto obj = s.resolve(r.args[1]);
+  if (obj == nullptr) return s.fail(Win32Error::kInvalidHandle);
+  const Handle dup = s.p.handles().insert(std::move(obj));
+  // The output handle is probed by the kernel: error return, not a crash.
+  try {
+    s.mem().write_u32(Ptr{r.args[3]}, dup.value);
+  } catch (const AccessViolation&) {
+    s.p.handles().close(dup);
+    return s.fail(Win32Error::kNoAccess);
+  }
+  return 1;
+}
+
+Word get_std_handle(Sys& s, Word id) {
+  auto it = s.p.user.std_handles.find(id);
+  if (it == s.p.user.std_handles.end()) {
+    return s.fail(Win32Error::kInvalidHandle, kInvalidHandleValue);
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Word sync_proc(Sys& s, const CallRecord& r) {
+  const auto& a = r.args;
+  switch (r.fn) {
+    case Fn::CreateProcessA:
+      return create_process_a(s, r);
+    case Fn::CreateThread:
+      return create_thread(s, r);
+    case Fn::TerminateProcess: {
+      auto obj = s.resolve(a[0]);
+      auto* po = dynamic_cast<ProcessObject*>(obj.get());
+      if (po == nullptr) return s.fail(Win32Error::kInvalidHandle);
+      if (po->exited()) return s.fail(Win32Error::kAccessDenied);
+      s.m.request_process_exit(po->pid(), a[1], "TerminateProcess");
+      return 1;
+    }
+    case Fn::GetExitCodeProcess: {
+      auto obj = s.resolve(a[0]);
+      auto* po = dynamic_cast<ProcessObject*>(obj.get());
+      if (po == nullptr) return s.fail(Win32Error::kInvalidHandle);
+      s.mem().write_u32(Ptr{a[1]}, po->exit_code());  // user-mode write
+      return 1;
+    }
+    case Fn::GetExitCodeThread: {
+      auto obj = s.resolve(a[0]);
+      auto* to = dynamic_cast<ThreadObject*>(obj.get());
+      if (to == nullptr) return s.fail(Win32Error::kInvalidHandle);
+      s.mem().write_u32(Ptr{a[1]}, to->exit_code());
+      return 1;
+    }
+    case Fn::OpenProcess: {
+      Process* target = s.m.find_process(a[2]);
+      if (target == nullptr) return s.fail(Win32Error::kInvalidParameter);
+      return s.p.handles().insert(target->object()).value;
+    }
+    case Fn::GetCurrentProcess:
+      return kCurrentProcessPseudoHandle.value;
+    case Fn::GetCurrentProcessId:
+      return s.p.pid();
+    case Fn::GetCurrentThread:
+      return kCurrentThreadPseudoHandle.value;
+    case Fn::GetCurrentThreadId:
+      return s.c.tid;
+    case Fn::SetThreadPriority:
+    case Fn::SetPriorityClass: {
+      if (s.resolve(a[0]) == nullptr) return s.fail(Win32Error::kInvalidHandle);
+      return 1;  // priorities have no effect on the simulated scheduler
+    }
+    case Fn::GetThreadPriority: {
+      if (s.resolve(a[0]) == nullptr) {
+        return s.fail(Win32Error::kInvalidHandle, 0x7FFFFFFF);  // THREAD_PRIORITY_ERROR_RETURN
+      }
+      return 0;  // THREAD_PRIORITY_NORMAL
+    }
+    case Fn::GetPriorityClass: {
+      if (s.resolve(a[0]) == nullptr) return s.fail(Win32Error::kInvalidHandle);
+      return 0x20;  // NORMAL_PRIORITY_CLASS
+    }
+    case Fn::ResumeThread:
+    case Fn::SuspendThread: {
+      if (dynamic_cast<ThreadObject*>(s.resolve(a[0]).get()) == nullptr) {
+        return s.fail(Win32Error::kInvalidHandle, kInvalidHandleValue);
+      }
+      return 0;  // previous suspend count; suspension itself is not modelled
+    }
+    case Fn::CloseHandle: {
+      if (a[0] == kCurrentProcessPseudoHandle.value ||
+          a[0] == kCurrentThreadPseudoHandle.value) {
+        return 1;  // NT ignores closing pseudo-handles
+      }
+      if (!s.p.handles().close(Handle{a[0]})) return s.fail(Win32Error::kInvalidHandle);
+      return 1;
+    }
+    case Fn::DuplicateHandle:
+      return duplicate_handle(s, r);
+    case Fn::GetStartupInfoA: {
+      // Writes a STARTUPINFOA (68 bytes) through the pointer in user mode.
+      const Ptr p{a[0]};
+      s.mem().write_u32(p, 68);  // cb
+      std::vector<std::byte> zeros(64, std::byte{0});
+      s.mem().write(p.offset(4), zeros);
+      return 0;  // void
+    }
+    case Fn::GetCommandLineA: {
+      if (s.p.user.command_line_ptr == 0) {
+        s.p.user.command_line_ptr = s.mem().alloc_cstr(s.p.command_line()).addr;
+      }
+      return s.p.user.command_line_ptr;
+    }
+    case Fn::SetConsoleCtrlHandler:
+      return 1;  // stored handler is never invoked by the simulated console
+    case Fn::GetStdHandle:
+      return get_std_handle(s, a[0]);
+    case Fn::SetStdHandle: {
+      if (s.resolve(a[1]) == nullptr) return s.fail(Win32Error::kInvalidHandle);
+      s.p.user.std_handles[a[0]] = a[1];
+      return 1;
+    }
+    default:
+      throw std::logic_error("sync_proc: unrouted function");
+  }
+}
+
+}  // namespace dts::nt::k32

@@ -1,0 +1,197 @@
+#include "ntsim/kernel32_registry.h"
+
+#include <map>
+
+namespace dts::nt {
+
+namespace {
+
+/// Additional genuine KERNEL32 4.0 exports that the simulated servers never
+/// call. Only name and parameter count matter (they size the fault list and
+/// the "not called" statistics); parameter names are synthesized.
+struct ExtraExport {
+  std::string_view name;
+  int params;
+};
+
+constexpr ExtraExport kExtraExports[] = {
+    {"AddAtomA", 1}, {"AddAtomW", 1}, {"AllocConsole", 0},
+    {"AreFileApisANSI", 0}, {"BackupRead", 7}, {"BackupSeek", 6},
+    {"BackupWrite", 7}, {"BuildCommDCBA", 2}, {"BuildCommDCBAndTimeoutsA", 3},
+    {"ClearCommBreak", 1}, {"ClearCommError", 3},
+    {"ContinueDebugEvent", 3},
+    {"ConvertDefaultLocale", 1}, {"CopyFileExA", 6}, {"CopyFileW", 3},
+    {"CreateConsoleScreenBuffer", 5}, {"CreateDirectoryExA", 3},
+    {"CreateDirectoryW", 2}, {"CreateEventW", 4}, {"CreateFileW", 7},
+    {"CreateFileMappingW", 6}, {"CreateIoCompletionPort", 4},
+    {"CreateMailslotA", 4}, {"CreateMutexW", 3},
+    {"CreateNamedPipeW", 8}, {"CreateProcessW", 10}, {"CreateRemoteThread", 7},
+    {"CreateSemaphoreW", 4}, {"CreateTapePartition", 4}, {"CreateWaitableTimerA", 3},
+    {"DebugActiveProcess", 1}, {"DefineDosDeviceA", 3}, {"DeleteAtom", 1},
+    {"DeleteFileW", 1}, {"DisableThreadLibraryCalls", 1},
+    {"DosDateTimeToFileTime", 3},
+    {"EndUpdateResourceA", 2}, {"EnumCalendarInfoA", 4},
+    {"EnumDateFormatsA", 3}, {"EnumResourceLanguagesA", 6},
+    {"EnumResourceNamesA", 4}, {"EnumResourceTypesA", 3},
+    {"EnumSystemCodePagesA", 2}, {"EnumSystemLocalesA", 2},
+    {"EnumTimeFormatsA", 3}, {"EraseTape", 3}, {"EscapeCommFunction", 2},
+    {"FatalAppExitA", 2}, {"FatalExit", 1},
+    {"FileTimeToDosDateTime", 3}, {"FileTimeToLocalFileTime", 2},
+    {"FillConsoleOutputAttribute", 5},
+    {"FillConsoleOutputCharacterA", 5}, {"FindAtomA", 1},
+    {"FindCloseChangeNotification", 1}, {"FindFirstChangeNotificationA", 3},
+    {"FindFirstFileW", 2}, {"FindNextChangeNotification", 1},
+    {"FindNextFileW", 2}, {"FindResourceA", 3}, {"FindResourceExA", 4},
+    {"FlushConsoleInputBuffer", 1}, {"FlushInstructionCache", 3},
+    {"FlushViewOfFile", 2}, {"FoldStringA", 5}, {"FormatMessageW", 7},
+    {"FreeConsole", 0}, {"FreeEnvironmentStringsW", 1}, {"FreeLibraryAndExitThread", 2},
+    {"FreeResource", 1}, {"GenerateConsoleCtrlEvent", 2}, {"GetAtomNameA", 3},
+    {"GetBinaryTypeA", 2}, {"GetCommandLineW", 0}, {"GetCommConfig", 3},
+    {"GetCommMask", 2}, {"GetCommModemStatus", 2}, {"GetCommProperties", 2},
+    {"GetCommState", 2}, {"GetCommTimeouts", 2}, {"GetCompressedFileSizeA", 2},
+    {"GetComputerNameW", 2}, {"GetConsoleCP", 0}, {"GetConsoleCursorInfo", 2},
+    {"GetConsoleMode", 2}, {"GetConsoleOutputCP", 0},
+    {"GetConsoleScreenBufferInfo", 2}, {"GetConsoleTitleA", 2},
+    {"GetCurrencyFormatA", 6}, {"GetCurrentDirectoryW", 2},
+    {"GetDateFormatA", 6}, {"GetDefaultCommConfigA", 3},
+    {"GetDiskFreeSpaceW", 5}, {"GetDriveTypeW", 1},
+    {"GetEnvironmentStringsW", 0}, {"GetEnvironmentVariableW", 3},
+    {"GetExitCodeProcessW", 2}, {"GetFileAttributesW", 1},
+    {"GetFileInformationByHandle", 2}, 
+    {"GetFullPathNameW", 4}, {"GetHandleInformation", 2},
+    {"GetLargestConsoleWindowSize", 1}, 
+    {"GetLogicalDriveStringsA", 2}, {"GetMailslotInfo", 5},
+    {"GetModuleFileNameW", 3}, {"GetModuleHandleW", 1},
+    {"GetNamedPipeHandleStateA", 7}, {"GetNamedPipeInfo", 5},
+    {"GetNumberFormatA", 6}, {"GetNumberOfConsoleInputEvents", 2},
+    {"GetNumberOfConsoleMouseButtons", 1}, 
+    {"GetOverlappedResult", 4}, {"GetPrivateProfileSectionA", 4},
+    {"GetPrivateProfileSectionNamesA", 3}, {"GetProcessAffinityMask", 3},
+    {"GetProcessShutdownParameters", 2}, {"GetProcessTimes", 5},
+    {"GetProcessVersion", 1}, {"GetProcessWorkingSetSize", 3},
+    {"GetProfileIntA", 3}, {"GetProfileSectionA", 3}, 
+    {"GetQueuedCompletionStatus", 5}, {"GetStringTypeA", 5},
+    {"GetStringTypeExA", 5}, {"GetStringTypeW", 4},
+    {"GetSystemDefaultLCID", 0}, {"GetSystemPowerStatus", 1},
+    {"GetSystemTimeAdjustment", 3}, {"GetTapeParameters", 4},
+    {"GetTapePosition", 5}, {"GetTapeStatus", 1}, {"GetThreadContext", 2},
+    {"GetThreadLocale", 0}, {"GetThreadSelectorEntry", 3},
+    {"GetThreadTimes", 5}, {"GetTimeFormatA", 6}, {"GetTimeZoneInformation", 1},
+    {"GetUserDefaultLangID", 0}, {"GetUserDefaultLCID", 0},
+    {"GetWindowsDirectoryW", 2},
+    {"GlobalAddAtomA", 1}, {"GlobalDeleteAtom", 1}, {"GlobalFindAtomA", 1},
+    {"GlobalFlags", 1}, {"GlobalGetAtomNameA", 3}, {"GlobalHandle", 1},
+    {"GlobalReAlloc", 3}, {"HeapCompact", 2},
+    {"HeapLock", 1}, {"HeapUnlock", 1}, {"HeapValidate", 3}, {"HeapWalk", 2},
+    {"InitAtomTable", 1}, {"IsBadCodePtr", 1}, {"IsBadHugeReadPtr", 2},
+    {"IsBadHugeWritePtr", 2}, {"IsDBCSLeadByte", 1},
+    {"IsDBCSLeadByteEx", 2}, {"IsDebuggerPresent", 0}, {"IsValidCodePage", 1},
+    {"IsValidLocale", 2}, {"LCMapStringA", 6}, {"LCMapStringW", 6},
+    {"LoadLibraryExA", 3}, {"LoadLibraryExW", 3}, {"LoadLibraryW", 1},
+    {"LoadModule", 2}, {"LoadResource", 2}, {"LocalFlags", 1},
+    {"LocalHandle", 1}, {"LocalLock", 1}, {"LocalReAlloc", 3},
+    {"LocalShrink", 2}, {"LocalSize", 1}, {"LocalUnlock", 1},
+    {"LockResource", 1}, {"MapViewOfFileEx", 6}, 
+    {"MoveFileW", 2}, {"OpenFile", 3},
+    {"OpenFileMappingA", 3}, {"OpenProcessToken", 3}, {"OpenWaitableTimerA", 3},
+    {"PostQueuedCompletionStatus", 4}, {"PrepareTape", 3},
+    {"PulseEventW", 1}, {"PurgeComm", 2}, {"QueryDosDeviceA", 3},
+    {"QueueUserAPC", 3}, {"ReadConsoleA", 5}, {"ReadConsoleInputA", 4},
+    {"ReadConsoleOutputA", 5}, {"ReadProcessMemory", 5},
+    {"RegisterConsoleVDM", 11}, {"ReleaseMutexW", 1}, {"RemoveDirectoryW", 1},
+    {"ResetEventW", 1}, {"SetCommBreak", 1}, {"SetCommConfig", 3},
+    {"SetCommMask", 2}, {"SetCommState", 2}, {"SetCommTimeouts", 2},
+    {"SetComputerNameA", 1}, {"SetConsoleActiveScreenBuffer", 1},
+    {"SetConsoleCP", 1}, {"SetConsoleCursorInfo", 2},
+    {"SetConsoleCursorPosition", 2}, {"SetConsoleMode", 2},
+    {"SetConsoleOutputCP", 1}, {"SetConsoleScreenBufferSize", 2},
+    {"SetConsoleTextAttribute", 2}, {"SetConsoleTitleA", 1},
+    {"SetConsoleWindowInfo", 3}, {"SetDefaultCommConfigA", 3},
+    {"SetEndOfFileW", 1}, {"SetEnvironmentVariableW", 2},
+    {"SetFileApisToANSI", 0}, {"SetFileApisToOEM", 0}, 
+    {"SetLocaleInfoA", 3}, {"SetLocalTime", 1}, {"SetMailslotInfo", 2},
+    {"SetNamedPipeHandleState", 4}, {"SetProcessAffinityMask", 2},
+    {"SetProcessShutdownParameters", 2}, {"SetProcessWorkingSetSize", 3},
+    {"SetSystemPowerState", 2}, {"SetSystemTime", 1},
+    {"SetSystemTimeAdjustment", 2}, {"SetTapeParameters", 3},
+    {"SetTapePosition", 6}, {"SetThreadAffinityMask", 2},
+    {"SetThreadContext", 2}, {"SetThreadLocale", 1}, {"SetTimeZoneInformation", 1},
+    {"SetVolumeLabelA", 2}, {"SetWaitableTimer", 6}, {"SizeofResource", 2},
+    {"SuspendThreadW", 1}, 
+    {"SystemTimeToTzSpecificLocalTime", 3}, {"TerminateThread", 2},
+    {"TransactNamedPipe", 7}, {"TransmitCommChar", 2},
+    {"UnhandledExceptionFilter", 1}, {"UnlockFileEx", 5},
+    {"UpdateResourceA", 6}, {"VerLanguageNameA", 3}, {"VirtualAllocEx", 5},
+    {"VirtualLock", 2}, {"VirtualProtect", 4}, {"VirtualProtectEx", 5},
+    {"VirtualQuery", 3}, {"VirtualQueryEx", 4}, {"VirtualUnlock", 2},
+    {"WaitCommEvent", 3}, {"WaitForDebugEvent", 2},
+    {"WaitForMultipleObjectsEx", 5},
+    {"WideCharToMultiByteW", 8}, {"WinExec", 2}, {"WriteConsoleA", 5},
+    {"WriteConsoleInputA", 4}, {"WriteConsoleOutputA", 5},
+    {"WritePrivateProfileSectionA", 3}, {"WriteProcessMemory", 5},
+    {"WriteProfileStringA", 3}, {"WriteTapemark", 4},
+    {"_hread", 3}, {"_hwrite", 3}, {"_lclose", 1}, {"_lcreat", 2},
+    {"_llseek", 3}, {"_lopen", 2}, {"_lread", 3}, {"_lwrite", 3},
+};
+
+/// Synthesized parameter names for uncalled exports ("arg0", "arg1", ...).
+std::string_view synth_param_name(int i) {
+  static constexpr std::string_view kNames[] = {
+      "arg0", "arg1", "arg2", "arg3", "arg4", "arg5",
+      "arg6", "arg7", "arg8", "arg9", "arg10", "arg11",
+  };
+  return kNames[i];
+}
+
+}  // namespace
+
+Kernel32Registry::Kernel32Registry() {
+  // Implemented functions, from the X-macro table.
+  std::uint16_t id = 0;
+#define X(fn_name, ...)                                              \
+  {                                                                  \
+    FunctionInfo info;                                               \
+    info.id = id++;                                                  \
+    info.name = #fn_name;                                            \
+    info.implemented = true;                                         \
+    const std::string_view names[] = {"", ##__VA_ARGS__};            \
+    for (std::size_t i = 1; i < std::size(names); ++i) {             \
+      info.params.push_back(names[i]);                               \
+    }                                                                \
+    functions_.push_back(std::move(info));                           \
+  }
+#include "ntsim/kernel32_functions.inc"
+#undef X
+
+  // Uncalled genuine exports.
+  for (const ExtraExport& e : kExtraExports) {
+    FunctionInfo info;
+    info.id = id++;
+    info.name = e.name;
+    info.implemented = false;
+    for (int i = 0; i < e.params; ++i) info.params.push_back(synth_param_name(i));
+    functions_.push_back(std::move(info));
+  }
+
+  for (const auto& f : functions_) {
+    if (f.params.empty()) ++zero_param_;
+  }
+}
+
+const Kernel32Registry& Kernel32Registry::instance() {
+  static const Kernel32Registry reg;
+  return reg;
+}
+
+const FunctionInfo* Kernel32Registry::by_name(std::string_view name) const {
+  for (const auto& f : functions_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::string_view to_string(Fn f) {
+  return Kernel32Registry::instance().info(f).name;
+}
+
+}  // namespace dts::nt

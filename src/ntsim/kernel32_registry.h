@@ -1,0 +1,65 @@
+// Metadata catalogue of the simulated KERNEL32.dll export surface.
+//
+// Implemented functions (the Fn enum) carry full parameter metadata used by
+// the fault-list generator: the fault space is every parameter of every
+// function × three corruption types, exactly the paper's construction. The
+// catalogue also lists additional genuine KERNEL32 4.0 export names that our
+// simulated servers never call, so that activation statistics ("the majority
+// of functions in KERNEL32.dll are not called", paper §4) are meaningful.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace dts::nt {
+
+/// Identifiers of the implemented KERNEL32 functions, in catalogue order.
+enum class Fn : std::uint16_t {
+#define X(name, ...) name,
+#include "ntsim/kernel32_functions.inc"
+#undef X
+  kImplementedCount,
+};
+
+constexpr std::uint16_t kImplementedFunctionCount =
+    static_cast<std::uint16_t>(Fn::kImplementedCount);
+
+struct FunctionInfo {
+  std::uint16_t id = 0;  // catalogue index; < kImplementedFunctionCount if implemented
+  std::string_view name;
+  std::vector<std::string_view> params;
+  bool implemented = false;
+
+  int param_count() const { return static_cast<int>(params.size()); }
+};
+
+class Kernel32Registry {
+ public:
+  static const Kernel32Registry& instance();
+
+  const FunctionInfo& info(Fn f) const { return functions_[static_cast<std::uint16_t>(f)]; }
+  const FunctionInfo& info(std::uint16_t id) const { return functions_[id]; }
+
+  /// Lookup by export name; nullptr if unknown.
+  const FunctionInfo* by_name(std::string_view name) const;
+
+  /// The whole catalogue: implemented functions first, then uncalled exports.
+  std::span<const FunctionInfo> all() const { return functions_; }
+
+  std::size_t total_functions() const { return functions_.size(); }
+  std::size_t zero_param_functions() const { return zero_param_; }
+  /// Functions with >= 1 parameter — the fault-injection candidates
+  /// (paper §4: 551 of 681 functions were injectable on their machine).
+  std::size_t injectable_functions() const { return functions_.size() - zero_param_; }
+
+ private:
+  Kernel32Registry();
+  std::vector<FunctionInfo> functions_;
+  std::size_t zero_param_ = 0;
+};
+
+std::string_view to_string(Fn f);
+
+}  // namespace dts::nt

@@ -1,0 +1,186 @@
+// KERNEL32 synchronization functions (synchronous subset; the blocking waits
+// and EnterCriticalSection live in kernel32.cpp).
+//
+// Named-object name strings are converted ANSI→Unicode in user mode on NT,
+// so corrupted lpName pointers crash the caller. Corrupted flag words
+// (bManualReset, bInitialState, counts) silently change object semantics —
+// the mechanism behind many of the hang outcomes DTS observed.
+#include "ntsim/kernel.h"
+#include "ntsim/kernel32.h"
+
+namespace dts::nt::k32 {
+
+namespace {
+
+/// Reads an optional object name (crashing on corrupted pointers, as the
+/// user-mode ANSI conversion did). Empty string means unnamed.
+std::string read_name(Sys& s, Word name_ptr) {
+  if (name_ptr == 0) return {};
+  return s.mem().read_cstr(Ptr{name_ptr});
+}
+
+/// Returns an existing named object of type T, a freshly published one, or
+/// reports ERROR_INVALID_HANDLE on a name/type clash (NT semantics).
+template <typename T, typename Make>
+Word create_named(Sys& s, const std::string& name, Make make) {
+  if (!name.empty()) {
+    if (auto existing = s.k.find_named(name)) {
+      if (dynamic_cast<T*>(existing.get()) == nullptr) {
+        return s.fail(Win32Error::kInvalidHandle);
+      }
+      s.thread().last_error = to_dword(Win32Error::kAlreadyExists);
+      return s.p.handles().insert(std::move(existing)).value;
+    }
+  }
+  std::shared_ptr<T> obj = make();
+  if (!name.empty()) {
+    obj->set_name(name);
+    s.k.publish_named(name, obj);
+  }
+  s.thread().last_error = to_dword(Win32Error::kSuccess);
+  return s.p.handles().insert(std::move(obj)).value;
+}
+
+template <typename T>
+Word open_named(Sys& s, Word name_ptr) {
+  const std::string name = read_name(s, name_ptr);
+  if (name.empty()) return s.fail(Win32Error::kInvalidName);
+  auto obj = s.k.find_named(name);
+  if (obj == nullptr || dynamic_cast<T*>(obj.get()) == nullptr) {
+    return s.fail(Win32Error::kFileNotFound);
+  }
+  return s.p.handles().insert(std::move(obj)).value;
+}
+
+}  // namespace
+
+Word sync_sync(Sys& s, const CallRecord& r) {
+  const auto& a = r.args;
+  sim::Simulation& simu = s.m.sim();
+  switch (r.fn) {
+    case Fn::CreateEventA: {
+      const std::string name = read_name(s, a[3]);
+      const bool manual = a[1] != 0;
+      const bool initial = a[2] != 0;
+      return create_named<EventObject>(
+          s, name, [&] { return std::make_shared<EventObject>(simu, manual, initial); });
+    }
+    case Fn::OpenEventA:
+      return open_named<EventObject>(s, a[2]);
+    case Fn::SetEvent:
+    case Fn::ResetEvent:
+    case Fn::PulseEvent: {
+      auto* ev = dynamic_cast<EventObject*>(s.resolve(a[0]).get());
+      if (ev == nullptr) return s.fail(Win32Error::kInvalidHandle);
+      if (r.fn == Fn::SetEvent) {
+        ev->set();
+      } else if (r.fn == Fn::ResetEvent) {
+        ev->reset();
+      } else {
+        ev->pulse();
+      }
+      return 1;
+    }
+    case Fn::CreateMutexA: {
+      const std::string name = read_name(s, a[2]);
+      const Tid owner = a[1] != 0 ? s.c.tid : 0;
+      return create_named<MutexObject>(
+          s, name, [&] { return std::make_shared<MutexObject>(simu, owner); });
+    }
+    case Fn::OpenMutexA:
+      return open_named<MutexObject>(s, a[2]);
+    case Fn::ReleaseMutex: {
+      auto* m = dynamic_cast<MutexObject*>(s.resolve(a[0]).get());
+      if (m == nullptr) return s.fail(Win32Error::kInvalidHandle);
+      if (!m->release(s.c.tid)) return s.fail(Win32Error::kNotOwner);
+      return 1;
+    }
+    case Fn::CreateSemaphoreA: {
+      const std::string name = read_name(s, a[3]);
+      const auto initial = static_cast<std::int32_t>(a[1]);
+      const auto maximum = static_cast<std::int32_t>(a[2]);
+      if (maximum <= 0 || initial < 0 || initial > maximum) {
+        return s.fail(Win32Error::kInvalidParameter);
+      }
+      return create_named<SemaphoreObject>(
+          s, name, [&] { return std::make_shared<SemaphoreObject>(simu, initial, maximum); });
+    }
+    case Fn::OpenSemaphoreA:
+      return open_named<SemaphoreObject>(s, a[2]);
+    case Fn::ReleaseSemaphore: {
+      auto* sem = dynamic_cast<SemaphoreObject*>(s.resolve(a[0]).get());
+      if (sem == nullptr) return s.fail(Win32Error::kInvalidHandle);
+      std::int32_t previous = 0;
+      if (!sem->release(static_cast<std::int32_t>(a[1]), &previous)) {
+        return s.fail(Win32Error::kInvalidParameter);  // ERROR_TOO_MANY_POSTS family
+      }
+      if (a[2] != 0) {
+        // The previous-count output is probed by the kernel.
+        try {
+          s.mem().write_u32(Ptr{a[2]}, static_cast<Word>(previous));
+        } catch (const AccessViolation&) {
+          return s.fail(Win32Error::kNoAccess);
+        }
+      }
+      return 1;
+    }
+    case Fn::InitializeCriticalSection: {
+      // Initializes the CRITICAL_SECTION structure (24 bytes) in user memory:
+      // a corrupted pointer crashes here.
+      std::vector<std::byte> zeros(24, std::byte{0});
+      s.mem().write(Ptr{a[0]}, zeros);
+      s.k.critsecs()[{s.p.pid(), a[0]}] = CritSec{};
+      return 0;  // void
+    }
+    case Fn::DeleteCriticalSection: {
+      s.mem().read_u32(Ptr{a[0]});  // user-mode touch
+      auto it = s.k.critsecs().find({s.p.pid(), a[0]});
+      if (it != s.k.critsecs().end()) {
+        for (auto& tok : it->second.waiters) {
+          sim::wake(simu, tok, sim::WakeReason::kAbandoned);
+        }
+        s.k.critsecs().erase(it);
+      }
+      return 0;
+    }
+    case Fn::LeaveCriticalSection: {
+      s.mem().read_u32(Ptr{a[0]});  // user-mode touch
+      auto it = s.k.critsecs().find({s.p.pid(), a[0]});
+      if (it == s.k.critsecs().end()) return 0;  // undefined on NT; benign here
+      CritSec& cs = it->second;
+      if (cs.owner != s.c.tid || cs.recursion == 0) return 0;  // unbalanced leave
+      if (--cs.recursion == 0) {
+        cs.owner = 0;
+        while (!cs.waiters.empty()) {
+          sim::WakePtr tok = std::move(cs.waiters.front());
+          cs.waiters.erase(cs.waiters.begin());
+          if (tok->fired || tok->dead) continue;
+          sim::wake(simu, tok, sim::WakeReason::kSignaled);
+          break;
+        }
+      }
+      return 0;
+    }
+    case Fn::InterlockedIncrement: {
+      // Atomic read-modify-write through the pointer, in user mode: corrupted
+      // pointers crash.
+      const Word v = s.mem().read_u32(Ptr{a[0]}) + 1;
+      s.mem().write_u32(Ptr{a[0]}, v);
+      return v;
+    }
+    case Fn::InterlockedDecrement: {
+      const Word v = s.mem().read_u32(Ptr{a[0]}) - 1;
+      s.mem().write_u32(Ptr{a[0]}, v);
+      return v;
+    }
+    case Fn::InterlockedExchange: {
+      const Word old = s.mem().read_u32(Ptr{a[0]});
+      s.mem().write_u32(Ptr{a[0]}, a[1]);
+      return old;
+    }
+    default:
+      throw std::logic_error("sync_sync: unrouted function");
+  }
+}
+
+}  // namespace dts::nt::k32

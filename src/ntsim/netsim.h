@@ -1,0 +1,157 @@
+// Simulated TCP networking between machines (the WSOCK32 analogue).
+//
+// Deliberately NOT routed through the injected KERNEL32 surface: DTS
+// intercepted KERNEL32.dll only, so socket calls are not fault-injection
+// candidates — but server crashes must still reset connections and refuse
+// new ones, which is what drives the client's retry logic.
+//
+// Sockets and listeners are plain reference-counted objects held in
+// coroutine frames; when a process is killed its frames are destroyed and
+// the destructors close everything, waking blocked peers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ntsim/process.h"
+#include "sim/task.h"
+
+namespace dts::nt::net {
+
+struct NetworkConfig {
+  sim::Duration latency = sim::Duration::millis(2);
+  /// Link throughput; 10 Mbit/s Ethernet of the era.
+  std::uint64_t bytes_per_second = 1'250'000;
+};
+
+class Network;
+class Listener;
+
+/// One direction of a connection.
+struct Stream {
+  std::string buffer;  // delivered, unread bytes
+  bool eof = false;    // sender closed (or crashed)
+  std::vector<sim::WakePtr> read_waiters;
+  sim::TimePoint earliest_delivery;  // FIFO ordering of in-flight sends
+
+  void wake_readers(sim::Simulation& sim) {
+    auto pending = std::move(read_waiters);
+    read_waiters.clear();
+    for (auto& tok : pending) sim::wake(sim, tok, sim::WakeReason::kSignaled);
+  }
+};
+
+/// One endpoint of an established connection.
+class Socket {
+ public:
+  Socket(Network& net, std::shared_ptr<Stream> rx, std::shared_ptr<Stream> tx)
+      : net_(&net), rx_(std::move(rx)), tx_(std::move(tx)) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Queues data for delivery to the peer after latency + size/bandwidth.
+  /// Never blocks (unbounded send buffer). Data sent after close is dropped.
+  void send(std::string_view data);
+
+  /// Receives up to `max` bytes. Blocks until data, EOF or timeout. Returns
+  /// nullopt on timeout; empty string on EOF.
+  sim::CoTask<std::optional<std::string>> recv(Ctx c, std::size_t max,
+                                               std::optional<sim::Duration> timeout = {});
+
+  /// Receives until `delim` appears (returning everything through the
+  /// delimiter), EOF (nullopt), timeout (nullopt) or `max` bytes (nullopt —
+  /// oversized request). Consumes what it returns.
+  sim::CoTask<std::optional<std::string>> recv_until(Ctx c, std::string delim,
+                                                     std::size_t max,
+                                                     std::optional<sim::Duration> timeout = {});
+
+  /// Receives exactly `n` bytes (or nullopt on EOF/timeout).
+  sim::CoTask<std::optional<std::string>> recv_exactly(Ctx c, std::size_t n,
+                                                       std::optional<sim::Duration> timeout = {});
+
+  /// True once the peer has closed and all delivered data was consumed.
+  bool at_eof() const { return rx_->buffer.empty() && rx_->eof; }
+  bool closed() const { return closed_; }
+
+  void close();
+
+ private:
+  Network* net_;
+  std::shared_ptr<Stream> rx_;
+  std::shared_ptr<Stream> tx_;
+  bool closed_ = false;
+};
+
+/// A listening port. Owned by the server accept-loop frame; destruction
+/// releases the port and resets un-accepted connections.
+class Listener {
+ public:
+  Listener(Network& net, std::string machine, std::uint16_t port)
+      : net_(&net), machine_(std::move(machine)), port_(port) {}
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Accepts the next pending connection; blocks until one arrives.
+  /// Returns nullptr only on timeout (if given).
+  sim::CoTask<std::shared_ptr<Socket>> accept(Ctx c,
+                                              std::optional<sim::Duration> timeout = {});
+
+  std::uint16_t port() const { return port_; }
+  std::size_t backlog() const { return pending_.size(); }
+
+ private:
+  friend class Network;
+  Network* net_;
+  std::string machine_;
+  std::uint16_t port_;
+  std::deque<std::shared_ptr<Socket>> pending_;
+  std::vector<sim::WakePtr> accept_waiters_;
+};
+
+/// LIFETIME: the Network must outlive every Machine whose processes hold
+/// sockets or listeners — declare it before the machines (socket/listener
+/// destructors, run during process teardown, call back into the Network).
+class Network {
+ public:
+  explicit Network(sim::Simulation& sim, NetworkConfig cfg = {}) : sim_(&sim), cfg_(cfg) {}
+
+  sim::Simulation& sim() const { return *sim_; }
+  const NetworkConfig& config() const { return cfg_; }
+
+  /// Opens a listening port on the named machine. Nullptr if the port is
+  /// already bound.
+  std::shared_ptr<Listener> listen(const std::string& machine, std::uint16_t port);
+
+  /// Connects from the calling simulated thread to (machine, port). Returns
+  /// nullptr on refusal (no listener) — immediately, like a TCP RST — or on
+  /// timeout.
+  sim::CoTask<std::shared_ptr<Socket>> connect(Ctx c, const std::string& machine,
+                                               std::uint16_t port,
+                                               std::optional<sim::Duration> timeout = {});
+
+  /// Host-side probe: is anything listening on (machine, port)?
+  bool port_open(const std::string& machine, std::uint16_t port) const;
+
+  std::uint64_t connections_made() const { return connections_; }
+
+ private:
+  friend class Socket;
+  friend class Listener;
+
+  void unbind(const std::string& machine, std::uint16_t port, const Listener* who);
+
+  sim::Simulation* sim_;
+  NetworkConfig cfg_;
+  std::map<std::pair<std::string, std::uint16_t>, Listener*> listeners_;
+  std::uint64_t connections_ = 0;
+};
+
+}  // namespace dts::nt::net

@@ -1,0 +1,55 @@
+#include "ntsim/object.h"
+
+namespace dts::nt {
+
+std::string_view to_string(ObjectType t) {
+  switch (t) {
+    case ObjectType::kEvent: return "Event";
+    case ObjectType::kMutex: return "Mutex";
+    case ObjectType::kSemaphore: return "Semaphore";
+    case ObjectType::kFile: return "File";
+    case ObjectType::kPipeRead: return "PipeRead";
+    case ObjectType::kPipeWrite: return "PipeWrite";
+    case ObjectType::kProcess: return "Process";
+    case ObjectType::kThread: return "Thread";
+    case ObjectType::kFileMapping: return "FileMapping";
+    case ObjectType::kFindSearch: return "FindSearch";
+    case ObjectType::kHeap: return "Heap";
+    case ObjectType::kNamedPipe: return "NamedPipe";
+  }
+  return "?";
+}
+
+void KernelObject::wake_one() {
+  while (!waiters_.empty()) {
+    sim::WakePtr tok = std::move(waiters_.front());
+    waiters_.erase(waiters_.begin());
+    if (tok->fired || tok->dead) continue;  // stale; try the next waiter
+    sim::wake(*sim_, tok, sim::WakeReason::kSignaled);
+    return;
+  }
+}
+
+void KernelObject::wake_all() {
+  auto pending = std::move(waiters_);
+  waiters_.clear();
+  for (auto& tok : pending) {
+    sim::wake(*sim_, tok, sim::WakeReason::kSignaled);
+  }
+}
+
+PipeReadObject::~PipeReadObject() {
+  buf_->read_closed = true;
+  buf_->read_end = nullptr;
+  // A blocked writer must observe the broken pipe.
+  if (buf_->write_end != nullptr) buf_->write_end->wake_all();
+}
+
+PipeWriteObject::~PipeWriteObject() {
+  buf_->write_closed = true;
+  buf_->write_end = nullptr;
+  // A blocked reader must observe end-of-stream.
+  if (buf_->read_end != nullptr) buf_->read_end->wake_all();
+}
+
+}  // namespace dts::nt

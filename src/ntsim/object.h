@@ -1,0 +1,415 @@
+// The simulated NT executive object model.
+//
+// Kernel objects are reference-counted (shared_ptr — the analogue of the NT
+// object manager's refcount); handles in per-process handle tables hold
+// references. Waitable objects keep a list of WakeTokens; signaling wakes
+// blocked simulated threads through the event queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ntsim/types.h"
+#include "sim/task.h"
+
+namespace dts::nt {
+
+enum class ObjectType {
+  kEvent,
+  kMutex,
+  kSemaphore,
+  kFile,
+  kPipeRead,
+  kPipeWrite,
+  kProcess,
+  kThread,
+  kFileMapping,
+  kFindSearch,
+  kHeap,
+  kNamedPipe,
+};
+
+std::string_view to_string(ObjectType t);
+
+class KernelObject {
+ public:
+  explicit KernelObject(sim::Simulation& sim) : sim_(&sim) {}
+  virtual ~KernelObject() = default;
+
+  KernelObject(const KernelObject&) = delete;
+  KernelObject& operator=(const KernelObject&) = delete;
+
+  virtual ObjectType type() const = 0;
+
+  /// True if a wait on this object would be satisfied right now.
+  virtual bool is_signaled() const { return true; }
+
+  /// Attempts to satisfy a wait by `waiter_tid` with side effects (auto-reset
+  /// event consumption, mutex ownership, semaphore decrement). Returns true
+  /// if the wait is satisfied.
+  virtual bool try_acquire(Tid waiter_tid) {
+    (void)waiter_tid;
+    return is_signaled();
+  }
+
+  /// Registers a blocked waiter.
+  void add_waiter(sim::WakePtr tok) { waiters_.push_back(std::move(tok)); }
+
+  /// Wakes one blocked waiter (skipping fired/dead tokens).
+  void wake_one();
+
+  /// Wakes every blocked waiter.
+  void wake_all();
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+ protected:
+  sim::Simulation& sim() const { return *sim_; }
+
+ private:
+  sim::Simulation* sim_;
+  std::string name_;
+  std::vector<sim::WakePtr> waiters_;
+};
+
+/// NT event object (manual- or auto-reset).
+class EventObject final : public KernelObject {
+ public:
+  EventObject(sim::Simulation& sim, bool manual_reset, bool initial_state)
+      : KernelObject(sim), manual_reset_(manual_reset), signaled_(initial_state) {}
+
+  ObjectType type() const override { return ObjectType::kEvent; }
+  bool is_signaled() const override { return signaled_; }
+
+  bool try_acquire(Tid) override {
+    if (!signaled_) return false;
+    if (!manual_reset_) signaled_ = false;  // auto-reset consumes the signal
+    return true;
+  }
+
+  void set() {
+    signaled_ = true;
+    if (manual_reset_) {
+      wake_all();
+    } else {
+      wake_one();
+    }
+  }
+  void reset() { signaled_ = false; }
+  void pulse() {
+    // PulseEvent: wake current waiters, leave the event unsignaled.
+    signaled_ = true;
+    if (manual_reset_) {
+      wake_all();
+    } else {
+      wake_one();
+    }
+    // The woken waiters will re-run try_acquire; give them the signal exactly
+    // once by letting auto-reset consumption / explicit reset handle it.
+    if (manual_reset_) signaled_ = false;
+  }
+  bool manual_reset() const { return manual_reset_; }
+
+ private:
+  bool manual_reset_;
+  bool signaled_;
+};
+
+/// NT mutex object with ownership and recursion.
+class MutexObject final : public KernelObject {
+ public:
+  MutexObject(sim::Simulation& sim, Tid initial_owner)
+      : KernelObject(sim), owner_(initial_owner), recursion_(initial_owner != 0 ? 1 : 0) {}
+
+  ObjectType type() const override { return ObjectType::kMutex; }
+  bool is_signaled() const override { return owner_ == 0; }
+
+  bool try_acquire(Tid waiter_tid) override {
+    if (owner_ == 0 || owner_ == waiter_tid) {
+      owner_ = waiter_tid;
+      ++recursion_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Returns false if `tid` does not own the mutex.
+  bool release(Tid tid) {
+    if (owner_ != tid || recursion_ == 0) return false;
+    if (--recursion_ == 0) {
+      owner_ = 0;
+      wake_one();
+    }
+    return true;
+  }
+
+  /// Called when the owning thread dies while holding the mutex.
+  void abandon(Tid tid) {
+    if (owner_ == tid) {
+      owner_ = 0;
+      recursion_ = 0;
+      abandoned_ = true;
+      wake_one();
+    }
+  }
+
+  bool consume_abandoned() {
+    bool a = abandoned_;
+    abandoned_ = false;
+    return a;
+  }
+  Tid owner() const { return owner_; }
+
+ private:
+  Tid owner_;
+  int recursion_;
+  bool abandoned_ = false;
+};
+
+/// NT semaphore object.
+class SemaphoreObject final : public KernelObject {
+ public:
+  SemaphoreObject(sim::Simulation& sim, std::int32_t initial, std::int32_t maximum)
+      : KernelObject(sim), count_(initial), max_(maximum) {}
+
+  ObjectType type() const override { return ObjectType::kSemaphore; }
+  bool is_signaled() const override { return count_ > 0; }
+
+  bool try_acquire(Tid) override {
+    if (count_ <= 0) return false;
+    --count_;
+    return true;
+  }
+
+  /// Returns false (without changing state) if the release would exceed max.
+  bool release(std::int32_t n, std::int32_t* previous) {
+    if (n <= 0 || count_ > max_ - n) return false;
+    if (previous != nullptr) *previous = count_;
+    count_ += n;
+    for (std::int32_t i = 0; i < n; ++i) wake_one();
+    return true;
+  }
+
+  std::int32_t count() const { return count_; }
+  std::int32_t maximum() const { return max_; }
+
+ private:
+  std::int32_t count_;
+  std::int32_t max_;
+};
+
+/// Represents a process for handle purposes; outlives the Process itself so
+/// that waits and GetExitCodeProcess work after the process dies.
+class ProcessObject final : public KernelObject {
+ public:
+  ProcessObject(sim::Simulation& sim, Pid pid) : KernelObject(sim), pid_(pid) {}
+
+  ObjectType type() const override { return ObjectType::kProcess; }
+  bool is_signaled() const override { return exited_; }
+
+  void mark_exited(Dword code) {
+    exited_ = true;
+    exit_code_ = code;
+    wake_all();
+  }
+
+  Pid pid() const { return pid_; }
+  bool exited() const { return exited_; }
+  Dword exit_code() const { return exited_ ? exit_code_ : kStillActive; }
+
+ private:
+  Pid pid_;
+  bool exited_ = false;
+  Dword exit_code_ = 0;
+};
+
+/// Represents a thread for handle purposes.
+class ThreadObject final : public KernelObject {
+ public:
+  ThreadObject(sim::Simulation& sim, Pid pid, Tid tid)
+      : KernelObject(sim), pid_(pid), tid_(tid) {}
+
+  ObjectType type() const override { return ObjectType::kThread; }
+  bool is_signaled() const override { return exited_; }
+
+  void mark_exited(Dword code) {
+    exited_ = true;
+    exit_code_ = code;
+    wake_all();
+  }
+
+  Pid pid() const { return pid_; }
+  Tid tid() const { return tid_; }
+  bool exited() const { return exited_; }
+  Dword exit_code() const { return exited_ ? exit_code_ : kStillActive; }
+
+ private:
+  Pid pid_;
+  Tid tid_;
+  bool exited_ = false;
+  Dword exit_code_ = 0;
+};
+
+/// Shared buffer behind an anonymous pipe: one read end, one write end.
+struct PipeBuffer {
+  std::deque<std::byte> data;
+  std::size_t capacity = 4096;
+  bool read_closed = false;
+  bool write_closed = false;
+  // Waiters live on the end objects; the buffer links back so either end can
+  // wake the other side's blocked threads.
+  KernelObject* read_end = nullptr;
+  KernelObject* write_end = nullptr;
+};
+
+/// Read end of an anonymous pipe.
+class PipeReadObject final : public KernelObject {
+ public:
+  PipeReadObject(sim::Simulation& sim, std::shared_ptr<PipeBuffer> buf)
+      : KernelObject(sim), buf_(std::move(buf)) {
+    buf_->read_end = this;
+  }
+  ~PipeReadObject() override;
+
+  ObjectType type() const override { return ObjectType::kPipeRead; }
+  bool is_signaled() const override { return !buf_->data.empty() || buf_->write_closed; }
+
+  PipeBuffer& buffer() { return *buf_; }
+  std::shared_ptr<PipeBuffer> shared_buffer() const { return buf_; }
+
+ private:
+  std::shared_ptr<PipeBuffer> buf_;
+};
+
+/// Write end of an anonymous pipe.
+class PipeWriteObject final : public KernelObject {
+ public:
+  PipeWriteObject(sim::Simulation& sim, std::shared_ptr<PipeBuffer> buf)
+      : KernelObject(sim), buf_(std::move(buf)) {
+    buf_->write_end = this;
+  }
+  ~PipeWriteObject() override;
+
+  ObjectType type() const override { return ObjectType::kPipeWrite; }
+  bool is_signaled() const override {
+    return buf_->data.size() < buf_->capacity || buf_->read_closed;
+  }
+
+  PipeBuffer& buffer() { return *buf_; }
+  std::shared_ptr<PipeBuffer> shared_buffer() const { return buf_; }
+
+ private:
+  std::shared_ptr<PipeBuffer> buf_;
+};
+
+/// One end of a duplex named pipe. The server end is created by
+/// CreateNamedPipeA and listens via ConnectNamedPipe; the client end comes
+/// from CreateFileA("\\.\pipe\..."). Both ends share a pair of directional
+/// buffers; ReadFile/WriteFile dispatch on which end the handle denotes.
+class NamedPipeEndObject final : public KernelObject {
+ public:
+  enum class Role { kServer, kClient };
+  enum class State { kListening, kConnected, kDisconnected };
+
+  NamedPipeEndObject(sim::Simulation& sim, Role role,
+                     std::shared_ptr<PipeBuffer> inbound,
+                     std::shared_ptr<PipeBuffer> outbound)
+      : KernelObject(sim), role_(role), inbound_(std::move(inbound)),
+        outbound_(std::move(outbound)) {}
+  ~NamedPipeEndObject() override {
+    // Dropping either end breaks both directions and wakes the peer.
+    inbound_->write_closed = true;
+    outbound_->read_closed = true;
+    if (peer_ != nullptr) {
+      peer_->peer_ = nullptr;
+      peer_->wake_all();
+    }
+  }
+
+  ObjectType type() const override { return ObjectType::kNamedPipe; }
+
+  Role role() const { return role_; }
+  State state() const { return state_; }
+  void set_state(State s) { state_ = s; }
+
+  PipeBuffer& inbound() { return *inbound_; }
+  PipeBuffer& outbound() { return *outbound_; }
+  std::shared_ptr<PipeBuffer> shared_inbound() const { return inbound_; }
+  std::shared_ptr<PipeBuffer> shared_outbound() const { return outbound_; }
+
+  NamedPipeEndObject* peer() const { return peer_; }
+  static void link(NamedPipeEndObject& a, NamedPipeEndObject& b) {
+    a.peer_ = &b;
+    b.peer_ = &a;
+  }
+  static void unlink(NamedPipeEndObject& a) {
+    if (a.peer_ != nullptr) {
+      a.peer_->peer_ = nullptr;
+      a.peer_ = nullptr;
+    }
+  }
+
+ private:
+  Role role_;
+  State state_ = State::kListening;
+  std::shared_ptr<PipeBuffer> inbound_;   // peer writes, we read
+  std::shared_ptr<PipeBuffer> outbound_;  // we write, peer reads
+  NamedPipeEndObject* peer_ = nullptr;
+};
+
+/// A section / file-mapping object backed by a shared byte array.
+class FileMappingObject final : public KernelObject {
+ public:
+  FileMappingObject(sim::Simulation& sim, Word size)
+      : KernelObject(sim), bytes_(std::make_shared<std::vector<std::byte>>(size)) {}
+
+  ObjectType type() const override { return ObjectType::kFileMapping; }
+  std::shared_ptr<std::vector<std::byte>> bytes() const { return bytes_; }
+  Word size() const { return static_cast<Word>(bytes_->size()); }
+
+ private:
+  std::shared_ptr<std::vector<std::byte>> bytes_;
+};
+
+/// A private heap created by HeapCreate. Allocation bookkeeping lives in the
+/// process VirtualMemory; the heap object tracks its blocks so HeapDestroy
+/// can release them and HeapValidate-style checks are possible.
+class HeapObject final : public KernelObject {
+ public:
+  HeapObject(sim::Simulation& sim, Word max_size) : KernelObject(sim), max_size_(max_size) {}
+
+  ObjectType type() const override { return ObjectType::kHeap; }
+
+  Word max_size() const { return max_size_; }
+  std::vector<Word>& blocks() { return blocks_; }
+  Word bytes_allocated = 0;
+
+ private:
+  Word max_size_;
+  std::vector<Word> blocks_;  // base addresses of live allocations
+};
+
+/// Search state behind FindFirstFileA/FindNextFileA.
+class FindSearchObject final : public KernelObject {
+ public:
+  FindSearchObject(sim::Simulation& sim, std::vector<std::string> entries)
+      : KernelObject(sim), entries_(std::move(entries)) {}
+
+  ObjectType type() const override { return ObjectType::kFindSearch; }
+
+  /// Returns the next entry or nullptr when exhausted.
+  const std::string* next() {
+    if (index_ >= entries_.size()) return nullptr;
+    return &entries_[index_++];
+  }
+
+ private:
+  std::vector<std::string> entries_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace dts::nt

@@ -1,0 +1,195 @@
+#include "ntsim/scm.h"
+
+#include "ntsim/kernel.h"
+
+namespace dts::nt {
+
+namespace {
+constexpr std::uint32_t kEventServiceRunning = 7001;
+constexpr std::uint32_t kEventServiceStopped = 7002;
+constexpr std::uint32_t kEventServiceCrashed = 7031;
+constexpr std::uint32_t kEventServiceStartFailed = 7000;
+}  // namespace
+
+std::string_view to_string(ServiceState s) {
+  switch (s) {
+    case ServiceState::kStopped: return "Stopped";
+    case ServiceState::kStartPending: return "StartPending";
+    case ServiceState::kRunning: return "Running";
+    case ServiceState::kStopPending: return "StopPending";
+  }
+  return "?";
+}
+
+Scm::Scm(Machine& machine) : machine_(&machine) {}
+
+void Scm::register_service(ServiceConfig cfg) {
+  // Re-registration replaces the configuration (middleware installers adjust
+  // the service command line, e.g. adding "/cluster"). The configuration is
+  // mirrored into the registry under the real NT services key.
+  const std::string key =
+      "HKLM\\SYSTEM\\CurrentControlSet\\Services\\" + cfg.name;
+  machine_->registry().set_string(key, "ImagePath", cfg.image);
+  machine_->registry().set_string(key, "CommandLine", cfg.command_line);
+  machine_->registry().set_dword(key, "Start", 2);  // SERVICE_AUTO_START
+  machine_->registry().set_dword(
+      key, "WaitHint", static_cast<Dword>(cfg.start_wait_hint.count_millis()));
+  std::string name = cfg.name;
+  services_[std::move(name)] = Record{std::move(cfg)};
+}
+
+bool Scm::has_service(std::string_view name) const {
+  return services_.contains(std::string(name));
+}
+
+bool Scm::append_service_switch(const std::string& name, const std::string& sw) {
+  auto it = services_.find(name);
+  if (it == services_.end()) return false;
+  std::string& cmdline = it->second.cfg.command_line;
+  if (cmdline.find(sw) != std::string::npos) return false;
+  cmdline += " " + sw;
+  machine_->registry().set_string(
+      "HKLM\\SYSTEM\\CurrentControlSet\\Services\\" + name, "CommandLine", cmdline);
+  return true;
+}
+
+bool Scm::database_locked() const {
+  for (const auto& [_, rec] : services_) {
+    if (rec.state == ServiceState::kStartPending || rec.state == ServiceState::kStopPending) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scm::log(EventSeverity sev, std::uint32_t id, std::string msg) {
+  machine_->event_log().write(machine_->sim().now(), sev, "Service Control Manager", id,
+                              std::move(msg));
+}
+
+Win32Error Scm::start_service(const std::string& name,
+                              std::shared_ptr<ProcessObject>* info) {
+  auto it = services_.find(name);
+  if (it == services_.end()) return Win32Error::kServiceDoesNotExist;
+  Record& rec = it->second;
+  if (database_locked()) return Win32Error::kServiceDatabaseLocked;
+  if (rec.state == ServiceState::kRunning) return Win32Error::kServiceAlreadyRunning;
+
+  const Pid pid = machine_->start_process(rec.cfg.image, rec.cfg.command_line);
+  if (pid == 0) {
+    log(EventSeverity::kError, kEventServiceStartFailed,
+        "The " + name + " service failed to start: image not found");
+    return Win32Error::kFileNotFound;
+  }
+  rec.pid = pid;
+  rec.state = ServiceState::kStartPending;
+  ++rec.pending_epoch;
+  arm_start_deadline(name);
+  if (info != nullptr) {
+    Process* p = machine_->find_process(pid);
+    *info = p != nullptr ? p->object() : nullptr;
+  }
+  return Win32Error::kSuccess;
+}
+
+void Scm::arm_start_deadline(const std::string& name) {
+  Record& rec = services_.at(name);
+  const std::uint64_t epoch = rec.pending_epoch;
+  machine_->sim().schedule(rec.cfg.start_wait_hint, [this, name, epoch] {
+    auto it = services_.find(name);
+    if (it == services_.end()) return;
+    Record& rec = it->second;
+    if (rec.pending_epoch != epoch || rec.state != ServiceState::kStartPending) return;
+    // The wait hint expired without the service reporting Running. If the
+    // process is still around it is considered hung at startup and killed;
+    // either way the service drops to Stopped (releasing the database lock).
+    if (machine_->alive(rec.pid)) {
+      machine_->request_process_exit(rec.pid, to_dword(Win32Error::kServiceRequestTimeout),
+                                     "SCM start-pending timeout");
+    }
+    rec.state = ServiceState::kStopped;
+    ++rec.pending_epoch;
+    log(EventSeverity::kError, kEventServiceStartFailed,
+        "The " + name + " service hung on starting; start request timed out");
+  });
+}
+
+Win32Error Scm::control_stop(const std::string& name) {
+  auto it = services_.find(name);
+  if (it == services_.end()) return Win32Error::kServiceDoesNotExist;
+  Record& rec = it->second;
+  if (database_locked()) return Win32Error::kServiceDatabaseLocked;
+  if (rec.state != ServiceState::kRunning) return Win32Error::kServiceNotActive;
+  rec.state = ServiceState::kStopPending;
+  ++rec.pending_epoch;
+  machine_->request_process_exit(rec.pid, 0, "SCM stop control");
+  return Win32Error::kSuccess;
+}
+
+std::optional<ServiceStatus> Scm::query(const std::string& name) const {
+  auto it = services_.find(name);
+  if (it == services_.end()) return std::nullopt;
+  const Record& rec = it->second;
+  ServiceStatus st;
+  st.state = rec.state;
+  st.pid = rec.pid;
+  if (Process* p = machine_->find_process(rec.pid); p != nullptr) {
+    st.process = p->object();
+  }
+  return st;
+}
+
+Win32Error Scm::set_service_status(Pid pid, ServiceState state) {
+  for (auto& [name, rec] : services_) {
+    if (rec.pid != pid) continue;
+    if (state == ServiceState::kRunning && rec.state == ServiceState::kStartPending) {
+      rec.state = ServiceState::kRunning;
+      ++rec.pending_epoch;  // disarm the start deadline
+      ++starts_;
+      log(EventSeverity::kInformation, kEventServiceRunning,
+          "The " + name + " service entered the running state");
+      return Win32Error::kSuccess;
+    }
+    if (state == ServiceState::kStopped) {
+      rec.state = ServiceState::kStopped;
+      rec.pid = 0;
+      ++rec.pending_epoch;
+      log(EventSeverity::kInformation, kEventServiceStopped,
+          "The " + name + " service entered the stopped state");
+      return Win32Error::kSuccess;
+    }
+    return Win32Error::kInvalidParameter;
+  }
+  return Win32Error::kServiceDoesNotExist;
+}
+
+void Scm::on_process_exit(Pid pid) {
+  for (auto& [name, rec] : services_) {
+    if (rec.pid != pid || rec.state == ServiceState::kStopped) continue;
+    switch (rec.state) {
+      case ServiceState::kRunning:
+        rec.state = ServiceState::kStopped;
+        rec.pid = 0;
+        ++rec.pending_epoch;
+        log(EventSeverity::kError, kEventServiceCrashed,
+            "The " + name + " service terminated unexpectedly");
+        break;
+      case ServiceState::kStartPending:
+        // Deliberately nothing: the SCM believes the service is still
+        // starting, keeps the database locked, and only drops to Stopped
+        // when the wait hint expires (the paper's restart-delay mechanism).
+        break;
+      case ServiceState::kStopPending:
+        rec.state = ServiceState::kStopped;
+        rec.pid = 0;
+        ++rec.pending_epoch;
+        log(EventSeverity::kInformation, kEventServiceStopped,
+            "The " + name + " service entered the stopped state");
+        break;
+      case ServiceState::kStopped:
+        break;
+    }
+  }
+}
+
+}  // namespace dts::nt

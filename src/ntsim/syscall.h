@@ -1,0 +1,41 @@
+// The syscall record and interception hook — the simulator's analogue of
+// DTS's library-call-interception (LCI) layer.
+//
+// Every KERNEL32 call made by simulated user code is marshalled into a
+// CallRecord of raw 32-bit words and passed through the installed hook
+// *before* dispatch. The fault injector corrupts exactly one word of one
+// invocation, then the (possibly corrupted) record is decoded and executed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ntsim/kernel32_registry.h"
+#include "ntsim/types.h"
+
+namespace dts::nt {
+
+class Process;
+
+/// Maximum parameter count across the KERNEL32 surface (CreateProcessA has
+/// 10; RegisterConsoleVDM would have 11).
+constexpr int kMaxSyscallArgs = 12;
+
+struct CallRecord {
+  Fn fn{};
+  std::array<Word, kMaxSyscallArgs> args{};
+  int argc = 0;
+};
+
+/// Interception interface installed on the Kernel32 dispatcher.
+class SyscallHook {
+ public:
+  virtual ~SyscallHook() = default;
+
+  /// Called before dispatch of every KERNEL32 call. `proc` identifies the
+  /// calling process (DTS targets one server process image per run). The
+  /// hook may corrupt `rec.args` in place.
+  virtual void on_call(const Process& proc, CallRecord& rec) = 0;
+};
+
+}  // namespace dts::nt

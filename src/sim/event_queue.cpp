@@ -1,0 +1,34 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dts::sim {
+
+std::uint64_t EventQueue::push(TimePoint at, Callback fn) {
+  const std::uint64_t id = next_seq_++;
+  heap_.push(Event{at, id, std::move(fn)});
+  return id;
+}
+
+TimePoint EventQueue::next_time() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
+  return heap_.top().at;
+}
+
+EventQueue::Callback EventQueue::pop(TimePoint* at) {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+  // priority_queue::top() is const; the callback must be moved out, so we
+  // const_cast the owned element just before popping it.
+  Event& top = const_cast<Event&>(heap_.top());
+  if (at != nullptr) *at = top.at;
+  Callback fn = std::move(top.fn);
+  heap_.pop();
+  return fn;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+}
+
+}  // namespace dts::sim

@@ -1,0 +1,49 @@
+// Priority queue of timed simulation events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dts::sim {
+
+/// Timed callback queue. Ties are broken by insertion order so that
+/// same-instant events run FIFO — required for deterministic replay.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Enqueues `fn` to run at time `at`. Returns a unique event id.
+  std::uint64_t push(TimePoint at, Callback fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  TimePoint next_time() const;
+
+  /// Removes and returns the earliest event's callback. Requires !empty().
+  Callback pop(TimePoint* at = nullptr);
+
+  void clear();
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dts::sim

@@ -1,0 +1,90 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulated clocks are integer microsecond counts. Wall-clock time never
+// enters the simulation, which is what makes every fault-injection run
+// exactly reproducible.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace dts::sim {
+
+/// A span of simulated time. Internally a signed microsecond count.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration micros(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration millis(std::int64_t v) { return Duration{v * 1000}; }
+  static constexpr Duration seconds(std::int64_t v) { return Duration{v * 1000000}; }
+
+  /// Fractional seconds, rounded to the microsecond.
+  static constexpr Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5))};
+  }
+
+  constexpr std::int64_t count_micros() const { return us_; }
+  constexpr std::int64_t count_millis() const { return us_ / 1000; }
+  constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr bool is_zero() const { return us_ == 0; }
+  constexpr bool is_negative() const { return us_ < 0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.us_ + b.us_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.us_ - b.us_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.us_ * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return a * k; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.us_ / k}; }
+  constexpr Duration& operator+=(Duration b) { us_ += b.us_; return *this; }
+  constexpr Duration& operator-=(Duration b) { us_ -= b.us_; return *this; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An instant on the simulation clock. Time zero is simulation start.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint from_micros(std::int64_t v) { return TimePoint{v}; }
+  constexpr std::int64_t count_micros() const { return us_; }
+  constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.us_ + d.count_micros()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::micros(a.us_ - b.us_);
+  }
+  constexpr TimePoint& operator+=(Duration d) { us_ += d.count_micros(); return *this; }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// Formats a duration as a human-readable string, e.g. "14.21s" or "350ms".
+inline std::string to_string(Duration d) {
+  const std::int64_t us = d.count_micros();
+  char buf[48];
+  if (us >= 1000000 || us <= -1000000) {
+    std::snprintf(buf, sizeof buf, "%.2fs", d.to_seconds());
+  } else if (us >= 1000 || us <= -1000) {
+    std::snprintf(buf, sizeof buf, "%lldms", static_cast<long long>(us / 1000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+inline std::string to_string(TimePoint t) { return to_string(t - TimePoint{}); }
+
+}  // namespace dts::sim

@@ -1,0 +1,53 @@
+#include "stats/stats.h"
+
+#include <cmath>
+
+namespace dts::stats {
+
+double t_critical_95(std::size_t df) {
+  // Two-sided 95 % critical values; df indexes [1..30], then selected larger
+  // values, then the normal asymptote.
+  static constexpr double kTable[] = {
+      0,      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042,
+  };
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df];
+  if (df <= 40) return 2.021;
+  if (df <= 60) return 2.000;
+  if (df <= 120) return 1.980;
+  return 1.960;
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Accumulator acc;
+  for (double x : samples) acc.add(x);
+  return acc.summary();
+}
+
+void Accumulator::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+Summary Accumulator::summary() const {
+  Summary s;
+  s.n = n_;
+  s.mean = mean();
+  s.stddev = std::sqrt(variance());
+  if (n_ >= 2) {
+    s.ci95_half = t_critical_95(n_ - 1) * s.stddev / std::sqrt(static_cast<double>(n_));
+  }
+  return s;
+}
+
+}  // namespace dts::stats

@@ -1,0 +1,39 @@
+// Small statistics toolkit: mean, sample standard deviation, and 95 %
+// confidence intervals via the t-distribution (the paper reports response
+// times "with corresponding 95% confidence intervals").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dts::stats {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;    // sample standard deviation (n-1)
+  double ci95_half = 0.0; // 95 % confidence half-width; 0 when n < 2
+};
+
+/// Two-sided 95 % critical value of Student's t for `df` degrees of freedom
+/// (table lookup, 1.960 asymptote).
+double t_critical_95(std::size_t df);
+
+Summary summarize(const std::vector<double>& samples);
+
+/// Welford-style incremental accumulator.
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // sample variance
+  Summary summary() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace dts::stats

@@ -1,0 +1,198 @@
+// Tests for the system-independent fault-class taxonomy (paper §5) and for
+// the gopher service extension.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/iis.h"
+#include "core/run.h"
+#include "core/workload.h"
+#include "inject/fault_class.h"
+#include "ntsim/kernel.h"
+#include "ntsim/netsim.h"
+#include "ntsim/scm.h"
+
+namespace dts {
+namespace {
+
+using inject::FaultClass;
+
+TEST(FaultClass, ClassifiesCanonicalParameters) {
+  auto cls = [](const char* fn, const char* param) {
+    const auto* info = nt::Kernel32Registry::instance().by_name(fn);
+    EXPECT_NE(info, nullptr) << fn;
+    for (int i = 0; i < info->param_count(); ++i) {
+      if (info->params[static_cast<std::size_t>(i)] == param) {
+        return inject::classify(static_cast<nt::Fn>(info->id), i);
+      }
+    }
+    ADD_FAILURE() << fn << " has no param " << param;
+    return std::optional<FaultClass>{};
+  };
+
+  EXPECT_EQ(cls("CreateFileA", "lpFileName"), FaultClass::kPathArgument);
+  EXPECT_EQ(cls("CreateNamedPipeA", "lpName"), FaultClass::kPathArgument);
+  EXPECT_EQ(cls("ReadFile", "lpBuffer"), FaultClass::kBufferPointer);
+  EXPECT_EQ(cls("ReadFile", "nNumberOfBytesToRead"), FaultClass::kBufferSize);
+  EXPECT_EQ(cls("ReadFile", "hFile"), FaultClass::kFileHandle);
+  EXPECT_EQ(cls("WaitForSingleObject", "hHandle"), FaultClass::kSyncHandle);
+  EXPECT_EQ(cls("WaitForSingleObject", "dwMilliseconds"), FaultClass::kTimeout);
+  EXPECT_EQ(cls("SetEvent", "hEvent"), FaultClass::kSyncHandle);
+  EXPECT_EQ(cls("CreateProcessA", "lpCommandLine"), FaultClass::kProcessControl);
+  EXPECT_EQ(cls("CreateThread", "lpStartAddress"), FaultClass::kProcessControl);
+  EXPECT_EQ(cls("HeapAlloc", "hHeap"), FaultClass::kMemoryManagement);
+  EXPECT_EQ(cls("GetPrivateProfileStringA", "lpKeyName"), FaultClass::kConfigString);
+  EXPECT_EQ(cls("CreateFileA", "dwCreationDisposition"), FaultClass::kFlags);
+}
+
+TEST(FaultClass, TaxonomyCoversMostOfTheImplementedSurface) {
+  // The taxonomy should classify the overwhelming majority of injection
+  // points; unclassified leftovers are reserved/rare arguments.
+  std::size_t total = 0, classified = 0;
+  for (std::uint16_t id = 0; id < nt::kImplementedFunctionCount; ++id) {
+    const auto fn = static_cast<nt::Fn>(id);
+    const auto& info = nt::Kernel32Registry::instance().info(fn);
+    for (int p = 0; p < info.param_count(); ++p) {
+      ++total;
+      if (inject::classify(fn, p)) ++classified;
+    }
+  }
+  EXPECT_GT(total, 300u);
+  EXPECT_GT(static_cast<double>(classified) / static_cast<double>(total), 0.85)
+      << classified << "/" << total;
+}
+
+TEST(FaultClass, ClassFaultListsRoundTrip) {
+  const inject::FaultList paths =
+      inject::faults_for_class("inetinfo.exe", FaultClass::kPathArgument);
+  EXPECT_GT(paths.faults.size(), 10u);
+  for (const auto& f : paths.faults) {
+    EXPECT_EQ(inject::classify(f.fn, f.param_index), FaultClass::kPathArgument)
+        << f.id();
+  }
+  // Restriction to a subset of functions.
+  std::set<nt::Fn> only{nt::Fn::CreateFileA};
+  const inject::FaultList restricted =
+      inject::faults_for_class("x", FaultClass::kPathArgument, only);
+  EXPECT_EQ(restricted.faults.size(), 3u);  // lpFileName x 3 corruption types
+}
+
+TEST(FaultClass, HistogramCountsPerClass) {
+  std::set<nt::Fn> fns{nt::Fn::ReadFile, nt::Fn::WaitForSingleObject};
+  const auto hist = inject::class_histogram(fns);
+  std::map<FaultClass, std::size_t> m(hist.begin(), hist.end());
+  EXPECT_EQ(m[FaultClass::kFileHandle], 1u);    // ReadFile.hFile
+  EXPECT_EQ(m[FaultClass::kBufferPointer], 3u);  // lpBuffer, lpNumberOfBytesRead, lpOverlapped
+  EXPECT_EQ(m[FaultClass::kBufferSize], 1u);    // nNumberOfBytesToRead
+  EXPECT_EQ(m[FaultClass::kSyncHandle], 1u);    // hHandle
+  EXPECT_EQ(m[FaultClass::kTimeout], 1u);       // dwMilliseconds
+}
+
+TEST(FaultClass, ClassifyOutOfRangeIsNullopt) {
+  EXPECT_EQ(inject::classify(nt::Fn::ReadFile, -1), std::nullopt);
+  const auto& info = nt::Kernel32Registry::instance().info(nt::Fn::ReadFile);
+  EXPECT_EQ(inject::classify(nt::Fn::ReadFile, info.param_count()), std::nullopt);
+}
+
+TEST(FaultClass, IterationsExtendTheInvocationAxis) {
+  std::set<nt::Fn> only{nt::Fn::WaitForSingleObject};
+  const inject::FaultList one =
+      inject::faults_for_class("x", FaultClass::kTimeout, only, /*iterations=*/1);
+  const inject::FaultList three =
+      inject::faults_for_class("x", FaultClass::kTimeout, only, /*iterations=*/3);
+  ASSERT_EQ(one.faults.size(), 3u);  // dwMilliseconds x 3 corruption types
+  EXPECT_EQ(three.faults.size(), 9u);
+  std::set<int> invocations;
+  for (const auto& f : three.faults) invocations.insert(f.invocation);
+  EXPECT_EQ(invocations, (std::set<int>{1, 2, 3}));
+}
+
+TEST(FaultClass, HistogramOfEmptySetIsEmpty) {
+  EXPECT_TRUE(inject::class_histogram({}).empty());
+}
+
+TEST(FaultClass, ConfigStringCampaignOnApacheEndToEnd) {
+  // The system-independent bridge, driven end to end: take the config-string
+  // class, project it onto Apache's profile-read call, and run every
+  // resulting fault. All faults must activate (Apache reads its config during
+  // startup) and every run must land in one of the paper's five outcomes.
+  std::set<nt::Fn> only{nt::Fn::GetPrivateProfileStringA};
+  const inject::FaultList list =
+      inject::faults_for_class("apache.exe", FaultClass::kConfigString, only);
+  ASSERT_GE(list.faults.size(), 9u);
+
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name("Apache1");
+  cfg.middleware = mw::MiddlewareKind::kNone;
+  cfg.seed = 77;
+  std::map<core::Outcome, int> counts;
+  for (const auto& fault : list.faults) {
+    const core::RunResult r = core::execute_run(cfg, fault);
+    EXPECT_TRUE(r.activated) << fault.id();
+    ++counts[r.outcome];
+  }
+  // Corrupting config reads must not be universally fatal (some corruptions
+  // still parse) nor universally benign (a flipped settings pointer breaks
+  // the server) — the mix is what makes the class interesting.
+  EXPECT_GT(counts[core::Outcome::kNormalSuccess], 0);
+  int not_normal = 0;
+  for (const auto& [o, n] : counts) {
+    if (o != core::Outcome::kNormalSuccess) not_normal += n;
+  }
+  EXPECT_GT(not_normal, 0);
+}
+
+TEST(FaultClass, StringRoundTrip) {
+  for (FaultClass c : inject::kAllFaultClasses) {
+    EXPECT_EQ(inject::fault_class_from_string(inject::to_string(c)), c);
+  }
+  EXPECT_EQ(inject::fault_class_from_string("nonsense"), std::nullopt);
+}
+
+// ---------------------------------------------------------------- gopher
+
+TEST(Gopher, MenuAndDocumentRetrieval) {
+  sim::Simulation simu{17};
+  nt::net::Network net{simu};
+  nt::Machine target{simu, nt::MachineConfig{.name = "target"}};
+  nt::Machine control{simu, nt::MachineConfig{.name = "control"}};
+  apps::IisConfig cfg;
+  cfg.enable_gopher = true;
+  apps::install_iis(target, net, cfg);
+  target.scm().start_service("W3SVC");
+
+  std::optional<std::string> menu, doc, missing;
+  auto fetch = [&](nt::Ctx c, const std::string& selector)
+      -> sim::CoTask<std::optional<std::string>> {
+    auto sock = co_await net.connect(c, "target", 70);
+    if (sock == nullptr) co_return std::nullopt;
+    sock->send(selector + "\r\n");
+    std::string out;
+    for (;;) {
+      auto chunk = co_await sock->recv(c, 4096, sim::Duration::seconds(20));
+      if (!chunk) co_return std::nullopt;
+      if (chunk->empty()) break;
+      out += *chunk;
+    }
+    co_return out;
+  };
+  control.register_program("client.exe", [&](nt::Ctx c) -> sim::Task {
+    co_await nt::sleep_in_sim(c, sim::Duration::seconds(10));
+    menu = co_await fetch(c, "");
+    doc = co_await fetch(c, "phonebook.txt");
+    missing = co_await fetch(c, "nope.txt");
+  });
+  control.start_process("client.exe", "client.exe");
+  simu.run_until(simu.now() + sim::Duration::seconds(120));
+
+  ASSERT_TRUE(menu.has_value());
+  EXPECT_NE(menu->find("0about.txt\tabout.txt\ttarget\t70"), std::string::npos);
+  EXPECT_NE(menu->find(".\r\n"), std::string::npos);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(*doc, "Bell Labs: 908-582-3000\n");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->rfind("3'", 0), 0u);  // gopher error type
+}
+
+}  // namespace
+}  // namespace dts

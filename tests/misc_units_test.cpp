@@ -1,0 +1,187 @@
+// Smaller units: event log queries, handle-table behaviour, outcome summary
+// strings, netsim details and the app-side Api helpers.
+#include <gtest/gtest.h>
+
+#include "apps/winapp.h"
+#include "core/outcome.h"
+#include "ntsim/event_log.h"
+#include "ntsim/handle_table.h"
+#include "ntsim/kernel.h"
+#include "ntsim/netsim.h"
+
+namespace dts {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(EventLog, QueryBySourceAndTime) {
+  nt::EventLog log;
+  log.write(TimePoint{} + Duration::seconds(1), nt::EventSeverity::kInformation, "SCM", 7001,
+            "running");
+  log.write(TimePoint{} + Duration::seconds(2), nt::EventSeverity::kError, "ClusSvc", 1201,
+            "restart");
+  log.write(TimePoint{} + Duration::seconds(3), nt::EventSeverity::kError, "ClusSvc", 1201,
+            "restart again");
+  EXPECT_EQ(log.entries().size(), 3u);
+  EXPECT_EQ(log.query("ClusSvc").size(), 2u);
+  EXPECT_EQ(log.query("ClusSvc", TimePoint{} + Duration::seconds(3)).size(), 1u);
+  EXPECT_EQ(log.count("ClusSvc", 1201), 2u);
+  EXPECT_EQ(log.count("ClusSvc", 9999), 0u);
+  EXPECT_EQ(log.count("Nobody", 1201), 0u);
+  log.clear();
+  EXPECT_TRUE(log.entries().empty());
+}
+
+TEST(HandleTable, InsertResolveClose) {
+  sim::Simulation simu;
+  nt::HandleTable table;
+  auto ev = std::make_shared<nt::EventObject>(simu, true, false);
+  const nt::Handle h = table.insert(ev);
+  EXPECT_EQ(h.value % 4, 0u);  // NT-style handle values
+  EXPECT_EQ(table.get(h), ev);
+  EXPECT_NE(table.get_as<nt::EventObject>(h), nullptr);
+  EXPECT_EQ(table.get_as<nt::MutexObject>(h), nullptr);  // wrong type
+  EXPECT_EQ(table.open_handles(), 1u);
+  EXPECT_TRUE(table.close(h));
+  EXPECT_FALSE(table.close(h));
+  EXPECT_EQ(table.get(h), nullptr);
+}
+
+TEST(HandleTable, HandlesShareObjects) {
+  sim::Simulation simu;
+  nt::HandleTable table;
+  auto ev = std::make_shared<nt::EventObject>(simu, true, false);
+  const nt::Handle h1 = table.insert(ev);
+  const nt::Handle h2 = table.insert(ev);
+  EXPECT_NE(h1.value, h2.value);
+  table.close(h1);
+  EXPECT_EQ(table.get(h2), ev);  // object lives while any handle remains
+}
+
+TEST(Outcome, SummaryStrings) {
+  core::RunResult r;
+  r.fault = *inject::parse_fault_id("inetinfo.exe", "ReadFile.hFile#1:flip");
+  r.activated = true;
+  r.outcome = core::Outcome::kFailure;
+  r.response_received = false;
+  r.response_time = sim::Duration::from_seconds(150.0);
+  r.retries = 4;
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("ReadFile.hFile#1:flip"), std::string::npos);
+  EXPECT_NE(s.find("[activated]"), std::string::npos);
+  EXPECT_NE(s.find("failure"), std::string::npos);
+  EXPECT_NE(s.find("(no response)"), std::string::npos);
+  EXPECT_NE(s.find("retries=4"), std::string::npos);
+
+  r.outcome = core::Outcome::kRestartRetrySuccess;
+  r.restarts = 1;
+  EXPECT_NE(r.summary().find("restart and client request retry"), std::string::npos);
+}
+
+TEST(Outcome, ClientReportAggregates) {
+  core::ClientReport report;
+  EXPECT_FALSE(report.all_ok());  // no requests = not ok
+  core::RequestResult ok1;
+  ok1.ok = true;
+  ok1.attempts = 1;
+  core::RequestResult ok2;
+  ok2.ok = true;
+  ok2.attempts = 3;
+  ok2.any_response = true;
+  report.requests = {ok1, ok2};
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.total_retries(), 2);
+  EXPECT_TRUE(report.any_response());
+}
+
+TEST(Net, SendAfterCloseIsDropped) {
+  sim::Simulation simu{3};
+  nt::net::Network net{simu};
+  nt::Machine m{simu, nt::MachineConfig{.name = "target"}};
+  std::optional<std::string> got;
+  m.register_program("a.exe", [&](nt::Ctx c) -> sim::Task {
+    auto listener = net.listen("target", 1000);
+    auto sock = co_await listener->accept(c);
+    got = co_await sock->recv(c, 64, Duration::seconds(5));
+  });
+  m.register_program("b.exe", [&](nt::Ctx c) -> sim::Task {
+    co_await nt::sleep_in_sim(c, Duration::millis(10));
+    auto sock = co_await net.connect(c, "target", 1000);
+    sock->close();
+    sock->send("too late");  // dropped silently
+  });
+  m.start_process("a.exe", "a.exe");
+  m.start_process("b.exe", "b.exe");
+  simu.run_until(simu.now() + Duration::seconds(10));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "");  // EOF, no data
+}
+
+TEST(Net, AcceptTimesOut) {
+  sim::Simulation simu{3};
+  nt::net::Network net{simu};
+  nt::Machine m{simu, nt::MachineConfig{.name = "target"}};
+  bool timed_out = false;
+  m.register_program("a.exe", [&](nt::Ctx c) -> sim::Task {
+    auto listener = net.listen("target", 1000);
+    auto sock = co_await listener->accept(c, Duration::seconds(2));
+    timed_out = (sock == nullptr);
+  });
+  m.start_process("a.exe", "a.exe");
+  simu.run_until(simu.now() + Duration::seconds(10));
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(Net, RecvExactlyAssemblesChunks) {
+  sim::Simulation simu{3};
+  nt::net::Network net{simu};
+  nt::Machine m{simu, nt::MachineConfig{.name = "target"}};
+  std::optional<std::string> got;
+  m.register_program("a.exe", [&](nt::Ctx c) -> sim::Task {
+    auto listener = net.listen("target", 1000);
+    auto sock = co_await listener->accept(c);
+    got = co_await sock->recv_exactly(c, 10, Duration::seconds(10));
+  });
+  m.register_program("b.exe", [&](nt::Ctx c) -> sim::Task {
+    co_await nt::sleep_in_sim(c, Duration::millis(10));
+    auto sock = co_await net.connect(c, "target", 1000);
+    for (const char* part : {"01", "234", "56789xx"}) {
+      sock->send(part);
+      co_await nt::sleep_in_sim(c, Duration::millis(100));
+    }
+    co_await nt::sleep_in_sim(c, Duration::seconds(2));
+  });
+  m.start_process("a.exe", "a.exe");
+  m.start_process("b.exe", "b.exe");
+  simu.run_until(simu.now() + Duration::seconds(10));
+  EXPECT_EQ(got, "0123456789");
+}
+
+TEST(Api, HelpersRoundTrip) {
+  sim::Simulation simu{9};
+  nt::Machine m{simu, nt::MachineConfig{.name = "target"}};
+  bool checked = false;
+  m.register_program("a.exe", [&](nt::Ctx c) -> sim::Task {
+    apps::Api api(c);
+    const nt::Ptr s = api.str("hello");
+    EXPECT_EQ(api.read_str(s), "hello");
+    const nt::Ptr b = api.buf(8);
+    api.mem().write_u32(b, 0xAB);
+    EXPECT_EQ(api.read_u32(b), 0xABu);
+    const auto t0 = c.m().sim().now();
+    co_await api.cpu(Duration::millis(250));
+    EXPECT_GE(c.m().sim().now() - t0, Duration::millis(250));
+    // read_file_syscall: missing file -> nullopt; present file -> content.
+    EXPECT_EQ(co_await apps::read_file_syscall(api, "C:\\missing.txt"), std::nullopt);
+    c.m().fs().put_file("C:\\x.txt", "payload");
+    EXPECT_EQ(co_await apps::read_file_syscall(api, "C:\\x.txt"), "payload");
+    checked = true;
+  });
+  m.start_process("a.exe", "a.exe");
+  simu.run_until(simu.now() + Duration::seconds(30));
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace dts

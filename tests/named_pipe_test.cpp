@@ -1,0 +1,282 @@
+// Tests for the named-pipe substrate (CreateNamedPipeA / ConnectNamedPipe /
+// client CreateFileA on the pipe namespace / duplex ReadFile+WriteFile /
+// DisconnectNamedPipe / WaitNamedPipeA), including the SQL Server pipe
+// transport end-to-end.
+#include <gtest/gtest.h>
+
+#include "apps/sql_server.h"
+#include "ntsim/kernel.h"
+#include "ntsim/kernel32.h"
+#include "ntsim/netsim.h"
+#include "ntsim/scm.h"
+
+namespace dts::nt {
+namespace {
+
+using sim::Duration;
+
+struct PipeWorld {
+  sim::Simulation simu{31};
+  net::Network net{simu};  // must outlive the machine
+  Machine m{simu, MachineConfig{.name = "target", .cpu_scale = 1.0}};
+
+  void run_for(Duration d) { simu.run_until(simu.now() + d); }
+};
+
+constexpr const char* kPipeName = "\\\\.\\pipe\\test\\echo";
+
+/// Simple echo server over one pipe instance: reads a line, writes it back,
+/// disconnects, re-listens.
+sim::Task pipe_echo_server(Ctx c, int rounds) {
+  auto& k = c.m().k32();
+  auto& mem = c.process->mem();
+  const Word h = co_await k.call(c, Fn::CreateNamedPipeA, mem.alloc_cstr(kPipeName).addr,
+                                 3, 0, 255, 4096, 4096, 0, 0);
+  EXPECT_NE(h, kInvalidHandleValue);
+  const Ptr buf = mem.alloc(256);
+  const Ptr n_out = mem.alloc(4);
+  for (int i = 0; i < rounds; ++i) {
+    const Word ok = co_await k.call(c, Fn::ConnectNamedPipe, h, 0);
+    if (ok == 0 && c.thread().last_error != to_dword(Win32Error::kPipeConnected)) {
+      co_return;
+    }
+    if (co_await k.call(c, Fn::ReadFile, h, buf.addr, 256, n_out.addr, 0) != 0) {
+      const Word n = mem.read_u32(n_out);
+      (void)co_await k.call(c, Fn::WriteFile, h, buf.addr, n, 0, 0);
+    }
+    co_await sleep_in_sim(c, Duration::millis(50));
+    (void)co_await k.call(c, Fn::DisconnectNamedPipe, h);
+  }
+}
+
+TEST(NamedPipe, EchoRoundTripAndReconnect) {
+  PipeWorld w;
+  w.m.register_program("server.exe",
+                       [](Ctx c) { return pipe_echo_server(c, /*rounds=*/3); });
+  std::vector<std::string> replies;
+  w.m.register_program("client.exe", [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    auto& mem = c.process->mem();
+    co_await sleep_in_sim(c, Duration::millis(100));
+    for (int i = 0; i < 2; ++i) {
+      // WaitNamedPipeA succeeds once an instance is listening again.
+      EXPECT_EQ(co_await k.call(c, Fn::WaitNamedPipeA, mem.alloc_cstr(kPipeName).addr,
+                                5000),
+                1u);
+      const Word h = co_await k.call(c, Fn::CreateFileA, mem.alloc_cstr(kPipeName).addr,
+                                     kGenericRead | kGenericWrite, 0, 0, kOpenExisting,
+                                     0, 0);
+      EXPECT_NE(h, kInvalidHandleValue);
+      const std::string msg = "hello-" + std::to_string(i);
+      const Ptr out = mem.alloc_cstr(msg);
+      (void)co_await k.call(c, Fn::WriteFile, h, out.addr,
+                            static_cast<Word>(msg.size()), 0, 0);
+      const Ptr buf = mem.alloc(256);
+      const Ptr n_out = mem.alloc(4);
+      if (co_await k.call(c, Fn::ReadFile, h, buf.addr, 256, n_out.addr, 0) != 0) {
+        replies.push_back(mem.read_bytes(buf, mem.read_u32(n_out)));
+      }
+      (void)co_await k.call(c, Fn::CloseHandle, h);
+      co_await sleep_in_sim(c, Duration::millis(200));
+    }
+  });
+  w.m.start_process("server.exe", "server.exe");
+  w.m.start_process("client.exe", "client.exe");
+  w.run_for(Duration::seconds(30));
+  EXPECT_EQ(replies, (std::vector<std::string>{"hello-0", "hello-1"}));
+}
+
+TEST(NamedPipe, MissingPipeIsFileNotFound) {
+  PipeWorld w;
+  Word handle = 0, error = 0;
+  w.m.register_program("client.exe", [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    handle = co_await k.call(c, Fn::CreateFileA,
+                             c.process->mem().alloc_cstr("\\\\.\\pipe\\nope").addr,
+                             kGenericRead, 0, 0, kOpenExisting, 0, 0);
+    error = co_await k.call(c, Fn::GetLastError);
+  });
+  w.m.start_process("client.exe", "client.exe");
+  w.run_for(Duration::seconds(5));
+  EXPECT_EQ(handle, kInvalidHandleValue);
+  EXPECT_EQ(error, to_dword(Win32Error::kFileNotFound));
+}
+
+TEST(NamedPipe, BusyInstanceReportsPipeBusy) {
+  PipeWorld w;
+  Word second_error = 0;
+  w.m.register_program("server.exe", [](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    const Word h = co_await k.call(c, Fn::CreateNamedPipeA,
+                                   c.process->mem().alloc_cstr(kPipeName).addr, 3, 0,
+                                   255, 0, 0, 0, 0);
+    (void)co_await k.call(c, Fn::ConnectNamedPipe, h, 0);
+    co_await sleep_in_sim(c, Duration::seconds(100));  // hold the connection
+  });
+  w.m.register_program("client.exe", [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    auto& mem = c.process->mem();
+    co_await sleep_in_sim(c, Duration::millis(100));
+    const Word h1 = co_await k.call(c, Fn::CreateFileA, mem.alloc_cstr(kPipeName).addr,
+                                    kGenericRead | kGenericWrite, 0, 0, kOpenExisting, 0,
+                                    0);
+    EXPECT_NE(h1, kInvalidHandleValue);
+    // The single instance is now connected: a second open is PIPE_BUSY.
+    const Word h2 = co_await k.call(c, Fn::CreateFileA, mem.alloc_cstr(kPipeName).addr,
+                                    kGenericRead | kGenericWrite, 0, 0, kOpenExisting, 0,
+                                    0);
+    EXPECT_EQ(h2, kInvalidHandleValue);
+    second_error = co_await k.call(c, Fn::GetLastError);
+    co_await sleep_in_sim(c, Duration::seconds(100));  // keep h1 open
+  });
+  w.m.start_process("server.exe", "server.exe");
+  w.m.start_process("client.exe", "client.exe");
+  w.run_for(Duration::seconds(5));
+  EXPECT_EQ(second_error, to_dword(Win32Error::kPipeBusy));
+}
+
+TEST(NamedPipe, ServerDeathBreaksClientRead) {
+  PipeWorld w;
+  Word read_ok = 99, error = 0;
+  w.m.register_program("server.exe", [](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    const Word h = co_await k.call(c, Fn::CreateNamedPipeA,
+                                   c.process->mem().alloc_cstr(kPipeName).addr, 3, 0,
+                                   255, 0, 0, 0, 0);
+    (void)co_await k.call(c, Fn::ConnectNamedPipe, h, 0);
+    co_await sleep_in_sim(c, Duration::millis(200));
+    throw AccessViolation{0xBAD, false};  // crash with a connected client
+  });
+  w.m.register_program("client.exe", [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    auto& mem = c.process->mem();
+    co_await sleep_in_sim(c, Duration::millis(100));
+    const Word h = co_await k.call(c, Fn::CreateFileA, mem.alloc_cstr(kPipeName).addr,
+                                   kGenericRead | kGenericWrite, 0, 0, kOpenExisting, 0,
+                                   0);
+    const Ptr buf = mem.alloc(64);
+    read_ok = co_await k.call(c, Fn::ReadFile, h, buf.addr, 64, 0, 0);
+    error = co_await k.call(c, Fn::GetLastError);
+  });
+  w.m.start_process("server.exe", "server.exe");
+  w.m.start_process("client.exe", "client.exe");
+  w.run_for(Duration::seconds(10));
+  EXPECT_EQ(read_ok, 0u);
+  EXPECT_EQ(error, to_dword(Win32Error::kBrokenPipe));
+}
+
+TEST(NamedPipe, SqlServerAnswersOverPipe) {
+  // End-to-end: a local tool queries SQL Server through its named-pipe
+  // transport instead of TCP.
+  PipeWorld w;
+  const std::string expected = apps::install_sql_server(w.m, w.net);
+  w.m.scm().start_service("MSSQLServer");
+
+  std::string reply;
+  w.m.register_program("osql.exe", [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    auto& mem = c.process->mem();
+    const Ptr name = mem.alloc_cstr("\\\\.\\pipe\\sql\\query");
+    // Wait until SQL's pipe listener is up. WaitNamedPipeA fails fast while
+    // the pipe does not exist at all, so poll until creation, then wait.
+    Word waited = 0;
+    for (int i = 0; i < 600 && waited != 1; ++i) {
+      waited = co_await k.call(c, Fn::WaitNamedPipeA, name.addr, 1000);
+      if (waited != 1) co_await sleep_in_sim(c, Duration::millis(200));
+    }
+    EXPECT_EQ(waited, 1u);
+    const Word h = co_await k.call(c, Fn::CreateFileA, name.addr,
+                                   kGenericRead | kGenericWrite, 0, 0, kOpenExisting, 0,
+                                   0);
+    EXPECT_NE(h, kInvalidHandleValue);
+    if (h == kInvalidHandleValue) co_return;
+    const std::string query = apps::sql_client_query() + "\n";
+    const Ptr out = mem.alloc_cstr(query);
+    (void)co_await k.call(c, Fn::WriteFile, h, out.addr,
+                          static_cast<Word>(query.size()), 0, 0);
+    const Ptr buf = mem.alloc(4096);
+    const Ptr n_out = mem.alloc(4);
+    for (;;) {
+      if (co_await k.call(c, Fn::ReadFile, h, buf.addr, 4096, n_out.addr, 0) == 0) break;
+      const Word n = mem.read_u32(n_out);
+      if (n == 0) break;
+      reply += mem.read_bytes(buf, n);
+      if (reply.size() >= expected.size()) break;
+    }
+  });
+  w.m.start_process("osql.exe", "osql.exe");
+  w.run_for(Duration::seconds(120));
+  EXPECT_EQ(reply, expected);
+}
+
+TEST(NamedPipe, CallNamedPipeTransaction) {
+  // The one-shot open+write+read+close convenience against the echo server.
+  PipeWorld w;
+  w.m.register_program("server.exe",
+                       [](Ctx c) { return pipe_echo_server(c, /*rounds=*/2); });
+  Word ok = 0;
+  std::string reply;
+  w.m.register_program("client.exe", [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    auto& mem = c.process->mem();
+    co_await sleep_in_sim(c, Duration::millis(100));
+    const Ptr in = mem.alloc_cstr("ping!");
+    const Ptr out = mem.alloc(64);
+    const Ptr n = mem.alloc(4);
+    ok = co_await k.call(c, Fn::CallNamedPipeA, mem.alloc_cstr(kPipeName).addr, in.addr,
+                         5, out.addr, 64, n.addr, 5000);
+    if (ok != 0) reply = mem.read_bytes(out, mem.read_u32(n));
+  });
+  w.m.start_process("server.exe", "server.exe");
+  w.m.start_process("client.exe", "client.exe");
+  w.run_for(Duration::seconds(30));
+  EXPECT_EQ(ok, 1u);
+  EXPECT_EQ(reply, "ping!");
+}
+
+TEST(NamedPipe, CallNamedPipeMissingPipe) {
+  PipeWorld w;
+  Word ok = 99, error = 0;
+  w.m.register_program("client.exe", [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    auto& mem = c.process->mem();
+    const Ptr in = mem.alloc_cstr("x");
+    const Ptr out = mem.alloc(16);
+    ok = co_await k.call(c, Fn::CallNamedPipeA, mem.alloc_cstr("\\\\.\\pipe\\no").addr,
+                         in.addr, 1, out.addr, 16, 0, 100);
+    error = co_await k.call(c, Fn::GetLastError);
+  });
+  w.m.start_process("client.exe", "client.exe");
+  w.run_for(Duration::seconds(5));
+  EXPECT_EQ(ok, 0u);
+  EXPECT_EQ(error, to_dword(Win32Error::kFileNotFound));
+}
+
+TEST(NamedPipe, NamedObjectsShareAcrossProcesses) {
+  // The machine-wide named-object namespace: an event created in one process
+  // is opened and signaled from another.
+  PipeWorld w;
+  Word wait_result = 99;
+  w.m.register_program("waiter.exe", [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    const Word ev = co_await k.call(c, Fn::CreateEventA, 0, 1, 0,
+                                    c.process->mem().alloc_cstr("Global\\Go").addr);
+    wait_result = co_await k.call(c, Fn::WaitForSingleObject, ev, 30000);
+  });
+  w.m.register_program("signaler.exe", [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    co_await sleep_in_sim(c, Duration::millis(200));
+    const Word ev = co_await k.call(c, Fn::OpenEventA, 0, 0,
+                                    c.process->mem().alloc_cstr("Global\\Go").addr);
+    EXPECT_NE(ev, 0u);
+    (void)co_await k.call(c, Fn::SetEvent, ev);
+    co_await sleep_in_sim(c, Duration::seconds(60));  // keep our handle alive
+  });
+  w.m.start_process("waiter.exe", "waiter.exe");
+  w.m.start_process("signaler.exe", "signaler.exe");
+  w.run_for(Duration::seconds(10));
+  EXPECT_EQ(wait_result, kWaitObject0);
+}
+
+}  // namespace
+}  // namespace dts::nt

@@ -1,0 +1,405 @@
+// Tests for the simulated NT kernel: processes, threads, syscalls, crash
+// semantics, kernel objects, pipes, SCM, and the event log.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ntsim/kernel.h"
+#include "ntsim/kernel32.h"
+#include "ntsim/scm.h"
+#include "sim/simulation.h"
+
+namespace dts::nt {
+namespace {
+
+using sim::Duration;
+
+struct World {
+  sim::Simulation simu{42};
+  Machine m{simu, MachineConfig{.name = "target", .cpu_scale = 1.0}};
+};
+
+// Convenience: run one program to completion and return its exit record.
+ProcessExitRecord run_program(World& w, Machine::ProgramMain main_fn,
+                              Duration limit = Duration::seconds(600)) {
+  w.m.register_program("test.exe", std::move(main_fn));
+  const Pid pid = w.m.start_process("test.exe", "test.exe");
+  EXPECT_NE(pid, 0u);
+  w.simu.run_until(w.simu.now() + limit);
+  for (const auto& rec : w.m.exit_history()) {
+    if (rec.pid == pid) return rec;
+  }
+  ADD_FAILURE() << "process did not exit within the time limit";
+  return {};
+}
+
+TEST(Kernel, ProgramRunsAndExits) {
+  World w;
+  int steps = 0;
+  auto rec = run_program(w, [&](Ctx c) -> sim::Task {
+    ++steps;
+    co_await sleep_in_sim(c, Duration::millis(5));
+    ++steps;
+  });
+  EXPECT_EQ(steps, 2);
+  EXPECT_EQ(rec.exit_code, 0u);
+  EXPECT_EQ(w.m.live_processes(), 0u);
+}
+
+TEST(Kernel, SyscallsChargeTime) {
+  World w;
+  sim::Duration elapsed{};
+  run_program(w, [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    const auto t0 = c.m().sim().now();
+    for (int i = 0; i < 10; ++i) (void)co_await k.call(c, Fn::GetCurrentProcessId);
+    elapsed = c.m().sim().now() - t0;
+  });
+  EXPECT_GE(elapsed, Kernel32::kBaseCost * 10);
+}
+
+TEST(Kernel, AccessViolationCrashesProcess) {
+  World w;
+  auto rec = run_program(w, [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    // GetStartupInfoA writes through the pointer in user mode: corrupted
+    // pointer = crash.
+    (void)co_await k.call(c, Fn::GetStartupInfoA, 0);
+    ADD_FAILURE() << "should have crashed";
+  });
+  EXPECT_EQ(rec.exit_code, kExitCodeAccessViolation);
+  EXPECT_EQ(w.m.crashes_of("test.exe"), 1u);
+}
+
+TEST(Kernel, BadHandleIsErrorNotCrash) {
+  World w;
+  Word result = 99;
+  Word error = 0;
+  auto rec = run_program(w, [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    result = co_await k.call(c, Fn::SetEvent, 0x12345678);
+    error = co_await k.call(c, Fn::GetLastError);
+  });
+  EXPECT_EQ(result, 0u);
+  EXPECT_EQ(error, to_dword(Win32Error::kInvalidHandle));
+  EXPECT_EQ(rec.exit_code, 0u);
+}
+
+TEST(Kernel, EventSignalsAcrossThreads) {
+  World w;
+  std::vector<int> order;
+  run_program(w, [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    const Word ev = co_await k.call(c, Fn::CreateEventA, 0, 1, 0, 0);
+    EXPECT_NE(ev, 0u);
+
+    const Word routine = c.process->register_routine(
+        [&, ev](Ctx tc, Word) -> sim::Task {
+          co_await sleep_in_sim(tc, Duration::millis(50));
+          order.push_back(1);
+          (void)co_await tc.m().k32().call(tc, Fn::SetEvent, ev);
+        });
+    const Word th = co_await k.call(c, Fn::CreateThread, 0, 0, routine, 0, 0, 0);
+    EXPECT_NE(th, 0u);
+
+    const Word r = co_await k.call(c, Fn::WaitForSingleObject, ev, kInfinite);
+    EXPECT_EQ(r, kWaitObject0);
+    order.push_back(2);
+    (void)co_await k.call(c, Fn::WaitForSingleObject, th, kInfinite);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Kernel, WaitTimesOut) {
+  World w;
+  Word r = 0;
+  sim::Duration waited{};
+  run_program(w, [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    const Word ev = co_await k.call(c, Fn::CreateEventA, 0, 1, 0, 0);
+    const auto t0 = c.m().sim().now();
+    r = co_await k.call(c, Fn::WaitForSingleObject, ev, 200);
+    waited = c.m().sim().now() - t0;
+  });
+  EXPECT_EQ(r, kWaitTimeout);
+  EXPECT_GE(waited, Duration::millis(200));
+  EXPECT_LT(waited, Duration::millis(400));
+}
+
+TEST(Kernel, CorruptedThreadStartAddressCrashes) {
+  World w;
+  auto rec = run_program(w, [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    // A corrupted lpStartAddress creates a thread that faults immediately,
+    // taking the process down.
+    (void)co_await k.call(c, Fn::CreateThread, 0, 0, 0xDEAD0000, 0, 0, 0);
+    co_await sleep_in_sim(c, Duration::seconds(10));
+  });
+  EXPECT_EQ(rec.exit_code, kExitCodeAccessViolation);
+}
+
+TEST(Kernel, ParentWaitsOnChildProcess) {
+  World w;
+  w.m.register_program("child.exe", [](Ctx c) -> sim::Task {
+    co_await sleep_in_sim(c, Duration::millis(100));
+    (void)co_await c.m().k32().call(c, Fn::ExitProcess, 7);
+  });
+  Word exit_code = 999;
+  run_program(w, [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    const Ptr cmd = c.process->mem().alloc_cstr("child.exe");
+    const Ptr pi = c.process->mem().alloc(16);
+    const Word ok = co_await k.call(c, Fn::CreateProcessA, 0, cmd.addr, 0, 0, 0,
+                                    0, 0, 0, 0, pi.addr);
+    EXPECT_EQ(ok, 1u);
+    const Word h_child = c.process->mem().read_u32(pi);
+    const Word r = co_await k.call(c, Fn::WaitForSingleObject, h_child, kInfinite);
+    EXPECT_EQ(r, kWaitObject0);
+    const Ptr code_out = c.process->mem().alloc(4);
+    (void)co_await k.call(c, Fn::GetExitCodeProcess, h_child, code_out.addr);
+    exit_code = c.process->mem().read_u32(code_out);
+  });
+  EXPECT_EQ(exit_code, 7u);
+}
+
+TEST(Kernel, TerminateProcessKillsTarget) {
+  World w;
+  w.m.register_program("victim.exe", [](Ctx c) -> sim::Task {
+    co_await sleep_in_sim(c, Duration::seconds(1000));  // would run forever
+  });
+  run_program(w, [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    const Ptr cmd = c.process->mem().alloc_cstr("victim.exe");
+    const Ptr pi = c.process->mem().alloc(16);
+    EXPECT_EQ(co_await k.call(c, Fn::CreateProcessA, 0, cmd.addr, 0, 0, 0, 0, 0, 0, 0, pi.addr),
+              1u);
+    const Word h = c.process->mem().read_u32(pi);
+    EXPECT_EQ(co_await k.call(c, Fn::TerminateProcess, h, 42), 1u);
+    EXPECT_EQ(co_await k.call(c, Fn::WaitForSingleObject, h, 5000), kWaitObject0);
+  });
+  EXPECT_EQ(w.m.live_processes(), 0u);
+}
+
+TEST(Kernel, PipesCarryDataBetweenProcesses) {
+  World w;
+  std::string received;
+  run_program(w, [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    auto& mem = c.process->mem();
+    const Ptr handles = mem.alloc(8);
+    EXPECT_EQ(co_await k.call(c, Fn::CreatePipe, handles.addr, handles.addr + 4, 0, 0), 1u);
+    const Word h_read = mem.read_u32(handles);
+    const Word h_write = mem.read_u32(handles.offset(4));
+
+    const Ptr msg = mem.alloc_cstr("through the pipe");
+    EXPECT_EQ(co_await k.call(c, Fn::WriteFile, h_write, msg.addr, 16, 0, 0), 1u);
+    (void)co_await k.call(c, Fn::CloseHandle, h_write);
+
+    const Ptr buf = mem.alloc(64);
+    const Ptr n_out = mem.alloc(4);
+    EXPECT_EQ(co_await k.call(c, Fn::ReadFile, h_read, buf.addr, 64, n_out.addr, 0), 1u);
+    received = mem.read_bytes(buf, mem.read_u32(n_out));
+
+    // After the writer closed, the next read reports a broken pipe.
+    EXPECT_EQ(co_await k.call(c, Fn::ReadFile, h_read, buf.addr, 64, n_out.addr, 0), 0u);
+    EXPECT_EQ(co_await k.call(c, Fn::GetLastError),
+              to_dword(Win32Error::kBrokenPipe));
+  });
+  EXPECT_EQ(received, "through the pipe");
+}
+
+TEST(Kernel, FileRoundTripThroughSyscalls) {
+  World w;
+  w.m.fs().put_file("C:\\data\\in.txt", "file contents here");
+  std::string read_back;
+  run_program(w, [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    auto& mem = c.process->mem();
+    const Ptr name = mem.alloc_cstr("C:\\data\\in.txt");
+    const Word h = co_await k.call(c, Fn::CreateFileA, name.addr, kGenericRead, 0,
+                                   0, kOpenExisting, 0, 0);
+    EXPECT_NE(h, kInvalidHandleValue);
+    const Word size = co_await k.call(c, Fn::GetFileSize, h, 0);
+    const Ptr buf = mem.alloc(size);
+    const Ptr n_out = mem.alloc(4);
+    EXPECT_EQ(co_await k.call(c, Fn::ReadFile, h, buf.addr, size, n_out.addr, 0), 1u);
+    read_back = mem.read_bytes(buf, mem.read_u32(n_out));
+    (void)co_await k.call(c, Fn::CloseHandle, h);
+  });
+  EXPECT_EQ(read_back, "file contents here");
+}
+
+TEST(Kernel, CorruptedSleepParameterHangsThread) {
+  World w;
+  bool reached_end = false;
+  w.m.register_program("test.exe", [&](Ctx c) -> sim::Task {
+    // Sleep with all bits set = INFINITE: the thread hangs forever.
+    (void)co_await c.m().k32().call(c, Fn::Sleep, 0xFFFFFFFF);
+    reached_end = true;
+  });
+  const Pid pid = w.m.start_process("test.exe", "test.exe");
+  w.simu.run_until(w.simu.now() + Duration::seconds(3600));
+  EXPECT_FALSE(reached_end);
+  EXPECT_TRUE(w.m.alive(pid));  // hung, not dead
+}
+
+TEST(Kernel, MutexAbandonedOnCrash) {
+  World w;
+  Word wait_result = 0;
+  w.m.register_program("holder.exe", [](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    const Ptr name = c.process->mem().alloc_cstr("Global\\TestMutex");
+    (void)co_await k.call(c, Fn::CreateMutexA, 0, 1, name.addr);
+    co_await sleep_in_sim(c, Duration::millis(100));
+    throw AccessViolation{0xBAD, false};  // crash while holding the mutex
+  });
+  run_program(w, [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    c.m().start_process("holder.exe", "holder.exe");
+    co_await sleep_in_sim(c, Duration::millis(20));
+    const Ptr name = c.process->mem().alloc_cstr("Global\\TestMutex");
+    const Word h = co_await k.call(c, Fn::OpenMutexA, 0, 0, name.addr);
+    EXPECT_NE(h, 0u);
+    wait_result = co_await k.call(c, Fn::WaitForSingleObject, h, 10000);
+  });
+  EXPECT_EQ(wait_result, kWaitAbandoned);
+}
+
+TEST(Kernel, TlsPerThreadValues) {
+  World w;
+  Word main_val = 0, thread_val = 0;
+  run_program(w, [&](Ctx c) -> sim::Task {
+    auto& k = c.m().k32();
+    const Word slot = co_await k.call(c, Fn::TlsAlloc);
+    (void)co_await k.call(c, Fn::TlsSetValue, slot, 111);
+    const Word done = co_await k.call(c, Fn::CreateEventA, 0, 1, 0, 0);
+    const Word routine = c.process->register_routine(
+        [&, slot, done](Ctx tc, Word) -> sim::Task {
+          auto& tk = tc.m().k32();
+          (void)co_await tk.call(tc, Fn::TlsSetValue, slot, 222);
+          thread_val = co_await tk.call(tc, Fn::TlsGetValue, slot);
+          (void)co_await tk.call(tc, Fn::SetEvent, done);
+        });
+    (void)co_await k.call(c, Fn::CreateThread, 0, 0, routine, 0, 0, 0);
+    (void)co_await k.call(c, Fn::WaitForSingleObject, done, kInfinite);
+    main_val = co_await k.call(c, Fn::TlsGetValue, slot);
+  });
+  EXPECT_EQ(main_val, 111u);
+  EXPECT_EQ(thread_val, 222u);
+}
+
+// ---------------------------------------------------------------- SCM
+
+struct ScmWorld : World {
+  ScmWorld() {
+    m.register_program("svc.exe", [](Ctx c) -> sim::Task {
+      co_await sleep_in_sim(c, Duration::millis(500));  // init work
+      c.m().scm().set_service_status(c.process->pid(), ServiceState::kRunning);
+      co_await sleep_in_sim(c, Duration::seconds(1000000));  // serve forever
+    });
+    m.scm().register_service(ServiceConfig{
+        .name = "TestSvc",
+        .image = "svc.exe",
+        .command_line = "svc.exe",
+        .start_wait_hint = Duration::seconds(30),
+    });
+  }
+};
+
+TEST(Scm, StartReachesRunning) {
+  ScmWorld w;
+  EXPECT_EQ(w.m.scm().start_service("TestSvc"), Win32Error::kSuccess);
+  EXPECT_EQ(w.m.scm().query("TestSvc")->state, ServiceState::kStartPending);
+  EXPECT_TRUE(w.m.scm().database_locked());
+  w.simu.run_until(w.simu.now() + Duration::seconds(2));
+  EXPECT_EQ(w.m.scm().query("TestSvc")->state, ServiceState::kRunning);
+  EXPECT_FALSE(w.m.scm().database_locked());
+  EXPECT_EQ(w.m.scm().starts(), 1u);
+}
+
+TEST(Scm, StartWhileLockedIsDenied) {
+  ScmWorld w;
+  w.m.scm().register_service(ServiceConfig{"Other", "svc.exe", "svc.exe",
+                                           Duration::seconds(30)});
+  EXPECT_EQ(w.m.scm().start_service("TestSvc"), Win32Error::kSuccess);
+  // While TestSvc is StartPending, the database is locked for everyone.
+  EXPECT_EQ(w.m.scm().start_service("Other"), Win32Error::kServiceDatabaseLocked);
+  EXPECT_EQ(w.m.scm().start_service("TestSvc"), Win32Error::kServiceDatabaseLocked);
+  w.simu.run_until(w.simu.now() + Duration::seconds(2));
+  EXPECT_EQ(w.m.scm().start_service("Other"), Win32Error::kSuccess);
+}
+
+TEST(Scm, CrashWhileRunningDropsToStopped) {
+  ScmWorld w;
+  w.m.scm().start_service("TestSvc");
+  w.simu.run_until(w.simu.now() + Duration::seconds(2));
+  const Pid pid = w.m.scm().query("TestSvc")->pid;
+  w.m.request_process_exit(pid, kExitCodeAccessViolation, "injected crash");
+  w.simu.run_until(w.simu.now() + Duration::millis(10));
+  EXPECT_EQ(w.m.scm().query("TestSvc")->state, ServiceState::kStopped);
+  // The crash is visible in the event log.
+  EXPECT_EQ(w.m.event_log().count("Service Control Manager", 7031), 1u);
+}
+
+TEST(Scm, DeathDuringStartPendingHoldsLockUntilHintExpires) {
+  // The paper's key SCM behaviour: a service dying right after start leaves
+  // the SCM in StartPending (database locked) until the wait hint expires.
+  ScmWorld w;
+  w.m.register_program("dies.exe", [](Ctx c) -> sim::Task {
+    co_await sleep_in_sim(c, Duration::millis(50));
+    throw AccessViolation{0xBAD, false};
+  });
+  w.m.scm().register_service(ServiceConfig{"Dies", "dies.exe", "dies.exe",
+                                           Duration::seconds(30)});
+  EXPECT_EQ(w.m.scm().start_service("Dies"), Win32Error::kSuccess);
+  w.simu.run_until(w.simu.now() + Duration::seconds(5));
+  // Process is long dead, but the SCM still says StartPending and the
+  // database stays locked.
+  EXPECT_EQ(w.m.scm().query("Dies")->state, ServiceState::kStartPending);
+  EXPECT_TRUE(w.m.scm().database_locked());
+  EXPECT_EQ(w.m.scm().start_service("Dies"), Win32Error::kServiceDatabaseLocked);
+  // After the wait hint, the service drops to Stopped and the lock clears.
+  w.simu.run_until(w.simu.now() + Duration::seconds(30));
+  EXPECT_EQ(w.m.scm().query("Dies")->state, ServiceState::kStopped);
+  EXPECT_FALSE(w.m.scm().database_locked());
+  EXPECT_EQ(w.m.scm().start_service("Dies"), Win32Error::kSuccess);
+}
+
+TEST(Scm, HungStartIsKilledAtDeadline) {
+  ScmWorld w;
+  w.m.register_program("hang.exe", [](Ctx c) -> sim::Task {
+    co_await sleep_in_sim(c, Duration::seconds(1000000));  // never reports
+  });
+  w.m.scm().register_service(ServiceConfig{"Hang", "hang.exe", "hang.exe",
+                                           Duration::seconds(10)});
+  w.m.scm().start_service("Hang");
+  w.simu.run_until(w.simu.now() + Duration::seconds(15));
+  EXPECT_EQ(w.m.scm().query("Hang")->state, ServiceState::kStopped);
+  EXPECT_EQ(w.m.live_processes(), 0u);
+}
+
+TEST(Scm, ControlStopStopsService) {
+  ScmWorld w;
+  w.m.scm().start_service("TestSvc");
+  w.simu.run_until(w.simu.now() + Duration::seconds(2));
+  EXPECT_EQ(w.m.scm().control_stop("TestSvc"), Win32Error::kSuccess);
+  w.simu.run_until(w.simu.now() + Duration::millis(100));
+  EXPECT_EQ(w.m.scm().query("TestSvc")->state, ServiceState::kStopped);
+  EXPECT_EQ(w.m.scm().control_stop("TestSvc"), Win32Error::kServiceNotActive);
+}
+
+TEST(Scm, QueryExposesProcessWhileAlive) {
+  ScmWorld w;
+  w.m.scm().start_service("TestSvc");
+  w.simu.run_until(w.simu.now() + Duration::millis(100));
+  auto st = w.m.scm().query("TestSvc");
+  ASSERT_TRUE(st);
+  EXPECT_NE(st->process, nullptr);  // alive: handle available
+  w.m.request_process_exit(st->pid, 1, "test kill");
+  w.simu.run_until(w.simu.now() + Duration::millis(10));
+  EXPECT_EQ(w.m.scm().query("TestSvc")->process, nullptr);  // dead: no handle
+}
+
+}  // namespace
+}  // namespace dts::nt

@@ -1,0 +1,169 @@
+// Tests for the simulated network: connections, data transfer timing,
+// refusal when no listener exists, resets on process death.
+#include <gtest/gtest.h>
+
+#include "ntsim/kernel.h"
+#include "ntsim/netsim.h"
+
+namespace dts::nt {
+namespace {
+
+using sim::Duration;
+
+struct NetWorld {
+  sim::Simulation simu{7};
+  net::Network net{simu};  // must outlive the machines (see netsim.h)
+  Machine server{simu, MachineConfig{.name = "target", .cpu_scale = 1.0}};
+  Machine client{simu, MachineConfig{.name = "control", .cpu_scale = 1.0}};
+};
+
+TEST(Net, EchoAcrossMachines) {
+  NetWorld w;
+  std::string server_got, client_got;
+
+  w.server.register_program("server.exe", [&](Ctx c) -> sim::Task {
+    auto listener = w.net.listen("target", 80);
+    EXPECT_NE(listener, nullptr);
+    if (listener == nullptr) co_return;
+    auto sock = co_await listener->accept(c);
+    EXPECT_NE(sock, nullptr);
+    if (sock == nullptr) co_return;
+    auto req = co_await sock->recv(c, 1024);
+    EXPECT_TRUE(req.has_value());
+    if (!req) co_return;
+    server_got = *req;
+    sock->send("pong");
+    // Keep the socket open until the client reads.
+    co_await sleep_in_sim(c, Duration::seconds(1));
+  });
+  w.client.register_program("client.exe", [&](Ctx c) -> sim::Task {
+    co_await sleep_in_sim(c, Duration::millis(50));  // let the server listen
+    auto sock = co_await w.net.connect(c, "target", 80);
+    EXPECT_NE(sock, nullptr);
+    if (sock == nullptr) co_return;
+    sock->send("ping");
+    auto resp = co_await sock->recv(c, 1024, Duration::seconds(5));
+    EXPECT_TRUE(resp.has_value());
+    if (!resp) co_return;
+    client_got = *resp;
+  });
+
+  w.server.start_process("server.exe", "server.exe");
+  w.client.start_process("client.exe", "client.exe");
+  w.simu.run_until(w.simu.now() + Duration::seconds(10));
+  EXPECT_EQ(server_got, "ping");
+  EXPECT_EQ(client_got, "pong");
+}
+
+TEST(Net, ConnectionRefusedWithoutListener) {
+  NetWorld w;
+  bool refused = false;
+  sim::Duration elapsed{};
+  w.client.register_program("client.exe", [&](Ctx c) -> sim::Task {
+    const auto t0 = c.m().sim().now();
+    auto sock = co_await w.net.connect(c, "target", 80);
+    elapsed = c.m().sim().now() - t0;
+    refused = (sock == nullptr);
+  });
+  w.client.start_process("client.exe", "client.exe");
+  w.simu.run_until(w.simu.now() + Duration::seconds(5));
+  EXPECT_TRUE(refused);
+  EXPECT_LT(elapsed, Duration::millis(100));  // RST is fast, not a timeout
+}
+
+TEST(Net, TransferTimeScalesWithSize) {
+  NetWorld w;
+  sim::Duration small_time{}, large_time{};
+  w.server.register_program("server.exe", [&](Ctx c) -> sim::Task {
+    auto listener = w.net.listen("target", 80);
+    for (int i = 0; i < 2; ++i) {
+      auto sock = co_await listener->accept(c);
+      auto req = co_await sock->recv(c, 16);
+      const std::size_t size = *req == "S" ? 1000 : 115000;
+      sock->send(std::string(size, 'x'));
+      co_await sleep_in_sim(c, Duration::millis(200));
+    }
+  });
+  w.client.register_program("client.exe", [&](Ctx c) -> sim::Task {
+    co_await sleep_in_sim(c, Duration::millis(10));
+    for (const bool small : {true, false}) {
+      auto sock = co_await w.net.connect(c, "target", 80);
+      EXPECT_NE(sock, nullptr);
+      if (sock == nullptr) co_return;
+      const auto t0 = c.m().sim().now();
+      sock->send(small ? "S" : "L");
+      auto data = co_await sock->recv_exactly(c, small ? 1000 : 115000,
+                                              Duration::seconds(30));
+      EXPECT_TRUE(data.has_value());
+      if (!data) co_return;
+      (small ? small_time : large_time) = c.m().sim().now() - t0;
+    }
+  });
+  w.server.start_process("server.exe", "server.exe");
+  w.client.start_process("client.exe", "client.exe");
+  w.simu.run_until(w.simu.now() + Duration::seconds(60));
+  EXPECT_GT(large_time, small_time * 10);
+}
+
+TEST(Net, ServerCrashResetsClientConnection) {
+  NetWorld w;
+  bool got_eof = false;
+  Pid server_pid = 0;
+  w.server.register_program("server.exe", [&](Ctx c) -> sim::Task {
+    auto listener = w.net.listen("target", 80);
+    auto sock = co_await listener->accept(c);
+    // Crash mid-request: frames are destroyed, RAII closes the socket.
+    throw AccessViolation{0xBAD, false};
+  });
+  w.client.register_program("client.exe", [&](Ctx c) -> sim::Task {
+    co_await sleep_in_sim(c, Duration::millis(10));
+    auto sock = co_await w.net.connect(c, "target", 80);
+    EXPECT_NE(sock, nullptr);
+    if (sock == nullptr) co_return;
+    sock->send("GET / HTTP/1.0\r\n\r\n");
+    auto resp = co_await sock->recv(c, 1024, Duration::seconds(15));
+    got_eof = resp.has_value() && resp->empty();  // reset, not timeout
+  });
+  server_pid = w.server.start_process("server.exe", "server.exe");
+  w.client.start_process("client.exe", "client.exe");
+  w.simu.run_until(w.simu.now() + Duration::seconds(30));
+  EXPECT_FALSE(w.server.alive(server_pid));
+  EXPECT_TRUE(got_eof);
+}
+
+TEST(Net, ListenerDestructionFreesPort) {
+  NetWorld w;
+  {
+    auto l1 = w.net.listen("target", 8080);
+    ASSERT_NE(l1, nullptr);
+    EXPECT_EQ(w.net.listen("target", 8080), nullptr);  // in use
+    EXPECT_TRUE(w.net.port_open("target", 8080));
+  }
+  EXPECT_FALSE(w.net.port_open("target", 8080));
+  EXPECT_NE(w.net.listen("target", 8080), nullptr);
+}
+
+TEST(Net, RecvUntilFindsDelimiter) {
+  NetWorld w;
+  std::optional<std::string> line1, line2;
+  w.server.register_program("server.exe", [&](Ctx c) -> sim::Task {
+    auto listener = w.net.listen("target", 80);
+    auto sock = co_await listener->accept(c);
+    line1 = co_await sock->recv_until(c, "\r\n", 4096, Duration::seconds(5));
+    line2 = co_await sock->recv_until(c, "\r\n", 4096, Duration::seconds(5));
+  });
+  w.client.register_program("client.exe", [&](Ctx c) -> sim::Task {
+    co_await sleep_in_sim(c, Duration::millis(10));
+    auto sock = co_await w.net.connect(c, "target", 80);
+    sock->send("GET / HTTP/1.0\r\nHost: x\r\n");
+    co_await sleep_in_sim(c, Duration::seconds(1));
+  });
+  w.server.start_process("server.exe", "server.exe");
+  w.client.start_process("client.exe", "client.exe");
+  w.simu.run_until(w.simu.now() + Duration::seconds(10));
+  EXPECT_EQ(line1, "GET / HTTP/1.0\r\n");
+  EXPECT_EQ(line2, "Host: x\r\n");
+}
+
+}  // namespace
+}  // namespace dts::nt

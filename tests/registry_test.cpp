@@ -1,0 +1,99 @@
+// Tests for the simulated NT registry and its SCM integration.
+#include <gtest/gtest.h>
+
+#include "ntsim/kernel.h"
+#include "ntsim/registry.h"
+#include "ntsim/scm.h"
+
+namespace dts::nt {
+namespace {
+
+TEST(Registry, NormalizeKeys) {
+  EXPECT_EQ(Registry::normalize_key("HKLM\\SOFTWARE\\Test"), "HKLM\\SOFTWARE\\Test");
+  EXPECT_EQ(Registry::normalize_key("\\HKLM\\\\SOFTWARE\\"), "HKLM\\SOFTWARE");
+  EXPECT_EQ(Registry::normalize_key(""), std::nullopt);
+  EXPECT_EQ(Registry::normalize_key("\\\\\\"), std::nullopt);
+}
+
+TEST(Registry, StringAndDwordValues) {
+  Registry reg;
+  EXPECT_TRUE(reg.set_string("HKLM\\Software\\App", "Path", "C:\\App"));
+  EXPECT_TRUE(reg.set_dword("HKLM\\Software\\App", "Port", 8080));
+  EXPECT_EQ(reg.get_string("hklm\\software\\app", "path"), "C:\\App");  // case-insensitive
+  EXPECT_EQ(reg.get_dword("HKLM\\Software\\App", "Port"), 8080u);
+  // Type mismatch reads return nullopt.
+  EXPECT_EQ(reg.get_dword("HKLM\\Software\\App", "Path"), std::nullopt);
+  EXPECT_EQ(reg.get_string("HKLM\\Software\\App", "Port"), std::nullopt);
+  // Missing value / missing key.
+  EXPECT_EQ(reg.get_string("HKLM\\Software\\App", "Nope"), std::nullopt);
+  EXPECT_EQ(reg.get_string("HKLM\\Software\\Other", "Path"), std::nullopt);
+}
+
+TEST(Registry, CreateKeyCreatesParents) {
+  Registry reg;
+  EXPECT_TRUE(reg.create_key("HKLM\\A\\B\\C"));
+  EXPECT_TRUE(reg.key_exists("HKLM\\A"));
+  EXPECT_TRUE(reg.key_exists("HKLM\\A\\B"));
+  EXPECT_TRUE(reg.key_exists("hklm\\a\\b\\c"));
+  EXPECT_FALSE(reg.key_exists("HKLM\\A\\B\\C\\D"));
+}
+
+TEST(Registry, SubkeysAndValueNames) {
+  Registry reg;
+  reg.set_dword("HKLM\\Svc\\Alpha", "Start", 2);
+  reg.set_dword("HKLM\\Svc\\Beta", "Start", 3);
+  reg.set_string("HKLM\\Svc\\Alpha", "ImagePath", "a.exe");
+  reg.create_key("HKLM\\Svc\\Alpha\\Parameters");
+  EXPECT_EQ(reg.subkeys("HKLM\\Svc"), (std::vector<std::string>{"Alpha", "Beta"}));
+  EXPECT_EQ(reg.subkeys("HKLM\\Svc\\Alpha"), (std::vector<std::string>{"Parameters"}));
+  EXPECT_EQ(reg.value_names("HKLM\\Svc\\Alpha"),
+            (std::vector<std::string>{"ImagePath", "Start"}));
+}
+
+TEST(Registry, DeleteValueAndKeyRecursively) {
+  Registry reg;
+  reg.set_string("HKLM\\X\\Y", "v", "1");
+  reg.set_string("HKLM\\X\\Y\\Z", "w", "2");
+  EXPECT_TRUE(reg.delete_value("HKLM\\X\\Y", "v"));
+  EXPECT_FALSE(reg.delete_value("HKLM\\X\\Y", "v"));
+  EXPECT_TRUE(reg.delete_key("HKLM\\X\\Y"));
+  EXPECT_FALSE(reg.key_exists("HKLM\\X\\Y"));
+  EXPECT_FALSE(reg.key_exists("HKLM\\X\\Y\\Z"));  // recursive delete
+  EXPECT_TRUE(reg.key_exists("HKLM\\X"));
+  EXPECT_FALSE(reg.delete_key("HKLM\\X\\Y"));
+}
+
+TEST(Registry, OverwriteValue) {
+  Registry reg;
+  reg.set_string("HKLM\\K", "v", "old");
+  reg.set_string("HKLM\\K", "v", "new");
+  EXPECT_EQ(reg.get_string("HKLM\\K", "v"), "new");
+  // A dword can replace a string under the same name.
+  reg.set_dword("HKLM\\K", "v", 7);
+  EXPECT_EQ(reg.get_dword("HKLM\\K", "v"), 7u);
+}
+
+TEST(Registry, ScmMirrorsServiceDatabase) {
+  sim::Simulation simu{1};
+  Machine m{simu, MachineConfig{.name = "target"}};
+  m.scm().register_service(ServiceConfig{
+      .name = "W3SVC",
+      .image = "inetinfo.exe",
+      .command_line = "inetinfo.exe",
+      .start_wait_hint = sim::Duration::seconds(10),
+  });
+  const std::string key = "HKLM\\SYSTEM\\CurrentControlSet\\Services\\W3SVC";
+  EXPECT_EQ(m.registry().get_string(key, "ImagePath"), "inetinfo.exe");
+  EXPECT_EQ(m.registry().get_dword(key, "Start"), 2u);
+  EXPECT_EQ(m.registry().get_dword(key, "WaitHint"), 10000u);
+
+  // Middleware switches propagate into the registry mirror.
+  m.scm().append_service_switch("W3SVC", "/cluster");
+  EXPECT_EQ(m.registry().get_string(key, "CommandLine"), "inetinfo.exe /cluster");
+  // The services key lists the service.
+  const auto services = m.registry().subkeys("HKLM\\SYSTEM\\CurrentControlSet\\Services");
+  EXPECT_EQ(services, (std::vector<std::string>{"W3SVC"}));
+}
+
+}  // namespace
+}  // namespace dts::nt

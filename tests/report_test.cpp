@@ -1,0 +1,178 @@
+// Deterministic tests of the report renderers using hand-built campaign
+// results (no simulation runs): percentage math, weighted merges, the
+// common-fault filter, and the Fig. 4 timing rows.
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace dts::core {
+namespace {
+
+RunResult make_run(const std::string& target_image, const std::string& fault_id,
+                   Outcome outcome, double seconds, int restarts = 0, int retries = 0,
+                   bool activated = true, bool response = false) {
+  RunResult r;
+  r.fault = *inject::parse_fault_id(target_image, fault_id);
+  r.activated = activated;
+  r.outcome = outcome;
+  r.response_time = sim::Duration::from_seconds(seconds);
+  r.restarts = restarts;
+  r.retries = retries;
+  r.client_finished = true;
+  r.response_received = response;
+  return r;
+}
+
+WorkloadSetResult make_set(const std::string& workload, mw::MiddlewareKind m,
+                           std::vector<RunResult> runs) {
+  WorkloadSetResult s;
+  s.base_config.workload = workload_by_name(workload);
+  s.base_config.middleware = m;
+  s.runs = std::move(runs);
+  for (const auto& r : s.runs) {
+    if (r.activated) s.activated_functions.insert(r.fault.fn);
+  }
+  return s;
+}
+
+TEST(Report, PercentagesAndFailureSplit) {
+  auto s = make_set("IIS", mw::MiddlewareKind::kNone,
+                    {make_run("inetinfo.exe", "ReadFile.hFile#1:zero",
+                              Outcome::kNormalSuccess, 19.0),
+                     make_run("inetinfo.exe", "ReadFile.hFile#1:ones",
+                              Outcome::kFailure, 50.0, 0, 4, true, /*response=*/true),
+                     make_run("inetinfo.exe", "ReadFile.hFile#1:flip",
+                              Outcome::kFailure, 150.0, 0, 4, true, /*response=*/false),
+                     make_run("inetinfo.exe", "ReadFile.lpBuffer#1:zero",
+                              Outcome::kRetrySuccess, 37.0, 0, 1),
+                     // Not activated: excluded from every denominator.
+                     make_run("inetinfo.exe", "Sleep.dwMilliseconds#1:ones",
+                              Outcome::kNormalSuccess, 19.0, 0, 0, /*activated=*/false)});
+  EXPECT_EQ(s.activated_faults(), 4u);
+  EXPECT_DOUBLE_EQ(s.percent(Outcome::kFailure), 50.0);
+  EXPECT_DOUBLE_EQ(s.percent(Outcome::kNormalSuccess), 25.0);
+  EXPECT_DOUBLE_EQ(s.percent(Outcome::kRetrySuccess), 25.0);
+  EXPECT_EQ(s.failures_with_response(), 1u);
+  EXPECT_EQ(s.failures_without_response(), 1u);
+  EXPECT_EQ(s.label(), "IIS/none");
+}
+
+TEST(Report, WeightedMergeMatchesPaperDefinition) {
+  // "The Apache1 and Apache2 results are weighted based on the relative
+  // number of activated faults": merging counts and dividing by the merged
+  // activated total is exactly that weighting.
+  auto a1 = make_set("Apache1", mw::MiddlewareKind::kNone,
+                     {make_run("apache.exe", "CloseHandle.hObject#1:zero",
+                               Outcome::kFailure, 150.0),
+                      make_run("apache.exe", "CloseHandle.hObject#1:ones",
+                               Outcome::kNormalSuccess, 14.0)});
+  std::vector<RunResult> worker_runs;
+  for (int i = 0; i < 6; ++i) {
+    worker_runs.push_back(make_run("apache_child.exe",
+                                   i % 2 == 0 ? "ReadFile.hFile#1:zero"
+                                              : "ReadFile.hFile#1:ones",
+                                   Outcome::kNormalSuccess, 14.0));
+  }
+  auto a2 = make_set("Apache2", mw::MiddlewareKind::kNone, std::move(worker_runs));
+
+  const WorkloadSetResult* both[] = {&a1, &a2};
+  const OutcomeDistribution merged = merge_distributions(both);
+  EXPECT_EQ(merged.activated, 8u);
+  // 1 failure of 8 activated = 12.5% — a1 alone would say 50%.
+  EXPECT_DOUBLE_EQ(merged.percent(Outcome::kFailure), 12.5);
+}
+
+TEST(Report, CommonFaultFilterUsesFunctionParamType) {
+  // Same function/parameter/type on different images is the SAME fault for
+  // Table 2's comparison; a different corruption type is not.
+  auto a = *inject::parse_fault_id("apache.exe", "ReadFile.hFile#1:zero");
+  auto b = *inject::parse_fault_id("inetinfo.exe", "ReadFile.hFile#1:zero");
+  auto c = *inject::parse_fault_id("inetinfo.exe", "ReadFile.hFile#1:flip");
+  EXPECT_EQ(fault_key(a), fault_key(b));
+  EXPECT_NE(fault_key(a), fault_key(c));
+}
+
+TEST(Report, Table2RestrictsToCommonFaults) {
+  // Apache1 activates {CloseHandle.zero}; Apache2 {ReadFile.zero};
+  // IIS {ReadFile.zero, Sleep.ones}. Common = {ReadFile.zero} only.
+  auto a1 = make_set("Apache1", mw::MiddlewareKind::kNone,
+                     {make_run("apache.exe", "CloseHandle.hObject#1:zero",
+                               Outcome::kFailure, 150.0)});
+  auto a2 = make_set("Apache2", mw::MiddlewareKind::kNone,
+                     {make_run("apache_child.exe", "ReadFile.hFile#1:zero",
+                               Outcome::kRetrySuccess, 37.0, 0, 1)});
+  auto iis = make_set("IIS", mw::MiddlewareKind::kNone,
+                      {make_run("inetinfo.exe", "ReadFile.hFile#1:zero",
+                                Outcome::kFailure, 150.0),
+                       make_run("inetinfo.exe", "Sleep.dwMilliseconds#1:ones",
+                                Outcome::kFailure, 150.0)});
+  std::vector<WorkloadSetResult> sets{a1, a2, iis};
+  const std::string table = table2_common_faults(sets);
+  // Apache1 contributes no common faults; Apache2 contributes 1 (retry);
+  // IIS is 1/1 failure on the common set (the Sleep fault is excluded).
+  EXPECT_NE(table.find("Apache1+Apache2"), std::string::npos);
+  // Row: "none  Apache1  0 ..." — activated 0 for Apache1.
+  const auto a1_row = table.find("Apache1 ");
+  ASSERT_NE(a1_row, std::string::npos);
+  EXPECT_NE(table.substr(a1_row, 40).find(" 0 "), std::string::npos);
+  // IIS 100% failure on the single common fault.
+  const auto iis_row = table.find("\nnone      IIS");
+  ASSERT_NE(iis_row, std::string::npos);
+  EXPECT_NE(table.substr(iis_row, 80).find("100.00%"), std::string::npos);
+}
+
+TEST(Report, TimingRowsSplitFailuresAndOmitNoResponse) {
+  auto s = make_set("IIS", mw::MiddlewareKind::kMscs,
+                    {make_run("inetinfo.exe", "ReadFile.hFile#1:zero",
+                              Outcome::kNormalSuccess, 19.0),
+                     make_run("inetinfo.exe", "ReadFile.hFile#1:ones",
+                              Outcome::kNormalSuccess, 21.0),
+                     make_run("inetinfo.exe", "ReadFile.hFile#1:flip",
+                              Outcome::kRestartSuccess, 29.0, 1),
+                     make_run("inetinfo.exe", "ReadFile.lpBuffer#1:zero",
+                              Outcome::kFailure, 44.0, 0, 4, true, /*response=*/true),
+                     make_run("inetinfo.exe", "ReadFile.lpBuffer#1:ones",
+                              Outcome::kFailure, 150.0, 0, 4, true, /*response=*/false)});
+  const auto rows = response_time_rows(s);
+  ASSERT_EQ(rows.size(), 3u);  // Normal, Restart, Failure(wrong response)
+  EXPECT_EQ(rows[0].outcome_label, "Normal");
+  EXPECT_EQ(rows[0].seconds.n, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].seconds.mean, 20.0);
+  EXPECT_EQ(rows[1].outcome_label, "Restart");
+  EXPECT_EQ(rows[2].outcome_label, "Failure (wrong response)");
+  EXPECT_EQ(rows[2].seconds.n, 1u);  // the no-response failure is omitted
+  EXPECT_DOUBLE_EQ(rows[2].seconds.mean, 44.0);
+}
+
+TEST(Report, CsvHasPerRequestColumns) {
+  auto run = make_run("inetinfo.exe", "ReadFile.hFile#1:zero", Outcome::kRetrySuccess,
+                      37.0, 0, 1);
+  RequestResult req1;
+  req1.ok = true;
+  req1.attempts = 2;
+  RequestResult req2;
+  req2.ok = true;
+  req2.attempts = 1;
+  run.requests = {req1, req2};
+  auto s = make_set("IIS", mw::MiddlewareKind::kNone, {run});
+  const std::string csv = runs_csv(s);
+  EXPECT_NE(csv.find("ok|ok"), std::string::npos);
+  EXPECT_NE(csv.find("2|1"), std::string::npos);
+}
+
+TEST(Report, Fig5FiltersToWatchdSets) {
+  auto watchd = make_set("SQL", mw::MiddlewareKind::kWatchd,
+                         {make_run("sqlservr.exe", "ReadFileEx.hFile#1:zero",
+                                   Outcome::kRestartSuccess, 48.0, 1)});
+  watchd.base_config.watchd_version = mw::WatchdVersion::kV2;
+  auto mscs = make_set("SQL", mw::MiddlewareKind::kMscs,
+                       {make_run("sqlservr.exe", "ReadFileEx.hFile#1:zero",
+                                 Outcome::kFailure, 150.0)});
+  std::vector<WorkloadSetResult> sets{watchd, mscs};
+  const std::string fig5 = fig5_watchd_versions(sets);
+  EXPECT_NE(fig5.find("SQL/Watchd2"), std::string::npos);
+  EXPECT_EQ(fig5.find("MSCS"), std::string::npos);  // non-watchd sets excluded
+}
+
+}  // namespace
+}  // namespace dts::core

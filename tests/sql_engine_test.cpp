@@ -1,0 +1,178 @@
+// Unit tests for the SQL engine substrate.
+#include <gtest/gtest.h>
+
+#include "apps/sql_engine.h"
+
+namespace dts::apps::sql {
+namespace {
+
+Database make_db() {
+  Database db;
+  EXPECT_TRUE(execute(db, "CREATE TABLE t (id INT, name TEXT, score INT)").ok);
+  EXPECT_TRUE(execute(db, "INSERT INTO t VALUES (1, 'alice', 90)").ok);
+  EXPECT_TRUE(execute(db, "INSERT INTO t VALUES (2, 'bob', 75)").ok);
+  EXPECT_TRUE(execute(db, "INSERT INTO t VALUES (3, 'carol', 90)").ok);
+  return db;
+}
+
+TEST(SqlLexer, BasicTokens) {
+  std::string err;
+  auto toks = lex("SELECT a, b FROM t WHERE x >= 10", &err);
+  ASSERT_TRUE(toks.has_value());
+  EXPECT_EQ((*toks)[0].text, "SELECT");
+  EXPECT_EQ((*toks)[2].text, ",");
+  EXPECT_EQ((*toks)[8].text, ">=");
+  EXPECT_EQ((*toks)[9].kind, Token::Kind::kNumber);
+  EXPECT_EQ(toks->back().kind, Token::Kind::kEnd);
+}
+
+TEST(SqlLexer, StringLiteralsWithEscapes) {
+  std::string err;
+  auto toks = lex("INSERT INTO t VALUES ('it''s')", &err);
+  ASSERT_TRUE(toks.has_value());
+  bool found = false;
+  for (const auto& t : *toks) {
+    if (t.kind == Token::Kind::kString) {
+      EXPECT_EQ(t.text, "it's");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SqlLexer, UnterminatedStringFails) {
+  std::string err;
+  EXPECT_FALSE(lex("SELECT 'oops", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(SqlLexer, NegativeNumbers) {
+  std::string err;
+  auto toks = lex("INSERT INTO t VALUES (-5)", &err);
+  ASSERT_TRUE(toks.has_value());
+  bool found = false;
+  for (const auto& t : *toks) {
+    if (t.kind == Token::Kind::kNumber) {
+      EXPECT_EQ(t.text, "-5");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SqlExec, CreateAndInsert) {
+  Database db = make_db();
+  const Table* t = db.find("T");  // case-insensitive
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->rows().size(), 3u);
+  EXPECT_FALSE(execute(db, "CREATE TABLE t (x INT)").ok);  // duplicate
+}
+
+TEST(SqlExec, SelectStar) {
+  Database db = make_db();
+  auto r = execute(db, "SELECT * FROM t");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.column_names, (std::vector<std::string>{"id", "name", "score"}));
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST(SqlExec, SelectWhereEquals) {
+  Database db = make_db();
+  auto r = execute(db, "SELECT name FROM t WHERE id = 2");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(to_string(r.rows[0][0]), "bob");
+}
+
+TEST(SqlExec, SelectWhereOperators) {
+  Database db = make_db();
+  EXPECT_EQ(execute(db, "SELECT id FROM t WHERE score > 80").rows.size(), 2u);
+  EXPECT_EQ(execute(db, "SELECT id FROM t WHERE score >= 75").rows.size(), 3u);
+  EXPECT_EQ(execute(db, "SELECT id FROM t WHERE score < 80").rows.size(), 1u);
+  EXPECT_EQ(execute(db, "SELECT id FROM t WHERE score <> 90").rows.size(), 1u);
+  EXPECT_EQ(execute(db, "SELECT id FROM t WHERE name = 'alice'").rows.size(), 1u);
+}
+
+TEST(SqlExec, OrderBy) {
+  Database db = make_db();
+  auto r = execute(db, "SELECT name FROM t ORDER BY score DESC");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.rows.size(), 3u);
+  // Stable sort: alice (90) before carol (90), bob (75) last.
+  EXPECT_EQ(to_string(r.rows[0][0]), "alice");
+  EXPECT_EQ(to_string(r.rows[1][0]), "carol");
+  EXPECT_EQ(to_string(r.rows[2][0]), "bob");
+}
+
+TEST(SqlExec, DeleteAndUpdate) {
+  Database db = make_db();
+  auto del = execute(db, "DELETE FROM t WHERE score = 90");
+  EXPECT_TRUE(del.ok);
+  EXPECT_EQ(del.affected, 2u);
+  EXPECT_EQ(execute(db, "SELECT * FROM t").rows.size(), 1u);
+
+  auto upd = execute(db, "UPDATE t SET score = 80 WHERE id = 2");
+  EXPECT_TRUE(upd.ok);
+  EXPECT_EQ(upd.affected, 1u);
+  EXPECT_EQ(to_string(execute(db, "SELECT score FROM t WHERE id = 2").rows[0][0]), "80");
+}
+
+TEST(SqlExec, DropTable) {
+  Database db = make_db();
+  EXPECT_TRUE(execute(db, "DROP TABLE t").ok);
+  EXPECT_FALSE(execute(db, "SELECT * FROM t").ok);
+}
+
+TEST(SqlExec, Errors) {
+  Database db = make_db();
+  EXPECT_FALSE(execute(db, "SELECT * FROM missing").ok);
+  EXPECT_FALSE(execute(db, "SELECT bogus FROM t").ok);
+  EXPECT_FALSE(execute(db, "INSERT INTO t VALUES ('wrong', 1, 2)").ok);  // type
+  EXPECT_FALSE(execute(db, "INSERT INTO t VALUES (1)").ok);              // arity
+  EXPECT_FALSE(execute(db, "SELEC * FROM t").ok);                        // typo
+  EXPECT_FALSE(execute(db, "SELECT * FROM t WHERE id ~ 3").ok);          // bad op
+}
+
+TEST(SqlExec, TypeMismatchInWhere) {
+  Database db = make_db();
+  EXPECT_FALSE(execute(db, "SELECT * FROM t WHERE id = 'one'").ok);
+  EXPECT_FALSE(execute(db, "SELECT * FROM t WHERE name = 42").ok);
+}
+
+TEST(SqlSerialize, RoundTrip) {
+  Database db = make_db();
+  const std::string image = db.serialize();
+  auto restored = Database::deserialize(image);
+  ASSERT_TRUE(restored.has_value());
+  auto r = execute(*restored, "SELECT name FROM t WHERE id = 3");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(to_string(r.rows[0][0]), "carol");
+}
+
+TEST(SqlSerialize, CorruptImageRejected) {
+  EXPECT_FALSE(Database::deserialize("garbage\n").has_value());
+  EXPECT_FALSE(Database::deserialize(std::string(4096, '\0')).has_value());
+  // Row with wrong arity.
+  EXPECT_FALSE(Database::deserialize("T\tt\ta:int\nR\t1\t2\n").has_value());
+  // Non-numeric int field.
+  EXPECT_FALSE(Database::deserialize("T\tt\ta:int\nR\tx\n").has_value());
+}
+
+TEST(SqlResult, TextFormats) {
+  Database db = make_db();
+  auto ok = execute(db, "SELECT id FROM t WHERE id = 1");
+  const std::string text = ok.to_text();
+  EXPECT_NE(text.find("COLS\tid"), std::string::npos);
+  EXPECT_NE(text.find("ROW\t1"), std::string::npos);
+  EXPECT_NE(text.find("DONE 1"), std::string::npos);
+
+  auto err = execute(db, "SELECT * FROM nope");
+  EXPECT_EQ(err.to_text().rfind("ERROR", 0), 0u);
+
+  auto ins = execute(db, "INSERT INTO t VALUES (9, 'x', 1)");
+  EXPECT_EQ(ins.to_text(), "OK 1\n");
+}
+
+}  // namespace
+}  // namespace dts::apps::sql

@@ -1,0 +1,65 @@
+// Tests for the statistics toolkit (Fig. 4's 95% confidence intervals).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.h"
+#include "stats/stats.h"
+
+namespace dts::stats {
+namespace {
+
+TEST(Stats, EmptyAndSingle) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  EXPECT_DOUBLE_EQ(summarize({}).mean, 0.0);
+  const Summary one = summarize({42.0});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 42.0);
+  EXPECT_DOUBLE_EQ(one.ci95_half, 0.0);  // no interval from one sample
+}
+
+TEST(Stats, KnownValues) {
+  const Summary s = summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 0.001);  // sample stddev
+  // CI half-width = t(7) * s / sqrt(8) = 2.365 * 2.138 / 2.828
+  EXPECT_NEAR(s.ci95_half, 2.365 * 2.138 / std::sqrt(8.0), 0.01);
+}
+
+TEST(Stats, TTableShape) {
+  EXPECT_NEAR(t_critical_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical_95(10), 2.228, 1e-3);
+  EXPECT_NEAR(t_critical_95(30), 2.042, 1e-3);
+  EXPECT_NEAR(t_critical_95(1000), 1.960, 1e-3);
+  // Monotone decreasing toward the normal asymptote.
+  for (std::size_t df = 2; df < 200; ++df) {
+    EXPECT_LE(t_critical_95(df), t_critical_95(df - 1));
+    EXPECT_GE(t_critical_95(df), 1.959);
+  }
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  Accumulator acc;
+  std::vector<double> xs;
+  sim::Rng rng{3};
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform01() * 100.0;
+    xs.push_back(v);
+    acc.add(v);
+  }
+  const Summary batch = summarize(xs);
+  const Summary inc = acc.summary();
+  EXPECT_EQ(batch.n, inc.n);
+  EXPECT_NEAR(batch.mean, inc.mean, 1e-9);
+  EXPECT_NEAR(batch.stddev, inc.stddev, 1e-9);
+}
+
+TEST(Stats, ConstantSamplesHaveZeroWidth) {
+  const Summary s = summarize({7, 7, 7, 7});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+}
+
+}  // namespace
+}  // namespace dts::stats

@@ -1,0 +1,290 @@
+// ntdts — the DTS command-line tool (the paper's ntDTS, minus the Java GUI).
+//
+// Usage:
+//   ntdts run <config.ini> [output-dir]     run a campaign from a config file
+//   ntdts profile <workload>                list a workload's activated functions
+//   ntdts faultlist <workload> [file]       generate a fault-list file
+//   ntdts single <workload> <fault-id> [middleware] [version]
+//                                           execute one fault-injection run
+//   ntdts report <campaign.dts>...          render saved campaigns as the
+//                                           paper-style tables
+//   ntdts workloads                         list built-in workloads
+//
+// `run` writes <output-dir>/results.csv (one line per fault-injection run),
+// <output-dir>/summary.txt (the outcome distribution), and
+// <output-dir>/campaign.dts (reloadable raw results).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/config.h"
+#include "core/report.h"
+#include "inject/fault_class.h"
+
+namespace {
+
+using namespace dts;
+
+int usage() {
+  std::cerr <<
+      "ntdts - Dependability Test Suite\n"
+      "\n"
+      "  ntdts run <config.ini> [output-dir]\n"
+      "  ntdts profile <workload>\n"
+      "  ntdts faultlist <workload> [file] [--class=<fault-class>]\n"
+      "  ntdts classes <workload>\n"
+      "  ntdts single <workload> <fault-id> [none|mscs|watchd] [1|2|3] [--trace]\n"
+      "  ntdts report <campaign.dts>...\n"
+      "  ntdts workloads\n";
+  return 2;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int cmd_report(int argc, char** argv) {
+  std::vector<core::WorkloadSetResult> sets;
+  for (int i = 2; i < argc; ++i) {
+    const auto text = read_file(argv[i]);
+    if (!text) {
+      std::cerr << "cannot read " << argv[i] << "\n";
+      return 2;
+    }
+    std::string error;
+    auto set = core::deserialize_workload_set(*text, &error);
+    if (!set) {
+      std::cerr << argv[i] << ": " << error << "\n";
+      return 2;
+    }
+    sets.push_back(std::move(*set));
+  }
+  std::cout << core::table1_activated_functions(sets) << "\n";
+  std::cout << core::fig2_outcome_table(sets) << "\n";
+  std::cout << core::fig4_response_times(sets) << "\n";
+  // The comparative tables render only when their workloads are present.
+  const std::string fig3 = core::fig3_apache_vs_iis(sets);
+  if (fig3.find("Apache") != std::string::npos &&
+      std::count(fig3.begin(), fig3.end(), '\n') > 2) {
+    std::cout << fig3 << "\n" << core::table2_common_faults(sets) << "\n";
+  }
+  return 0;
+}
+
+int cmd_workloads() {
+  for (const char* w : {"Apache1", "Apache2", "IIS", "SQL", "IIS-FTP"}) {
+    const core::WorkloadSpec spec = core::workload_by_name(w);
+    std::cout << spec.name << "\tservice=" << spec.service_name
+              << "\ttarget=" << spec.target_image << "\tport=" << spec.port << "\n";
+  }
+  return 0;
+}
+
+int cmd_profile(const std::string& workload) {
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name(workload);
+  const auto fns = core::profile_workload(cfg);
+  std::cout << "# " << fns.size() << " activated injectable KERNEL32 functions for "
+            << cfg.workload.name << "\n";
+  for (nt::Fn fn : fns) std::cout << nt::to_string(fn) << "\n";
+  return 0;
+}
+
+int cmd_classes(const std::string& workload) {
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name(workload);
+  const auto fns = core::profile_workload(cfg);
+  std::cout << "# system-independent fault classes activated by " << cfg.workload.name
+            << " (injection points per class)\n";
+  for (const auto& [cls, count] : inject::class_histogram(fns)) {
+    std::cout << inject::to_string(cls) << "\t" << count << "\n";
+  }
+  return 0;
+}
+
+int cmd_faultlist(const std::string& workload, const std::string& out_path,
+                  const std::string& class_name) {
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name(workload);
+  const auto fns = core::profile_workload(cfg);
+  inject::FaultList list;
+  if (!class_name.empty()) {
+    auto cls = inject::fault_class_from_string(class_name);
+    if (!cls) {
+      std::cerr << "unknown fault class '" << class_name << "'; known classes:\n";
+      for (auto c : inject::kAllFaultClasses) std::cerr << "  " << to_string(c) << "\n";
+      return 2;
+    }
+    list = inject::faults_for_class(cfg.workload.target_image, *cls, fns);
+  } else {
+    list = inject::FaultList::for_functions(cfg.workload.target_image, fns);
+  }
+  const std::string text = list.serialize();
+  if (out_path.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream out(out_path);
+    out << text;
+    std::cout << "wrote " << list.faults.size() << " faults to " << out_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_single(const std::string& workload, const std::string& fault_id,
+               const std::string& middleware, const std::string& version,
+               bool trace) {
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name(workload);
+  if (trace) cfg.trace_limit = 40;
+  if (middleware == "mscs") {
+    cfg.middleware = mw::MiddlewareKind::kMscs;
+  } else if (middleware == "watchd") {
+    cfg.middleware = mw::MiddlewareKind::kWatchd;
+  } else if (middleware != "none" && !middleware.empty()) {
+    std::cerr << "unknown middleware '" << middleware << "'\n";
+    return 2;
+  }
+  if (!version.empty()) {
+    cfg.watchd_version = static_cast<mw::WatchdVersion>(std::stoi(version));
+  }
+  auto fault = inject::parse_fault_id(cfg.workload.target_image, fault_id);
+  if (!fault) {
+    std::cerr << "bad fault id '" << fault_id << "'\n";
+    return 2;
+  }
+  cfg.seed = sim::Rng::mix(1, sim::Rng::hash(fault_id));
+  core::FaultInjectionRun run(cfg);
+  const core::RunResult r = run.execute(*fault);
+  std::cout << r.summary() << "\n";
+  if (trace) {
+    std::cout << "\n--- last " << run.interceptor().trace().size()
+              << " KERNEL32 calls of " << cfg.workload.target_image
+              << " (post-corruption) ---\n";
+    for (const auto& entry : run.interceptor().trace()) {
+      std::cout << "  " << entry.to_string() << "\n";
+    }
+  }
+  return r.outcome == core::Outcome::kFailure ? 1 : 0;
+}
+
+int cmd_run(const std::string& config_path, const std::string& out_dir) {
+  const auto text = read_file(config_path);
+  if (!text) {
+    std::cerr << "cannot read " << config_path << "\n";
+    return 2;
+  }
+  std::string error;
+  auto cfg = core::parse_config(*text, &error);
+  if (!cfg) {
+    std::cerr << config_path << ": " << error << "\n";
+    return 2;
+  }
+
+  // Explicit fault list, if configured.
+  std::optional<inject::FaultList> explicit_faults;
+  if (!cfg->fault_list_file.empty()) {
+    const auto list_text = read_file(cfg->fault_list_file);
+    if (!list_text) {
+      std::cerr << "cannot read fault list " << cfg->fault_list_file << "\n";
+      return 2;
+    }
+    explicit_faults =
+        inject::FaultList::parse(cfg->run.workload.target_image, *list_text, &error);
+    if (!explicit_faults) {
+      std::cerr << cfg->fault_list_file << ": " << error << "\n";
+      return 2;
+    }
+  }
+
+  cfg->campaign.on_progress = [](std::size_t done, std::size_t total) {
+    std::cerr << "\r" << done << "/" << total << " runs" << std::flush;
+    if (done == total) std::cerr << "\n";
+  };
+
+  core::WorkloadSetResult set;
+  if (explicit_faults) {
+    // Run exactly the listed faults.
+    set.base_config = cfg->run;
+    set.activated_functions = core::profile_workload(cfg->run, cfg->campaign.seed);
+    std::size_t done = 0;
+    for (const auto& fault : explicit_faults->faults) {
+      core::RunConfig rc = cfg->run;
+      rc.seed = sim::Rng::mix(cfg->campaign.seed, sim::Rng::hash(fault.id()));
+      set.runs.push_back(core::execute_run(rc, fault));
+      cfg->campaign.on_progress(++done, explicit_faults->faults.size());
+    }
+  } else {
+    set = core::run_workload_set(cfg->run, cfg->campaign);
+  }
+
+  std::filesystem::create_directories(out_dir);
+  {
+    std::ofstream out(out_dir + "/results.csv");
+    out << core::runs_csv(set);
+  }
+  {
+    std::ofstream out(out_dir + "/campaign.dts");
+    out << core::serialize_workload_set(set);
+  }
+  std::ostringstream summary;
+  summary << core::fig2_outcome_table({&set, 1});
+  summary << "\nActivated functions: " << set.activated_functions.size() << "\n";
+  {
+    std::ofstream out(out_dir + "/summary.txt");
+    out << summary.str();
+  }
+  std::cout << summary.str();
+  std::cout << "results written to " << out_dir << "/{results.csv, summary.txt, campaign.dts}\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "workloads") return cmd_workloads();
+    if (cmd == "profile" && argc >= 3) return cmd_profile(argv[2]);
+    if (cmd == "classes" && argc >= 3) return cmd_classes(argv[2]);
+    if (cmd == "faultlist" && argc >= 3) {
+      std::string out_path, class_name;
+      for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--class=", 0) == 0) {
+          class_name = a.substr(8);
+        } else {
+          out_path = a;
+        }
+      }
+      return cmd_faultlist(argv[2], out_path, class_name);
+    }
+    if (cmd == "single" && argc >= 4) {
+      std::vector<std::string> rest;
+      bool trace = false;
+      for (int i = 4; i < argc; ++i) {
+        if (std::string(argv[i]) == "--trace") {
+          trace = true;
+        } else {
+          rest.emplace_back(argv[i]);
+        }
+      }
+      return cmd_single(argv[2], argv[3], !rest.empty() ? rest[0] : "none",
+                        rest.size() > 1 ? rest[1] : "", trace);
+    }
+    if (cmd == "run" && argc >= 3) {
+      return cmd_run(argv[2], argc >= 4 ? argv[3] : "dts-results");
+    }
+    if (cmd == "report" && argc >= 3) return cmd_report(argc, argv);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "ntdts: " << e.what() << "\n";
+    return 2;
+  }
+}
