@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_iterations"
+  "../bench/ablation_iterations.pdb"
+  "CMakeFiles/ablation_iterations.dir/ablation_iterations.cpp.o"
+  "CMakeFiles/ablation_iterations.dir/ablation_iterations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_machine_speed"
+  "../bench/ablation_machine_speed.pdb"
+  "CMakeFiles/ablation_machine_speed.dir/ablation_machine_speed.cpp.o"
+  "CMakeFiles/ablation_machine_speed.dir/ablation_machine_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_machine_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multiprocess"
+  "../bench/ablation_multiprocess.pdb"
+  "CMakeFiles/ablation_multiprocess.dir/ablation_multiprocess.cpp.o"
+  "CMakeFiles/ablation_multiprocess.dir/ablation_multiprocess.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_watchd_heartbeat"
+  "../bench/ablation_watchd_heartbeat.pdb"
+  "CMakeFiles/ablation_watchd_heartbeat.dir/ablation_watchd_heartbeat.cpp.o"
+  "CMakeFiles/ablation_watchd_heartbeat.dir/ablation_watchd_heartbeat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_watchd_heartbeat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

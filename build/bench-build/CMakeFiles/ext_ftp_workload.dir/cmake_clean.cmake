@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_ftp_workload"
+  "../bench/ext_ftp_workload.pdb"
+  "CMakeFiles/ext_ftp_workload.dir/ext_ftp_workload.cpp.o"
+  "CMakeFiles/ext_ftp_workload.dir/ext_ftp_workload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ftp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

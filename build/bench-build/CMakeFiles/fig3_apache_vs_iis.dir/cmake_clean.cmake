@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_apache_vs_iis"
+  "../bench/fig3_apache_vs_iis.pdb"
+  "CMakeFiles/fig3_apache_vs_iis.dir/fig3_apache_vs_iis.cpp.o"
+  "CMakeFiles/fig3_apache_vs_iis.dir/fig3_apache_vs_iis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_apache_vs_iis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_response_times"
+  "../bench/fig4_response_times.pdb"
+  "CMakeFiles/fig4_response_times.dir/fig4_response_times.cpp.o"
+  "CMakeFiles/fig4_response_times.dir/fig4_response_times.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_response_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

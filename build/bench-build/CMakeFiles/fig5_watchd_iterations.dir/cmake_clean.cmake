@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_watchd_iterations"
+  "../bench/fig5_watchd_iterations.pdb"
+  "CMakeFiles/fig5_watchd_iterations.dir/fig5_watchd_iterations.cpp.o"
+  "CMakeFiles/fig5_watchd_iterations.dir/fig5_watchd_iterations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_watchd_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_activated_functions"
+  "../bench/table1_activated_functions.pdb"
+  "CMakeFiles/table1_activated_functions.dir/table1_activated_functions.cpp.o"
+  "CMakeFiles/table1_activated_functions.dir/table1_activated_functions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_activated_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

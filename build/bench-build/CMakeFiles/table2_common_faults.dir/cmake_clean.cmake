@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_common_faults"
+  "../bench/table2_common_faults.pdb"
+  "CMakeFiles/table2_common_faults.dir/table2_common_faults.cpp.o"
+  "CMakeFiles/table2_common_faults.dir/table2_common_faults.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_common_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

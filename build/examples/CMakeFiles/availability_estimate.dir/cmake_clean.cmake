@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_estimate.dir/availability_estimate.cpp.o"
+  "CMakeFiles/availability_estimate.dir/availability_estimate.cpp.o.d"
+  "availability_estimate"
+  "availability_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_middleware.dir/compare_middleware.cpp.o"
+  "CMakeFiles/compare_middleware.dir/compare_middleware.cpp.o.d"
+  "compare_middleware"
+  "compare_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_agent.dir/controller_agent.cpp.o"
+  "CMakeFiles/controller_agent.dir/controller_agent.cpp.o.d"
+  "controller_agent"
+  "controller_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

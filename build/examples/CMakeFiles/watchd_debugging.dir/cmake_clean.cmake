@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchd_debugging.dir/watchd_debugging.cpp.o"
+  "CMakeFiles/watchd_debugging.dir/watchd_debugging.cpp.o.d"
+  "watchd_debugging"
+  "watchd_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchd_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

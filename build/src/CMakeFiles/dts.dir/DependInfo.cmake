@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/apache.cpp" "src/CMakeFiles/dts.dir/apps/apache.cpp.o" "gcc" "src/CMakeFiles/dts.dir/apps/apache.cpp.o.d"
+  "/root/repo/src/apps/ftp.cpp" "src/CMakeFiles/dts.dir/apps/ftp.cpp.o" "gcc" "src/CMakeFiles/dts.dir/apps/ftp.cpp.o.d"
+  "/root/repo/src/apps/http.cpp" "src/CMakeFiles/dts.dir/apps/http.cpp.o" "gcc" "src/CMakeFiles/dts.dir/apps/http.cpp.o.d"
+  "/root/repo/src/apps/iis.cpp" "src/CMakeFiles/dts.dir/apps/iis.cpp.o" "gcc" "src/CMakeFiles/dts.dir/apps/iis.cpp.o.d"
+  "/root/repo/src/apps/sql_engine.cpp" "src/CMakeFiles/dts.dir/apps/sql_engine.cpp.o" "gcc" "src/CMakeFiles/dts.dir/apps/sql_engine.cpp.o.d"
+  "/root/repo/src/apps/sql_server.cpp" "src/CMakeFiles/dts.dir/apps/sql_server.cpp.o" "gcc" "src/CMakeFiles/dts.dir/apps/sql_server.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/CMakeFiles/dts.dir/core/campaign.cpp.o" "gcc" "src/CMakeFiles/dts.dir/core/campaign.cpp.o.d"
+  "/root/repo/src/core/clients.cpp" "src/CMakeFiles/dts.dir/core/clients.cpp.o" "gcc" "src/CMakeFiles/dts.dir/core/clients.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/dts.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/dts.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/CMakeFiles/dts.dir/core/controller.cpp.o" "gcc" "src/CMakeFiles/dts.dir/core/controller.cpp.o.d"
+  "/root/repo/src/core/outcome.cpp" "src/CMakeFiles/dts.dir/core/outcome.cpp.o" "gcc" "src/CMakeFiles/dts.dir/core/outcome.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/dts.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/dts.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/run.cpp" "src/CMakeFiles/dts.dir/core/run.cpp.o" "gcc" "src/CMakeFiles/dts.dir/core/run.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/CMakeFiles/dts.dir/core/workload.cpp.o" "gcc" "src/CMakeFiles/dts.dir/core/workload.cpp.o.d"
+  "/root/repo/src/inject/fault.cpp" "src/CMakeFiles/dts.dir/inject/fault.cpp.o" "gcc" "src/CMakeFiles/dts.dir/inject/fault.cpp.o.d"
+  "/root/repo/src/inject/fault_class.cpp" "src/CMakeFiles/dts.dir/inject/fault_class.cpp.o" "gcc" "src/CMakeFiles/dts.dir/inject/fault_class.cpp.o.d"
+  "/root/repo/src/inject/fault_list.cpp" "src/CMakeFiles/dts.dir/inject/fault_list.cpp.o" "gcc" "src/CMakeFiles/dts.dir/inject/fault_list.cpp.o.d"
+  "/root/repo/src/inject/interceptor.cpp" "src/CMakeFiles/dts.dir/inject/interceptor.cpp.o" "gcc" "src/CMakeFiles/dts.dir/inject/interceptor.cpp.o.d"
+  "/root/repo/src/middleware/mscs.cpp" "src/CMakeFiles/dts.dir/middleware/mscs.cpp.o" "gcc" "src/CMakeFiles/dts.dir/middleware/mscs.cpp.o.d"
+  "/root/repo/src/middleware/watchd.cpp" "src/CMakeFiles/dts.dir/middleware/watchd.cpp.o" "gcc" "src/CMakeFiles/dts.dir/middleware/watchd.cpp.o.d"
+  "/root/repo/src/ntsim/event_log.cpp" "src/CMakeFiles/dts.dir/ntsim/event_log.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/event_log.cpp.o.d"
+  "/root/repo/src/ntsim/filesystem.cpp" "src/CMakeFiles/dts.dir/ntsim/filesystem.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/filesystem.cpp.o.d"
+  "/root/repo/src/ntsim/handle_table.cpp" "src/CMakeFiles/dts.dir/ntsim/handle_table.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/handle_table.cpp.o.d"
+  "/root/repo/src/ntsim/kernel.cpp" "src/CMakeFiles/dts.dir/ntsim/kernel.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/kernel.cpp.o.d"
+  "/root/repo/src/ntsim/kernel32.cpp" "src/CMakeFiles/dts.dir/ntsim/kernel32.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/kernel32.cpp.o.d"
+  "/root/repo/src/ntsim/kernel32_file.cpp" "src/CMakeFiles/dts.dir/ntsim/kernel32_file.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/kernel32_file.cpp.o.d"
+  "/root/repo/src/ntsim/kernel32_mem.cpp" "src/CMakeFiles/dts.dir/ntsim/kernel32_mem.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/kernel32_mem.cpp.o.d"
+  "/root/repo/src/ntsim/kernel32_misc.cpp" "src/CMakeFiles/dts.dir/ntsim/kernel32_misc.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/kernel32_misc.cpp.o.d"
+  "/root/repo/src/ntsim/kernel32_proc.cpp" "src/CMakeFiles/dts.dir/ntsim/kernel32_proc.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/kernel32_proc.cpp.o.d"
+  "/root/repo/src/ntsim/kernel32_registry.cpp" "src/CMakeFiles/dts.dir/ntsim/kernel32_registry.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/kernel32_registry.cpp.o.d"
+  "/root/repo/src/ntsim/kernel32_sync.cpp" "src/CMakeFiles/dts.dir/ntsim/kernel32_sync.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/kernel32_sync.cpp.o.d"
+  "/root/repo/src/ntsim/memory.cpp" "src/CMakeFiles/dts.dir/ntsim/memory.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/memory.cpp.o.d"
+  "/root/repo/src/ntsim/netsim.cpp" "src/CMakeFiles/dts.dir/ntsim/netsim.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/netsim.cpp.o.d"
+  "/root/repo/src/ntsim/object.cpp" "src/CMakeFiles/dts.dir/ntsim/object.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/object.cpp.o.d"
+  "/root/repo/src/ntsim/process.cpp" "src/CMakeFiles/dts.dir/ntsim/process.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/process.cpp.o.d"
+  "/root/repo/src/ntsim/registry.cpp" "src/CMakeFiles/dts.dir/ntsim/registry.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/registry.cpp.o.d"
+  "/root/repo/src/ntsim/scm.cpp" "src/CMakeFiles/dts.dir/ntsim/scm.cpp.o" "gcc" "src/CMakeFiles/dts.dir/ntsim/scm.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/dts.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/dts.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/dts.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/dts.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/dts.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/dts.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/stats/stats.cpp" "src/CMakeFiles/dts.dir/stats/stats.cpp.o" "gcc" "src/CMakeFiles/dts.dir/stats/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel32_test.dir/kernel32_test.cpp.o"
+  "CMakeFiles/kernel32_test.dir/kernel32_test.cpp.o.d"
+  "kernel32_test"
+  "kernel32_test.pdb"
+  "kernel32_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel32_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

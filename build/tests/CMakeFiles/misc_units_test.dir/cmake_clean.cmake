@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_units_test.dir/misc_units_test.cpp.o"
+  "CMakeFiles/misc_units_test.dir/misc_units_test.cpp.o.d"
+  "misc_units_test"
+  "misc_units_test.pdb"
+  "misc_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

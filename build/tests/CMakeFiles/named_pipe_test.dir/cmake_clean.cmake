@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/named_pipe_test.dir/named_pipe_test.cpp.o"
+  "CMakeFiles/named_pipe_test.dir/named_pipe_test.cpp.o.d"
+  "named_pipe_test"
+  "named_pipe_test.pdb"
+  "named_pipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/named_pipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

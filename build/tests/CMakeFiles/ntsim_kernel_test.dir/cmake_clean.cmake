@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsim_kernel_test.dir/ntsim_kernel_test.cpp.o"
+  "CMakeFiles/ntsim_kernel_test.dir/ntsim_kernel_test.cpp.o.d"
+  "ntsim_kernel_test"
+  "ntsim_kernel_test.pdb"
+  "ntsim_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsim_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

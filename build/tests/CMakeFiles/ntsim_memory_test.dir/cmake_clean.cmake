@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsim_memory_test.dir/ntsim_memory_test.cpp.o"
+  "CMakeFiles/ntsim_memory_test.dir/ntsim_memory_test.cpp.o.d"
+  "ntsim_memory_test"
+  "ntsim_memory_test.pdb"
+  "ntsim_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsim_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsim_net_test.dir/ntsim_net_test.cpp.o"
+  "CMakeFiles/ntsim_net_test.dir/ntsim_net_test.cpp.o.d"
+  "ntsim_net_test"
+  "ntsim_net_test.pdb"
+  "ntsim_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsim_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_edge_test.dir/process_edge_test.cpp.o"
+  "CMakeFiles/process_edge_test.dir/process_edge_test.cpp.o.d"
+  "process_edge_test"
+  "process_edge_test.pdb"
+  "process_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syscall_fuzz_test.dir/syscall_fuzz_test.cpp.o"
+  "CMakeFiles/syscall_fuzz_test.dir/syscall_fuzz_test.cpp.o.d"
+  "syscall_fuzz_test"
+  "syscall_fuzz_test.pdb"
+  "syscall_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syscall_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

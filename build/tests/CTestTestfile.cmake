@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/ntsim_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/ntsim_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/ntsim_net_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/inject_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel32_test[1]_include.cmake")
+include("/root/repo/build/tests/named_pipe_test[1]_include.cmake")
+include("/root/repo/build/tests/registry_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_claims_test[1]_include.cmake")
+include("/root/repo/build/tests/syscall_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/ftp_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_units_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_class_test[1]_include.cmake")
+include("/root/repo/build/tests/process_edge_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntdts.dir/ntdts.cpp.o"
+  "CMakeFiles/ntdts.dir/ntdts.cpp.o.d"
+  "ntdts"
+  "ntdts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntdts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
