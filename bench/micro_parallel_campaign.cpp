@@ -1,0 +1,81 @@
+// Campaign execution scaling curve: runs/sec of a capped Apache1 stand-alone
+// sweep at 1/2/4/8 workers. Parallel output is byte-identical to serial
+// (asserted here per iteration against the jobs=1 baseline), so throughput
+// is the only observable difference; the curve quantifies it per machine.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <set>
+
+#include "core/campaign.h"
+#include "exec/executor.h"
+
+namespace {
+
+using namespace dts;
+
+constexpr std::uint64_t kSeed = 7;
+constexpr std::size_t kFaultCap = 32;
+
+struct CampaignFixture {
+  core::RunConfig cfg;
+  inject::FaultList list;
+  std::string serial_output;  // jobs=1 reference serialization
+
+  static const CampaignFixture& instance() {
+    static const CampaignFixture f;
+    return f;
+  }
+
+ private:
+  CampaignFixture() {
+    cfg.workload = core::workload_by_name("Apache1");
+    const std::set<nt::Fn> fns = core::profile_workload(cfg, kSeed);
+    list = inject::FaultList::for_functions(cfg.workload.target_image, fns)
+               .sampled(kFaultCap);
+    serial_output = serialize(run_at(1));
+  }
+
+ public:
+  exec::CampaignResult run_at(int jobs) const {
+    exec::ExecOptions eo;
+    eo.jobs = jobs;
+    return exec::CampaignExecutor(eo).run(cfg, list, kSeed);
+  }
+
+  std::string serialize(const exec::CampaignResult& r) const {
+    core::WorkloadSetResult set;
+    set.base_config = cfg;
+    set.runs = r.runs;
+    return core::serialize_workload_set(set);
+  }
+};
+
+void BM_ParallelCampaign(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const CampaignFixture& fx = CampaignFixture::instance();
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    const exec::CampaignResult r = fx.run_at(jobs);
+    runs += r.runs.size();
+    if (fx.serialize(r) != fx.serial_output) {
+      state.SkipWithError("parallel output diverged from serial baseline");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(runs));
+  state.counters["workers"] = jobs;
+  state.counters["runs_per_sec"] =
+      benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelCampaign)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

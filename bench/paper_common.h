@@ -8,6 +8,9 @@
 //                        set to "" to disable caching)
 //   DTS_BENCH_FAULT_CAP  cap faults per workload set (0 = full sweep)
 //   DTS_BENCH_SEED       campaign seed (default 7)
+//   DTS_BENCH_JOBS       parallel campaign workers (default 0 = one per
+//                        hardware thread; results are identical at any
+//                        job count, so the cache stays valid)
 #pragma once
 
 #include <cstdio>
@@ -35,6 +38,11 @@ inline std::uint64_t bench_seed() {
   return v != nullptr ? std::strtoull(v, nullptr, 10) : 7;
 }
 
+inline int bench_jobs() {
+  const char* v = std::getenv("DTS_BENCH_JOBS");
+  return v != nullptr ? static_cast<int>(std::strtol(v, nullptr, 10)) : 0;
+}
+
 inline core::WorkloadSetResult run_set(const std::string& workload, mw::MiddlewareKind m,
                                        mw::WatchdVersion v = mw::WatchdVersion::kV3) {
   core::RunConfig cfg;
@@ -44,6 +52,7 @@ inline core::WorkloadSetResult run_set(const std::string& workload, mw::Middlewa
   core::CampaignOptions opt;
   opt.seed = bench_seed();
   opt.max_faults = fault_cap();
+  opt.jobs = bench_jobs();
   std::string label = workload + "/";
   label += m == mw::MiddlewareKind::kWatchd ? std::string(to_string(v))
                                             : std::string(to_string(m));

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_parallel_campaign"
+  "../bench/micro_parallel_campaign.pdb"
+  "CMakeFiles/micro_parallel_campaign.dir/micro_parallel_campaign.cpp.o"
+  "CMakeFiles/micro_parallel_campaign.dir/micro_parallel_campaign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_parallel_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

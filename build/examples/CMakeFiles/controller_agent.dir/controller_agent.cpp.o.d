@@ -236,4 +236,9 @@ examples/CMakeFiles/controller_agent.dir/controller_agent.cpp.o: \
  /root/repo/src/inject/fault.h /root/repo/src/core/workload.h \
  /root/repo/src/inject/interceptor.h \
  /root/repo/src/middleware/middleware.h /root/repo/src/middleware/mscs.h \
- /root/repo/src/middleware/watchd.h /root/repo/src/inject/fault_list.h
+ /root/repo/src/middleware/watchd.h /root/repo/src/exec/progress.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/inject/fault_list.h

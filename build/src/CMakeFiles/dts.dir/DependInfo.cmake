@@ -22,6 +22,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/report.cpp" "src/CMakeFiles/dts.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/dts.dir/core/report.cpp.o.d"
   "/root/repo/src/core/run.cpp" "src/CMakeFiles/dts.dir/core/run.cpp.o" "gcc" "src/CMakeFiles/dts.dir/core/run.cpp.o.d"
   "/root/repo/src/core/workload.cpp" "src/CMakeFiles/dts.dir/core/workload.cpp.o" "gcc" "src/CMakeFiles/dts.dir/core/workload.cpp.o.d"
+  "/root/repo/src/exec/executor.cpp" "src/CMakeFiles/dts.dir/exec/executor.cpp.o" "gcc" "src/CMakeFiles/dts.dir/exec/executor.cpp.o.d"
+  "/root/repo/src/exec/journal.cpp" "src/CMakeFiles/dts.dir/exec/journal.cpp.o" "gcc" "src/CMakeFiles/dts.dir/exec/journal.cpp.o.d"
+  "/root/repo/src/exec/progress.cpp" "src/CMakeFiles/dts.dir/exec/progress.cpp.o" "gcc" "src/CMakeFiles/dts.dir/exec/progress.cpp.o.d"
   "/root/repo/src/inject/fault.cpp" "src/CMakeFiles/dts.dir/inject/fault.cpp.o" "gcc" "src/CMakeFiles/dts.dir/inject/fault.cpp.o.d"
   "/root/repo/src/inject/fault_class.cpp" "src/CMakeFiles/dts.dir/inject/fault_class.cpp.o" "gcc" "src/CMakeFiles/dts.dir/inject/fault_class.cpp.o.d"
   "/root/repo/src/inject/fault_list.cpp" "src/CMakeFiles/dts.dir/inject/fault_list.cpp.o" "gcc" "src/CMakeFiles/dts.dir/inject/fault_list.cpp.o.d"

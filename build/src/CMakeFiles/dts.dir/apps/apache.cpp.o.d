@@ -225,7 +225,10 @@ src/CMakeFiles/dts.dir/apps/apache.cpp.o: /root/repo/src/apps/apache.cpp \
  /root/repo/src/ntsim/memory.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /root/repo/src/ntsim/registry.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/ntsim/netsim.h /root/repo/src/apps/http.h \
+ /root/repo/src/ntsim/netsim.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/apps/http.h \
  /root/repo/src/apps/winapp.h /root/repo/src/ntsim/kernel32.h \
  /root/repo/src/ntsim/syscall.h /root/repo/src/ntsim/kernel32_registry.h \
  /root/repo/src/ntsim/kernel32_functions.inc /root/repo/src/ntsim/scm.h

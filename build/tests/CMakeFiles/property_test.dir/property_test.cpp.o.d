@@ -315,5 +315,7 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /root/repo/src/inject/fault.h /root/repo/src/core/workload.h \
  /root/repo/src/inject/interceptor.h \
  /root/repo/src/middleware/middleware.h /root/repo/src/middleware/mscs.h \
- /root/repo/src/middleware/watchd.h /root/repo/src/inject/fault_list.h \
+ /root/repo/src/middleware/watchd.h /root/repo/src/exec/progress.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/inject/fault_list.h \
  /root/repo/src/core/report.h /root/repo/src/stats/stats.h

@@ -12,6 +12,7 @@ include("/root/repo/build/tests/sql_engine_test[1]_include.cmake")
 include("/root/repo/build/tests/apps_test[1]_include.cmake")
 include("/root/repo/build/tests/inject_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
 include("/root/repo/build/tests/middleware_test[1]_include.cmake")
 include("/root/repo/build/tests/stats_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")

@@ -259,6 +259,8 @@ tools/CMakeFiles/ntdts.dir/ntdts.cpp.o: /root/repo/tools/ntdts.cpp \
  /root/repo/src/inject/fault.h /root/repo/src/core/workload.h \
  /root/repo/src/inject/interceptor.h \
  /root/repo/src/middleware/middleware.h /root/repo/src/middleware/mscs.h \
- /root/repo/src/middleware/watchd.h /root/repo/src/inject/fault_list.h \
+ /root/repo/src/middleware/watchd.h /root/repo/src/exec/progress.h \
+ /usr/include/c++/12/chrono /root/repo/src/inject/fault_list.h \
  /root/repo/src/core/report.h /root/repo/src/stats/stats.h \
+ /root/repo/src/exec/executor.h /usr/include/c++/12/atomic \
  /root/repo/src/inject/fault_class.h

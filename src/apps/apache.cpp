@@ -1,6 +1,7 @@
 #include "apps/apache.h"
 
 #include <map>
+#include <mutex>
 
 #include "apps/http.h"
 #include "apps/winapp.h"
@@ -262,7 +263,10 @@ sim::Task apache_worker(Ctx c, ApacheConfig cfg, nt::net::Network* network,
 
 std::string apache_index_content(std::size_t size) {
   // Deterministic, and memoized: campaigns regenerate it thousands of times.
+  // Mutex-guarded — parallel campaign workers install Apache concurrently.
+  static std::mutex cache_mu;
   static std::map<std::size_t, std::string> cache;
+  std::lock_guard<std::mutex> lock(cache_mu);
   auto it = cache.find(size);
   if (it != cache.end()) return it->second;
 

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "exec/executor.h"
+
 namespace dts::core {
 
 std::size_t WorkloadSetResult::activated_faults() const {
@@ -71,52 +73,33 @@ WorkloadSetResult run_workload_set(const RunConfig& base, const CampaignOptions&
   // Profiling pass: which functions does this workload activate at all?
   result.activated_functions = profile_workload(base, options.seed);
 
-  inject::FaultList list =
-      options.profile_first
-          ? inject::FaultList::for_functions(base.workload.target_image,
-                                             result.activated_functions, options.iterations)
-          : inject::FaultList::full_sweep(base.workload.target_image, options.iterations);
-  if (options.max_faults > 0 && list.faults.size() > options.max_faults) {
-    // Sample evenly across the whole list rather than truncating: a prefix
-    // slice would cover only the catalogue's first functions and badly skew
-    // the outcome mix.
-    std::vector<inject::FaultSpec> sampled;
-    sampled.reserve(options.max_faults);
-    const std::size_t n = list.faults.size();
-    for (std::size_t i = 0; i < options.max_faults; ++i) {
-      sampled.push_back(list.faults[i * n / options.max_faults]);
-    }
-    list.faults = std::move(sampled);
+  // Capped lists sample evenly across the whole sweep rather than truncating:
+  // a prefix slice would cover only the catalogue's first functions and badly
+  // skew the outcome mix.
+  const inject::FaultList list =
+      (options.profile_first
+           ? inject::FaultList::for_functions(base.workload.target_image,
+                                              result.activated_functions,
+                                              options.iterations)
+           : inject::FaultList::full_sweep(base.workload.target_image, options.iterations))
+          .sampled(options.max_faults);
+
+  // The executor applies the skip-uncalled rule (paper §4): once a function
+  // proves uncalled, the rest of its faults are skipped. With profiling this
+  // rarely triggers, but nondeterminism can still starve a function of calls.
+  exec::ExecOptions eo;
+  eo.jobs = options.jobs;
+  eo.journal_path = options.journal_path;
+  eo.resume = options.resume;
+  if (options.on_progress || options.on_snapshot) {
+    eo.on_progress = [&options](const exec::ProgressSnapshot& s) {
+      if (options.on_progress) options.on_progress(s.done, s.total);
+      if (options.on_snapshot) options.on_snapshot(s);
+    };
   }
-
-  // The skip-uncalled rule (paper §4): once a function proves uncalled, the
-  // rest of its faults are skipped. With profiling this rarely triggers, but
-  // nondeterminism can still starve a function of calls.
-  std::set<nt::Fn> uncalled;
-
-  std::size_t done = 0;
-  for (const auto& fault : list.faults) {
-    ++done;
-    if (uncalled.contains(fault.fn)) {
-      RunResult skipped;
-      skipped.fault = fault;
-      skipped.activated = false;
-      skipped.detail = "skipped: function not called by this workload";
-      result.runs.push_back(std::move(skipped));
-      continue;
-    }
-
-    RunConfig cfg = base;
-    cfg.seed = sim::Rng::mix(options.seed, sim::Rng::hash(fault.id()));
-    FaultInjectionRun run(cfg);
-    RunResult r = run.execute(fault);
-    if (!r.activated && !run.interceptor().target_function_called()) {
-      uncalled.insert(fault.fn);
-    }
-    result.runs.push_back(std::move(r));
-
-    if (options.on_progress) options.on_progress(done, list.faults.size());
-  }
+  exec::CampaignExecutor executor(std::move(eo));
+  exec::CampaignResult campaign = executor.run(base, list, options.seed);
+  result.runs = std::move(campaign.runs);
   return result;
 }
 
@@ -160,6 +143,42 @@ std::optional<Outcome> outcome_from(std::string_view s) {
 
 }  // namespace
 
+std::string serialize_run_line(const RunResult& r) {
+  std::ostringstream out;
+  out << r.fault.id() << ' ' << (r.activated ? 1 : 0) << ' ' << outcome_code(r.outcome)
+      << ' ' << (r.response_received ? 1 : 0) << ' ' << r.response_time.count_micros()
+      << ' ' << r.restarts << ' ' << r.retries << ' ' << (r.client_finished ? 1 : 0);
+  return out.str();
+}
+
+bool parse_run_line(const std::string& target_image, const std::string& line,
+                    RunResult* out, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::istringstream ls(line);
+  std::string fault_id, outcome_s;
+  int activated = 0, resp = 0, restarts = 0, retries = 0, finished = 0;
+  std::int64_t time_us = 0;
+  ls >> fault_id >> activated >> outcome_s >> resp >> time_us >> restarts >> retries >>
+      finished;
+  if (!ls) return fail("bad run line: " + line);
+  auto spec = inject::parse_fault_id(target_image, fault_id);
+  if (!spec) return fail("bad fault id: " + fault_id);
+  auto outcome = outcome_from(outcome_s);
+  if (!outcome) return fail("bad outcome: " + outcome_s);
+  out->fault = *spec;
+  out->activated = activated != 0;
+  out->outcome = *outcome;
+  out->response_received = resp != 0;
+  out->response_time = sim::Duration::micros(time_us);
+  out->restarts = restarts;
+  out->retries = retries;
+  out->client_finished = finished != 0;
+  return true;
+}
+
 std::string serialize_workload_set(const WorkloadSetResult& set) {
   std::ostringstream out;
   out << "DTSCAMPAIGN v1\n";
@@ -171,10 +190,7 @@ std::string serialize_workload_set(const WorkloadSetResult& set) {
   for (nt::Fn fn : set.activated_functions) out << ' ' << nt::to_string(fn);
   out << "\n";
   for (const auto& r : set.runs) {
-    out << "run " << r.fault.id() << ' ' << (r.activated ? 1 : 0) << ' '
-        << outcome_code(r.outcome) << ' ' << (r.response_received ? 1 : 0) << ' '
-        << r.response_time.count_micros() << ' ' << r.restarts << ' ' << r.retries << ' '
-        << (r.client_finished ? 1 : 0) << "\n";
+    out << "run " << serialize_run_line(r) << "\n";
   }
   return out.str();
 }
@@ -225,25 +241,13 @@ std::optional<WorkloadSetResult> deserialize_workload_set(const std::string& tex
         set.activated_functions.insert(static_cast<nt::Fn>(info->id));
       }
     } else if (tag == "run") {
-      std::string fault_id, outcome_s;
-      int activated = 0, resp = 0, restarts = 0, retries = 0, finished = 0;
-      std::int64_t time_us = 0;
-      ls >> fault_id >> activated >> outcome_s >> resp >> time_us >> restarts >> retries >>
-          finished;
-      if (!ls) return fail("bad run line: " + line);
-      auto spec = inject::parse_fault_id(set.base_config.workload.target_image, fault_id);
-      if (!spec) return fail("bad fault id: " + fault_id);
-      auto outcome = outcome_from(outcome_s);
-      if (!outcome) return fail("bad outcome: " + outcome_s);
+      std::string rest;
+      std::getline(ls, rest);
       RunResult r;
-      r.fault = *spec;
-      r.activated = activated != 0;
-      r.outcome = *outcome;
-      r.response_received = resp != 0;
-      r.response_time = sim::Duration::micros(time_us);
-      r.restarts = restarts;
-      r.retries = retries;
-      r.client_finished = finished != 0;
+      std::string run_error;
+      if (!parse_run_line(set.base_config.workload.target_image, rest, &r, &run_error)) {
+        return fail(run_error);
+      }
       set.runs.push_back(std::move(r));
     } else {
       return fail("unknown tag: " + tag);

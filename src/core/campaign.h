@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/run.h"
+#include "exec/progress.h"
 #include "inject/fault_list.h"
 
 namespace dts::core {
@@ -44,12 +45,28 @@ struct CampaignOptions {
   /// Root seed; each run derives its own from this and the fault id.
   std::uint64_t seed = 1;
 
-  /// Optional progress callback (runs completed, total runs).
+  /// Optional progress callback (runs completed, total runs). Invoked for
+  /// every completed fault, including skip-uncalled ones.
   std::function<void(std::size_t, std::size_t)> on_progress;
 
+  /// Optional richer progress callback with throughput (runs/sec) and ETA.
+  std::function<void(const exec::ProgressSnapshot&)> on_snapshot;
+
   /// Optional cap on the number of faults (for quick smoke experiments);
-  /// 0 = no cap.
+  /// 0 = no cap. Capped lists sample evenly across the sweep.
   std::size_t max_faults = 0;
+
+  /// Parallel workers executing the sweep (each run is a fresh, seed-isolated
+  /// simulation). 1 = serial on the calling thread; 0 = one worker per
+  /// hardware thread. Results are byte-identical at any job count: per-run
+  /// seeds derive from the fault id, never from worker id or schedule.
+  int jobs = 1;
+
+  /// Resumable run journal (JSONL, one record per completed run); empty =
+  /// none. With `resume`, completed runs found in the journal are reused and
+  /// only the missing faults execute.
+  std::string journal_path;
+  bool resume = false;
 };
 
 /// Runs a complete workload set and returns its results.
@@ -65,6 +82,14 @@ std::set<nt::Fn> profile_workload(const RunConfig& base, std::uint64_t seed = 1)
 std::string serialize_workload_set(const WorkloadSetResult& set);
 std::optional<WorkloadSetResult> deserialize_workload_set(const std::string& text,
                                                           std::string* error = nullptr);
+
+/// One-run payload of the campaign file format (the fields after "run ") —
+/// also the record payload of the exec run journal. parse_run_line accepts
+/// exactly what serialize_run_line emits; `detail` and per-request results
+/// are not round-tripped (as for the whole-set serialization).
+std::string serialize_run_line(const RunResult& r);
+bool parse_run_line(const std::string& target_image, const std::string& line,
+                    RunResult* out, std::string* error);
 
 /// Runs the workload set, or loads it from `cache_dir` if an identical
 /// configuration was run before (empty cache_dir = always run). The cache

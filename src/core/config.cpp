@@ -97,6 +97,9 @@ std::optional<DtsConfig> parse_config(const std::string& text, std::string* erro
       } else if (key == "max_faults") {
         if (!parse_int(value, &iv) || iv < 0) return fail("bad max_faults");
         cfg.campaign.max_faults = static_cast<std::size_t>(iv);
+      } else if (key == "jobs") {
+        if (!parse_int(value, &iv) || iv < 0 || iv > 1024) return fail("bad jobs");
+        cfg.campaign.jobs = static_cast<int>(iv);
       } else if (key == "fault_list_file") {
         cfg.fault_list_file = value;
       } else {
@@ -169,6 +172,7 @@ std::string serialize_config(const DtsConfig& cfg) {
   out << "seed = " << cfg.campaign.seed << "\n";
   out << "iterations = " << cfg.campaign.iterations << "\n";
   out << "max_faults = " << cfg.campaign.max_faults << "\n";
+  out << "jobs = " << cfg.campaign.jobs << "\n";
   if (!cfg.fault_list_file.empty()) out << "fault_list_file = " << cfg.fault_list_file << "\n";
   out << "\n[client]\n";
   out << "response_timeout_s = " << cfg.run.client.response_timeout.count_micros() / 1000000

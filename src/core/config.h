@@ -11,6 +11,7 @@
 //   seed            = 1
 //   iterations      = 1            ; invocations injected per function
 //   max_faults      = 0            ; 0 = unlimited
+//   jobs            = 1            ; parallel workers (0 = hardware threads)
 //   fault_list_file =              ; optional explicit fault list
 //
 //   [client]

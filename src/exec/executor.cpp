@@ -1,0 +1,286 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "core/campaign.h"
+#include "exec/journal.h"
+#include "sim/rng.h"
+
+namespace dts::exec {
+
+namespace {
+
+// Per-fault completion state. kElided marks faults a worker proved safe to
+// skip (an already-executed earlier fault showed the function uncalled); the
+// merge step synthesizes their serial skip records.
+enum class SlotState : std::uint8_t { kPending, kExecuted, kElided };
+
+struct Slot {
+  core::RunResult result;
+  bool fn_called = false;
+  SlotState state = SlotState::kPending;
+};
+
+core::RunResult skipped_result(const inject::FaultSpec& fault) {
+  core::RunResult r;
+  r.fault = fault;
+  r.activated = false;
+  r.detail = "skipped: function not called by this workload";
+  return r;
+}
+
+// Deterministic initial sharding with range stealing: worker w starts with a
+// contiguous slice of the work items; a worker whose slice runs dry steals
+// the tail half of the fattest remaining slice. All bookkeeping sits behind
+// one mutex — at milliseconds per simulated run the lock is invisible, and
+// the shared state stays trivially correct (results never depend on who ran
+// what; see the merge step).
+class ShardQueue {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  ShardQueue(std::size_t item_count, int workers) : ranges_(workers) {
+    for (int w = 0; w < workers; ++w) {
+      ranges_[w].next = item_count * static_cast<std::size_t>(w) / workers;
+      ranges_[w].end = item_count * (static_cast<std::size_t>(w) + 1) / workers;
+    }
+  }
+
+  /// Next item for `worker`, stealing if its own range is exhausted;
+  /// npos when no work is left anywhere.
+  std::size_t pop(int worker) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Range& own = ranges_[worker];
+    if (own.next < own.end) return own.next++;
+    Range* victim = nullptr;
+    std::size_t victim_size = 0;
+    for (Range& r : ranges_) {
+      const std::size_t size = r.end - r.next;
+      if (size > victim_size) {
+        victim = &r;
+        victim_size = size;
+      }
+    }
+    if (victim == nullptr) return npos;
+    const std::size_t half = (victim_size + 1) / 2;
+    own.end = victim->end;
+    own.next = victim->end - half;
+    victim->end = own.next;
+    return own.next++;
+  }
+
+ private:
+  struct Range {
+    std::size_t next = 0;
+    std::size_t end = 0;
+  };
+  std::mutex mu_;
+  std::vector<Range> ranges_;
+};
+
+// fn -> lowest fault index whose *executed* run proved the function uncalled.
+// A worker may elide fault i only given a proof at index j < i: that is
+// exactly the information the serial sweep has when it reaches i, which makes
+// elision schedule-independent (an executed-but-serially-skipped run is
+// discarded by the merge; a proof the serial sweep would have had always
+// exists by induction over j).
+class UncalledProofs {
+ public:
+  void record(nt::Fn fn, std::size_t index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = proofs_.emplace(fn, index);
+    if (!inserted && index < it->second) it->second = index;
+  }
+
+  bool proven_before(nt::Fn fn, std::size_t index) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = proofs_.find(fn);
+    return it != proofs_.end() && it->second < index;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<nt::Fn, std::size_t> proofs_;
+};
+
+core::RunResult execute_fault(const core::RunConfig& base, std::uint64_t campaign_seed,
+                              const inject::FaultSpec& fault, bool* fn_called) {
+  core::RunConfig cfg = base;
+  cfg.seed = sim::Rng::mix(campaign_seed, sim::Rng::hash(fault.id()));
+  core::FaultInjectionRun run(cfg);
+  core::RunResult r = run.execute(fault);
+  *fn_called = run.interceptor().target_function_called();
+  return r;
+}
+
+}  // namespace
+
+CampaignResult CampaignExecutor::run(const core::RunConfig& base,
+                                     const inject::FaultList& list,
+                                     std::uint64_t campaign_seed) {
+  const std::size_t n = list.faults.size();
+  CampaignResult out;
+  std::vector<Slot> slots(n);
+
+  JournalKey key;
+  key.workload = base.workload.name;
+  key.middleware = static_cast<int>(base.middleware);
+  key.watchd_version = static_cast<int>(base.watchd_version);
+  key.seed = campaign_seed;
+  key.fault_count = n;
+
+  UncalledProofs proofs;
+
+  if (!options_.journal_path.empty() && options_.resume) {
+    std::string error;
+    auto records = read_journal(options_.journal_path, key, &error);
+    if (!records) throw std::runtime_error(error);
+    for (const auto& rec : *records) {
+      if (rec.index >= n) continue;
+      if (list.faults[rec.index].id() != rec.fault_id) continue;
+      Slot& slot = slots[rec.index];
+      if (slot.state != SlotState::kPending) continue;  // duplicate record
+      if (!core::parse_run_line(base.workload.target_image, rec.run_line, &slot.result,
+                                nullptr)) {
+        continue;
+      }
+      slot.fn_called = rec.fn_called;
+      slot.state = SlotState::kExecuted;
+      if (!slot.result.activated && !slot.fn_called) {
+        proofs.record(list.faults[rec.index].fn, rec.index);
+      }
+      ++out.reused;
+    }
+  }
+
+  RunJournal journal;
+  if (!options_.journal_path.empty()) {
+    std::string error;
+    if (!journal.open(options_.journal_path, key, options_.resume, &error)) {
+      throw std::runtime_error(error);
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(n - out.reused);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (slots[i].state == SlotState::kPending) pending.push_back(i);
+  }
+
+  int workers = options_.jobs;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers < 1) workers = 1;
+  }
+  workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(workers),
+                            std::max<std::size_t>(pending.size(), 1)));
+
+  ShardQueue queue(pending.size(), workers);
+  ProgressTracker tracker(n, out.reused);
+  std::mutex progress_mu;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker_loop = [&](int worker) {
+    try {
+      for (;;) {
+        if (stop.load(std::memory_order_relaxed)) return;
+        if (options_.cancel != nullptr &&
+            options_.cancel->load(std::memory_order_relaxed)) {
+          cancelled.store(true, std::memory_order_relaxed);
+          stop.store(true, std::memory_order_relaxed);
+          return;
+        }
+        const std::size_t item = queue.pop(worker);
+        if (item == ShardQueue::npos) return;
+        const std::size_t i = pending[item];
+        const inject::FaultSpec& fault = list.faults[i];
+        Slot& slot = slots[i];
+
+        const bool elide = options_.skip_uncalled && proofs.proven_before(fault.fn, i);
+        if (elide) {
+          slot.state = SlotState::kElided;
+        } else {
+          slot.result = execute_fault(base, campaign_seed, fault, &slot.fn_called);
+          slot.state = SlotState::kExecuted;
+          if (!slot.result.activated && !slot.fn_called) proofs.record(fault.fn, i);
+          if (journal.is_open()) {
+            JournalRecord rec;
+            rec.index = i;
+            rec.fault_id = fault.id();
+            rec.fn_called = slot.fn_called;
+            rec.run_line = core::serialize_run_line(slot.result);
+            journal.append(rec);
+          }
+        }
+
+        std::lock_guard<std::mutex> lock(progress_mu);
+        const ProgressSnapshot s = tracker.completed(/*fresh_execution=*/!elide);
+        if (options_.on_progress) options_.on_progress(s);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+      stop.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  if (pending.empty()) {
+    // Fully resumed: no worker will fire the callback, so report the final
+    // state directly (done == total, everything reused).
+    if (options_.on_progress) options_.on_progress(tracker.snapshot());
+  } else if (workers == 1) {
+    // jobs=1 stays on the calling thread and visits faults in list order —
+    // the pre-subsystem serial campaign loop, exactly.
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (int w = 0; w < workers; ++w) threads.emplace_back(worker_loop, w);
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  out.executed = tracker.snapshot().executed;
+  if (cancelled.load()) {
+    out.interrupted = true;
+    return out;
+  }
+
+  // Merge: replay the paper-§4 skip rule serially over the completed results
+  // so the output is byte-identical to a one-worker sweep regardless of how
+  // the faults were scheduled above.
+  std::set<nt::Fn> uncalled;
+  out.runs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const inject::FaultSpec& fault = list.faults[i];
+    if (options_.skip_uncalled && uncalled.contains(fault.fn)) {
+      out.runs.push_back(skipped_result(fault));
+      ++out.skipped;
+      continue;
+    }
+    Slot& slot = slots[i];
+    if (slot.state != SlotState::kExecuted) {
+      // Defensive: an elided fault always has an earlier uncalled proof, so
+      // this branch is unreachable unless that invariant breaks — in which
+      // case run the fault now rather than emit a wrong record.
+      slot.result = execute_fault(base, campaign_seed, fault, &slot.fn_called);
+      slot.state = SlotState::kExecuted;
+      ++out.executed;
+    }
+    if (!slot.result.activated && !slot.fn_called) uncalled.insert(fault.fn);
+    out.runs.push_back(std::move(slot.result));
+  }
+  return out;
+}
+
+}  // namespace dts::exec

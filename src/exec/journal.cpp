@@ -1,0 +1,167 @@
+#include "exec/journal.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace dts::exec {
+
+namespace {
+
+// The journal grammar is the flat JSON subset this file itself writes:
+// one object per line, string and unsigned-integer values only. The helpers
+// below parse exactly that subset and reject everything else, which keeps
+// resume robust against truncated or foreign files without a JSON library.
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Locates `"key":` in `line` and returns the offset just past the colon,
+/// or npos.
+std::size_t find_value(std::string_view line, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(needle);
+  return pos == std::string_view::npos ? std::string_view::npos : pos + needle.size();
+}
+
+bool json_uint_field(std::string_view line, std::string_view key, std::uint64_t* out) {
+  const auto pos = find_value(line, key);
+  if (pos == std::string_view::npos) return false;
+  const char* begin = line.data() + pos;
+  const char* end = line.data() + line.size();
+  auto [p, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && p != begin;
+}
+
+bool json_string_field(std::string_view line, std::string_view key, std::string* out) {
+  auto pos = find_value(line, key);
+  if (pos == std::string_view::npos || pos >= line.size() || line[pos] != '"') return false;
+  ++pos;
+  out->clear();
+  while (pos < line.size()) {
+    const char c = line[pos];
+    if (c == '"') return true;
+    if (c == '\\') {
+      if (pos + 1 >= line.size()) return false;
+      const char e = line[pos + 1];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        default: return false;  // \uXXXX never appears in ids/run lines
+      }
+      pos += 2;
+    } else {
+      *out += c;
+      ++pos;
+    }
+  }
+  return false;  // unterminated string (truncated line)
+}
+
+std::string header_line(const JournalKey& key) {
+  std::ostringstream out;
+  out << "{\"dts_journal\":1,\"workload\":\"" << json_escape(key.workload)
+      << "\",\"middleware\":" << key.middleware
+      << ",\"watchd_version\":" << key.watchd_version << ",\"seed\":" << key.seed
+      << ",\"faults\":" << key.fault_count << "}";
+  return out.str();
+}
+
+}  // namespace
+
+std::optional<std::vector<JournalRecord>> read_journal(const std::string& path,
+                                                       const JournalKey& key,
+                                                       std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = path + ": " + msg;
+    return std::nullopt;
+  };
+  std::ifstream in(path);
+  std::vector<JournalRecord> records;
+  if (!in) return records;  // no journal yet: fresh start
+
+  std::string line;
+  if (!std::getline(in, line)) return records;  // empty file: fresh start
+  std::uint64_t version = 0;
+  if (!json_uint_field(line, "dts_journal", &version) || version != 1) {
+    return fail("not a DTS run journal");
+  }
+  JournalKey on_disk;
+  std::uint64_t mw = 0, wv = 0, faults = 0;
+  if (!json_string_field(line, "workload", &on_disk.workload) ||
+      !json_uint_field(line, "middleware", &mw) ||
+      !json_uint_field(line, "watchd_version", &wv) ||
+      !json_uint_field(line, "seed", &on_disk.seed) ||
+      !json_uint_field(line, "faults", &faults)) {
+    return fail("malformed journal header");
+  }
+  on_disk.middleware = static_cast<int>(mw);
+  on_disk.watchd_version = static_cast<int>(wv);
+  on_disk.fault_count = static_cast<std::size_t>(faults);
+  if (!(on_disk == key)) {
+    return fail("journal belongs to a different campaign (workload/middleware/seed/"
+                "fault-count mismatch); remove it or pick another output dir");
+  }
+
+  while (std::getline(in, line)) {
+    JournalRecord rec;
+    std::uint64_t index = 0, called = 0;
+    if (!json_uint_field(line, "i", &index) || !json_uint_field(line, "called", &called) ||
+        !json_string_field(line, "fault", &rec.fault_id) ||
+        !json_string_field(line, "run", &rec.run_line)) {
+      continue;  // killed mid-write: ignore the torn line
+    }
+    rec.index = static_cast<std::size_t>(index);
+    rec.fn_called = called != 0;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+bool RunJournal::open(const std::string& path, const JournalKey& key, bool append,
+                      std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.open(path, append ? std::ios::app : std::ios::trunc);
+  if (!out_) {
+    if (error != nullptr) *error = "cannot open journal " + path;
+    return false;
+  }
+  // An append to a missing/empty file is still a fresh journal.
+  if (!append || out_.tellp() == std::ofstream::pos_type(0)) {
+    out_ << header_line(key) << "\n" << std::flush;
+  }
+  return true;
+}
+
+void RunJournal::append(const JournalRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) return;
+  out_ << "{\"i\":" << rec.index << ",\"fault\":\"" << json_escape(rec.fault_id)
+       << "\",\"called\":" << (rec.fn_called ? 1 : 0) << ",\"run\":\""
+       << json_escape(rec.run_line) << "\"}\n"
+       << std::flush;
+}
+
+}  // namespace dts::exec

@@ -1,0 +1,76 @@
+// Resumable run journal: an append-only JSONL file with one record per
+// completed fault-injection run, written as a campaign progresses. An
+// interrupted campaign restarts from where it stopped by reloading the
+// journal and executing only the missing faults — sound because every run is
+// deterministic given the campaign seed and fault id (per-run seeds never
+// depend on worker id or schedule).
+//
+// Format (one JSON object per line):
+//   {"dts_journal":1,"workload":"Apache1","middleware":2,"watchd_version":3,
+//    "seed":7,"faults":423}
+//   {"i":17,"fault":"ReadFile.hFile#1:zero","called":1,
+//    "run":"ReadFile.hFile#1:zero 1 failure 0 123456 0 0 1"}
+//
+// The "run" payload reuses the campaign-file run serialization
+// (core::serialize_run_line); "called" records whether the target image
+// called the injected function at all, which the executor needs to replay
+// the paper-§4 skip-uncalled rule on resume.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dts::exec {
+
+/// Identity of the campaign a journal belongs to. Resuming is refused when
+/// the on-disk header does not match: replaying another campaign's records
+/// would silently corrupt results.
+struct JournalKey {
+  std::string workload;
+  int middleware = 0;
+  int watchd_version = 0;
+  std::uint64_t seed = 0;
+  std::size_t fault_count = 0;
+
+  friend bool operator==(const JournalKey&, const JournalKey&) = default;
+};
+
+struct JournalRecord {
+  std::size_t index = 0;   // position in the fault list
+  std::string fault_id;    // sanity-checked against the list on resume
+  bool fn_called = false;  // the target image called the injected function
+  std::string run_line;    // core::serialize_run_line payload
+};
+
+/// Reads the records of an existing journal. A missing file yields an empty
+/// vector (fresh start); a present file whose header does not match `key`
+/// yields nullopt with *error set. Malformed trailing lines (the campaign
+/// was killed mid-write) are skipped.
+std::optional<std::vector<JournalRecord>> read_journal(const std::string& path,
+                                                       const JournalKey& key,
+                                                       std::string* error);
+
+/// Append-only JSONL writer. Thread-safe; every record is flushed so a
+/// killed campaign loses at most the in-flight line.
+class RunJournal {
+ public:
+  /// Opens `path`. With append=false the file is truncated and a fresh
+  /// header written; with append=true new records accumulate after the
+  /// existing content (resume). Returns false with *error on I/O failure.
+  bool open(const std::string& path, const JournalKey& key, bool append,
+            std::string* error);
+
+  bool is_open() const { return out_.is_open(); }
+
+  void append(const JournalRecord& rec);
+
+ private:
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+}  // namespace dts::exec

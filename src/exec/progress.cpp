@@ -1,0 +1,45 @@
+#include "exec/progress.h"
+
+#include <cstdio>
+
+namespace dts::exec {
+
+std::string format_progress(const ProgressSnapshot& s) {
+  char buf[128];
+  if (s.runs_per_sec > 0.0) {
+    std::snprintf(buf, sizeof buf, "%zu/%zu runs  %.1f runs/s  ETA %.0fs", s.done, s.total,
+                  s.runs_per_sec, s.eta_s);
+  } else {
+    std::snprintf(buf, sizeof buf, "%zu/%zu runs", s.done, s.total);
+  }
+  return buf;
+}
+
+ProgressTracker::ProgressTracker(std::size_t total, std::size_t reused)
+    : start_(std::chrono::steady_clock::now()),
+      total_(total),
+      done_(reused),
+      reused_(reused) {}
+
+ProgressSnapshot ProgressTracker::completed(bool fresh_execution) {
+  ++done_;
+  if (fresh_execution) ++executed_;
+  return snapshot();
+}
+
+ProgressSnapshot ProgressTracker::snapshot() const {
+  ProgressSnapshot s;
+  s.done = done_;
+  s.total = total_;
+  s.executed = executed_;
+  s.reused = reused_;
+  s.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  if (s.elapsed_s > 0.0 && executed_ > 0) {
+    s.runs_per_sec = static_cast<double>(executed_) / s.elapsed_s;
+    s.eta_s = static_cast<double>(total_ - done_) / s.runs_per_sec;
+  }
+  return s;
+}
+
+}  // namespace dts::exec

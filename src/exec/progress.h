@@ -1,0 +1,50 @@
+// Live campaign progress: completed-run accounting plus derived throughput
+// (runs/sec) and ETA, shared by the executor, the ntdts progress line and the
+// bench harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace dts::exec {
+
+/// One observation of campaign progress. `done` counts every finished fault
+/// (freshly executed + skip-uncalled + reused from a resume journal); the
+/// throughput figures are based on fresh executions only, since skipped and
+/// reused faults cost (almost) nothing.
+struct ProgressSnapshot {
+  std::size_t done = 0;
+  std::size_t total = 0;
+  std::size_t executed = 0;  // fresh simulations run since campaign start
+  std::size_t reused = 0;    // results loaded from a resume journal
+  double elapsed_s = 0.0;
+  double runs_per_sec = 0.0;
+  double eta_s = 0.0;
+};
+
+/// Renders "done/total runs  12.3 runs/s  ETA 45s" (ETA omitted while the
+/// rate is still unknown).
+std::string format_progress(const ProgressSnapshot& s);
+
+/// Accumulates completions against a wall-clock start time. Not thread-safe;
+/// the executor serializes calls under its progress mutex.
+class ProgressTracker {
+ public:
+  ProgressTracker(std::size_t total, std::size_t reused);
+
+  /// Records one finished fault and returns the updated snapshot.
+  /// `fresh_execution` is false for skip-uncalled faults.
+  ProgressSnapshot completed(bool fresh_execution);
+
+  ProgressSnapshot snapshot() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::size_t total_ = 0;
+  std::size_t done_ = 0;
+  std::size_t executed_ = 0;
+  std::size_t reused_ = 0;
+};
+
+}  // namespace dts::exec

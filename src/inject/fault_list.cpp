@@ -46,6 +46,24 @@ FaultList FaultList::for_functions(const std::string& target_image,
   return list;
 }
 
+FaultList FaultList::sampled(std::size_t max_faults) const {
+  if (max_faults == 0 || faults.size() <= max_faults) return *this;
+  FaultList out;
+  out.faults.reserve(max_faults);
+  const std::size_t n = faults.size();
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < max_faults; ++i) {
+    std::size_t idx = i * n / max_faults;
+    // The even-spacing formula is strictly increasing whenever n > max, but
+    // guard anyway so boundary caps can never emit a duplicate entry.
+    if (i > 0 && idx <= prev) idx = prev + 1;
+    if (idx >= n) break;
+    out.faults.push_back(faults[idx]);
+    prev = idx;
+  }
+  return out;
+}
+
 std::string FaultList::serialize() const {
   std::ostringstream out;
   out << "# DTS fault list";

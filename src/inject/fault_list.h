@@ -27,6 +27,12 @@ struct FaultList {
   static FaultList for_functions(const std::string& target_image,
                                  const std::set<nt::Fn>& functions, int iterations = 1);
 
+  /// Evenly-spaced sample of at most `max_faults` faults (0 or >= size =
+  /// the whole list, unchanged). Selection is deterministic and indices are
+  /// strictly increasing — near-boundary caps (max_faults close to size)
+  /// can never repeat an entry.
+  FaultList sampled(std::size_t max_faults) const;
+
   /// Serializes to the fault-list file format: one fault id per line,
   /// '#'-comments allowed.
   std::string serialize() const;

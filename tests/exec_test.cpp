@@ -1,0 +1,236 @@
+// Tests for the parallel campaign execution subsystem (src/exec/):
+// schedule-independent output, progress accounting, and the resumable run
+// journal. Labelled `exec` in CTest so the suite can be run in isolation
+// under ThreadSanitizer (cmake --preset tsan && ctest -L exec).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "exec/executor.h"
+#include "exec/journal.h"
+#include "exec/progress.h"
+
+namespace dts {
+namespace {
+
+core::RunConfig make_config(const std::string& workload,
+                            mw::MiddlewareKind m = mw::MiddlewareKind::kNone) {
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name(workload);
+  cfg.middleware = m;
+  cfg.watchd_version = mw::WatchdVersion::kV3;
+  return cfg;
+}
+
+/// A small evenly-sampled fault list for `cfg`, restricted to activated
+/// functions (what run_workload_set sweeps).
+inject::FaultList capped_list(const core::RunConfig& cfg, std::uint64_t seed,
+                              std::size_t cap) {
+  const auto fns = core::profile_workload(cfg, seed);
+  return inject::FaultList::for_functions(cfg.workload.target_image, fns).sampled(cap);
+}
+
+std::vector<std::string> run_lines(const std::vector<core::RunResult>& runs) {
+  std::vector<std::string> out;
+  out.reserve(runs.size());
+  for (const auto& r : runs) out.push_back(core::serialize_run_line(r));
+  return out;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+// The acceptance bar of the subsystem: a capped Apache1+watchd sweep must
+// serialize byte-identically at jobs ∈ {1, 2, 8}.
+TEST(Exec, ParallelOutputByteIdenticalAcrossJobs) {
+  const core::RunConfig cfg = make_config("Apache1", mw::MiddlewareKind::kWatchd);
+  core::CampaignOptions opt;
+  opt.seed = 7;
+  opt.max_faults = 18;
+
+  opt.jobs = 1;
+  const std::string serial = core::serialize_workload_set(core::run_workload_set(cfg, opt));
+  opt.jobs = 2;
+  const std::string two = core::serialize_workload_set(core::run_workload_set(cfg, opt));
+  opt.jobs = 8;
+  const std::string eight = core::serialize_workload_set(core::run_workload_set(cfg, opt));
+
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+  // And the round-trip still holds on the parallel output.
+  std::string error;
+  auto reloaded = core::deserialize_workload_set(eight, &error);
+  ASSERT_TRUE(reloaded.has_value()) << error;
+  EXPECT_EQ(core::serialize_workload_set(*reloaded), serial);
+}
+
+// The progress callback fires once per fault — including skip-uncalled ones
+// (historically the skip branch bypassed it, so progress stalled then
+// jumped) — and `done` is contiguous.
+TEST(Exec, ProgressReportedForEveryFaultIncludingSkipped) {
+  const core::RunConfig cfg = make_config("Apache1");
+  // A function the workload never calls: its first fault executes (proving
+  // the function uncalled) and every later fault is skipped.
+  const auto activated = core::profile_workload(cfg, 7);
+  nt::Fn uncalled_fn = nt::Fn::kImplementedCount;
+  for (std::uint16_t id = 0; id < nt::kImplementedFunctionCount; ++id) {
+    const nt::Fn fn = static_cast<nt::Fn>(id);
+    if (!activated.contains(fn) &&
+        nt::Kernel32Registry::instance().info(fn).param_count() > 0) {
+      uncalled_fn = fn;
+      break;
+    }
+  }
+  ASSERT_NE(uncalled_fn, nt::Fn::kImplementedCount);
+
+  const inject::FaultList list =
+      inject::FaultList::for_functions(cfg.workload.target_image, {uncalled_fn});
+  ASSERT_GT(list.faults.size(), 1u);
+
+  std::vector<std::size_t> done_values;
+  exec::ExecOptions eo;
+  eo.jobs = 1;
+  eo.on_progress = [&](const exec::ProgressSnapshot& s) {
+    done_values.push_back(s.done);
+    EXPECT_EQ(s.total, list.faults.size());
+  };
+  const exec::CampaignResult r = exec::CampaignExecutor(eo).run(cfg, list, 7);
+
+  ASSERT_EQ(r.runs.size(), list.faults.size());
+  EXPECT_EQ(done_values.size(), list.faults.size());
+  for (std::size_t i = 0; i < done_values.size(); ++i) EXPECT_EQ(done_values[i], i + 1);
+  EXPECT_GT(r.skipped, 0u);
+  EXPECT_EQ(r.runs.back().detail, "skipped: function not called by this workload");
+}
+
+// Kill a campaign after K runs, resume from its journal, and the final
+// results match an uninterrupted sweep record-for-record.
+TEST(Exec, JournalResumeAfterCancelMatchesUninterrupted) {
+  const core::RunConfig cfg = make_config("Apache1");
+  const inject::FaultList list = capped_list(cfg, 7, 12);
+  ASSERT_EQ(list.faults.size(), 12u);
+
+  exec::ExecOptions plain;
+  plain.jobs = 2;
+  const exec::CampaignResult uninterrupted =
+      exec::CampaignExecutor(plain).run(cfg, list, 7);
+  ASSERT_FALSE(uninterrupted.interrupted);
+
+  const std::string journal = temp_path("exec_resume.jsonl");
+  std::filesystem::remove(journal);
+
+  std::atomic<bool> cancel{false};
+  exec::ExecOptions first;
+  first.jobs = 1;
+  first.journal_path = journal;
+  first.cancel = &cancel;
+  first.on_progress = [&](const exec::ProgressSnapshot& s) {
+    if (s.done >= 4) cancel.store(true);
+  };
+  const exec::CampaignResult killed = exec::CampaignExecutor(first).run(cfg, list, 7);
+  EXPECT_TRUE(killed.interrupted);
+  EXPECT_TRUE(killed.runs.empty());
+
+  exec::ExecOptions second;
+  second.jobs = 2;
+  second.journal_path = journal;
+  second.resume = true;
+  const exec::CampaignResult resumed = exec::CampaignExecutor(second).run(cfg, list, 7);
+  ASSERT_FALSE(resumed.interrupted);
+  EXPECT_GE(resumed.reused, 1u);
+  EXPECT_LT(resumed.executed, list.faults.size());
+  EXPECT_EQ(run_lines(resumed.runs), run_lines(uninterrupted.runs));
+}
+
+// A journal written for one campaign must not be resumable by another.
+TEST(Exec, JournalFromDifferentCampaignRefused) {
+  const core::RunConfig cfg = make_config("Apache1");
+  const inject::FaultList list = capped_list(cfg, 7, 4);
+
+  const std::string journal = temp_path("exec_mismatch.jsonl");
+  std::filesystem::remove(journal);
+  exec::ExecOptions eo;
+  eo.jobs = 1;
+  eo.journal_path = journal;
+  (void)exec::CampaignExecutor(eo).run(cfg, list, 7);
+
+  eo.resume = true;
+  EXPECT_THROW((void)exec::CampaignExecutor(eo).run(cfg, list, 8), std::runtime_error);
+}
+
+// A journal torn mid-record (the process died inside a write) resumes
+// cleanly: the torn line is ignored, the valid records are reused.
+TEST(Exec, TruncatedJournalRecordsIgnoredOnResume) {
+  const core::RunConfig cfg = make_config("Apache1");
+  const inject::FaultList list = capped_list(cfg, 7, 6);
+
+  const std::string journal = temp_path("exec_torn.jsonl");
+  std::filesystem::remove(journal);
+  exec::ExecOptions eo;
+  eo.jobs = 2;
+  eo.journal_path = journal;
+  const exec::CampaignResult full = exec::CampaignExecutor(eo).run(cfg, list, 7);
+
+  {
+    std::ofstream out(journal, std::ios::app);
+    out << "{\"i\":2,\"fault\":\"torn-rec";  // no trailing newline either
+  }
+
+  exec::ExecOptions again;
+  again.jobs = 1;
+  again.journal_path = journal;
+  again.resume = true;
+  const exec::CampaignResult resumed = exec::CampaignExecutor(again).run(cfg, list, 7);
+  EXPECT_EQ(resumed.reused, full.executed);
+  EXPECT_EQ(resumed.executed, 0u);
+  EXPECT_EQ(run_lines(resumed.runs), run_lines(full.runs));
+}
+
+// The core-level plumbing: run_workload_set with a journal, then resume —
+// nothing re-executes and the serialization is unchanged.
+TEST(Exec, RunWorkloadSetResumesViaCampaignOptions) {
+  const core::RunConfig cfg = make_config("Apache1");
+  const std::string journal = temp_path("exec_campaign.jsonl");
+  std::filesystem::remove(journal);
+
+  core::CampaignOptions opt;
+  opt.seed = 7;
+  opt.max_faults = 8;
+  opt.jobs = 2;
+  opt.journal_path = journal;
+  const std::string first = core::serialize_workload_set(core::run_workload_set(cfg, opt));
+
+  opt.resume = true;
+  exec::ProgressSnapshot last;
+  opt.on_snapshot = [&](const exec::ProgressSnapshot& s) { last = s; };
+  const std::string second =
+      core::serialize_workload_set(core::run_workload_set(cfg, opt));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(last.executed, 0u);  // every fresh run came from the journal
+  EXPECT_GT(last.reused, 0u);
+}
+
+TEST(Exec, ProgressFormatting) {
+  exec::ProgressSnapshot s;
+  s.done = 30;
+  s.total = 120;
+  s.executed = 30;
+  s.elapsed_s = 10.0;
+  s.runs_per_sec = 3.0;
+  s.eta_s = 30.0;
+  EXPECT_EQ(exec::format_progress(s), "30/120 runs  3.0 runs/s  ETA 30s");
+  exec::ProgressSnapshot cold;
+  cold.done = 0;
+  cold.total = 120;
+  EXPECT_EQ(exec::format_progress(cold), "0/120 runs");
+}
+
+}  // namespace
+}  // namespace dts

@@ -1,6 +1,10 @@
 // Tests for the fault model, fault lists, and the interceptor.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include "inject/fault_list.h"
 #include "inject/interceptor.h"
 #include "ntsim/kernel.h"
@@ -191,6 +195,44 @@ TEST(Interceptor, OneShotAcrossProcessInstances) {
 
   EXPECT_EQ(failures, 1);  // only the first instance saw the corruption
   EXPECT_EQ(w.icept.invocations("a.exe", Fn::SetEvent), 2);
+}
+
+TEST(FaultList, SampledEvenSpacingAndBoundaries) {
+  const FaultList full = FaultList::full_sweep("a.exe");
+  const std::size_t n = full.faults.size();
+  ASSERT_GT(n, 16u);
+
+  auto ids = [](const FaultList& l) {
+    std::vector<std::string> out;
+    for (const auto& f : l.faults) out.push_back(f.id());
+    return out;
+  };
+
+  // No cap / cap >= size: the list is unchanged.
+  EXPECT_EQ(ids(full.sampled(0)), ids(full));
+  EXPECT_EQ(ids(full.sampled(n)), ids(full));
+  EXPECT_EQ(ids(full.sampled(n + 5)), ids(full));
+
+  // Exact-boundary and interior caps: exactly max entries, all unique, in
+  // list order (the even-spacing formula must never repeat an index).
+  for (const std::size_t max : {std::size_t{1}, std::size_t{2}, n / 3, n - 2, n - 1}) {
+    const FaultList s = full.sampled(max);
+    EXPECT_EQ(s.faults.size(), max) << "cap " << max;
+    const auto sampled_ids = ids(s);
+    const std::set<std::string> unique(sampled_ids.begin(), sampled_ids.end());
+    EXPECT_EQ(unique.size(), max) << "duplicate entries at cap " << max;
+    // Order preserved: sampled ids appear as a subsequence of the full list.
+    std::size_t cursor = 0;
+    const auto full_ids = ids(full);
+    for (const auto& id : sampled_ids) {
+      while (cursor < n && full_ids[cursor] != id) ++cursor;
+      ASSERT_LT(cursor, n) << "sampled entry out of order at cap " << max;
+      ++cursor;
+    }
+  }
+
+  // First entry is always the head of the list (anchor of the even spacing).
+  EXPECT_EQ(full.sampled(3).faults.front().id(), full.faults.front().id());
 }
 
 TEST(Interceptor, PointerCorruptionCrashesTarget) {

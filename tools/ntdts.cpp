@@ -1,7 +1,8 @@
 // ntdts — the DTS command-line tool (the paper's ntDTS, minus the Java GUI).
 //
 // Usage:
-//   ntdts run <config.ini> [output-dir]     run a campaign from a config file
+//   ntdts run <config.ini> [output-dir] [--jobs=N] [--resume]
+//                                           run a campaign from a config file
 //   ntdts profile <workload>                list a workload's activated functions
 //   ntdts faultlist <workload> [file]       generate a fault-list file
 //   ntdts single <workload> <fault-id> [middleware] [version]
@@ -11,8 +12,14 @@
 //   ntdts workloads                         list built-in workloads
 //
 // `run` writes <output-dir>/results.csv (one line per fault-injection run),
-// <output-dir>/summary.txt (the outcome distribution), and
-// <output-dir>/campaign.dts (reloadable raw results).
+// <output-dir>/summary.txt (the outcome distribution), <output-dir>/campaign.dts
+// (reloadable raw results) and <output-dir>/journal.jsonl (the resumable run
+// journal: one record per completed run, written live).
+//
+// --jobs=N shards the sweep across N parallel workers (0 = one per hardware
+// thread); results are byte-identical at any job count because per-run seeds
+// derive from the fault id, never from worker id or schedule. --resume
+// reuses completed runs from an interrupted campaign's journal.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -21,6 +28,7 @@
 
 #include "core/config.h"
 #include "core/report.h"
+#include "exec/executor.h"
 #include "inject/fault_class.h"
 
 namespace {
@@ -31,7 +39,10 @@ int usage() {
   std::cerr <<
       "ntdts - Dependability Test Suite\n"
       "\n"
-      "  ntdts run <config.ini> [output-dir]\n"
+      "  ntdts run <config.ini> [output-dir] [--jobs=N] [--resume]\n"
+      "        --jobs=N   parallel campaign workers (0 = all hardware threads;\n"
+      "                   output is byte-identical at any job count)\n"
+      "        --resume   continue an interrupted campaign from its run journal\n"
       "  ntdts profile <workload>\n"
       "  ntdts faultlist <workload> [file] [--class=<fault-class>]\n"
       "  ntdts classes <workload>\n"
@@ -173,7 +184,8 @@ int cmd_single(const std::string& workload, const std::string& fault_id,
   return r.outcome == core::Outcome::kFailure ? 1 : 0;
 }
 
-int cmd_run(const std::string& config_path, const std::string& out_dir) {
+int cmd_run(const std::string& config_path, const std::string& out_dir,
+            std::optional<int> jobs_override, bool resume) {
   const auto text = read_file(config_path);
   if (!text) {
     std::cerr << "cannot read " << config_path << "\n";
@@ -185,6 +197,7 @@ int cmd_run(const std::string& config_path, const std::string& out_dir) {
     std::cerr << config_path << ": " << error << "\n";
     return 2;
   }
+  if (jobs_override) cfg->campaign.jobs = *jobs_override;
 
   // Explicit fault list, if configured.
   std::optional<inject::FaultList> explicit_faults;
@@ -202,28 +215,33 @@ int cmd_run(const std::string& config_path, const std::string& out_dir) {
     }
   }
 
-  cfg->campaign.on_progress = [](std::size_t done, std::size_t total) {
-    std::cerr << "\r" << done << "/" << total << " runs" << std::flush;
-    if (done == total) std::cerr << "\n";
+  // The run journal lives in the output directory; create it up front.
+  std::filesystem::create_directories(out_dir);
+  cfg->campaign.journal_path = out_dir + "/journal.jsonl";
+  cfg->campaign.resume = resume;
+  const auto progress = [](const exec::ProgressSnapshot& s) {
+    std::cerr << "\r" << exec::format_progress(s) << "    " << std::flush;
+    if (s.done == s.total) std::cerr << "\n";
   };
+  cfg->campaign.on_snapshot = progress;
 
   core::WorkloadSetResult set;
   if (explicit_faults) {
-    // Run exactly the listed faults.
+    // Run exactly the listed faults (no skip-uncalled: the user asked for
+    // precisely these), sharded across the same executor.
     set.base_config = cfg->run;
     set.activated_functions = core::profile_workload(cfg->run, cfg->campaign.seed);
-    std::size_t done = 0;
-    for (const auto& fault : explicit_faults->faults) {
-      core::RunConfig rc = cfg->run;
-      rc.seed = sim::Rng::mix(cfg->campaign.seed, sim::Rng::hash(fault.id()));
-      set.runs.push_back(core::execute_run(rc, fault));
-      cfg->campaign.on_progress(++done, explicit_faults->faults.size());
-    }
+    exec::ExecOptions eo;
+    eo.jobs = cfg->campaign.jobs;
+    eo.skip_uncalled = false;
+    eo.journal_path = cfg->campaign.journal_path;
+    eo.resume = resume;
+    eo.on_progress = progress;
+    exec::CampaignExecutor executor(std::move(eo));
+    set.runs = executor.run(cfg->run, *explicit_faults, cfg->campaign.seed).runs;
   } else {
     set = core::run_workload_set(cfg->run, cfg->campaign);
   }
-
-  std::filesystem::create_directories(out_dir);
   {
     std::ofstream out(out_dir + "/results.csv");
     out << core::runs_csv(set);
@@ -279,7 +297,36 @@ int main(int argc, char** argv) {
                         rest.size() > 1 ? rest[1] : "", trace);
     }
     if (cmd == "run" && argc >= 3) {
-      return cmd_run(argv[2], argc >= 4 ? argv[3] : "dts-results");
+      std::string out_dir = "dts-results";
+      std::optional<int> jobs;
+      bool resume = false;
+      bool have_out_dir = false;
+      for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--jobs=", 0) == 0) {
+          const std::string value = a.substr(7);
+          std::size_t used = 0;
+          int n = -1;
+          try {
+            n = std::stoi(value, &used);
+          } catch (const std::exception&) {
+          }
+          if (used != value.size() || n < 0 || n > 1024) {
+            std::cerr << "ntdts: --jobs expects an integer in [0, 1024], got '"
+                      << value << "'\n";
+            return 2;
+          }
+          jobs = n;
+        } else if (a == "--resume") {
+          resume = true;
+        } else if (!have_out_dir) {
+          out_dir = a;
+          have_out_dir = true;
+        } else {
+          return usage();
+        }
+      }
+      return cmd_run(argv[2], out_dir, jobs, resume);
     }
     if (cmd == "report" && argc >= 3) return cmd_report(argc, argv);
     return usage();
