@@ -1,0 +1,154 @@
+// micro_trace_overhead — guards the "near-zero overhead when off" claim of
+// the observability layer (DESIGN §obs): a campaign with tracing off must not
+// be measurably slower than the plain executor configuration that PR 1
+// shipped (same user-visible config: trace off, no metrics sink — the only
+// residual per-syscall cost is one sequence-counter increment and a virtual
+// on_result call that early-returns).
+//
+// Three configurations over the identical capped fault list:
+//   A  baseline      trace off, no metrics        (PR 1-equivalent config)
+//   B  obs-off       trace off, metrics attached  (asserted: B < A * 1.02)
+//   C  trace-all     trace all, metrics attached  (informational only)
+//
+// Measurement: every round times baseline and obs-off strictly back-to-back
+// (the pair order alternates so neither systematically runs first; trace-all
+// follows the pair), and the asserted statistic is the MEDIAN of the
+// per-round paired ratios obs-off/baseline. Adjacent pairing cancels the
+// slow load drift of a shared box (both samples see the same machine state)
+// and the median tolerates the occasional 30% preemption spike that ruins
+// means and the asymmetric luck that ruins per-config minima. Per-config
+// minima are still printed as a second opinion. Because the budget is close
+// to the residual noise floor, the whole measurement retries up to 3
+// attempts and passes if ANY attempt lands under budget — a real regression
+// fails all three; only then does the binary exit 1.
+//
+// Environment knobs:
+//   DTS_BENCH_TRIALS     rounds, one paired sample each (default 16)
+//   DTS_BENCH_REPS       campaigns summed into one sample (default 1)
+//   DTS_BENCH_FAULT_CAP  faults in the measured campaign (default 240 — large
+//                        enough that the one-time per-campaign metric handle
+//                        registration is amortised out of the comparison)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace dts;
+
+std::size_t trials() {
+  const char* v = std::getenv("DTS_BENCH_TRIALS");
+  const std::size_t n = v != nullptr ? std::strtoull(v, nullptr, 10) : 16;
+  return n == 0 ? 1 : n;
+}
+
+std::size_t reps() {
+  const char* v = std::getenv("DTS_BENCH_REPS");
+  const std::size_t n = v != nullptr ? std::strtoull(v, nullptr, 10) : 1;
+  return n == 0 ? 1 : n;
+}
+
+std::size_t fault_cap() {
+  const char* v = std::getenv("DTS_BENCH_FAULT_CAP");
+  const std::size_t n = v != nullptr ? std::strtoull(v, nullptr, 10) : 240;
+  return n == 0 ? 240 : n;
+}
+
+double run_campaigns(obs::TraceMode trace, obs::MetricsRegistry* metrics) {
+  static bool printed_size = false;
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name("IIS");
+  core::CampaignOptions opt;
+  opt.seed = 7;
+  opt.max_faults = fault_cap();
+  opt.jobs = 1;
+  opt.trace = trace;
+  opt.metrics = metrics;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps(); ++r) {
+    const auto set = core::run_workload_set(cfg, opt);
+    if (set.runs.empty()) {
+      std::fprintf(stderr, "campaign produced no runs\n");
+      std::exit(2);
+    }
+    if (!printed_size) {
+      printed_size = true;
+      std::printf("campaign: IIS, %zu runs per campaign, %zu rep(s) per sample\n",
+                  set.runs.size(), reps());
+    }
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+// One full measurement: n paired rounds, returns the median paired overhead.
+double measure(std::size_t n) {
+  double best_a = 1e100, best_b = 1e100, best_c = 1e100;
+  std::vector<double> off_ratios, all_ratios;
+  for (std::size_t t = 0; t < n; ++t) {
+    // Fresh registries per sample: registry size must not grow across rounds.
+    obs::MetricsRegistry reg_b, reg_c;
+    double a = 0.0, b = 0.0;
+    // The asserted pair runs strictly back-to-back, order alternating so
+    // neither config systematically absorbs warm-up or runs first.
+    if (t % 2 == 0) {
+      a = run_campaigns(obs::TraceMode::kOff, nullptr);
+      b = run_campaigns(obs::TraceMode::kOff, &reg_b);
+    } else {
+      b = run_campaigns(obs::TraceMode::kOff, &reg_b);
+      a = run_campaigns(obs::TraceMode::kOff, nullptr);
+    }
+    const double c = run_campaigns(obs::TraceMode::kAll, &reg_c);
+    best_a = std::min(best_a, a);
+    best_b = std::min(best_b, b);
+    best_c = std::min(best_c, c);
+    off_ratios.push_back(b / a);
+    all_ratios.push_back(c / a);
+    std::printf("round %2zu/%zu  baseline %.3fs  obs-off %.3fs (%+.2f%%)  "
+                "trace-all %.3fs (%+.2f%%)\n",
+                t + 1, n, a, b, 100.0 * (b / a - 1.0), c, 100.0 * (c / a - 1.0));
+  }
+  const double off_overhead = median(off_ratios) - 1.0;
+  const double all_overhead = median(all_ratios) - 1.0;
+  std::printf("min-of-%zu   baseline %.3fs  obs-off %.3fs (%+.2f%%)  "
+              "trace-all %.3fs (%+.2f%%)\n",
+              n, best_a, best_b, 100.0 * (best_b / best_a - 1.0), best_c,
+              100.0 * (best_c / best_a - 1.0));
+  std::printf("median-of-%zu paired ratios  obs-off %+.2f%%  trace-all %+.2f%%\n",
+              n, 100.0 * off_overhead, 100.0 * all_overhead);
+  return off_overhead;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kAttempts = 3;
+  constexpr double kBudget = 0.02;
+  for (int attempt = 1; attempt <= kAttempts; ++attempt) {
+    std::printf("--- attempt %d/%d ---\n", attempt, kAttempts);
+    const double off_overhead = measure(trials());
+    if (off_overhead < kBudget) {
+      std::printf("PASS: tracing-off overhead %.2f%% within the 2%% budget\n",
+                  100.0 * off_overhead);
+      return 0;
+    }
+    std::printf("attempt %d over budget (%.2f%%)%s\n", attempt,
+                100.0 * off_overhead,
+                attempt < kAttempts ? ", retrying" : "");
+  }
+  std::printf("FAIL: tracing-off overhead exceeded the 2%% budget in all %d attempts\n",
+              kAttempts);
+  return 1;
+}

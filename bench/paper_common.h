@@ -11,6 +11,10 @@
 //   DTS_BENCH_JOBS       parallel campaign workers (default 0 = one per
 //                        hardware thread; results are identical at any
 //                        job count, so the cache stays valid)
+//   DTS_BENCH_METRICS_OUT  export the shared campaign-metrics registry as
+//                        Prometheus text at this path (plus a Chrome trace
+//                        at PATH.trace.json) when the harness exits; the
+//                        same registry/export code path the ntdts CLI uses
 #pragma once
 
 #include <cstdio>
@@ -20,6 +24,7 @@
 
 #include "core/campaign.h"
 #include "core/report.h"
+#include "obs/metrics.h"
 
 namespace dts::bench {
 
@@ -43,6 +48,29 @@ inline int bench_jobs() {
   return v != nullptr ? static_cast<int>(std::strtol(v, nullptr, 10)) : 0;
 }
 
+/// One registry shared by every campaign a harness binary runs, so the
+/// exported metrics aggregate the whole grid (same registry type the ntdts
+/// CLI feeds). Exported at process exit when DTS_BENCH_METRICS_OUT is set.
+inline obs::MetricsRegistry& bench_registry() {
+  static obs::MetricsRegistry registry;
+  static const bool export_at_exit = [] {
+    if (std::getenv("DTS_BENCH_METRICS_OUT") != nullptr) {
+      std::atexit([] {
+        const char* path = std::getenv("DTS_BENCH_METRICS_OUT");
+        std::string error;
+        if (!obs::write_metrics_files(bench_registry(), path, &error)) {
+          std::fprintf(stderr, "[metrics] %s\n", error.c_str());
+        } else {
+          std::fprintf(stderr, "[metrics] wrote %s and %s.trace.json\n", path, path);
+        }
+      });
+    }
+    return true;
+  }();
+  (void)export_at_exit;
+  return registry;
+}
+
 inline core::WorkloadSetResult run_set(const std::string& workload, mw::MiddlewareKind m,
                                        mw::WatchdVersion v = mw::WatchdVersion::kV3) {
   core::RunConfig cfg;
@@ -53,6 +81,7 @@ inline core::WorkloadSetResult run_set(const std::string& workload, mw::Middlewa
   opt.seed = bench_seed();
   opt.max_faults = fault_cap();
   opt.jobs = bench_jobs();
+  opt.metrics = &bench_registry();
   std::string label = workload + "/";
   label += m == mw::MiddlewareKind::kWatchd ? std::string(to_string(v))
                                             : std::string(to_string(m));

@@ -91,6 +91,10 @@ WorkloadSetResult run_workload_set(const RunConfig& base, const CampaignOptions&
   eo.jobs = options.jobs;
   eo.journal_path = options.journal_path;
   eo.resume = options.resume;
+  eo.metrics = options.metrics;
+  eo.trace = options.trace;
+  eo.forensics_depth = options.forensics_depth;
+  eo.forensics_dir = options.forensics_dir;
   if (options.on_progress || options.on_snapshot) {
     eo.on_progress = [&options](const exec::ProgressSnapshot& s) {
       if (options.on_progress) options.on_progress(s.done, s.total);

@@ -11,6 +11,8 @@
 #include "core/run.h"
 #include "exec/progress.h"
 #include "inject/fault_list.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dts::core {
 
@@ -67,6 +69,14 @@ struct CampaignOptions {
   /// only the missing faults execute.
   std::string journal_path;
   bool resume = false;
+
+  /// Observability passthrough to the executor (see exec::ExecOptions):
+  /// campaign metrics sink, per-run syscall trace mode, forensics ring depth
+  /// and the optional per-run forensics dump directory.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceMode trace = obs::TraceMode::kOff;
+  std::size_t forensics_depth = 32;
+  std::string forensics_dir;
 };
 
 /// Runs a complete workload set and returns its results.

@@ -61,6 +61,11 @@ struct RunResult {
   bool client_finished = false;
   std::string detail;  // e.g. the target's crash reason
 
+  /// Total simulated time the run consumed (start to settle). Observability
+  /// only — never serialized into campaign files, so outputs stay
+  /// byte-identical whether or not anyone reads it.
+  sim::Duration sim_elapsed{};
+
   /// Per-request detail (paper §3: "the specific response to each individual
   /// request") — one entry per workload request, in order.
   std::vector<RequestResult> requests;

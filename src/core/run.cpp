@@ -22,6 +22,7 @@ struct FaultInjectionRun::World {
   nt::Machine target;
   nt::Machine control;
   std::shared_ptr<ClientReport> report = std::make_shared<ClientReport>();
+  obs::SpanLog spans;  // middleware latency spans (detection/recovery)
 };
 
 FaultInjectionRun::FaultInjectionRun(RunConfig config) : cfg_(std::move(config)) {
@@ -33,6 +34,8 @@ FaultInjectionRun::FaultInjectionRun(RunConfig config) : cfg_(std::move(config))
 FaultInjectionRun::~FaultInjectionRun() = default;
 
 nt::Machine& FaultInjectionRun::target() { return world_->target; }
+
+const obs::SpanLog& FaultInjectionRun::spans() const { return world_->spans; }
 
 const std::set<nt::Fn>& FaultInjectionRun::activated_functions() const {
   return interceptor_.called(cfg_.workload.target_image);
@@ -58,6 +61,10 @@ RunResult FaultInjectionRun::execute(const std::optional<inject::FaultSpec>& fau
   }
 
   // --- install middleware ------------------------------------------------------
+  // Spans live in the World so middleware coroutines can write through the
+  // config pointer for the whole run; refreshed here for every execute().
+  cfg_.mscs.spans = &w.spans;
+  cfg_.watchd.spans = &w.spans;
   switch (cfg_.middleware) {
     case mw::MiddlewareKind::kNone:
       break;
@@ -137,6 +144,7 @@ RunResult FaultInjectionRun::execute(const std::optional<inject::FaultSpec>& fau
 
   // --- classify ----------------------------------------------------------------------
   RunResult result;
+  result.sim_elapsed = w.simulation.now() - sim::TimePoint{};
   if (fault) result.fault = *fault;
   result.activated = interceptor_.injected();
   result.client_finished = w.report->finished;

@@ -20,6 +20,7 @@
 #include "middleware/middleware.h"
 #include "middleware/mscs.h"
 #include "middleware/watchd.h"
+#include "obs/span.h"
 
 namespace dts::core {
 
@@ -76,6 +77,11 @@ class FaultInjectionRun {
   /// The world, accessible after execute() for inspection in tests.
   nt::Machine& target();
   const inject::Interceptor& interceptor() const { return interceptor_; }
+
+  /// Middleware latency spans recorded during the last execute() (detection
+  /// windows, recovery times, heartbeat hang detection). Empty for
+  /// stand-alone runs. Valid until the next execute().
+  const obs::SpanLog& spans() const;
 
  private:
   struct World;

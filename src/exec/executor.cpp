@@ -1,7 +1,11 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <set>
@@ -35,6 +39,71 @@ core::RunResult skipped_result(const inject::FaultSpec& fault) {
   return r;
 }
 
+/// Metrics label value for the outcome — matches the campaign-file outcome
+/// codes so dashboards and results.csv agree on vocabulary.
+std::string_view outcome_label(core::Outcome o) {
+  switch (o) {
+    case core::Outcome::kNormalSuccess: return "normal";
+    case core::Outcome::kRestartSuccess: return "restart";
+    case core::Outcome::kRestartRetrySuccess: return "restart_retry";
+    case core::Outcome::kRetrySuccess: return "retry";
+    case core::Outcome::kFailure: return "failure";
+  }
+  return "?";
+}
+
+/// Metrics label value for the middleware config, e.g. "none", "mscs",
+/// "watchd3".
+std::string middleware_label(const core::RunConfig& base) {
+  switch (base.middleware) {
+    case mw::MiddlewareKind::kNone: return "none";
+    case mw::MiddlewareKind::kMscs: return "mscs";
+    case mw::MiddlewareKind::kWatchd:
+      return "watchd" + std::to_string(static_cast<int>(base.watchd_version));
+  }
+  return "?";
+}
+
+bool forensics_wanted(obs::TraceMode mode, const core::RunResult& r) {
+  switch (mode) {
+    case obs::TraceMode::kOff: return false;
+    case obs::TraceMode::kAll: return true;
+    case obs::TraceMode::kFailures:
+      return r.outcome == core::Outcome::kFailure || r.restarts > 0;
+  }
+  return false;
+}
+
+std::vector<std::string> forensics_context(const core::RunResult& r) {
+  std::vector<std::string> out;
+  std::string line = "outcome: ";
+  line += outcome_label(r.outcome);
+  if (r.outcome == core::Outcome::kFailure) {
+    line += r.response_received ? " (wrong response)" : " (no response)";
+  }
+  out.push_back(std::move(line));
+  out.push_back(std::string("activated: ") + (r.activated ? "yes" : "no"));
+  out.push_back("response_time: " + sim::to_string(r.response_time) +
+                "  sim_elapsed: " + sim::to_string(r.sim_elapsed));
+  out.push_back("restarts: " + std::to_string(r.restarts) +
+                "  retries: " + std::to_string(r.retries));
+  if (!r.detail.empty()) out.push_back("detail: " + r.detail);
+  return out;
+}
+
+/// File name for an on-disk forensics dump: fault ids contain '.'/'#'/':',
+/// which stay readable, but nothing path-hostile survives.
+std::string forensics_file_name(std::size_t index, const std::string& fault_id) {
+  std::string name = "run-" + std::to_string(index) + "-";
+  for (char c : fault_id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '#' || c == '-' ||
+                    c == '_';
+    name += ok ? c : '_';
+  }
+  return name + ".txt";
+}
+
 // Deterministic initial sharding with range stealing: worker w starts with a
 // contiguous slice of the work items; a worker whose slice runs dry steals
 // the tail half of the fattest remaining slice. All bookkeeping sits behind
@@ -45,11 +114,21 @@ class ShardQueue {
  public:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-  ShardQueue(std::size_t item_count, int workers) : ranges_(workers) {
+  ShardQueue(std::size_t item_count, int workers)
+      : ranges_(workers), remaining_(item_count) {
     for (int w = 0; w < workers; ++w) {
       ranges_[w].next = item_count * static_cast<std::size_t>(w) / workers;
       ranges_[w].end = item_count * (static_cast<std::size_t>(w) + 1) / workers;
     }
+  }
+
+  /// Optional observability hooks, set before workers start: `steals` counts
+  /// range-stealing events, `depth` tracks unclaimed items. Updated under
+  /// the queue mutex (handle updates themselves are relaxed atomics).
+  void set_metrics(obs::Counter* steals, obs::Gauge* depth) {
+    steals_ = steals;
+    depth_ = depth;
+    if (depth_ != nullptr) depth_->set(static_cast<double>(remaining_));
   }
 
   /// Next item for `worker`, stealing if its own range is exhausted;
@@ -57,7 +136,7 @@ class ShardQueue {
   std::size_t pop(int worker) {
     std::lock_guard<std::mutex> lock(mu_);
     Range& own = ranges_[worker];
-    if (own.next < own.end) return own.next++;
+    if (own.next < own.end) return take(own);
     Range* victim = nullptr;
     std::size_t victim_size = 0;
     for (Range& r : ranges_) {
@@ -72,7 +151,8 @@ class ShardQueue {
     own.end = victim->end;
     own.next = victim->end - half;
     victim->end = own.next;
-    return own.next++;
+    if (steals_ != nullptr) steals_->inc();
+    return take(own);
   }
 
  private:
@@ -80,8 +160,18 @@ class ShardQueue {
     std::size_t next = 0;
     std::size_t end = 0;
   };
+
+  std::size_t take(Range& r) {
+    --remaining_;
+    if (depth_ != nullptr) depth_->set(static_cast<double>(remaining_));
+    return r.next++;
+  }
+
   std::mutex mu_;
   std::vector<Range> ranges_;
+  std::size_t remaining_ = 0;
+  obs::Counter* steals_ = nullptr;
+  obs::Gauge* depth_ = nullptr;
 };
 
 // fn -> lowest fault index whose *executed* run proved the function uncalled.
@@ -182,7 +272,55 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
       std::min<std::size_t>(static_cast<std::size_t>(workers),
                             std::max<std::size_t>(pending.size(), 1)));
 
+  // Observability: resolve every per-campaign metric handle once — outcome
+  // counters, per-function activation counters, the histograms — so the
+  // worker hot loop only does relaxed atomic updates. Registry lookups
+  // (label rendering + a mutex + a map walk) cost tens of microseconds and
+  // would otherwise eat the "near-zero overhead" budget on short runs; only
+  // rare events (middleware spans) still look up lazily.
+  obs::MetricsRegistry* metrics = options_.metrics;
+  const obs::Labels set_labels = {{"workload", base.workload.name},
+                                  {"middleware", middleware_label(base)}};
+  obs::Histogram* resp_hist = nullptr;
+  obs::Histogram* wall_hist = nullptr;
+  std::map<core::Outcome, obs::Counter*> outcome_counters;
+  std::map<nt::Fn, obs::Counter*> activation_counters;
+  if (metrics != nullptr) {
+    resp_hist = &metrics->histogram("dts_response_time_seconds", set_labels,
+                                    obs::response_time_buckets(),
+                                    "client response time per run (seconds)");
+    wall_hist = &metrics->histogram("dts_run_wall_seconds", set_labels,
+                                    obs::wall_time_buckets(),
+                                    "host wall-clock time per executed run (seconds)");
+    for (core::Outcome o :
+         {core::Outcome::kNormalSuccess, core::Outcome::kRestartSuccess,
+          core::Outcome::kRestartRetrySuccess, core::Outcome::kRetrySuccess,
+          core::Outcome::kFailure}) {
+      obs::Labels run_labels = set_labels;
+      run_labels.emplace_back("outcome", std::string(outcome_label(o)));
+      outcome_counters[o] =
+          &metrics->counter("dts_runs_total", run_labels, "executed runs by outcome");
+    }
+    for (const inject::FaultSpec& fault : list.faults) {
+      if (!activation_counters.contains(fault.fn)) {
+        activation_counters[fault.fn] = &metrics->counter(
+            "dts_activations_total", {{"fn", std::string(nt::to_string(fault.fn))}},
+            "fired faults per injection-site function");
+      }
+    }
+  }
+  if (options_.trace != obs::TraceMode::kOff && !options_.forensics_dir.empty()) {
+    std::filesystem::create_directories(options_.forensics_dir);
+  }
+
   ShardQueue queue(pending.size(), workers);
+  if (metrics != nullptr) {
+    queue.set_metrics(
+        &metrics->counter("dts_exec_steals_total", {},
+                          "work-stealing events across exec workers"),
+        &metrics->gauge("dts_exec_queue_depth", {},
+                        "unclaimed faults remaining in the shard queue"));
+  }
   ProgressTracker tracker(n, out.reused);
   std::mutex progress_mu;
   std::atomic<bool> stop{false};
@@ -192,6 +330,13 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
 
   auto worker_loop = [&](int worker) {
     try {
+      obs::Counter* worker_runs = nullptr;
+      if (metrics != nullptr) {
+        worker_runs = &metrics->counter("dts_exec_worker_runs_total",
+                                        {{"worker", std::to_string(worker)}},
+                                        "fresh runs executed per exec worker");
+        metrics->set_thread_name(worker, "worker-" + std::to_string(worker));
+      }
       for (;;) {
         if (stop.load(std::memory_order_relaxed)) return;
         if (options_.cancel != nullptr &&
@@ -210,16 +355,71 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
         if (elide) {
           slot.state = SlotState::kElided;
         } else {
-          slot.result = execute_fault(base, campaign_seed, fault, &slot.fn_called);
+          // fault.id() concatenates several strings; build it once per run —
+          // seed derivation, forensics, journal, and metrics all reuse it.
+          const std::string fault_id = fault.id();
+          core::RunConfig cfg = base;
+          cfg.seed = sim::Rng::mix(campaign_seed, sim::Rng::hash(fault_id));
+          if (options_.trace != obs::TraceMode::kOff &&
+              cfg.trace_limit < options_.forensics_depth) {
+            cfg.trace_limit = options_.forensics_depth;
+          }
+          const double run_start_us = metrics != nullptr ? metrics->now_us() : 0.0;
+          const auto wall_start = std::chrono::steady_clock::now();
+          core::FaultInjectionRun run(cfg);
+          slot.result = run.execute(fault);
+          const double wall_s = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - wall_start)
+                                    .count();
+          slot.fn_called = run.interceptor().target_function_called();
           slot.state = SlotState::kExecuted;
           if (!slot.result.activated && !slot.fn_called) proofs.record(fault.fn, i);
+
+          std::string forensics;
+          if (forensics_wanted(options_.trace, slot.result)) {
+            forensics = obs::forensics_dump(fault_id, forensics_context(slot.result),
+                                            &run.spans(),
+                                            run.interceptor().syscall_trace());
+            if (!options_.forensics_dir.empty()) {
+              std::ofstream fx(options_.forensics_dir + "/" +
+                               forensics_file_name(i, fault_id));
+              fx << forensics;
+            }
+          }
+
           if (journal.is_open()) {
             JournalRecord rec;
             rec.index = i;
-            rec.fault_id = fault.id();
+            rec.fault_id = fault_id;
             rec.fn_called = slot.fn_called;
             rec.run_line = core::serialize_run_line(slot.result);
+            rec.wall_us = static_cast<std::uint64_t>(std::llround(wall_s * 1e6));
+            rec.sim_us =
+                static_cast<std::uint64_t>(slot.result.sim_elapsed.count_micros());
+            rec.forensics = std::move(forensics);
             journal.append(rec);
+          }
+
+          if (metrics != nullptr) {
+            outcome_counters.at(slot.result.outcome)->inc();
+            if (slot.result.activated) {
+              activation_counters.at(fault.fn)->inc();
+            }
+            resp_hist->observe(slot.result.response_time.to_seconds());
+            wall_hist->observe(wall_s);
+            worker_runs->inc();
+            for (const obs::Span& span : run.spans().spans()) {
+              obs::Labels span_labels = set_labels;
+              span_labels.emplace_back("span", span.name);
+              metrics->histogram("dts_middleware_span_seconds", span_labels,
+                                 obs::response_time_buckets(),
+                                 "middleware detection/recovery latency (sim seconds)")
+                  .observe(span.duration().to_seconds());
+            }
+            metrics->add_complete_event(
+                fault_id, "run", worker, run_start_us, wall_s * 1e6,
+                {{"outcome", std::string(outcome_label(slot.result.outcome))},
+                 {"sim_s", sim::to_string(slot.result.sim_elapsed)}});
           }
         }
 

@@ -19,6 +19,8 @@
 #include "core/run.h"
 #include "exec/progress.h"
 #include "inject/fault_list.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dts::exec {
 
@@ -46,6 +48,26 @@ struct ExecOptions {
   /// picking up faults and run() returns with interrupted=true. The journal
   /// keeps everything completed so far — restart with resume=true.
   const std::atomic<bool>* cancel = nullptr;
+
+  // --- observability (all optional; defaults add near-zero overhead) ------
+
+  /// Campaign metrics sink: outcome counters, response-time histograms,
+  /// per-worker throughput, steal/queue-depth stats and one Chrome trace
+  /// event per executed run. Must outlive run(). Null = no metrics.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Per-run syscall tracing. kOff records nothing; kFailures embeds a
+  /// forensics dump in the journal record of every run that classifies as
+  /// failure or involved a restart; kAll dumps every executed run.
+  obs::TraceMode trace = obs::TraceMode::kOff;
+
+  /// Ring depth for the syscall trace (the N of "last-N calls").
+  std::size_t forensics_depth = 32;
+
+  /// When non-empty (and tracing selects a run), the forensics dump is also
+  /// written to `<forensics_dir>/run-<index>-<fault>.txt` for direct reading;
+  /// the journal embeds it either way.
+  std::string forensics_dir;
 };
 
 struct CampaignResult {

@@ -82,7 +82,7 @@ bool json_string_field(std::string_view line, std::string_view key, std::string*
 
 std::string header_line(const JournalKey& key) {
   std::ostringstream out;
-  out << "{\"dts_journal\":1,\"workload\":\"" << json_escape(key.workload)
+  out << "{\"dts_journal\":2,\"workload\":\"" << json_escape(key.workload)
       << "\",\"middleware\":" << key.middleware
       << ",\"watchd_version\":" << key.watchd_version << ",\"seed\":" << key.seed
       << ",\"faults\":" << key.fault_count << "}";
@@ -105,7 +105,8 @@ std::optional<std::vector<JournalRecord>> read_journal(const std::string& path,
   std::string line;
   if (!std::getline(in, line)) return records;  // empty file: fresh start
   std::uint64_t version = 0;
-  if (!json_uint_field(line, "dts_journal", &version) || version != 1) {
+  if (!json_uint_field(line, "dts_journal", &version) ||
+      (version != 1 && version != 2)) {
     return fail("not a DTS run journal");
   }
   JournalKey on_disk;
@@ -135,6 +136,10 @@ std::optional<std::vector<JournalRecord>> read_journal(const std::string& path,
     }
     rec.index = static_cast<std::size_t>(index);
     rec.fn_called = called != 0;
+    // v2 extras; absent in v1 records (and in v2 records without forensics).
+    (void)json_uint_field(line, "wall_us", &rec.wall_us);
+    (void)json_uint_field(line, "sim_us", &rec.sim_us);
+    (void)json_string_field(line, "fx", &rec.forensics);
     records.push_back(std::move(rec));
   }
   return records;
@@ -160,8 +165,14 @@ void RunJournal::append(const JournalRecord& rec) {
   if (!out_.is_open()) return;
   out_ << "{\"i\":" << rec.index << ",\"fault\":\"" << json_escape(rec.fault_id)
        << "\",\"called\":" << (rec.fn_called ? 1 : 0) << ",\"run\":\""
-       << json_escape(rec.run_line) << "\"}\n"
-       << std::flush;
+       << json_escape(rec.run_line) << "\",\"wall_us\":" << rec.wall_us
+       << ",\"sim_us\":" << rec.sim_us;
+  // Forensics last: the dump is big and optional, the fixed fields stay
+  // greppable at the front of the line.
+  if (!rec.forensics.empty()) {
+    out_ << ",\"fx\":\"" << json_escape(rec.forensics) << "\"";
+  }
+  out_ << "}\n" << std::flush;
 }
 
 }  // namespace dts::exec

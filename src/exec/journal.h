@@ -5,16 +5,24 @@
 // deterministic given the campaign seed and fault id (per-run seeds never
 // depend on worker id or schedule).
 //
-// Format (one JSON object per line):
-//   {"dts_journal":1,"workload":"Apache1","middleware":2,"watchd_version":3,
+// Format (one JSON object per line), schema version 2:
+//   {"dts_journal":2,"workload":"Apache1","middleware":2,"watchd_version":3,
 //    "seed":7,"faults":423}
 //   {"i":17,"fault":"ReadFile.hFile#1:zero","called":1,
-//    "run":"ReadFile.hFile#1:zero 1 failure 0 123456 0 0 1"}
+//    "run":"ReadFile.hFile#1:zero 1 failure 0 123456 0 0 1",
+//    "wall_us":1832,"sim_us":414000000,"fx":"=== DTS forensics: ...\n..."}
 //
 // The "run" payload reuses the campaign-file run serialization
 // (core::serialize_run_line); "called" records whether the target image
 // called the injected function at all, which the executor needs to replay
 // the paper-§4 skip-uncalled rule on resume.
+//
+// v2 adds per-run timings — "wall_us" (host wall clock; nondeterministic,
+// observability only) and "sim_us" (simulated time consumed) — plus an
+// optional "fx" forensics dump (the syscall-trace tail) on runs the trace
+// mode selects. The reader is field-based and accepts both versions: v1
+// files (no timings, no forensics) resume cleanly under v2, and v2 records
+// with fields a v1-era reader never knew about parse the same way.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +52,11 @@ struct JournalRecord {
   std::string fault_id;    // sanity-checked against the list on resume
   bool fn_called = false;  // the target image called the injected function
   std::string run_line;    // core::serialize_run_line payload
+
+  // v2 fields; zero/empty when reading a v1 journal.
+  std::uint64_t wall_us = 0;  // host wall-clock time of the run
+  std::uint64_t sim_us = 0;   // simulated time the run consumed
+  std::string forensics;      // syscall-trace dump (empty = not captured)
 };
 
 /// Reads the records of an existing journal. A missing file yields an empty

@@ -15,15 +15,27 @@ std::string format_progress(const ProgressSnapshot& s) {
   return buf;
 }
 
-ProgressTracker::ProgressTracker(std::size_t total, std::size_t reused)
-    : start_(std::chrono::steady_clock::now()),
+ProgressTracker::ProgressTracker(std::size_t total, std::size_t reused, ClockFn clock)
+    : clock_(std::move(clock)),
+      start_(std::chrono::steady_clock::now()),
       total_(total),
       done_(reused),
-      reused_(reused) {}
+      reused_(reused) {
+  if (clock_) clock_offset_ = clock_();
+}
+
+double ProgressTracker::now() const {
+  if (clock_) return clock_() - clock_offset_;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
 
 ProgressSnapshot ProgressTracker::completed(bool fresh_execution) {
   ++done_;
-  if (fresh_execution) ++executed_;
+  if (fresh_execution) {
+    ++executed_;
+    window_.push_back(now());
+    if (window_.size() > kRateWindow) window_.pop_front();
+  }
   return snapshot();
 }
 
@@ -33,10 +45,16 @@ ProgressSnapshot ProgressTracker::snapshot() const {
   s.total = total_;
   s.executed = executed_;
   s.reused = reused_;
-  s.elapsed_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
-  if (s.elapsed_s > 0.0 && executed_ > 0) {
+  s.elapsed_s = now();
+  // Windowed rate over the last kRateWindow fresh completions; falls back to
+  // the whole-campaign average until the window has an interval to measure.
+  if (window_.size() >= 2 && window_.back() > window_.front()) {
+    s.runs_per_sec =
+        static_cast<double>(window_.size() - 1) / (window_.back() - window_.front());
+  } else if (s.elapsed_s > 0.0 && executed_ > 0) {
     s.runs_per_sec = static_cast<double>(executed_) / s.elapsed_s;
+  }
+  if (s.runs_per_sec > 0.0) {
     s.eta_s = static_cast<double>(total_ - done_) / s.runs_per_sec;
   }
   return s;

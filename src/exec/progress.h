@@ -5,6 +5,8 @@
 
 #include <chrono>
 #include <cstddef>
+#include <deque>
+#include <functional>
 #include <string>
 
 namespace dts::exec {
@@ -27,11 +29,24 @@ struct ProgressSnapshot {
 /// rate is still unknown).
 std::string format_progress(const ProgressSnapshot& s);
 
-/// Accumulates completions against a wall-clock start time. Not thread-safe;
+/// Accumulates completions against a monotonic clock. Not thread-safe;
 /// the executor serializes calls under its progress mutex.
+///
+/// Throughput and ETA come from a sliding window over the most recent fresh
+/// completions rather than the whole-campaign average: long campaigns mix
+/// multi-minute timeout runs with millisecond crash runs, and the lifetime
+/// average can mispredict the remaining time by an order of magnitude when
+/// the mix shifts. Until the window has two samples the whole-campaign
+/// average is used as a fallback.
 class ProgressTracker {
  public:
-  ProgressTracker(std::size_t total, std::size_t reused);
+  /// Recent fresh completions the rate window holds.
+  static constexpr std::size_t kRateWindow = 64;
+
+  /// Monotonic seconds source, injectable for tests. Null = steady_clock.
+  using ClockFn = std::function<double()>;
+
+  ProgressTracker(std::size_t total, std::size_t reused, ClockFn clock = nullptr);
 
   /// Records one finished fault and returns the updated snapshot.
   /// `fresh_execution` is false for skip-uncalled faults.
@@ -40,7 +55,12 @@ class ProgressTracker {
   ProgressSnapshot snapshot() const;
 
  private:
+  double now() const;  // seconds since construction
+
+  ClockFn clock_;
   std::chrono::steady_clock::time_point start_;
+  double clock_offset_ = 0.0;  // clock_() at construction
+  std::deque<double> window_;  // completion times of recent fresh runs
   std::size_t total_ = 0;
   std::size_t done_ = 0;
   std::size_t executed_ = 0;

@@ -1,6 +1,6 @@
 #include "inject/interceptor.h"
 
-#include <cstdio>
+#include "ntsim/kernel.h"
 
 namespace dts::inject {
 
@@ -21,21 +21,6 @@ const std::set<nt::Fn>& Interceptor::called(const std::string& image) const {
 bool Interceptor::target_function_called() const {
   if (!armed_) return false;
   return invocations(armed_->target_image, armed_->fn) > 0;
-}
-
-std::string Interceptor::TraceEntry::to_string() const {
-  std::string out = "pid " + std::to_string(pid) + ": ";
-  out += nt::to_string(fn);
-  out += "(";
-  for (int i = 0; i < argc; ++i) {
-    if (i > 0) out += ", ";
-    char buf[16];
-    std::snprintf(buf, sizeof buf, "0x%X", args[static_cast<std::size_t>(i)]);
-    out += buf;
-  }
-  out += ")";
-  if (injected_here) out += "  <== FAULT INJECTED";
-  return out;
 }
 
 void Interceptor::on_call(const nt::Process& proc, nt::CallRecord& rec) {
@@ -61,16 +46,24 @@ void Interceptor::on_call(const nt::Process& proc, nt::CallRecord& rec) {
 
   // Trace target-image calls (post-corruption: the trace shows what the
   // kernel actually received, which is what the debugger needs).
-  if (trace_limit_ > 0 && (!armed_ || image == armed_->target_image)) {
-    TraceEntry entry;
+  if (trace_.enabled() && (!armed_ || image == armed_->target_image)) {
+    obs::TraceEvent entry;
+    entry.seq = rec.seq;
+    entry.time = proc.machine().sim().now();
     entry.pid = proc.pid();
     entry.fn = rec.fn;
     entry.args = rec.args;
     entry.argc = rec.argc;
     entry.injected_here = injected_here;
-    trace_.push_back(std::move(entry));
-    if (trace_.size() > trace_limit_) trace_.pop_front();
+    trace_.record_call(entry);
   }
+}
+
+void Interceptor::on_result(const nt::Process& proc, const nt::CallRecord& rec,
+                            nt::Word result) {
+  (void)proc;
+  if (!trace_.enabled()) return;
+  trace_.record_result(rec.seq, result);
 }
 
 }  // namespace dts::inject

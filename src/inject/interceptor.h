@@ -3,18 +3,21 @@
 // Installed as the Kernel32 dispatcher hook on the target machine, it counts
 // invocations per (image, function), records which injectable functions each
 // image activates (paper Table 1), and — when armed — corrupts exactly one
-// parameter word of one invocation.
+// parameter word of one invocation. When tracing is enabled it also feeds
+// every target-image call (with sim-time and, once dispatch returns, the
+// result word) into an obs::SyscallTrace ring for failure forensics.
 #pragma once
 
-#include <deque>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "inject/fault.h"
 #include "ntsim/process.h"
 #include "ntsim/syscall.h"
+#include "obs/trace.h"
 
 namespace dts::inject {
 
@@ -49,27 +52,25 @@ class Interceptor final : public nt::SyscallHook {
 
   std::uint64_t calls_observed() const { return calls_observed_; }
 
-  /// One traced call from a target-image process.
-  struct TraceEntry {
-    nt::Pid pid = 0;
-    nt::Fn fn{};
-    std::array<nt::Word, nt::kMaxSyscallArgs> args{};
-    int argc = 0;
-    bool injected_here = false;
-
-    /// "pid 104: ReadFile(0x14, 0x00401000, 16384, ...)" form; marks the
-    /// injected call with " <== FAULT INJECTED".
-    std::string to_string() const;
-  };
+  /// One traced call (kept as an alias so existing call sites read the same).
+  using TraceEntry = obs::TraceEvent;
 
   /// Enables tracing of the target image's calls (bounded ring buffer; 0
   /// disables). The trace is the paper's §4.3 debugging aid: it shows what
   /// the server did right up to the failure.
-  void set_trace_limit(std::size_t limit) { trace_limit_ = limit; }
-  const std::deque<TraceEntry>& trace() const { return trace_; }
+  void set_trace_limit(std::size_t limit) { trace_.set_capacity(limit); }
+
+  /// Last-N traced calls, oldest first.
+  std::vector<obs::TraceEvent> trace() const { return trace_.entries(); }
+
+  /// The full trace sink (ring tail + pinned injection context), for
+  /// forensics dumps.
+  const obs::SyscallTrace& syscall_trace() const { return trace_; }
 
   // nt::SyscallHook
   void on_call(const nt::Process& proc, nt::CallRecord& rec) override;
+  void on_result(const nt::Process& proc, const nt::CallRecord& rec,
+                 nt::Word result) override;
 
  private:
   std::optional<FaultSpec> armed_;
@@ -81,8 +82,7 @@ class Interceptor final : public nt::SyscallHook {
   std::map<std::pair<std::string, nt::Fn>, int> counts_;
   std::map<std::string, std::set<nt::Fn>> called_;
 
-  std::size_t trace_limit_ = 0;
-  std::deque<TraceEntry> trace_;
+  obs::SyscallTrace trace_;
 };
 
 }  // namespace dts::inject

@@ -1,5 +1,7 @@
 #include "middleware/mscs.h"
 
+#include <optional>
+
 #include "ntsim/scm.h"
 
 namespace dts::mw {
@@ -19,6 +21,14 @@ sim::Task mscs_main(Ctx c, MscsConfig cfg) {
   nt::Scm& scm = m.scm();
   int failed_attempts = 0;
   bool ever_online = false;
+  // When the current failure episode was detected (for the recovery span);
+  // empty while the resource is healthy.
+  std::optional<sim::TimePoint> failure_detected_at;
+  auto note_failure = [&] {
+    if (cfg.spans != nullptr && !failure_detected_at) {
+      failure_detected_at = m.sim().now();
+    }
+  };
 
   // Bring the resource online, then monitor. One iteration per online
   // attempt or per detected failure.
@@ -29,6 +39,7 @@ sim::Task mscs_main(Ctx c, MscsConfig cfg) {
         start != nt::Win32Error::kServiceAlreadyRunning) {
       // Typically ERROR_SERVICE_DATABASE_LOCKED while a previous instance is
       // stuck in StartPending. Counts as a failed attempt.
+      note_failure();
       ++failed_attempts;
       if (failed_attempts > cfg.restart_threshold) break;
       co_await nt::sleep_in_sim(c, cfg.poll_interval);
@@ -49,6 +60,7 @@ sim::Task mscs_main(Ctx c, MscsConfig cfg) {
       co_await nt::sleep_in_sim(c, cfg.poll_interval);
     }
     if (!online) {
+      note_failure();
       ++failed_attempts;
       if (failed_attempts > cfg.restart_threshold) break;
       continue;
@@ -59,24 +71,37 @@ sim::Task mscs_main(Ctx c, MscsConfig cfg) {
       // before) — the data collector counts these.
       log_event(m, nt::EventSeverity::kInformation, kMscsEventRestart,
                 "Cluster resource '" + cfg.service_name + "' restarted");
+      if (cfg.spans != nullptr && failure_detected_at) {
+        cfg.spans->add("mscs.recovery", *failure_detected_at, m.sim().now());
+      }
     } else {
       log_event(m, nt::EventSeverity::kInformation, kMscsEventOnline,
                 "Cluster resource '" + cfg.service_name + "' is now online");
     }
     ever_online = true;
+    failure_detected_at.reset();
 
     // --- IsAlive polling ---------------------------------------------------
+    sim::TimePoint last_healthy_poll = m.sim().now();
     for (;;) {
       co_await nt::sleep_in_sim(c, cfg.poll_interval);
       auto st = scm.query(cfg.service_name);
       // The generic monitor's IsAlive is just "does the SCM say Running?" —
       // a hung-but-running service passes, which is one of MSCS's blind
       // spots in the paper's data.
-      if (st && st->state == ServiceState::kRunning) continue;
+      if (st && st->state == ServiceState::kRunning) {
+        last_healthy_poll = m.sim().now();
+        continue;
+      }
       break;  // Stopped (crash) or pending (external restart): recover
     }
     // Detected a failure: fall through to restart (counted by the online
-    // path's event-log entry).
+    // path's event-log entry). The detection span is the polling blind
+    // window — last healthy IsAlive to the poll that noticed the failure.
+    if (cfg.spans != nullptr) {
+      cfg.spans->add("mscs.detection", last_healthy_poll, m.sim().now());
+      failure_detected_at = m.sim().now();
+    }
   }
 
   log_event(m, nt::EventSeverity::kError, kMscsEventResourceFailed,

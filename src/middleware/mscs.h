@@ -15,6 +15,7 @@
 #include <string>
 
 #include "ntsim/kernel.h"
+#include "obs/span.h"
 
 namespace dts::mw {
 
@@ -27,6 +28,11 @@ struct MscsConfig {
   /// Failed online/restart attempts before the resource is marked failed.
   /// On a single-node cluster exceeding it leaves the resource failed.
   int restart_threshold = 2;
+
+  /// Optional latency-span sink ("mscs.detection" = last healthy poll to
+  /// failure detection, "mscs.recovery" = detection to back online). The
+  /// pointee must outlive the monitor; null disables recording.
+  obs::SpanLog* spans = nullptr;
 };
 
 /// Event-log ids written by the monitor (source "ClusSvc").

@@ -1,5 +1,7 @@
 #include "middleware/watchd.h"
 
+#include <optional>
+
 #include "apps/winapp.h"
 #include "ntsim/scm.h"
 
@@ -125,6 +127,7 @@ sim::Task watchd_heartbeat_thread(Ctx c, WatchdConfig cfg, nt::net::Network* net
   Api api(c);
   nt::Scm& scm = api.machine().scm();
   int misses = 0;
+  std::optional<sim::TimePoint> first_miss_at;  // start of the hang episode
   for (;;) {
     co_await nt::sleep_in_sim(c, cfg.heartbeat_interval);
     auto st = scm.query(cfg.service_name);
@@ -143,8 +146,10 @@ sim::Task watchd_heartbeat_thread(Ctx c, WatchdConfig cfg, nt::net::Network* net
     }
     if (alive) {
       misses = 0;
+      first_miss_at.reset();
       continue;
     }
+    if (misses == 0) first_miss_at = api.machine().sim().now();
     if (++misses < cfg.heartbeat_misses) continue;
     misses = 0;
     // Hung: kill the service process; the death-watch performs the restart.
@@ -152,7 +157,12 @@ sim::Task watchd_heartbeat_thread(Ctx c, WatchdConfig cfg, nt::net::Network* net
     if (hung && hung->pid != 0 && api.machine().alive(hung->pid)) {
       api.machine().request_process_exit(hung->pid, nt::kExitCodeTerminated,
                                          "watchd heartbeat: service hung");
+      if (cfg.spans != nullptr && first_miss_at) {
+        cfg.spans->add("watchd.hang_detection", *first_miss_at,
+                       api.machine().sim().now());
+      }
     }
+    first_miss_at.reset();
   }
 }
 
@@ -192,6 +202,7 @@ sim::Task watchd_main(Ctx c, WatchdConfig cfg, nt::net::Network* net) {
   for (;;) {
     // Immediate notification (vs MSCS's polling): block on the process.
     (void)co_await nt::wait_on_object(c, proc, nt::kInfinite);
+    const sim::TimePoint death_noticed_at = api.machine().sim().now();
     co_await apps::log_line(api, h_log, "watchd: service process terminated; restarting");
 
     if (cfg.version == WatchdVersion::kV3) {
@@ -217,6 +228,9 @@ sim::Task watchd_main(Ctx c, WatchdConfig cfg, nt::net::Network* net) {
     }
     if (cfg.version != WatchdVersion::kV3) {
       co_await apps::log_line(api, h_log, "watchd: service restarted");
+    }
+    if (cfg.spans != nullptr) {
+      cfg.spans->add("watchd.recovery", death_noticed_at, api.machine().sim().now());
     }
   }
 }

@@ -22,6 +22,7 @@
 #include "middleware/middleware.h"
 #include "ntsim/kernel.h"
 #include "ntsim/netsim.h"
+#include "obs/span.h"
 
 namespace dts::mw {
 
@@ -55,6 +56,11 @@ struct WatchdConfig {
   sim::Duration heartbeat_interval = sim::Duration::seconds(10);
   sim::Duration heartbeat_timeout = sim::Duration::seconds(20);
   int heartbeat_misses = 2;
+
+  /// Optional latency-span sink ("watchd.recovery" = process death to
+  /// monitored-again, "watchd.hang_detection" = first missed heartbeat to
+  /// the kill). The pointee must outlive watchd; null disables recording.
+  obs::SpanLog* spans = nullptr;
 };
 
 /// Registers the watchd program and adds the "/watchd" switch to the

@@ -5,6 +5,20 @@ namespace dts::nt {
 void EventLog::write(sim::TimePoint time, EventSeverity sev, std::string source,
                      std::uint32_t event_id, std::string message) {
   entries_.push_back(EventLogEntry{time, sev, std::move(source), event_id, std::move(message)});
+  if (retention_ > 0 && entries_.size() > retention_) {
+    entries_.erase(entries_.begin(),
+                   entries_.begin() +
+                       static_cast<std::ptrdiff_t>(entries_.size() - retention_));
+  }
+}
+
+void EventLog::set_retention(std::size_t max_entries) {
+  retention_ = max_entries;
+  if (retention_ > 0 && entries_.size() > retention_) {
+    entries_.erase(entries_.begin(),
+                   entries_.begin() +
+                       static_cast<std::ptrdiff_t>(entries_.size() - retention_));
+  }
 }
 
 std::vector<EventLogEntry> EventLog::query(std::string_view source, sim::TimePoint since) const {

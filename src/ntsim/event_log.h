@@ -28,6 +28,12 @@ class EventLog {
   void write(sim::TimePoint time, EventSeverity sev, std::string source,
              std::uint32_t event_id, std::string message);
 
+  /// Bounds the log to the newest `max_entries` records, dropping the oldest
+  /// on overflow — NT's circular event-log behaviour. 0 (the default) keeps
+  /// everything: the run classifiers count restart events over the whole run.
+  void set_retention(std::size_t max_entries);
+  std::size_t retention() const { return retention_; }
+
   const std::vector<EventLogEntry>& entries() const { return entries_; }
 
   /// Entries from `source` at or after `since`.
@@ -41,6 +47,7 @@ class EventLog {
 
  private:
   std::vector<EventLogEntry> entries_;
+  std::size_t retention_ = 0;
 };
 
 }  // namespace dts::nt

@@ -80,11 +80,13 @@ sim::CoTask<Word> Kernel32::call(Ctx c, Fn fn, std::vector<Word> args) {
   r.argc = static_cast<int>(args.size());
   for (int i = 0; i < r.argc; ++i) r.args[static_cast<std::size_t>(i)] = args[i];
 
-  ++machine_->syscalls_made;
+  r.seq = ++machine_->syscalls_made;
   if (hook_ != nullptr) hook_->on_call(*c.process, r);
 
   co_await sleep_in_sim(c, machine_->cost(kBaseCost));
-  co_return co_await dispatch(c, r);
+  const Word result = co_await dispatch(c, r);
+  if (hook_ != nullptr) hook_->on_result(*c.process, r, result);
+  co_return result;
 }
 
 sim::CoTask<Word> Kernel32::dispatch(Ctx c, const CallRecord& r) {

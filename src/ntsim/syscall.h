@@ -25,6 +25,10 @@ struct CallRecord {
   Fn fn{};
   std::array<Word, kMaxSyscallArgs> args{};
   int argc = 0;
+  /// Machine-wide syscall sequence number, assigned by the dispatcher before
+  /// on_call. Lets a tracing hook match on_result back to the entry it wrote
+  /// in on_call even when coroutine calls interleave.
+  std::uint64_t seq = 0;
 };
 
 /// Interception interface installed on the Kernel32 dispatcher.
@@ -36,6 +40,16 @@ class SyscallHook {
   /// calling process (DTS targets one server process image per run). The
   /// hook may corrupt `rec.args` in place.
   virtual void on_call(const Process& proc, CallRecord& rec) = 0;
+
+  /// Called after dispatch returns, with the call's result word. NOT called
+  /// for calls that never return (a corrupted pointer raising an access
+  /// violation unwinds past the dispatcher) — a trace entry without a result
+  /// is itself a forensic signal. Default: ignore.
+  virtual void on_result(const Process& proc, const CallRecord& rec, Word result) {
+    (void)proc;
+    (void)rec;
+    (void)result;
+  }
 };
 
 }  // namespace dts::nt

@@ -1,0 +1,74 @@
+// Fixed-capacity ring buffer used by the observability layer (per-run
+// syscall traces). Capacity 0 means disabled: push() is a no-op, which is
+// what makes tracing-off campaigns effectively free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dts::obs {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// Resets the buffer to hold at most `n` elements (0 disables it).
+  void set_capacity(std::size_t n) {
+    data_.assign(n, T{});
+    cap_ = n;
+    next_ = 0;
+    count_ = 0;
+    pushed_ = 0;
+  }
+
+  std::size_t capacity() const { return cap_; }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool enabled() const { return cap_ > 0; }
+
+  /// Total number of elements ever pushed (including evicted ones).
+  std::uint64_t pushed() const { return pushed_; }
+
+  void push(T value) {
+    if (cap_ == 0) return;
+    data_[next_] = std::move(value);
+    next_ = (next_ + 1) % cap_;
+    if (count_ < cap_) ++count_;
+    ++pushed_;
+  }
+
+  /// Element `i` counted from the oldest retained entry (0 = oldest).
+  const T& operator[](std::size_t i) const { return data_[physical(i)]; }
+  T& operator[](std::size_t i) { return data_[physical(i)]; }
+
+  /// Newest-first search; returns nullptr when no retained element matches.
+  template <typename Pred>
+  T* find_last_if(Pred pred) {
+    for (std::size_t i = count_; i > 0; --i) {
+      T& e = data_[physical(i - 1)];
+      if (pred(e)) return &e;
+    }
+    return nullptr;
+  }
+
+  /// Snapshot in oldest-to-newest order.
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(count_);
+    for (std::size_t i = 0; i < count_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  std::size_t physical(std::size_t logical) const {
+    return (next_ + cap_ - count_ + logical) % cap_;
+  }
+
+  std::vector<T> data_;
+  std::size_t cap_ = 0;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace dts::obs

@@ -1,0 +1,39 @@
+// Sim-time spans for middleware latency accounting: how long did MSCS take
+// to notice a dead service, how long did watchd's restart take? Middleware
+// programs record spans through a raw pointer in their config (null = off);
+// the run owner aggregates them into metrics histograms and forensics dumps.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dts::obs {
+
+struct Span {
+  std::string name;  // e.g. "mscs.detection", "watchd.recovery"
+  sim::TimePoint begin{};
+  sim::TimePoint end{};
+
+  sim::Duration duration() const { return end - begin; }
+};
+
+/// Single-threaded span collection (one run = one simulation). Cheap enough
+/// to be always on: a handful of entries per run at most.
+class SpanLog {
+ public:
+  void add(std::string name, sim::TimePoint begin, sim::TimePoint end) {
+    spans_.push_back(Span{std::move(name), begin, end});
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+  void clear() { spans_.clear(); }
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace dts::obs

@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace dts::obs {
+
+std::string_view to_string(TraceMode mode) {
+  switch (mode) {
+    case TraceMode::kOff: return "off";
+    case TraceMode::kFailures: return "failures";
+    case TraceMode::kAll: return "all";
+  }
+  return "?";
+}
+
+bool trace_mode_from_string(std::string_view s, TraceMode* out) {
+  if (s == "off") { *out = TraceMode::kOff; return true; }
+  if (s == "failures") { *out = TraceMode::kFailures; return true; }
+  if (s == "all") { *out = TraceMode::kAll; return true; }
+  return false;
+}
+
+std::uint32_t TraceEvent::args_digest() const {
+  std::uint32_t h = 2166136261u;
+  for (int i = 0; i < argc; ++i) {
+    const nt::Word w = args[static_cast<std::size_t>(i)];
+    for (int b = 0; b < 4; ++b) {
+      h ^= (w >> (8 * b)) & 0xFFu;
+      h *= 16777619u;
+    }
+  }
+  return h;
+}
+
+std::string TraceEvent::to_string() const {
+  char head[32];
+  std::snprintf(head, sizeof head, "%.3fs ", time.to_seconds());
+  std::string out = head;
+  out += "pid " + std::to_string(pid) + ": ";
+  out += nt::to_string(fn);
+  out += "(";
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) out += ", ";
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%X", args[static_cast<std::size_t>(i)]);
+    out += buf;
+  }
+  out += ")";
+  if (completed) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, " -> 0x%X", result);
+    out += buf;
+  }
+  if (injected_here) out += "  <== FAULT INJECTED";
+  return out;
+}
+
+void SyscallTrace::record_call(const TraceEvent& e) {
+  ring_.push(e);
+  // Pin the corrupted call plus its predecessors so a long post-injection
+  // tail cannot evict the most interesting entry of the whole run.
+  if (e.injected_here && injection_context_.empty()) {
+    injection_context_ = ring_.snapshot();
+  }
+}
+
+void SyscallTrace::record_result(std::uint64_t seq, nt::Word result) {
+  if (!ring_.enabled()) return;
+  TraceEvent* e = ring_.find_last_if(
+      [seq](const TraceEvent& t) { return t.seq == seq; });
+  if (e != nullptr) {
+    e->completed = true;
+    e->result = result;
+  }
+  // Keep the pinned injection context consistent too: the corrupted call's
+  // own result usually arrives right after pinning.
+  for (auto it = injection_context_.rbegin(); it != injection_context_.rend(); ++it) {
+    if (it->seq == seq) {
+      it->completed = true;
+      it->result = result;
+      break;
+    }
+  }
+}
+
+std::string forensics_dump(std::string_view title,
+                           const std::vector<std::string>& context,
+                           const SpanLog* spans, const SyscallTrace& trace) {
+  std::string out = "=== DTS forensics: ";
+  out += title;
+  out += " ===\n";
+  for (const std::string& line : context) {
+    out += line;
+    out += "\n";
+  }
+  if (spans != nullptr && !spans->empty()) {
+    out += "--- middleware spans ---\n";
+    for (const Span& s : spans->spans()) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%s %.3fs..%.3fs (%s)\n", s.name.c_str(),
+                    s.begin.to_seconds(), s.end.to_seconds(),
+                    sim::to_string(s.duration()).c_str());
+      out += buf;
+    }
+  }
+  const std::vector<TraceEvent>& ctx = trace.injection_context();
+  const std::vector<TraceEvent> tail = trace.entries();
+  if (!ctx.empty()) {
+    out += "--- injection context (corrupted call last) ---\n";
+    for (const TraceEvent& e : ctx) {
+      out += "  " + e.to_string() + "\n";
+    }
+  }
+  // The tail duplicates the injection context when nothing was traced after
+  // the corruption; print it only when it adds information.
+  const bool tail_is_context =
+      !ctx.empty() && !tail.empty() && tail.back().seq == ctx.back().seq;
+  if (!tail.empty() && !tail_is_context) {
+    char hdr[80];
+    std::snprintf(hdr, sizeof hdr, "--- last %zu calls before run end ---\n",
+                  tail.size());
+    out += hdr;
+    for (const TraceEvent& e : tail) {
+      out += "  " + e.to_string() + "\n";
+    }
+  }
+  char foot[96];
+  std::snprintf(foot, sizeof foot,
+                "(calls traced: %llu, ring capacity: %zu)\n",
+                static_cast<unsigned long long>(trace.recorded()),
+                trace.capacity());
+  out += foot;
+  return out;
+}
+
+}  // namespace dts::obs

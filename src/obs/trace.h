@@ -1,0 +1,98 @@
+// Per-run syscall trace: a bounded ring of intercepted KERNEL32 calls with
+// sim-timestamps, an args digest, the injection marker and (when the call
+// completed) its result word. The inject interceptor feeds it; the executor
+// dumps its tail as failure forensics next to the run-journal record.
+//
+// Two retention windows cooperate so a forensics dump always shows both ends
+// of the story: the ring itself keeps the last N calls before the run ended,
+// and the moment the armed fault fires the ring contents are pinned as the
+// "injection context" (the corrupted call plus its up-to-N predecessors) —
+// a long post-injection tail cannot scroll the corrupted call away.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ntsim/syscall.h"
+#include "obs/ring.h"
+#include "obs/span.h"
+#include "sim/time.h"
+
+namespace dts::obs {
+
+/// How much a campaign traces. kFailures dumps forensics only for runs that
+/// classify as failure or involved a middleware restart; kAll dumps every
+/// executed run.
+enum class TraceMode { kOff, kFailures, kAll };
+
+std::string_view to_string(TraceMode mode);
+/// Parses "off" / "failures" / "all"; returns false on anything else.
+bool trace_mode_from_string(std::string_view s, TraceMode* out);
+
+/// One intercepted call from a target-image process (post-corruption: the
+/// trace shows what the kernel actually received).
+struct TraceEvent {
+  std::uint64_t seq = 0;  // machine-wide syscall sequence number
+  sim::TimePoint time{};  // sim time at interception
+  nt::Pid pid = 0;
+  nt::Fn fn{};
+  std::array<nt::Word, nt::kMaxSyscallArgs> args{};
+  int argc = 0;
+  bool injected_here = false;  // the armed fault corrupted this call
+  bool completed = false;      // dispatch returned (crashing calls never do)
+  nt::Word result = 0;
+
+  /// FNV-1a over the argument words — a compact fingerprint for metrics and
+  /// log correlation without dumping every word.
+  std::uint32_t args_digest() const;
+
+  /// "12.301s pid 104: ReadFile(0x14, 0x401000, 16384) -> 0x1" form; marks
+  /// the injected call with " <== FAULT INJECTED".
+  std::string to_string() const;
+};
+
+/// The per-run trace sink. Single-threaded (one run = one simulation);
+/// capacity 0 disables recording entirely.
+class SyscallTrace {
+ public:
+  void set_capacity(std::size_t n) {
+    ring_.set_capacity(n);
+    injection_context_.clear();
+  }
+  std::size_t capacity() const { return ring_.capacity(); }
+  bool enabled() const { return ring_.enabled(); }
+  std::size_t size() const { return ring_.size(); }
+  std::uint64_t recorded() const { return ring_.pushed(); }
+
+  void record_call(const TraceEvent& e);
+
+  /// Backfills the result of the (still-retained) call with sequence `seq`.
+  /// A call evicted before its result arrives is silently left incomplete.
+  void record_result(std::uint64_t seq, nt::Word result);
+
+  /// Last-N calls, oldest first.
+  std::vector<TraceEvent> entries() const { return ring_.snapshot(); }
+
+  /// Ring contents captured at the moment the fault fired (corrupted call
+  /// last); empty if no injection was traced.
+  const std::vector<TraceEvent>& injection_context() const {
+    return injection_context_;
+  }
+
+ private:
+  RingBuffer<TraceEvent> ring_;
+  std::vector<TraceEvent> injection_context_;
+};
+
+/// Renders a forensics dump: caller-supplied context lines (fault id,
+/// outcome, timings...), the middleware spans, the pinned injection context
+/// and the trace tail. `title` becomes the "=== DTS forensics: <title> ==="
+/// banner.
+std::string forensics_dump(std::string_view title,
+                           const std::vector<std::string>& context,
+                           const SpanLog* spans, const SyscallTrace& trace);
+
+}  // namespace dts::obs

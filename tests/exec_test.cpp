@@ -217,6 +217,144 @@ TEST(Exec, RunWorkloadSetResumesViaCampaignOptions) {
   EXPECT_GT(last.reused, 0u);
 }
 
+// The ETA must follow the recent completion rate, not the whole-campaign
+// average: after a slow warm-up the window converges on the current rate.
+TEST(Exec, EtaUsesRecentRateWindowNotLifetimeAverage) {
+  double now = 0.0;
+  exec::ProgressTracker tracker(100, 0, [&now] { return now; });
+
+  // 10 slow completions at 1 run/s...
+  for (int i = 1; i <= 10; ++i) {
+    now = static_cast<double>(i);
+    (void)tracker.completed(true);
+  }
+  // ...then a full window of fast completions at 10 runs/s.
+  for (int i = 1; i <= 64; ++i) {
+    now = 10.0 + 0.1 * i;
+    (void)tracker.completed(true);
+  }
+
+  const exec::ProgressSnapshot s = tracker.snapshot();
+  EXPECT_EQ(s.done, 74u);
+  // Window rate: 63 intervals over 6.3s = 10 runs/s; the lifetime average
+  // (74 / 16.4s ≈ 4.5 runs/s) would nearly double the ETA.
+  EXPECT_NEAR(s.runs_per_sec, 10.0, 0.5);
+  EXPECT_NEAR(s.eta_s, 26.0 / 10.0, 0.5);
+}
+
+// Until the window has two fresh completions the lifetime average is the
+// only rate available — and with no fresh completions the ETA stays 0.
+TEST(Exec, EtaFallsBackToLifetimeAverageWhenWindowCold) {
+  double now = 0.0;
+  exec::ProgressTracker tracker(10, 4, [&now] { return now; });
+  now = 2.0;
+  const exec::ProgressSnapshot one = tracker.completed(true);
+  EXPECT_EQ(one.done, 5u);
+  EXPECT_NEAR(one.runs_per_sec, 0.5, 1e-9);  // 1 fresh run / 2s
+  now = 4.0;
+  const exec::ProgressSnapshot skip = tracker.completed(false);  // skip-uncalled
+  EXPECT_EQ(skip.done, 6u);
+  EXPECT_NEAR(skip.runs_per_sec, 0.25, 1e-9);  // still 1 fresh run, now / 4s
+}
+
+// A v1 journal (no wall_us/sim_us/fx) written by the previous release must
+// resume cleanly under the v2 reader.
+TEST(Exec, JournalV1FilesResumeUnderV2Reader) {
+  const core::RunConfig cfg = make_config("Apache1");
+  const inject::FaultList list = capped_list(cfg, 7, 6);
+
+  const std::string journal = temp_path("exec_v1compat.jsonl");
+  std::filesystem::remove(journal);
+  exec::ExecOptions eo;
+  eo.jobs = 1;
+  eo.journal_path = journal;
+  const exec::CampaignResult full = exec::CampaignExecutor(eo).run(cfg, list, 7);
+  ASSERT_GT(full.executed, 0u);
+
+  // Rewrite the v2 journal as its v1 ancestor: version 1 header, records
+  // truncated before the v2 timing fields.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(journal);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GE(lines.size(), 2u);
+  {
+    std::ofstream out(journal, std::ios::trunc);
+    for (std::string line : lines) {
+      const auto header = line.find("\"dts_journal\":2");
+      if (header != std::string::npos) {
+        line.replace(header, 15, "\"dts_journal\":1");
+      }
+      const auto v2_fields = line.find(",\"wall_us\":");
+      if (v2_fields != std::string::npos) {
+        line = line.substr(0, v2_fields) + "}";
+      }
+      out << line << "\n";
+    }
+  }
+
+  exec::ExecOptions again;
+  again.jobs = 2;
+  again.journal_path = journal;
+  again.resume = true;
+  const exec::CampaignResult resumed = exec::CampaignExecutor(again).run(cfg, list, 7);
+  EXPECT_EQ(resumed.reused, full.executed);
+  EXPECT_EQ(resumed.executed, 0u);
+  EXPECT_EQ(run_lines(resumed.runs), run_lines(full.runs));
+}
+
+// Forward compatibility the other way: records carrying fields this reader
+// has never heard of still parse, and the v2 extras round-trip.
+TEST(Exec, JournalReaderToleratesUnknownFieldsAndRoundTripsV2Extras) {
+  const std::string path = temp_path("exec_v2fields.jsonl");
+  std::filesystem::remove(path);
+
+  exec::JournalKey key;
+  key.workload = "Apache1";
+  key.middleware = 0;
+  key.watchd_version = 3;
+  key.seed = 7;
+  key.fault_count = 2;
+
+  exec::RunJournal journal;
+  std::string error;
+  ASSERT_TRUE(journal.open(path, key, /*append=*/false, &error)) << error;
+  exec::JournalRecord rec;
+  rec.index = 0;
+  rec.fault_id = "ReadFile.hFile#1:zero";
+  rec.fn_called = true;
+  rec.run_line = "ReadFile.hFile#1:zero 1 failure 0 123 0 0 1";
+  rec.wall_us = 1832;
+  rec.sim_us = 414000000;
+  rec.forensics = "=== DTS forensics ===\nline \"two\"\n";
+  journal.append(rec);
+  {
+    // A future schema rev appended a field v2 never defined.
+    std::ofstream out(path, std::ios::app);
+    out << "{\"i\":1,\"fault\":\"WriteFile.buf#1:rand\",\"called\":0,"
+           "\"run\":\"WriteFile.buf#1:rand 0 normal 1 5 0 0 1\","
+           "\"wall_us\":12,\"sim_us\":34,\"cpu_temp\":451}\n";
+  }
+
+  const auto records = exec::read_journal(path, key, &error);
+  ASSERT_TRUE(records.has_value()) << error;
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].wall_us, 1832u);
+  EXPECT_EQ((*records)[0].sim_us, 414000000u);
+  EXPECT_EQ((*records)[0].forensics, rec.forensics);
+  EXPECT_EQ((*records)[1].wall_us, 12u);
+  EXPECT_EQ((*records)[1].sim_us, 34u);
+  EXPECT_TRUE((*records)[1].forensics.empty());
+
+  // And the header written today really is schema v2.
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_NE(header.find("\"dts_journal\":2"), std::string::npos);
+}
+
 TEST(Exec, ProgressFormatting) {
   exec::ProgressSnapshot s;
   s.done = 30;

@@ -1,0 +1,559 @@
+// Tests for the observability layer (src/obs/): trace ring semantics,
+// injection-context pinning, forensics dumps, the campaign metrics registry
+// (Prometheus text + Chrome trace JSON exports), NT event-log retention, and
+// the end-to-end campaign wiring (journal "fx" records, forensics files,
+// trace-off byte-identity). Labelled `obs` in CTest.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/run.h"
+#include "exec/journal.h"
+#include "ntsim/event_log.h"
+#include "obs/metrics.h"
+#include "obs/ring.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+#include "sim/rng.h"
+
+namespace dts {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+// --- RingBuffer ------------------------------------------------------------
+
+TEST(Ring, CapacityZeroIsDisabled) {
+  obs::RingBuffer<int> ring;
+  EXPECT_FALSE(ring.enabled());
+  ring.push(1);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.pushed(), 0u);
+}
+
+TEST(Ring, OverwritesOldestAndKeepsOrder) {
+  obs::RingBuffer<int> ring;
+  ring.set_capacity(3);
+  for (int i = 1; i <= 5; ++i) ring.push(i);
+  ASSERT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.pushed(), 5u);
+  EXPECT_EQ(ring[0], 3);  // oldest retained
+  EXPECT_EQ(ring[1], 4);
+  EXPECT_EQ(ring[2], 5);
+  EXPECT_EQ(ring.snapshot(), (std::vector<int>{3, 4, 5}));
+}
+
+TEST(Ring, FindLastIfSearchesNewestFirst) {
+  obs::RingBuffer<int> ring;
+  ring.set_capacity(4);
+  for (int i : {2, 4, 6, 8}) ring.push(i);
+  int* hit = ring.find_last_if([](int v) { return v < 7; });
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 6);
+  EXPECT_EQ(ring.find_last_if([](int v) { return v > 100; }), nullptr);
+}
+
+// --- SyscallTrace ----------------------------------------------------------
+
+obs::TraceEvent make_event(std::uint64_t seq, bool injected = false) {
+  obs::TraceEvent e;
+  e.seq = seq;
+  e.time = sim::TimePoint{} + sim::Duration::micros(static_cast<std::int64_t>(seq) * 1000);
+  e.pid = 100;
+  e.argc = 2;
+  e.args[0] = seq;
+  e.args[1] = 0x40;
+  e.injected_here = injected;
+  return e;
+}
+
+TEST(Trace, ModeStringsRoundTrip) {
+  for (auto mode : {obs::TraceMode::kOff, obs::TraceMode::kFailures, obs::TraceMode::kAll}) {
+    obs::TraceMode parsed{};
+    ASSERT_TRUE(obs::trace_mode_from_string(obs::to_string(mode), &parsed));
+    EXPECT_EQ(parsed, mode);
+  }
+  obs::TraceMode out{};
+  EXPECT_FALSE(obs::trace_mode_from_string("verbose", &out));
+  EXPECT_FALSE(obs::trace_mode_from_string("", &out));
+}
+
+TEST(Trace, ResultBackfillsRetainedEntry) {
+  obs::SyscallTrace trace;
+  trace.set_capacity(4);
+  trace.record_call(make_event(1));
+  trace.record_call(make_event(2));
+  trace.record_result(1, 0x77);
+  const auto entries = trace.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_TRUE(entries[0].completed);
+  EXPECT_EQ(entries[0].result, 0x77u);
+  EXPECT_FALSE(entries[1].completed);  // crashing calls never get a result
+}
+
+TEST(Trace, InjectionContextPinnedAgainstEviction) {
+  obs::SyscallTrace trace;
+  trace.set_capacity(4);
+  for (std::uint64_t s = 1; s <= 3; ++s) trace.record_call(make_event(s));
+  trace.record_call(make_event(4, /*injected=*/true));
+  // A long post-injection tail scrolls the ring right past the fault...
+  for (std::uint64_t s = 5; s <= 10; ++s) trace.record_call(make_event(s));
+  const auto tail = trace.entries();
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail.front().seq, 7u);  // corrupted call long gone from the ring
+
+  // ...but the pinned context still holds the corrupted call plus its
+  // predecessors, newest (= corrupted) last.
+  const auto& ctx = trace.injection_context();
+  ASSERT_EQ(ctx.size(), 4u);
+  EXPECT_EQ(ctx.front().seq, 1u);
+  EXPECT_EQ(ctx.back().seq, 4u);
+  EXPECT_TRUE(ctx.back().injected_here);
+}
+
+TEST(Trace, ResultBackfillReachesPinnedContext) {
+  obs::SyscallTrace trace;
+  trace.set_capacity(3);
+  trace.record_call(make_event(1));
+  trace.record_call(make_event(2, /*injected=*/true));
+  trace.record_result(2, 0xdead);
+  const auto& ctx = trace.injection_context();
+  ASSERT_EQ(ctx.size(), 2u);
+  EXPECT_TRUE(ctx.back().completed);
+  EXPECT_EQ(ctx.back().result, 0xdeadu);
+}
+
+TEST(Trace, EventRenderingMarksInjection) {
+  obs::TraceEvent e = make_event(3, /*injected=*/true);
+  e.completed = true;
+  e.result = 1;
+  const std::string line = e.to_string();
+  EXPECT_NE(line.find("pid 100"), std::string::npos);
+  EXPECT_NE(line.find("FAULT INJECTED"), std::string::npos);
+  EXPECT_NE(line.find("-> 0x1"), std::string::npos);
+  EXPECT_EQ(make_event(4).to_string().find("FAULT INJECTED"), std::string::npos);
+}
+
+TEST(Trace, ForensicsDumpShowsBothWindows) {
+  obs::SyscallTrace trace;
+  trace.set_capacity(3);
+  for (std::uint64_t s = 1; s <= 2; ++s) trace.record_call(make_event(s));
+  trace.record_call(make_event(3, /*injected=*/true));
+  for (std::uint64_t s = 4; s <= 8; ++s) trace.record_call(make_event(s));
+
+  obs::SpanLog spans;
+  spans.add("mscs.recovery", sim::TimePoint{} + sim::Duration::seconds(1),
+            sim::TimePoint{} + sim::Duration::seconds(3));
+
+  const std::string dump =
+      obs::forensics_dump("ReadFile.hFile#1:zero", {"outcome: failure"}, &spans, trace);
+  EXPECT_NE(dump.find("=== DTS forensics: ReadFile.hFile#1:zero ==="), std::string::npos);
+  EXPECT_NE(dump.find("outcome: failure"), std::string::npos);
+  EXPECT_NE(dump.find("mscs.recovery"), std::string::npos);
+  EXPECT_NE(dump.find("injection context"), std::string::npos);
+  EXPECT_NE(dump.find("FAULT INJECTED"), std::string::npos);
+  // The tail window is distinct here (the fault scrolled out), so both
+  // sections render.
+  EXPECT_NE(dump.find("calls before run end"), std::string::npos);
+}
+
+// --- Metrics registry ------------------------------------------------------
+
+TEST(Metrics, HandlesAreStableAndSharedByLabels) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("dts_test_total", {{"k", "v"}});
+  obs::Counter& b = reg.counter("dts_test_total", {{"k", "v"}});
+  obs::Counter& c = reg.counter("dts_test_total", {{"k", "w"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.inc(2);
+  b.inc();
+  EXPECT_EQ(a.value(), 3u);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, KindCollisionThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("dts_collide");
+  EXPECT_THROW(reg.gauge("dts_collide"), std::logic_error);
+}
+
+TEST(Metrics, HistogramBucketsAndSum) {
+  obs::Histogram h({1.0, 5.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);  // upper edges are inclusive
+  h.observe(7.0);
+  h.observe(100.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_NEAR(h.sum(), 112.5, 1e-6);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf
+}
+
+// Every non-comment line of the exposition must be `name{labels} value` or
+// `name value`, histogram buckets must be cumulative and end at +Inf.
+TEST(Metrics, PrometheusTextParses) {
+  obs::MetricsRegistry reg;
+  reg.counter("dts_runs_total", {{"outcome", "failure"}}, "executed runs").inc(3);
+  reg.gauge("dts_queue_depth", {}, "pending faults").set(7.5);
+  obs::Histogram& h =
+      reg.histogram("dts_resp_seconds", {{"workload", "IIS"}}, {1.0, 5.0}, "resp");
+  h.observe(0.3);
+  h.observe(2.0);
+  h.observe(90.0);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP dts_runs_total executed runs"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dts_runs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("dts_runs_total{outcome=\"failure\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dts_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dts_resp_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("dts_resp_seconds_bucket{workload=\"IIS\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dts_resp_seconds_bucket{workload=\"IIS\",le=\"5\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dts_resp_seconds_bucket{workload=\"IIS\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("dts_resp_seconds_count{workload=\"IIS\"} 3"), std::string::npos);
+
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // name[{labels}] SP value
+    const auto sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string value = line.substr(sp + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    char* end = nullptr;
+    (void)std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << line;
+    std::string name = line.substr(0, sp);
+    const auto brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      name = name.substr(0, brace);
+    }
+    for (char c : name) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_') << line;
+    }
+  }
+}
+
+// A tiny recursive-descent JSON checker — enough to prove the Chrome trace
+// export is well-formed without a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : s_(text) {}
+  bool valid() {
+    skip_ws();
+    return value() && (skip_ws(), pos_ == s_.size());
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;
+    skip_ws();
+    if (peek('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek('}')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool array() {
+    ++pos_;
+    skip_ws();
+    if (peek(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek(']')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        pos_ += 2;
+      } else {
+        ++pos_;
+      }
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
+      digits = digits || std::isdigit(static_cast<unsigned char>(s_[pos_]));
+      ++pos_;
+    }
+    return digits && pos_ > start;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool expect(char c) { return peek(c); }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Metrics, ChromeTraceJsonIsValid) {
+  obs::MetricsRegistry reg;
+  reg.set_thread_name(0, "worker-0");
+  reg.add_complete_event("ReadFile.hFile#1:zero", "run", 0, 100.0, 2500.0,
+                         {{"outcome", "failure \"quoted\""}});
+  reg.add_complete_event("WriteFile.buf#2:rand", "run", 1, 300.5, 90.0);
+  const std::string json = reg.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("worker-0"), std::string::npos);
+}
+
+TEST(Metrics, WriteMetricsFilesEmitsBothExports) {
+  obs::MetricsRegistry reg;
+  reg.counter("dts_runs_total").inc();
+  reg.add_complete_event("run", "run", 0, 1.0, 2.0);
+  const std::string path = temp_path("obs_metrics.prom");
+  std::string error;
+  ASSERT_TRUE(obs::write_metrics_files(reg, path, &error)) << error;
+  std::ifstream prom(path);
+  std::stringstream prom_text;
+  prom_text << prom.rdbuf();
+  EXPECT_NE(prom_text.str().find("dts_runs_total 1"), std::string::npos);
+  std::ifstream trace(path + ".trace.json");
+  std::stringstream trace_text;
+  trace_text << trace.rdbuf();
+  EXPECT_TRUE(JsonChecker(trace_text.str()).valid());
+}
+
+// --- NT event-log retention ------------------------------------------------
+
+TEST(EventLog, RetentionDropsOldestKeepsOrder) {
+  nt::EventLog log;
+  log.set_retention(3);
+  for (int i = 1; i <= 5; ++i) {
+    log.write(sim::TimePoint{} + sim::Duration::seconds(i), nt::EventSeverity::kInformation,
+              "mscs", 1000, "restart " + std::to_string(i));
+  }
+  ASSERT_EQ(log.entries().size(), 3u);
+  EXPECT_EQ(log.entries().front().message, "restart 3");
+  EXPECT_EQ(log.entries().back().message, "restart 5");
+  for (std::size_t i = 1; i < log.entries().size(); ++i) {
+    EXPECT_LE(log.entries()[i - 1].time.count_micros(), log.entries()[i].time.count_micros());
+  }
+}
+
+TEST(EventLog, SetRetentionTrimsImmediately) {
+  nt::EventLog log;
+  for (int i = 1; i <= 4; ++i) {
+    log.write(sim::TimePoint{} + sim::Duration::seconds(i), nt::EventSeverity::kError,
+              "watchd", 2000, "hb " + std::to_string(i));
+  }
+  log.set_retention(2);
+  ASSERT_EQ(log.entries().size(), 2u);
+  EXPECT_EQ(log.entries().front().message, "hb 3");
+  EXPECT_EQ(log.count("watchd", 2000), 2u);
+}
+
+TEST(EventLog, DefaultRetentionKeepsEverything) {
+  nt::EventLog log;
+  EXPECT_EQ(log.retention(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    log.write(sim::TimePoint{}, nt::EventSeverity::kInformation, "s", 1, "m");
+  }
+  EXPECT_EQ(log.entries().size(), 100u);
+}
+
+// --- end-to-end: forced failure forensics ----------------------------------
+
+// The acceptance bar for forensics: a failing run traced with a bounded ring
+// must dump the corrupted call plus its preceding calls, even when the
+// post-injection tail is long.
+TEST(ObsIntegration, ForcedFailureRunDumpsCorruptedCallWithPredecessors) {
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name("IIS");  // stand-alone: crash => failure
+  cfg.trace_limit = 16;
+
+  const auto fns = core::profile_workload(cfg, 7);
+  const inject::FaultList list =
+      inject::FaultList::for_functions(cfg.workload.target_image, fns).sampled(24);
+
+  bool found = false;
+  for (const auto& fault : list.faults) {
+    cfg.seed = sim::Rng::mix(7, sim::Rng::hash(fault.id()));
+    core::FaultInjectionRun run(cfg);
+    const core::RunResult r = run.execute(fault);
+    const auto& trace = run.interceptor().syscall_trace();
+    if (r.outcome != core::Outcome::kFailure || !r.activated ||
+        trace.injection_context().size() < 2) {
+      continue;
+    }
+    found = true;
+    const auto& ctx = trace.injection_context();
+    EXPECT_TRUE(ctx.back().injected_here);
+    for (std::size_t i = 0; i + 1 < ctx.size(); ++i) {
+      EXPECT_FALSE(ctx[i].injected_here);
+      EXPECT_LT(ctx[i].seq, ctx.back().seq);
+    }
+    const std::string dump = obs::forensics_dump(
+        fault.id(), {"outcome: " + std::string(to_string(r.outcome))}, &run.spans(), trace);
+    EXPECT_NE(dump.find("FAULT INJECTED"), std::string::npos);
+    EXPECT_NE(dump.find(std::string(nt::to_string(fault.fn))), std::string::npos);
+    EXPECT_NE(dump.find("injection context"), std::string::npos);
+    break;
+  }
+  ASSERT_TRUE(found) << "no activated failure with a traced predecessor in the sample";
+}
+
+// --- end-to-end: campaign wiring -------------------------------------------
+
+TEST(ObsIntegration, CampaignEmitsJournalForensicsFilesAndMetrics) {
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name("IIS");
+
+  const std::string journal = temp_path("obs_campaign.jsonl");
+  const std::string fx_dir = temp_path("obs_forensics");
+  std::filesystem::remove(journal);
+  std::filesystem::remove_all(fx_dir);
+
+  obs::MetricsRegistry metrics;
+  core::CampaignOptions opt;
+  opt.seed = 7;
+  opt.max_faults = 10;
+  opt.jobs = 2;
+  opt.journal_path = journal;
+  opt.metrics = &metrics;
+  opt.trace = obs::TraceMode::kAll;
+  opt.forensics_depth = 12;
+  opt.forensics_dir = fx_dir;
+  const core::WorkloadSetResult set = core::run_workload_set(cfg, opt);
+  ASSERT_FALSE(set.runs.empty());
+
+  // Journal records carry the v2 timings and (trace=all) a forensics dump.
+  exec::JournalKey key;
+  key.workload = cfg.workload.name;
+  key.middleware = static_cast<int>(cfg.middleware);
+  key.watchd_version = static_cast<int>(cfg.watchd_version);
+  key.seed = 7;
+  key.fault_count = set.runs.size();
+  std::string error;
+  const auto records = exec::read_journal(journal, key, &error);
+  ASSERT_TRUE(records.has_value()) << error;
+  ASSERT_FALSE(records->empty());
+  std::size_t with_fx = 0, with_wall = 0, with_sim = 0;
+  for (const auto& rec : *records) {
+    with_fx += rec.forensics.empty() ? 0 : 1;
+    with_wall += rec.wall_us > 0 ? 1 : 0;
+    with_sim += rec.sim_us > 0 ? 1 : 0;
+    if (!rec.forensics.empty()) {
+      EXPECT_NE(rec.forensics.find("=== DTS forensics"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(with_fx, records->size());  // kAll dumps every executed run
+  EXPECT_EQ(with_wall, records->size());
+  EXPECT_EQ(with_sim, records->size());
+
+  // The on-disk dumps exist too.
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(fx_dir)) {
+    ++files;
+    EXPECT_NE(e.path().filename().string().find("run-"), std::string::npos);
+  }
+  EXPECT_EQ(files, records->size());
+
+  // Metrics counted each executed run once.
+  const std::string prom = metrics.prometheus_text();
+  EXPECT_NE(prom.find("dts_runs_total"), std::string::npos);
+  EXPECT_NE(prom.find("dts_response_time_seconds_bucket"), std::string::npos);
+  EXPECT_NE(prom.find("workload=\"IIS\""), std::string::npos);
+  std::uint64_t runs_counted = 0;
+  std::istringstream lines(prom);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("dts_runs_total{", 0) == 0) {
+      runs_counted += std::strtoull(line.substr(line.rfind(' ') + 1).c_str(), nullptr, 10);
+    }
+  }
+  EXPECT_EQ(runs_counted, records->size());
+  EXPECT_TRUE(JsonChecker(metrics.chrome_trace_json()).valid());
+}
+
+// Tracing must observe, never perturb: a fully traced campaign serializes
+// byte-identically to the default (trace-off) campaign.
+TEST(ObsIntegration, TraceAllOutputByteIdenticalToTraceOff) {
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name("Apache1");
+  core::CampaignOptions opt;
+  opt.seed = 7;
+  opt.max_faults = 8;
+
+  const std::string off = core::serialize_workload_set(core::run_workload_set(cfg, opt));
+
+  obs::MetricsRegistry metrics;
+  opt.trace = obs::TraceMode::kAll;
+  opt.metrics = &metrics;
+  opt.jobs = 2;
+  const std::string on = core::serialize_workload_set(core::run_workload_set(cfg, opt));
+  EXPECT_EQ(off, on);
+}
+
+}  // namespace
+}  // namespace dts

@@ -20,6 +20,12 @@
 // thread); results are byte-identical at any job count because per-run seeds
 // derive from the fault id, never from worker id or schedule. --resume
 // reuses completed runs from an interrupted campaign's journal.
+//
+// Observability: --trace=failures|all records every intercepted KERNEL32
+// call into a per-run ring buffer and dumps the last --forensics-depth calls
+// of interesting runs into <output-dir>/forensics/ (and into the journal
+// record as "fx"). --metrics-out=PATH exports campaign metrics as Prometheus
+// text at PATH and a Chrome trace_event timeline at PATH.trace.json.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -30,6 +36,8 @@
 #include "core/report.h"
 #include "exec/executor.h"
 #include "inject/fault_class.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -40,9 +48,15 @@ int usage() {
       "ntdts - Dependability Test Suite\n"
       "\n"
       "  ntdts run <config.ini> [output-dir] [--jobs=N] [--resume]\n"
+      "            [--trace=off|failures|all] [--forensics-depth=N] [--metrics-out=PATH]\n"
       "        --jobs=N   parallel campaign workers (0 = all hardware threads;\n"
       "                   output is byte-identical at any job count)\n"
       "        --resume   continue an interrupted campaign from its run journal\n"
+      "        --trace=M  per-run syscall tracing: 'failures' dumps forensics for\n"
+      "                   failed/restarted runs, 'all' for every run (default off)\n"
+      "        --forensics-depth=N  ring depth: last N calls kept per run (default 32)\n"
+      "        --metrics-out=PATH   write campaign metrics as Prometheus text to PATH\n"
+      "                   and a Chrome trace timeline to PATH.trace.json\n"
       "  ntdts profile <workload>\n"
       "  ntdts faultlist <workload> [file] [--class=<fault-class>]\n"
       "  ntdts classes <workload>\n"
@@ -180,12 +194,21 @@ int cmd_single(const std::string& workload, const std::string& fault_id,
     for (const auto& entry : run.interceptor().trace()) {
       std::cout << "  " << entry.to_string() << "\n";
     }
+    if (!run.spans().empty()) {
+      std::cout << "\n--- middleware detection/recovery spans ---\n";
+      for (const auto& s : run.spans().spans()) {
+        std::cout << "  " << s.name << ": " << s.begin.to_seconds() << "s -> "
+                  << s.end.to_seconds() << "s (" << s.duration().to_seconds()
+                  << "s)\n";
+      }
+    }
   }
   return r.outcome == core::Outcome::kFailure ? 1 : 0;
 }
 
 int cmd_run(const std::string& config_path, const std::string& out_dir,
-            std::optional<int> jobs_override, bool resume) {
+            std::optional<int> jobs_override, bool resume, obs::TraceMode trace,
+            std::size_t forensics_depth, const std::string& metrics_out) {
   const auto text = read_file(config_path);
   if (!text) {
     std::cerr << "cannot read " << config_path << "\n";
@@ -225,6 +248,14 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
   };
   cfg->campaign.on_snapshot = progress;
 
+  // Observability: the registry aggregates across workers; forensics dumps
+  // land next to the other campaign outputs.
+  obs::MetricsRegistry metrics;
+  cfg->campaign.trace = trace;
+  cfg->campaign.forensics_depth = forensics_depth;
+  if (trace != obs::TraceMode::kOff) cfg->campaign.forensics_dir = out_dir + "/forensics";
+  if (!metrics_out.empty()) cfg->campaign.metrics = &metrics;
+
   core::WorkloadSetResult set;
   if (explicit_faults) {
     // Run exactly the listed faults (no skip-uncalled: the user asked for
@@ -237,10 +268,23 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
     eo.journal_path = cfg->campaign.journal_path;
     eo.resume = resume;
     eo.on_progress = progress;
+    eo.metrics = cfg->campaign.metrics;
+    eo.trace = cfg->campaign.trace;
+    eo.forensics_depth = cfg->campaign.forensics_depth;
+    eo.forensics_dir = cfg->campaign.forensics_dir;
     exec::CampaignExecutor executor(std::move(eo));
     set.runs = executor.run(cfg->run, *explicit_faults, cfg->campaign.seed).runs;
   } else {
     set = core::run_workload_set(cfg->run, cfg->campaign);
+  }
+  if (!metrics_out.empty()) {
+    std::string merr;
+    if (!obs::write_metrics_files(metrics, metrics_out, &merr)) {
+      std::cerr << "ntdts: " << merr << "\n";
+      return 2;
+    }
+    std::cout << "metrics written to " << metrics_out << " (+ " << metrics_out
+              << ".trace.json)\n";
   }
   {
     std::ofstream out(out_dir + "/results.csv");
@@ -301,6 +345,9 @@ int main(int argc, char** argv) {
       std::optional<int> jobs;
       bool resume = false;
       bool have_out_dir = false;
+      obs::TraceMode trace = obs::TraceMode::kOff;
+      std::size_t forensics_depth = 32;
+      std::string metrics_out;
       for (int i = 3; i < argc; ++i) {
         const std::string a = argv[i];
         if (a.rfind("--jobs=", 0) == 0) {
@@ -319,6 +366,32 @@ int main(int argc, char** argv) {
           jobs = n;
         } else if (a == "--resume") {
           resume = true;
+        } else if (a.rfind("--trace=", 0) == 0) {
+          if (!obs::trace_mode_from_string(a.substr(8), &trace)) {
+            std::cerr << "ntdts: --trace expects off|failures|all, got '"
+                      << a.substr(8) << "'\n";
+            return 2;
+          }
+        } else if (a.rfind("--forensics-depth=", 0) == 0) {
+          const std::string value = a.substr(18);
+          std::size_t used = 0;
+          long n = -1;
+          try {
+            n = std::stol(value, &used);
+          } catch (const std::exception&) {
+          }
+          if (used != value.size() || n < 1 || n > 100000) {
+            std::cerr << "ntdts: --forensics-depth expects an integer in "
+                         "[1, 100000], got '" << value << "'\n";
+            return 2;
+          }
+          forensics_depth = static_cast<std::size_t>(n);
+        } else if (a.rfind("--metrics-out=", 0) == 0) {
+          metrics_out = a.substr(14);
+          if (metrics_out.empty()) {
+            std::cerr << "ntdts: --metrics-out expects a path\n";
+            return 2;
+          }
         } else if (!have_out_dir) {
           out_dir = a;
           have_out_dir = true;
@@ -326,7 +399,8 @@ int main(int argc, char** argv) {
           return usage();
         }
       }
-      return cmd_run(argv[2], out_dir, jobs, resume);
+      return cmd_run(argv[2], out_dir, jobs, resume, trace, forensics_depth,
+                     metrics_out);
     }
     if (cmd == "report" && argc >= 3) return cmd_report(argc, argv);
     return usage();
