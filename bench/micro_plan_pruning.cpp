@@ -1,0 +1,129 @@
+// micro_plan_pruning — guards the campaign planner's two contracts (DESIGN
+// §plan) on the seed Apache workload:
+//
+//   1. Outcome neutrality: the planned campaign (golden-run pruning +
+//      value-equivalence dedup, adaptive sampling OFF) reproduces the
+//      exhaustive sweep's aggregate outcome counts exactly — activated
+//      faults, per-outcome counts, and the failure-response split.
+//   2. Savings: the planned campaign executes at most 0.75× the fresh
+//      simulations of the exhaustive sweep (the ISSUE acceptance bar is a
+//      >= 25% reduction).
+//
+// Both are hard assertions; the binary exits 1 on violation. Wall-clock for
+// the full vs planned campaign is reported per round (median of
+// DTS_BENCH_TRIALS rounds, default 5), including the planning pass itself —
+// the golden profile is one fault-free run, so the planned campaign must win
+// on time as well as on run count.
+//
+// Environment knobs:
+//   DTS_BENCH_TRIALS  timing rounds (default 5)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/campaign.h"
+#include "plan/plan.h"
+
+namespace {
+
+using namespace dts;
+
+std::size_t trials() {
+  const char* v = std::getenv("DTS_BENCH_TRIALS");
+  const std::size_t n = v != nullptr ? std::strtoull(v, nullptr, 10) : 5;
+  return n == 0 ? 1 : n;
+}
+
+core::RunConfig apache_config() {
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name("Apache1");
+  cfg.middleware = mw::MiddlewareKind::kNone;
+  return cfg;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+struct Timed {
+  core::WorkloadSetResult set;
+  double seconds = 0.0;
+};
+
+Timed timed_campaign(const core::CampaignOptions& opt) {
+  const auto start = std::chrono::steady_clock::now();
+  Timed t;
+  t.set = core::run_workload_set(apache_config(), opt);
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  t.seconds = elapsed.count();
+  return t;
+}
+
+bool same_aggregates(const core::WorkloadSetResult& a, const core::WorkloadSetResult& b) {
+  return a.activated_functions == b.activated_functions &&
+         a.activated_faults() == b.activated_faults() &&
+         a.outcome_counts() == b.outcome_counts() &&
+         a.failures_with_response() == b.failures_with_response() &&
+         a.failures_without_response() == b.failures_without_response();
+}
+
+}  // namespace
+
+int main() {
+  core::CampaignOptions full_opt;
+  full_opt.seed = 1;
+
+  core::CampaignOptions plan_opt = full_opt;
+  plan_opt.plan.mode = plan::PlanOptions::Mode::kAuto;
+
+  std::vector<double> full_times, plan_times;
+  std::size_t full_runs = 0, plan_runs = 0;
+  const std::size_t n = trials();
+  for (std::size_t t = 0; t < n; ++t) {
+    // Strictly back-to-back, order alternating, as in micro_trace_overhead.
+    Timed full, planned;
+    if (t % 2 == 0) {
+      full = timed_campaign(full_opt);
+      planned = timed_campaign(plan_opt);
+    } else {
+      planned = timed_campaign(plan_opt);
+      full = timed_campaign(full_opt);
+    }
+
+    if (!same_aggregates(full.set, planned.set)) {
+      std::fprintf(stderr,
+                   "FAIL: planned campaign changed the aggregate outcomes "
+                   "(activated %zu vs %zu)\n",
+                   full.set.activated_faults(), planned.set.activated_faults());
+      return 1;
+    }
+    full_runs = full.set.executed_runs;
+    plan_runs = planned.set.executed_runs;
+    full_times.push_back(full.seconds);
+    plan_times.push_back(planned.seconds);
+    std::printf("round %2zu/%zu  exhaustive %.3fs (%zu runs)  planned %.3fs (%zu runs)\n",
+                t + 1, n, full.seconds, full_runs, planned.seconds, plan_runs);
+  }
+
+  const double full_s = median(full_times);
+  const double plan_s = median(plan_times);
+  std::printf("median-of-%zu  exhaustive %.3fs  planned %.3fs  (%.1f%% time, "
+              "%.1f%% runs)\n",
+              n, full_s, plan_s, 100.0 * (1.0 - plan_s / full_s),
+              100.0 * (1.0 - static_cast<double>(plan_runs) /
+                                 static_cast<double>(full_runs)));
+
+  if (plan_runs * 4 > full_runs * 3) {
+    std::fprintf(stderr,
+                 "FAIL: planned campaign executed %zu of %zu runs — less than "
+                 "the required 25%% reduction\n",
+                 plan_runs, full_runs);
+    return 1;
+  }
+  std::printf("PASS: outcome-neutral, %zu of %zu runs executed\n", plan_runs, full_runs);
+  return 0;
+}

@@ -3,8 +3,11 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "exec/executor.h"
+#include "plan/profiler.h"
+#include "plan/pruner.h"
 
 namespace dts::core {
 
@@ -66,7 +69,120 @@ std::set<nt::Fn> profile_workload(const RunConfig& base, std::uint64_t seed) {
   return run.activated_functions();
 }
 
+namespace {
+
+/// Activated-function set recovered from a plan: every function whose faults
+/// were not pruned as uncalled (the pruner consulted the golden profile, so
+/// this is the same set profile_workload produces for the same seed).
+std::set<nt::Fn> activated_from_plan(const plan::Plan& p) {
+  std::set<nt::Fn> out;
+  for (const auto& e : p.entries) {
+    if (e.disposition == plan::Disposition::kPruned &&
+        e.reason == plan::PruneReason::kFunctionUncalled) {
+      continue;
+    }
+    out.insert(e.fault.fn);
+  }
+  return out;
+}
+
+exec::ExecOptions exec_options_from(const CampaignOptions& options) {
+  exec::ExecOptions eo;
+  eo.jobs = options.jobs;
+  eo.journal_path = options.journal_path;
+  eo.resume = options.resume;
+  eo.metrics = options.metrics;
+  eo.trace = options.trace;
+  eo.forensics_depth = options.forensics_depth;
+  eo.forensics_dir = options.forensics_dir;
+  if (options.on_progress || options.on_snapshot) {
+    eo.on_progress = [&options](const exec::ProgressSnapshot& s) {
+      if (options.on_progress) options.on_progress(s.done, s.total);
+      if (options.on_snapshot) options.on_snapshot(s);
+    };
+  }
+  return eo;
+}
+
+}  // namespace
+
+plan::Plan build_campaign_plan(const RunConfig& base, const CampaignOptions& options) {
+  if (options.plan.mode == plan::PlanOptions::Mode::kFromFile) {
+    std::ifstream in(options.plan.plan_file);
+    if (!in) {
+      throw std::runtime_error("cannot open plan file: " + options.plan.plan_file);
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    auto loaded = plan::Plan::parse(buf.str(), &error);
+    if (!loaded) {
+      throw std::runtime_error("bad plan file " + options.plan.plan_file + ": " + error);
+    }
+    const std::string mismatch =
+        plan::validate_plan(*loaded, base, options.seed, options.iterations);
+    if (!mismatch.empty()) {
+      throw std::runtime_error(options.plan.plan_file + ": " + mismatch);
+    }
+    return *loaded;
+  }
+  // The plan covers the *raw* sweep, so functions the golden run never
+  // touched are logged as pruned rather than silently absent from the file.
+  const inject::FaultList sweep =
+      inject::FaultList::full_sweep(base.workload.target_image, options.iterations)
+          .sampled(options.max_faults);
+  const plan::GoldenProfile profile =
+      plan::golden_profile(base, options.seed, options.iterations);
+  return plan::build_plan(base, sweep, profile, options.seed, options.iterations);
+}
+
+/// Planned campaign path: build/load the plan, execute it, digest the
+/// decisions into the result.
+static WorkloadSetResult run_planned_workload_set(const RunConfig& base,
+                                                 const CampaignOptions& options) {
+  WorkloadSetResult result;
+  result.base_config = base;
+
+  const plan::Plan p = build_campaign_plan(base, options);
+  result.activated_functions = activated_from_plan(p);
+  if (!options.plan.plan_out.empty()) {
+    std::ofstream out(options.plan.plan_out);
+    if (!out) {
+      throw std::runtime_error("cannot write plan file: " + options.plan.plan_out);
+    }
+    out << p.serialize();
+  }
+
+  plan::SamplerOptions so;
+  so.ci_half_width = options.plan.ci_half_width;
+  so.min_stratum_trials = options.plan.min_stratum_trials;
+  so.batch = options.plan.batch;
+  so.seed = options.seed;
+
+  exec::CampaignExecutor executor(exec_options_from(options));
+  exec::PlanCampaignResult campaign = executor.run_plan(base, p, options.seed, so);
+
+  PlanDigest digest;
+  digest.entries = p.entries.size();
+  digest.executable = p.executable_count();
+  digest.pruned = campaign.pruned;
+  digest.deduped = campaign.deduped;
+  digest.executed = campaign.executed;
+  digest.reused = campaign.reused;
+  digest.unsampled = campaign.unsampled;
+  digest.prune_histogram = p.prune_histogram();
+  digest.strata = std::move(campaign.strata);
+  result.plan_digest = std::move(digest);
+  result.executed_runs = campaign.executed;
+  result.runs = std::move(campaign.runs);
+  return result;
+}
+
 WorkloadSetResult run_workload_set(const RunConfig& base, const CampaignOptions& options) {
+  if (options.plan.mode != plan::PlanOptions::Mode::kExhaustive) {
+    return run_planned_workload_set(base, options);
+  }
+
   WorkloadSetResult result;
   result.base_config = base;
 
@@ -87,22 +203,9 @@ WorkloadSetResult run_workload_set(const RunConfig& base, const CampaignOptions&
   // The executor applies the skip-uncalled rule (paper §4): once a function
   // proves uncalled, the rest of its faults are skipped. With profiling this
   // rarely triggers, but nondeterminism can still starve a function of calls.
-  exec::ExecOptions eo;
-  eo.jobs = options.jobs;
-  eo.journal_path = options.journal_path;
-  eo.resume = options.resume;
-  eo.metrics = options.metrics;
-  eo.trace = options.trace;
-  eo.forensics_depth = options.forensics_depth;
-  eo.forensics_dir = options.forensics_dir;
-  if (options.on_progress || options.on_snapshot) {
-    eo.on_progress = [&options](const exec::ProgressSnapshot& s) {
-      if (options.on_progress) options.on_progress(s.done, s.total);
-      if (options.on_snapshot) options.on_snapshot(s);
-    };
-  }
-  exec::CampaignExecutor executor(std::move(eo));
+  exec::CampaignExecutor executor(exec_options_from(options));
   exec::CampaignResult campaign = executor.run(base, list, options.seed);
+  result.executed_runs = campaign.executed;
   result.runs = std::move(campaign.runs);
   return result;
 }
@@ -265,13 +368,20 @@ WorkloadSetResult load_or_run_workload_set(const RunConfig& base,
                                            const std::string& cache_dir) {
   std::string path;
   if (!cache_dir.empty()) {
+    // Planned campaigns hash to distinct cache slots: with adaptive sampling
+    // on, the run set (hence the cached result) depends on the plan knobs.
+    const std::uint64_t plan_key =
+        sim::Rng::mix(static_cast<std::uint64_t>(options.plan.mode),
+                      static_cast<std::uint64_t>(options.plan.ci_half_width * 1e9));
     const std::uint64_t key = sim::Rng::mix(
         sim::Rng::hash(base.workload.name),
         sim::Rng::mix(static_cast<std::uint64_t>(base.middleware) * 131 +
                           static_cast<std::uint64_t>(base.watchd_version),
                       sim::Rng::mix(options.seed,
-                                    static_cast<std::uint64_t>(options.iterations) * 1000003 +
-                                        options.max_faults)));
+                                    sim::Rng::mix(plan_key,
+                                                  static_cast<std::uint64_t>(
+                                                      options.iterations) * 1000003 +
+                                                      options.max_faults))));
     char name[64];
     std::snprintf(name, sizeof name, "dts_%016llx.campaign",
                   static_cast<unsigned long long>(key));

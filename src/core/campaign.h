@@ -8,13 +8,31 @@
 #include <set>
 #include <vector>
 
+#include <optional>
+
 #include "core/run.h"
 #include "exec/progress.h"
 #include "inject/fault_list.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/plan.h"
+#include "plan/sampler.h"
 
 namespace dts::core {
+
+/// Summary of the campaign plan a workload set ran under (absent for
+/// exhaustive campaigns) — what `ntdts plan` and the run report print.
+struct PlanDigest {
+  std::size_t entries = 0;     // raw sweep size
+  std::size_t executable = 0;  // faults the plan schedules for execution
+  std::size_t pruned = 0;
+  std::size_t deduped = 0;
+  std::size_t executed = 0;   // fresh simulations actually run
+  std::size_t reused = 0;     // reloaded from the journal
+  std::size_t unsampled = 0;  // skipped by adaptive early stopping
+  std::map<plan::PruneReason, std::size_t> prune_histogram;
+  std::vector<plan::StratumProgress> strata;
+};
 
 /// All runs of one workload set (one workload × one middleware config).
 struct WorkloadSetResult {
@@ -32,6 +50,13 @@ struct WorkloadSetResult {
   std::size_t failures_without_response() const;
 
   std::string label() const;  // e.g. "Apache1/MSCS"
+
+  /// Fresh simulations this campaign ran (not serialized; 0 after a cache
+  /// load). The planner's whole point is making this smaller than runs.size().
+  std::size_t executed_runs = 0;
+
+  /// Present when the campaign ran under a plan (not serialized).
+  std::optional<PlanDigest> plan_digest;
 };
 
 struct CampaignOptions {
@@ -77,6 +102,11 @@ struct CampaignOptions {
   obs::TraceMode trace = obs::TraceMode::kOff;
   std::size_t forensics_depth = 32;
   std::string forensics_dir;
+
+  /// Campaign planning (src/plan/): golden-run profiling, equivalence
+  /// pruning, optional adaptive sampling. The default mode (kExhaustive)
+  /// bypasses the planner entirely and reproduces the plain sweep.
+  plan::PlanOptions plan;
 };
 
 /// Runs a complete workload set and returns its results.
@@ -84,6 +114,14 @@ WorkloadSetResult run_workload_set(const RunConfig& base, const CampaignOptions&
 
 /// Profiling only: the set of activated functions (no faults injected).
 std::set<nt::Fn> profile_workload(const RunConfig& base, std::uint64_t seed = 1);
+
+/// Builds the campaign plan for `base` — golden profile plus equivalence
+/// pruning over the raw sweep (honouring iterations and max_faults) — or,
+/// in kFromFile mode, loads options.plan.plan_file and validates it against
+/// the campaign. Throws std::runtime_error on load/validation failure.
+/// `ntdts plan` calls this directly; run_workload_set calls it for the
+/// non-exhaustive modes.
+plan::Plan build_campaign_plan(const RunConfig& base, const CampaignOptions& options);
 
 /// Text serialization of a workload-set result (configuration identity,
 /// activated functions, one line per run). Round-trips through

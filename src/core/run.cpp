@@ -80,6 +80,9 @@ RunResult FaultInjectionRun::execute(const std::optional<inject::FaultSpec>& fau
   // --- arm the injector ---------------------------------------------------------
   interceptor_ = inject::Interceptor{};
   interceptor_.set_trace_limit(cfg_.trace_limit);
+  if (cfg_.golden_capture > 0) {
+    interceptor_.set_golden_capture(cfg_.workload.target_image, cfg_.golden_capture);
+  }
   if (fault) interceptor_.arm(*fault);
   w.target.k32().set_hook(&interceptor_);
 
@@ -146,7 +149,10 @@ RunResult FaultInjectionRun::execute(const std::optional<inject::FaultSpec>& fau
   RunResult result;
   result.sim_elapsed = w.simulation.now() - sim::TimePoint{};
   if (fault) result.fault = *fault;
-  result.activated = interceptor_.injected();
+  // An injection that left the parameter word unchanged (zeroing an already
+  // zero argument, ...) is inert: it cannot change behaviour and must not
+  // count toward the paper-table activated-fault denominators.
+  result.activated = interceptor_.effective();
   result.client_finished = w.report->finished;
   result.retries = w.report->total_retries();
   result.requests = w.report->requests;

@@ -50,6 +50,12 @@ struct RunConfig {
   /// readable via FaultInjectionRun::interceptor().trace().
   std::size_t trace_limit = 0;
 
+  /// When nonzero, the interceptor records the argument words of the first N
+  /// invocations of every injectable function the target image makes —
+  /// the campaign planner's golden-run capture (src/plan/), readable via
+  /// interceptor().captured_calls(). Off for injection runs.
+  int golden_capture = 0;
+
   // Application tuning knobs (defaults reproduce the paper's setup).
   apps::ApacheConfig apache;
   apps::IisConfig iis;

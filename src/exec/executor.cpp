@@ -8,6 +8,7 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -479,6 +480,280 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
     }
     if (!slot.result.activated && !slot.fn_called) uncalled.insert(fault.fn);
     out.runs.push_back(std::move(slot.result));
+  }
+  return out;
+}
+
+PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
+                                              const plan::Plan& plan,
+                                              std::uint64_t campaign_seed,
+                                              const plan::SamplerOptions& sampler_options) {
+  const std::size_t n = plan.entries.size();
+  PlanCampaignResult out;
+  std::vector<std::optional<core::RunResult>> results(n);
+
+  // The journal key's fault count is the plan's entry count (the raw sweep),
+  // which never equals a profile-restricted exhaustive journal's count — a
+  // planned campaign can only resume another planned campaign.
+  JournalKey key;
+  key.workload = base.workload.name;
+  key.middleware = static_cast<int>(base.middleware);
+  key.watchd_version = static_cast<int>(base.watchd_version);
+  key.seed = campaign_seed;
+  key.fault_count = n;
+
+  if (!options_.journal_path.empty() && options_.resume) {
+    std::string error;
+    auto records = read_journal(options_.journal_path, key, &error);
+    if (!records) throw std::runtime_error(error);
+    for (const auto& rec : *records) {
+      if (rec.index >= n) continue;
+      const plan::PlanEntry& e = plan.entries[rec.index];
+      if (e.disposition != plan::Disposition::kExecute) continue;
+      if (e.fault.id() != rec.fault_id) continue;
+      if (results[rec.index]) continue;  // duplicate record
+      core::RunResult r;
+      if (!core::parse_run_line(base.workload.target_image, rec.run_line, &r, nullptr)) {
+        continue;
+      }
+      results[rec.index] = std::move(r);
+      ++out.reused;
+    }
+  }
+
+  RunJournal journal;
+  if (!options_.journal_path.empty()) {
+    std::string error;
+    if (!journal.open(options_.journal_path, key, options_.resume, &error)) {
+      throw std::runtime_error(error);
+    }
+  }
+
+  obs::MetricsRegistry* metrics = options_.metrics;
+  const obs::Labels set_labels = {{"workload", base.workload.name},
+                                  {"middleware", middleware_label(base)}};
+  obs::Histogram* resp_hist = nullptr;
+  std::map<core::Outcome, obs::Counter*> outcome_counters;
+  if (metrics != nullptr) {
+    resp_hist = &metrics->histogram("dts_response_time_seconds", set_labels,
+                                    obs::response_time_buckets(),
+                                    "client response time per run (seconds)");
+    for (core::Outcome o : core::kAllOutcomes) {
+      obs::Labels run_labels = set_labels;
+      run_labels.emplace_back("outcome", std::string(outcome_label(o)));
+      outcome_counters[o] =
+          &metrics->counter("dts_runs_total", run_labels, "executed runs by outcome");
+    }
+  }
+  if (options_.trace != obs::TraceMode::kOff && !options_.forensics_dir.empty()) {
+    std::filesystem::create_directories(options_.forensics_dir);
+  }
+
+  int workers = options_.jobs;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers < 1) workers = 1;
+  }
+
+  plan::AdaptiveSampler sampler(plan, sampler_options);
+  ProgressTracker tracker(plan.executable_count(), 0);
+  std::mutex progress_mu;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  // Round loop: issue one sampler batch, execute its fresh members in
+  // parallel, then record the whole round back into the sampler (in entry
+  // order) before asking for the next one. The barrier is what keeps the
+  // executed-run set independent of the worker count: batch composition only
+  // ever depends on fully-recorded earlier rounds.
+  for (;;) {
+    if (options_.cancel != nullptr && options_.cancel->load(std::memory_order_relaxed)) {
+      cancelled.store(true, std::memory_order_relaxed);
+      break;
+    }
+    const std::vector<std::size_t> batch = sampler.next_batch();
+    if (batch.empty()) break;
+
+    std::vector<std::size_t> fresh;
+    for (std::size_t idx : batch) {
+      if (results[idx]) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        const ProgressSnapshot s = tracker.completed(/*fresh_execution=*/false);
+        if (options_.on_progress) options_.on_progress(s);
+      } else {
+        fresh.push_back(idx);
+      }
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    auto worker_loop = [&] {
+      try {
+        for (;;) {
+          if (stop.load(std::memory_order_relaxed)) return;
+          if (options_.cancel != nullptr &&
+              options_.cancel->load(std::memory_order_relaxed)) {
+            cancelled.store(true, std::memory_order_relaxed);
+            stop.store(true, std::memory_order_relaxed);
+            return;
+          }
+          const std::size_t pos = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (pos >= fresh.size()) return;
+          const std::size_t idx = fresh[pos];
+          const plan::PlanEntry& entry = plan.entries[idx];
+          const std::string fault_id = entry.fault.id();
+
+          core::RunConfig cfg = base;
+          cfg.seed = sim::Rng::mix(campaign_seed, sim::Rng::hash(fault_id));
+          if (options_.trace != obs::TraceMode::kOff &&
+              cfg.trace_limit < options_.forensics_depth) {
+            cfg.trace_limit = options_.forensics_depth;
+          }
+          const auto wall_start = std::chrono::steady_clock::now();
+          core::FaultInjectionRun run(cfg);
+          core::RunResult r = run.execute(entry.fault);
+          const double wall_s = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - wall_start)
+                                    .count();
+          const bool fn_called = run.interceptor().target_function_called();
+
+          std::string forensics;
+          if (forensics_wanted(options_.trace, r)) {
+            forensics = obs::forensics_dump(fault_id, forensics_context(r), &run.spans(),
+                                            run.interceptor().syscall_trace());
+            if (!options_.forensics_dir.empty()) {
+              std::ofstream fx(options_.forensics_dir + "/" +
+                               forensics_file_name(idx, fault_id));
+              fx << forensics;
+            }
+          }
+
+          if (journal.is_open()) {
+            JournalRecord rec;
+            rec.index = idx;
+            rec.fault_id = fault_id;
+            rec.fn_called = fn_called;
+            rec.run_line = core::serialize_run_line(r);
+            rec.wall_us = static_cast<std::uint64_t>(std::llround(wall_s * 1e6));
+            rec.sim_us = static_cast<std::uint64_t>(r.sim_elapsed.count_micros());
+            rec.stratum = plan::to_string(plan::StratumKey{entry.fault.fn, entry.fault.type});
+            rec.forensics = std::move(forensics);
+            journal.append(rec);
+          }
+
+          if (metrics != nullptr) {
+            outcome_counters.at(r.outcome)->inc();
+            resp_hist->observe(r.response_time.to_seconds());
+          }
+          results[idx] = std::move(r);
+
+          std::lock_guard<std::mutex> lock(progress_mu);
+          const ProgressSnapshot s = tracker.completed(/*fresh_execution=*/true);
+          if (options_.on_progress) options_.on_progress(s);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        stop.store(true, std::memory_order_relaxed);
+      }
+    };
+
+    const int round_workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(workers), std::max<std::size_t>(fresh.size(), 1)));
+    if (fresh.empty()) {
+      // whole round reused from the journal
+    } else if (round_workers == 1) {
+      worker_loop();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(round_workers);
+      for (int w = 0; w < round_workers; ++w) threads.emplace_back(worker_loop);
+      for (auto& t : threads) t.join();
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    if (cancelled.load()) break;
+
+    for (std::size_t idx : batch) {
+      const core::RunResult& r = *results[idx];
+      sampler.record(idx, r.activated, r.outcome == core::Outcome::kFailure);
+    }
+  }
+
+  out.executed = tracker.snapshot().executed;
+  out.strata = sampler.progress();
+  if (cancelled.load()) {
+    out.interrupted = true;
+    return out;
+  }
+
+  // Assemble plan-entry-order output: executed results as-is, duplicates
+  // attributed to their representative's run, pruned entries synthesized as
+  // non-activated records (what executing them would have classified as).
+  out.runs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const plan::PlanEntry& e = plan.entries[i];
+    switch (e.disposition) {
+      case plan::Disposition::kExecute:
+        if (results[i]) {
+          out.runs.push_back(std::move(*results[i]));
+        } else {
+          ++out.unsampled;
+        }
+        break;
+      case plan::Disposition::kDuplicate:
+        if (results[e.duplicate_of]) {
+          core::RunResult r = *results[e.duplicate_of];
+          r.fault = e.fault;
+          r.detail = "deduplicated: same corrupted word as " +
+                     plan.entries[e.duplicate_of].fault.id();
+          out.runs.push_back(std::move(r));
+          ++out.deduped;
+        } else {
+          ++out.unsampled;
+        }
+        break;
+      case plan::Disposition::kPruned: {
+        core::RunResult r;
+        r.fault = e.fault;
+        r.activated = false;
+        r.outcome = core::Outcome::kNormalSuccess;
+        r.client_finished = true;
+        r.detail = "pruned: " + std::string(plan::to_string(e.reason));
+        out.runs.push_back(std::move(r));
+        ++out.pruned;
+        break;
+      }
+    }
+  }
+
+  if (metrics != nullptr) {
+    for (const auto& [reason, count] : plan.prune_histogram()) {
+      obs::Labels labels = set_labels;
+      labels.emplace_back("reason", std::string(plan::to_string(reason)));
+      metrics->counter("dts_plan_pruned_total", labels,
+                       "faults pruned from the sweep, by proof")
+          .inc(count);
+    }
+    metrics->counter("dts_plan_dedup_total", set_labels,
+                     "faults attributed to an equivalent run instead of executing")
+        .inc(out.deduped);
+    metrics->counter("dts_plan_unsampled_total", set_labels,
+                     "faults skipped by adaptive early stopping")
+        .inc(out.unsampled);
+    metrics->counter("dts_plan_runs_saved_total", set_labels,
+                     "sweep entries that did not need a fresh simulation")
+        .inc(n - out.executed - out.reused);
+    for (const plan::StratumProgress& s : out.strata) {
+      obs::Labels labels = set_labels;
+      labels.emplace_back("stratum", plan::to_string(s.key));
+      metrics->gauge("dts_plan_stratum_ci_half_width", labels,
+                     "Wilson 95% CI half-width on the stratum failure rate")
+          .set(s.ci_half_width);
+      metrics->gauge("dts_plan_stratum_trials", labels,
+                     "activated runs recorded in the stratum")
+          .set(static_cast<double>(s.trials));
+    }
   }
   return out;
 }

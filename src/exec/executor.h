@@ -21,6 +21,8 @@
 #include "inject/fault_list.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/plan.h"
+#include "plan/sampler.h"
 
 namespace dts::exec {
 
@@ -78,6 +80,21 @@ struct CampaignResult {
   std::size_t skipped = 0;   // skip-uncalled records in the merged output
 };
 
+/// Result of a planned campaign (run_plan). `runs` is in plan-entry order;
+/// pruned entries carry synthesized non-activated records, duplicates carry
+/// the representative's outcome under their own fault id, and entries an
+/// adaptive stratum stopped early are absent (counted in `unsampled`).
+struct PlanCampaignResult {
+  std::vector<core::RunResult> runs;
+  bool interrupted = false;
+  std::size_t executed = 0;   // fresh simulations run
+  std::size_t reused = 0;     // reloaded from the journal
+  std::size_t deduped = 0;    // duplicate records attributed to a shared run
+  std::size_t pruned = 0;     // provably inert records synthesized
+  std::size_t unsampled = 0;  // entries skipped by adaptive early stopping
+  std::vector<plan::StratumProgress> strata;
+};
+
 class CampaignExecutor {
  public:
   explicit CampaignExecutor(ExecOptions options) : options_(std::move(options)) {}
@@ -87,6 +104,16 @@ class CampaignExecutor {
   /// campaign loop this subsystem replaces.
   CampaignResult run(const core::RunConfig& base, const inject::FaultList& list,
                      std::uint64_t campaign_seed);
+
+  /// Executes a campaign plan (src/plan/): only kExecute entries run, issued
+  /// round by round from the adaptive sampler; everything else is attributed
+  /// or synthesized. Per-run seeds derive exactly as in run(), so an entry's
+  /// executed result is bit-identical to what the exhaustive sweep produces
+  /// for the same fault. Journal records are tagged with their sampling
+  /// stratum; the journal key's fault count is the plan's entry count.
+  PlanCampaignResult run_plan(const core::RunConfig& base, const plan::Plan& plan,
+                              std::uint64_t campaign_seed,
+                              const plan::SamplerOptions& sampler_options);
 
  private:
   ExecOptions options_;

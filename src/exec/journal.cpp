@@ -1,84 +1,19 @@
 #include "exec/journal.h"
 
-#include <charconv>
 #include <sstream>
+
+#include "obs/jsonl.h"
 
 namespace dts::exec {
 
 namespace {
 
-// The journal grammar is the flat JSON subset this file itself writes:
-// one object per line, string and unsigned-integer values only. The helpers
-// below parse exactly that subset and reject everything else, which keeps
-// resume robust against truncated or foreign files without a JSON library.
-
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// Locates `"key":` in `line` and returns the offset just past the colon,
-/// or npos.
-std::size_t find_value(std::string_view line, std::string_view key) {
-  const std::string needle = "\"" + std::string(key) + "\":";
-  const auto pos = line.find(needle);
-  return pos == std::string_view::npos ? std::string_view::npos : pos + needle.size();
-}
-
-bool json_uint_field(std::string_view line, std::string_view key, std::uint64_t* out) {
-  const auto pos = find_value(line, key);
-  if (pos == std::string_view::npos) return false;
-  const char* begin = line.data() + pos;
-  const char* end = line.data() + line.size();
-  auto [p, ec] = std::from_chars(begin, end, *out);
-  return ec == std::errc{} && p != begin;
-}
-
-bool json_string_field(std::string_view line, std::string_view key, std::string* out) {
-  auto pos = find_value(line, key);
-  if (pos == std::string_view::npos || pos >= line.size() || line[pos] != '"') return false;
-  ++pos;
-  out->clear();
-  while (pos < line.size()) {
-    const char c = line[pos];
-    if (c == '"') return true;
-    if (c == '\\') {
-      if (pos + 1 >= line.size()) return false;
-      const char e = line[pos + 1];
-      switch (e) {
-        case '"': *out += '"'; break;
-        case '\\': *out += '\\'; break;
-        case 'n': *out += '\n'; break;
-        case 'r': *out += '\r'; break;
-        case 't': *out += '\t'; break;
-        default: return false;  // \uXXXX never appears in ids/run lines
-      }
-      pos += 2;
-    } else {
-      *out += c;
-      ++pos;
-    }
-  }
-  return false;  // unterminated string (truncated line)
-}
+// The journal grammar is the flat JSON subset obs/jsonl.h parses — exactly
+// what this file itself writes — which keeps resume robust against truncated
+// or foreign files without a JSON library.
+using obs::json_escape;
+using obs::json_string_field;
+using obs::json_uint_field;
 
 std::string header_line(const JournalKey& key) {
   std::ostringstream out;
@@ -140,6 +75,7 @@ std::optional<std::vector<JournalRecord>> read_journal(const std::string& path,
     (void)json_uint_field(line, "wall_us", &rec.wall_us);
     (void)json_uint_field(line, "sim_us", &rec.sim_us);
     (void)json_string_field(line, "fx", &rec.forensics);
+    (void)json_string_field(line, "st", &rec.stratum);
     records.push_back(std::move(rec));
   }
   return records;
@@ -167,6 +103,9 @@ void RunJournal::append(const JournalRecord& rec) {
        << "\",\"called\":" << (rec.fn_called ? 1 : 0) << ",\"run\":\""
        << json_escape(rec.run_line) << "\",\"wall_us\":" << rec.wall_us
        << ",\"sim_us\":" << rec.sim_us;
+  if (!rec.stratum.empty()) {
+    out_ << ",\"st\":\"" << json_escape(rec.stratum) << "\"";
+  }
   // Forensics last: the dump is big and optional, the fixed fields stay
   // greppable at the front of the line.
   if (!rec.forensics.empty()) {

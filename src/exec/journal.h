@@ -20,9 +20,11 @@
 // v2 adds per-run timings — "wall_us" (host wall clock; nondeterministic,
 // observability only) and "sim_us" (simulated time consumed) — plus an
 // optional "fx" forensics dump (the syscall-trace tail) on runs the trace
-// mode selects. The reader is field-based and accepts both versions: v1
-// files (no timings, no forensics) resume cleanly under v2, and v2 records
-// with fields a v1-era reader never knew about parse the same way.
+// mode selects. Planned campaigns (src/plan/) additionally tag each record
+// with its sampling stratum as "st":"fn/type". The reader is field-based and
+// accepts both versions: v1 files (no timings, no forensics) resume cleanly
+// under v2, and v2 records with fields a v1-era reader never knew about
+// parse the same way.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +59,8 @@ struct JournalRecord {
   std::uint64_t wall_us = 0;  // host wall-clock time of the run
   std::uint64_t sim_us = 0;   // simulated time the run consumed
   std::string forensics;      // syscall-trace dump (empty = not captured)
+  std::string stratum;        // plan sampling stratum, "fn/type" (empty =
+                              // not a planned campaign)
 };
 
 /// Reads the records of an existing journal. A missing file yields an empty

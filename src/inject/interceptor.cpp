@@ -30,6 +30,16 @@ void Interceptor::on_call(const nt::Process& proc, nt::CallRecord& rec) {
   const int count = ++counts_[{image, rec.fn}];
   if (rec.argc > 0) called_[image].insert(rec.fn);
 
+  // Golden-run capture (pre-corruption by construction: capture runs arm no
+  // fault): the planner's record of what each injectable invocation received.
+  if (count <= capture_max_invocations_ && rec.argc > 0 && image == capture_image_) {
+    CapturedCall cap;
+    cap.seq = rec.seq;
+    cap.argc = rec.argc;
+    cap.args = rec.args;
+    captured_[rec.fn].push_back(cap);
+  }
+
   bool injected_here = false;
   if (armed_ && !injected_) {
     const FaultSpec& f = *armed_;

@@ -37,6 +37,13 @@ class Interceptor final : public nt::SyscallHook {
   nt::Word original_word() const { return original_word_; }
   nt::Word corrupted_word() const { return corrupted_word_; }
 
+  /// True once the armed fault has fired AND actually changed the parameter
+  /// word. A corruption whose result equals the original value (zeroing an
+  /// already-zero argument, setting all bits of 0xFFFFFFFF) cannot alter
+  /// behaviour and must not count as an activated fault — it would inflate
+  /// the paper-table denominators with provably inert runs.
+  bool effective() const { return injected_ && corrupted_word_ != original_word_; }
+
   /// Invocation counting is per image across process instances within one
   /// run: a respawned Apache worker continues the count, but the fault is
   /// one-shot so a clean respawn never re-injects.
@@ -67,6 +74,30 @@ class Interceptor final : public nt::SyscallHook {
   /// forensics dumps.
   const obs::SyscallTrace& syscall_trace() const { return trace_; }
 
+  /// One golden-run observation: the raw argument words of one invocation,
+  /// plus the machine-wide syscall sequence number at interception — a
+  /// stable call-site index for naming the injection point (the golden run
+  /// is deterministic, so the same invocation lands on the same seq).
+  struct CapturedCall {
+    std::uint64_t seq = 0;
+    int argc = 0;
+    std::array<nt::Word, nt::kMaxSyscallArgs> args{};
+  };
+
+  /// Enables golden-run capture: records the first `max_invocations` calls
+  /// of every injectable function made by `image` (0 disables). Used by the
+  /// campaign planner's fault-space profiler; off for injection runs.
+  void set_golden_capture(std::string image, int max_invocations) {
+    capture_image_ = std::move(image);
+    capture_max_invocations_ = max_invocations;
+  }
+
+  /// Captured calls per function, in invocation order (at most the capture
+  /// bound per function). Empty unless golden capture was enabled.
+  const std::map<nt::Fn, std::vector<CapturedCall>>& captured_calls() const {
+    return captured_;
+  }
+
   // nt::SyscallHook
   void on_call(const nt::Process& proc, nt::CallRecord& rec) override;
   void on_result(const nt::Process& proc, const nt::CallRecord& rec,
@@ -81,6 +112,10 @@ class Interceptor final : public nt::SyscallHook {
 
   std::map<std::pair<std::string, nt::Fn>, int> counts_;
   std::map<std::string, std::set<nt::Fn>> called_;
+
+  std::string capture_image_;
+  int capture_max_invocations_ = 0;
+  std::map<nt::Fn, std::vector<CapturedCall>> captured_;
 
   obs::SyscallTrace trace_;
 };

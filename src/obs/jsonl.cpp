@@ -1,0 +1,80 @@
+#include "obs/jsonl.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace dts::obs {
+
+namespace {
+
+/// Locates `"key":` in `line` and returns the offset just past the colon,
+/// or npos.
+std::size_t find_value(std::string_view line, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(needle);
+  return pos == std::string_view::npos ? std::string_view::npos : pos + needle.size();
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool json_uint_field(std::string_view line, std::string_view key, std::uint64_t* out) {
+  const auto pos = find_value(line, key);
+  if (pos == std::string_view::npos) return false;
+  const char* begin = line.data() + pos;
+  const char* end = line.data() + line.size();
+  auto [p, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && p != begin;
+}
+
+bool json_string_field(std::string_view line, std::string_view key, std::string* out) {
+  auto pos = find_value(line, key);
+  if (pos == std::string_view::npos || pos >= line.size() || line[pos] != '"') return false;
+  ++pos;
+  out->clear();
+  while (pos < line.size()) {
+    const char c = line[pos];
+    if (c == '"') return true;
+    if (c == '\\') {
+      if (pos + 1 >= line.size()) return false;
+      const char e = line[pos + 1];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        default: return false;  // \uXXXX never appears in ids/run lines
+      }
+      pos += 2;
+    } else {
+      *out += c;
+      ++pos;
+    }
+  }
+  return false;  // unterminated string (truncated line)
+}
+
+}  // namespace dts::obs

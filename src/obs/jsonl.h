@@ -1,0 +1,25 @@
+// Flat-JSON line helpers shared by the JSONL artifact writers/readers (the
+// exec run journal, the plan-cache file). The grammar is deliberately the
+// subset these files themselves emit — one object per line, string and
+// unsigned-integer values only — so the readers stay robust against
+// truncated or foreign files without pulling in a JSON library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dts::obs {
+
+/// Escapes a string for embedding between JSON double quotes.
+std::string json_escape(std::string_view s);
+
+/// Extracts an unsigned-integer value for `"key":` anywhere in `line`.
+/// Returns false when the key is absent or the value is not an integer.
+bool json_uint_field(std::string_view line, std::string_view key, std::uint64_t* out);
+
+/// Extracts a string value for `"key":"..."`, undoing json_escape. Returns
+/// false on absent key, non-string value, or a truncated/unknown escape.
+bool json_string_field(std::string_view line, std::string_view key, std::string* out);
+
+}  // namespace dts::obs

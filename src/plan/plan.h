@@ -1,0 +1,147 @@
+// Campaign plan: the layer between fault-list generation (src/inject/) and
+// execution (src/exec/). A Plan is a raw sweep annotated with golden-run
+// knowledge — per entry, either "execute" (with the observed argument word
+// and a stable call-site index), "duplicate" (provably equivalent to an
+// earlier entry: same injection point, same corrupted word — run once,
+// attribute to both), or "pruned" (provably inert, with a machine-readable
+// reason). Nothing is silently dropped: every fault of the source sweep
+// appears exactly once, in sweep order.
+//
+// Serialized as a JSONL plan-cache file (header + one line per entry) so an
+// expensive golden profile is computed once and reused across campaigns.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "inject/fault.h"
+
+namespace dts::plan {
+
+/// Why a fault was dropped from execution. Every reason is conservative:
+/// the pruned run provably cannot activate a fault (and therefore cannot
+/// move any outcome percentage, whose denominators count activated faults).
+enum class PruneReason {
+  kFunctionUncalled,      // golden run never called the function at all
+  kInvocationNotReached,  // called, but fewer times than the fault's invocation
+  kInertCorruption,       // corrupt(golden value) == golden value (no-op write)
+};
+
+constexpr PruneReason kAllPruneReasons[] = {
+    PruneReason::kFunctionUncalled,
+    PruneReason::kInvocationNotReached,
+    PruneReason::kInertCorruption,
+};
+
+std::string_view to_string(PruneReason r);
+std::optional<PruneReason> prune_reason_from_string(std::string_view s);
+
+enum class Disposition { kExecute, kDuplicate, kPruned };
+
+struct PlanEntry {
+  inject::FaultSpec fault;
+  Disposition disposition = Disposition::kExecute;
+
+  /// kPruned only: why the fault cannot activate.
+  PruneReason reason = PruneReason::kFunctionUncalled;
+
+  /// kDuplicate only: index of the kExecute entry whose run doubles as this
+  /// fault's run (same function, parameter, invocation and corrupted word).
+  std::size_t duplicate_of = 0;
+
+  /// Golden-run observation at this fault's injection point, when reached:
+  /// the machine-wide syscall sequence number (a stable call-site index —
+  /// the golden run is deterministic) and the observed argument word.
+  bool golden_known = false;
+  std::uint64_t call_site = 0;
+  nt::Word golden_value = 0;
+
+  friend bool operator==(const PlanEntry&, const PlanEntry&) = default;
+};
+
+/// Sampling stratum identity: function × fault type.
+struct StratumKey {
+  nt::Fn fn{};
+  inject::FaultType type = inject::FaultType::kZero;
+
+  friend auto operator<=>(const StratumKey&, const StratumKey&) = default;
+};
+
+/// "ReadFile/zero" — used in journal records and metric labels.
+std::string to_string(const StratumKey& key);
+
+struct Stratum {
+  StratumKey key;
+  std::vector<std::size_t> members;  // kExecute entry indices, sweep order
+};
+
+struct Plan {
+  // Campaign identity — a loaded plan is validated against the run
+  // configuration so a stale cache cannot silently mis-plan a campaign.
+  std::string workload;
+  std::string target_image;
+  int middleware = 0;
+  int watchd_version = 0;
+  std::uint64_t seed = 0;
+  int iterations = 1;
+
+  std::vector<PlanEntry> entries;  // the full sweep, in sweep order
+
+  std::size_t executable_count() const;
+  std::size_t duplicate_count() const;
+  std::size_t pruned_count() const;
+  std::map<PruneReason, std::size_t> prune_histogram() const;
+
+  /// Entries whose function the golden run reached at all (= what the
+  /// profile-restricted exhaustive sweep would execute) — the baseline the
+  /// predicted savings are measured against.
+  std::size_t reachable_count() const;
+
+  /// Fraction of the reachable sweep the plan avoids executing
+  /// (duplicates + inert/invocation prunes), in [0, 1].
+  double predicted_savings() const;
+
+  /// kExecute entries grouped into (function × fault type) strata, ordered
+  /// by key.
+  std::vector<Stratum> strata() const;
+
+  /// Plan-cache file round-trip. parse accepts exactly what serialize emits
+  /// and returns nullopt (with *error set) on anything malformed.
+  std::string serialize() const;
+  static std::optional<Plan> parse(const std::string& text, std::string* error);
+
+  friend bool operator==(const Plan&, const Plan&) = default;
+};
+
+/// The CampaignOptions planning block (consumed by core::run_workload_set).
+struct PlanOptions {
+  enum class Mode {
+    kExhaustive,  // no planner: the plain profile-restricted sweep (default)
+    kAuto,        // golden-profile + build the plan for this campaign
+    kFromFile,    // load a saved plan-cache file (validated against the run)
+  };
+  Mode mode = Mode::kExhaustive;
+
+  /// kFromFile: the plan-cache to load.
+  std::string plan_file;
+
+  /// When non-empty, the built (or loaded) plan is also written here.
+  std::string plan_out;
+
+  /// Adaptive sampling: stop a stratum once the Wilson 95 % confidence
+  /// interval on its failure rate is narrower than this half-width. 0 keeps
+  /// sampling off — every surviving fault executes, and the aggregate
+  /// outcome counts stay byte-identical to the exhaustive sweep.
+  double ci_half_width = 0.0;
+
+  /// Minimum activated runs in a stratum before the CI is consulted.
+  std::size_t min_stratum_trials = 8;
+
+  /// Runs taken from each live stratum per sampling round.
+  std::size_t batch = 8;
+};
+
+}  // namespace dts::plan

@@ -1,0 +1,36 @@
+#include "plan/profiler.h"
+
+namespace dts::plan {
+
+GoldenProfile golden_profile(const core::RunConfig& base, std::uint64_t campaign_seed,
+                             int max_invocations) {
+  core::RunConfig cfg = base;
+  // Same derivation as core::profile_workload: the golden run and the
+  // campaign's profiling pass are one and the same world.
+  cfg.seed = sim::Rng::mix(campaign_seed, sim::Rng::hash("profile"));
+  cfg.golden_capture = max_invocations;
+
+  core::FaultInjectionRun run(cfg);
+  (void)run.execute(std::nullopt);
+
+  GoldenProfile profile;
+  profile.target_image = base.workload.target_image;
+  profile.profile_seed = cfg.seed;
+  profile.activated = run.activated_functions();
+
+  const auto& captured = run.interceptor().captured_calls();
+  for (const auto& [fn, calls] : captured) {
+    auto& out = profile.calls[fn];
+    out.reserve(calls.size());
+    for (const auto& c : calls) {
+      out.push_back(GoldenCall{c.seq, c.argc, c.args});
+    }
+  }
+  for (nt::Fn fn : profile.activated) {
+    profile.invocation_counts[fn] =
+        run.interceptor().invocations(base.workload.target_image, fn);
+  }
+  return profile;
+}
+
+}  // namespace dts::plan

@@ -1,0 +1,51 @@
+// Golden-run profiler: one fault-free pass of the workload recording, per
+// (function, invocation), the observed argument words and a stable call-site
+// index (the machine-wide syscall sequence number — stable because the
+// golden run is deterministic for a fixed seed). The profile is what the
+// pruner consults to prove faults inert before any of them execute.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/run.h"
+
+namespace dts::plan {
+
+/// One golden invocation of a KERNEL32 function by the target image.
+struct GoldenCall {
+  std::uint64_t call_site = 0;  // machine-wide syscall sequence number
+  int argc = 0;
+  std::array<nt::Word, nt::kMaxSyscallArgs> args{};
+};
+
+struct GoldenProfile {
+  std::string target_image;
+  std::uint64_t profile_seed = 0;
+
+  /// First-N invocations per function, in call order: calls[fn][i] is
+  /// invocation i+1.
+  std::map<nt::Fn, std::vector<GoldenCall>> calls;
+
+  /// Total invocation count per function (may exceed calls[fn].size() when
+  /// the capture window is smaller than the call count).
+  std::map<nt::Fn, int> invocation_counts;
+
+  /// Functions the golden run called at all — the same set the campaign's
+  /// profiling pass produces (both derive their seed the same way), so a
+  /// plan built from this profile restricts the sweep identically.
+  std::set<nt::Fn> activated;
+};
+
+/// Executes the fault-free golden run and returns its profile. The run seed
+/// is derived exactly as core::profile_workload derives it
+/// (mix(campaign_seed, hash("profile"))), so `activated` matches the
+/// campaign's Table-1 function set. `max_invocations` bounds the per-function
+/// capture window; it must be at least the campaign's iteration count.
+GoldenProfile golden_profile(const core::RunConfig& base, std::uint64_t campaign_seed,
+                             int max_invocations);
+
+}  // namespace dts::plan

@@ -1,0 +1,114 @@
+#include "plan/pruner.h"
+
+#include <map>
+#include <tuple>
+
+namespace dts::plan {
+
+Plan build_plan(const core::RunConfig& base, const inject::FaultList& sweep,
+                const GoldenProfile& profile, std::uint64_t campaign_seed,
+                int iterations) {
+  Plan plan;
+  plan.workload = base.workload.name;
+  plan.target_image = base.workload.target_image;
+  plan.middleware = static_cast<int>(base.middleware);
+  plan.watchd_version = static_cast<int>(base.watchd_version);
+  plan.seed = campaign_seed;
+  plan.iterations = iterations;
+  plan.entries.reserve(sweep.faults.size());
+
+  // Injection point + corrupted word -> index of the kExecute representative.
+  std::map<std::tuple<nt::Fn, int, int, nt::Word>, std::size_t> representatives;
+
+  for (const inject::FaultSpec& fault : sweep.faults) {
+    PlanEntry e;
+    e.fault = fault;
+
+    auto count_it = profile.invocation_counts.find(fault.fn);
+    const int golden_invocations =
+        count_it == profile.invocation_counts.end() ? 0 : count_it->second;
+
+    if (!profile.activated.contains(fault.fn)) {
+      e.disposition = Disposition::kPruned;
+      e.reason = PruneReason::kFunctionUncalled;
+      plan.entries.push_back(std::move(e));
+      continue;
+    }
+    if (fault.invocation > golden_invocations) {
+      e.disposition = Disposition::kPruned;
+      e.reason = PruneReason::kInvocationNotReached;
+      plan.entries.push_back(std::move(e));
+      continue;
+    }
+
+    // The invocation is reached; look up its golden argument word when the
+    // capture window covers it (it does whenever max_invocations >= the
+    // sweep's iteration axis).
+    auto calls_it = profile.calls.find(fault.fn);
+    if (calls_it != profile.calls.end() &&
+        fault.invocation <= static_cast<int>(calls_it->second.size())) {
+      const GoldenCall& call = calls_it->second[fault.invocation - 1];
+      if (fault.param_index < call.argc) {
+        e.golden_known = true;
+        e.call_site = call.call_site;
+        e.golden_value = call.args[fault.param_index];
+      }
+    }
+
+    if (e.golden_known) {
+      const nt::Word corrupted = inject::corrupt(e.golden_value, fault.type);
+      if (corrupted == e.golden_value) {
+        e.disposition = Disposition::kPruned;
+        e.reason = PruneReason::kInertCorruption;
+        plan.entries.push_back(std::move(e));
+        continue;
+      }
+      const auto key = std::make_tuple(fault.fn, fault.param_index, fault.invocation,
+                                       corrupted);
+      auto [it, inserted] = representatives.try_emplace(key, plan.entries.size());
+      if (!inserted) {
+        e.disposition = Disposition::kDuplicate;
+        e.duplicate_of = it->second;
+        plan.entries.push_back(std::move(e));
+        continue;
+      }
+    }
+
+    e.disposition = Disposition::kExecute;
+    plan.entries.push_back(std::move(e));
+  }
+  return plan;
+}
+
+std::string validate_plan(const Plan& plan, const core::RunConfig& base,
+                          std::uint64_t campaign_seed, int iterations) {
+  auto mismatch = [](const std::string& what, const std::string& plan_has,
+                     const std::string& campaign_has) {
+    return "plan " + what + " mismatch: plan has " + plan_has + ", campaign has " +
+           campaign_has;
+  };
+  if (plan.workload != base.workload.name) {
+    return mismatch("workload", plan.workload, base.workload.name);
+  }
+  if (plan.target_image != base.workload.target_image) {
+    return mismatch("target image", plan.target_image, base.workload.target_image);
+  }
+  if (plan.middleware != static_cast<int>(base.middleware)) {
+    return mismatch("middleware", std::to_string(plan.middleware),
+                    std::to_string(static_cast<int>(base.middleware)));
+  }
+  if (plan.watchd_version != static_cast<int>(base.watchd_version)) {
+    return mismatch("watchd version", std::to_string(plan.watchd_version),
+                    std::to_string(static_cast<int>(base.watchd_version)));
+  }
+  if (plan.seed != campaign_seed) {
+    return mismatch("seed", std::to_string(plan.seed), std::to_string(campaign_seed));
+  }
+  if (plan.iterations != iterations) {
+    return mismatch("iterations", std::to_string(plan.iterations),
+                    std::to_string(iterations));
+  }
+  return {};
+}
+
+}  // namespace dts::plan

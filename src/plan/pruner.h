@@ -1,0 +1,38 @@
+// Equivalence pruner: turns a raw fault sweep plus a golden profile into a
+// Plan. Three conservative transformations, all outcome-neutral for the
+// paper tables (whose denominators count activated faults only):
+//
+//   1. Prune faults of functions the golden run never called — the
+//      profile-restricted sweep would not execute them either, and the
+//      skip-uncalled rule proves them non-activated.
+//   2. Prune faults whose invocation the golden run never reached — the
+//      injector never fires, the run is the golden run, activated == false.
+//   3. Prune inert corruptions: corrupt(golden value) == golden value (zeroing
+//      an already-zero word, setting all bits of 0xFFFFFFFF, ...). The write
+//      is a no-op; the interceptor itself classifies such runs as
+//      non-activated (Interceptor::effective()).
+//
+// Plus one deduplication: two faults at the same injection point whose
+// corrupted words are equal (e.g. flip and ones on a golden-zero argument)
+// are the same run — execute one, attribute the outcome to both.
+#pragma once
+
+#include "inject/fault_list.h"
+#include "plan/plan.h"
+#include "plan/profiler.h"
+
+namespace dts::plan {
+
+/// Builds the plan for `base` over `sweep` (every fault of the sweep appears
+/// in the plan, pruned ones with their reason — nothing silently dropped).
+/// `profile` must come from golden_profile() on the same configuration.
+Plan build_plan(const core::RunConfig& base, const inject::FaultList& sweep,
+                const GoldenProfile& profile, std::uint64_t campaign_seed,
+                int iterations);
+
+/// Validates a loaded plan against the campaign about to run. Returns an
+/// empty string on success, else a human-readable mismatch description.
+std::string validate_plan(const Plan& plan, const core::RunConfig& base,
+                          std::uint64_t campaign_seed, int iterations);
+
+}  // namespace dts::plan

@@ -1,0 +1,106 @@
+#include "plan/sampler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.h"
+#include "stats/stats.h"
+
+namespace dts::plan {
+
+AdaptiveSampler::AdaptiveSampler(const Plan& plan, const SamplerOptions& options)
+    : options_(options), entry_stratum_(plan.entries.size(), -1) {
+  for (const Stratum& stratum : plan.strata()) {
+    StratumState state;
+    state.progress.key = stratum.key;
+    state.progress.planned = stratum.members.size();
+    state.order = stratum.members;
+    if (sampling_enabled()) {
+      // Seeded within-stratum shuffle so a partial sample is not biased
+      // toward the catalogue's parameter order. Deterministic: depends on
+      // the campaign seed and the stratum key only.
+      sim::Rng rng(sim::Rng::mix(options_.seed,
+                                 sim::Rng::hash(to_string(stratum.key))));
+      for (std::size_t i = state.order.size(); i > 1; --i) {
+        const auto j = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(i) - 1));
+        std::swap(state.order[i - 1], state.order[j]);
+      }
+    }
+    for (std::size_t member : stratum.members) {
+      entry_stratum_[member] = static_cast<int>(strata_.size());
+    }
+    strata_.push_back(std::move(state));
+  }
+}
+
+bool AdaptiveSampler::stratum_satisfied(const StratumState& s) const {
+  if (!sampling_enabled()) return false;
+  if (s.progress.trials < options_.min_stratum_trials) return false;
+  return stats::wilson_interval(s.progress.failures, s.progress.trials, stats::kZ95)
+             .half_width() <= options_.ci_half_width;
+}
+
+std::vector<std::size_t> AdaptiveSampler::next_batch() {
+  if (outstanding_ != 0) {
+    throw std::logic_error(
+        "AdaptiveSampler::next_batch called with unrecorded runs outstanding");
+  }
+  std::vector<std::size_t> batch;
+  for (StratumState& s : strata_) {
+    if (s.progress.stopped_early || s.cursor >= s.order.size()) continue;
+    if (stratum_satisfied(s)) {
+      s.progress.stopped_early = true;  // cursor stays put: the tail is unsampled
+      continue;
+    }
+    // Sampling off: the whole stratum goes out in one round — there is no
+    // stop rule to consult between batches.
+    const std::size_t take = sampling_enabled()
+                                 ? std::min(options_.batch, s.order.size() - s.cursor)
+                                 : s.order.size() - s.cursor;
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(s.order[s.cursor + i]);
+    }
+    s.cursor += take;
+    s.progress.issued += take;
+  }
+  std::sort(batch.begin(), batch.end());
+  outstanding_ = batch.size();
+  return batch;
+}
+
+void AdaptiveSampler::record(std::size_t entry_index, bool activated, bool failure) {
+  if (entry_index >= entry_stratum_.size() || entry_stratum_[entry_index] < 0) {
+    throw std::logic_error("AdaptiveSampler::record: not an executable entry");
+  }
+  StratumState& s = strata_[static_cast<std::size_t>(entry_stratum_[entry_index])];
+  if (activated) {
+    ++s.progress.trials;
+    if (failure) ++s.progress.failures;
+    s.progress.ci_half_width =
+        stats::wilson_interval(s.progress.failures, s.progress.trials, stats::kZ95)
+            .half_width();
+  }
+  if (outstanding_ == 0) {
+    throw std::logic_error("AdaptiveSampler::record: no runs outstanding");
+  }
+  --outstanding_;
+}
+
+std::vector<std::size_t> AdaptiveSampler::unsampled() const {
+  std::vector<std::size_t> out;
+  for (const StratumState& s : strata_) {
+    for (std::size_t i = s.cursor; i < s.order.size(); ++i) out.push_back(s.order[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<StratumProgress> AdaptiveSampler::progress() const {
+  std::vector<StratumProgress> out;
+  out.reserve(strata_.size());
+  for (const StratumState& s : strata_) out.push_back(s.progress);
+  return out;
+}
+
+}  // namespace dts::plan

@@ -1,0 +1,75 @@
+// Adaptive stratified sampler: executes a plan's surviving faults stratum by
+// stratum (function × fault type), stopping a stratum early once the Wilson
+// 95 % confidence interval on its failure rate is narrower than a configured
+// half-width. With the half-width at 0 (the default) sampling is off and the
+// sampler degenerates to "every surviving fault, in plan order" — the mode
+// whose aggregate outcome counts are byte-identical to the exhaustive sweep.
+//
+// Determinism: rounds are issued from a fixed seeded order and the stopping
+// rule only consults results of fully-recorded earlier rounds (the executor
+// barriers between rounds), so the executed-run set is identical at any
+// --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/plan.h"
+
+namespace dts::plan {
+
+struct SamplerOptions {
+  double ci_half_width = 0.0;  // 0 = sampling off: execute everything
+  std::size_t min_stratum_trials = 8;
+  std::size_t batch = 8;
+  std::uint64_t seed = 0;  // campaign seed; orders within-stratum sampling
+};
+
+/// Per-stratum sampling state, reported into metrics and the plan digest.
+struct StratumProgress {
+  StratumKey key;
+  std::size_t planned = 0;   // kExecute members in the stratum
+  std::size_t issued = 0;    // members handed out for execution
+  std::size_t trials = 0;    // recorded runs that activated their fault
+  std::size_t failures = 0;  // trials that classified as failure
+  bool stopped_early = false;
+  double ci_half_width = 1.0;  // current Wilson half-width on the failure rate
+};
+
+class AdaptiveSampler {
+ public:
+  AdaptiveSampler(const Plan& plan, const SamplerOptions& options);
+
+  bool sampling_enabled() const { return options_.ci_half_width > 0.0; }
+
+  /// Entry indices of the next round, ascending. Empty = sampling complete.
+  /// Every index of the previous round must be record()ed first: the stop
+  /// rule reads the accumulated counts, and issuing before the round is
+  /// complete would make the executed set depend on worker schedule.
+  std::vector<std::size_t> next_batch();
+
+  /// Records one executed member's classification.
+  void record(std::size_t entry_index, bool activated, bool failure);
+
+  /// kExecute entries never issued (strata stopped early). Ascending.
+  std::vector<std::size_t> unsampled() const;
+
+  /// Snapshot of every stratum, ordered by key.
+  std::vector<StratumProgress> progress() const;
+
+ private:
+  struct StratumState {
+    StratumProgress progress;
+    std::vector<std::size_t> order;  // members in issue order
+    std::size_t cursor = 0;          // next index into `order`
+  };
+
+  bool stratum_satisfied(const StratumState& s) const;
+
+  SamplerOptions options_;
+  std::vector<StratumState> strata_;
+  std::vector<int> entry_stratum_;  // entry index -> stratum index (-1 = none)
+  std::size_t outstanding_ = 0;     // issued but not yet recorded
+};
+
+}  // namespace dts::plan

@@ -1,5 +1,6 @@
 #include "stats/stats.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace dts::stats {
@@ -19,6 +20,21 @@ double t_critical_95(std::size_t df) {
   if (df <= 60) return 2.000;
   if (df <= 120) return 1.980;
   return 1.960;
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  Interval out;
+  if (trials == 0) return out;  // vacuous [0, 1]
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  out.low = std::max(0.0, centre - margin);
+  out.high = std::min(1.0, centre + margin);
+  return out;
 }
 
 Summary summarize(const std::vector<double>& samples) {

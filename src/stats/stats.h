@@ -19,6 +19,22 @@ struct Summary {
 /// (table lookup, 1.960 asymptote).
 double t_critical_95(std::size_t df);
 
+/// Wilson score confidence interval for a binomial proportion. Unlike the
+/// normal approximation it stays inside [0, 1] and behaves sanely at 0/all
+/// successes and tiny n — exactly the regime an adaptive fault-sampling
+/// stratum starts in. `z` is the two-sided critical value (1.959964 for
+/// 95 %). trials == 0 yields the vacuous [0, 1].
+struct Interval {
+  double low = 0.0;
+  double high = 1.0;
+  double half_width() const { return (high - low) / 2.0; }
+};
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z);
+
+/// The z for the planner's 95 % stopping rule.
+inline constexpr double kZ95 = 1.959964;
+
 Summary summarize(const std::vector<double>& samples);
 
 /// Welford-style incremental accumulator.

@@ -61,5 +61,69 @@ TEST(Stats, ConstantSamplesHaveZeroWidth) {
   EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
 }
 
+TEST(Stats, WilsonZeroTrialsIsVacuous) {
+  const Interval i = wilson_interval(0, 0, kZ95);
+  EXPECT_DOUBLE_EQ(i.low, 0.0);
+  EXPECT_DOUBLE_EQ(i.high, 1.0);
+  EXPECT_DOUBLE_EQ(i.half_width(), 0.5);
+}
+
+TEST(Stats, WilsonZeroSuccessesStaysAboveZero) {
+  // p-hat = 0, but the interval upper bound must stay positive (the "rule of
+  // three" regime): low is exactly 0, high ≈ z²/(n+z²).
+  const Interval i = wilson_interval(0, 20, kZ95);
+  EXPECT_DOUBLE_EQ(i.low, 0.0);
+  EXPECT_GT(i.high, 0.0);
+  EXPECT_NEAR(i.high, kZ95 * kZ95 / (20 + kZ95 * kZ95), 1e-9);
+  EXPECT_LT(i.high, 0.2);
+}
+
+TEST(Stats, WilsonAllSuccessesStaysBelowOne) {
+  const Interval i = wilson_interval(20, 20, kZ95);
+  EXPECT_DOUBLE_EQ(i.high, 1.0);
+  EXPECT_GT(i.low, 0.8);
+  // Mirror of the zero-success case.
+  const Interval z = wilson_interval(0, 20, kZ95);
+  EXPECT_NEAR(i.low, 1.0 - z.high, 1e-12);
+}
+
+TEST(Stats, WilsonSingleTrialIsWideButBounded) {
+  const Interval hit = wilson_interval(1, 1, kZ95);
+  const Interval miss = wilson_interval(0, 1, kZ95);
+  // One observation tells you almost nothing: half-width near 0.4, never
+  // outside [0, 1] (where the normal approximation would escape).
+  EXPECT_GE(hit.low, 0.0);
+  EXPECT_LE(hit.high, 1.0);
+  EXPECT_GE(miss.low, 0.0);
+  EXPECT_LE(miss.high, 1.0);
+  EXPECT_GT(hit.half_width(), 0.3);
+  EXPECT_GT(miss.half_width(), 0.3);
+  EXPECT_NEAR(hit.low, 1.0 - miss.high, 1e-12);
+}
+
+TEST(Stats, WilsonLargeNMatchesNormalApproximation) {
+  // At n = 10000 the Wilson interval converges on the classic Wald interval
+  // p ± z·sqrt(p(1-p)/n).
+  const std::size_t n = 10000;
+  const std::size_t k = 3000;
+  const double p = static_cast<double>(k) / static_cast<double>(n);
+  const double wald = kZ95 * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+  const Interval i = wilson_interval(k, n, kZ95);
+  EXPECT_NEAR(i.half_width(), wald, 1e-4);
+  EXPECT_NEAR((i.low + i.high) / 2.0, p, 1e-4);
+}
+
+TEST(Stats, WilsonWidthShrinksWithTrials) {
+  double prev = 1.0;
+  for (std::size_t n = 4; n <= 4096; n *= 2) {
+    const Interval i = wilson_interval(n / 4, n, kZ95);
+    EXPECT_LT(i.half_width(), prev);
+    prev = i.half_width();
+  }
+  // … and widens with confidence: z=2.576 (99 %) beats z=1.96 (95 %).
+  EXPECT_GT(wilson_interval(25, 100, 2.576).half_width(),
+            wilson_interval(25, 100, kZ95).half_width());
+}
+
 }  // namespace
 }  // namespace dts::stats

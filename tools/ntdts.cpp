@@ -47,22 +47,44 @@ int usage() {
   std::cerr <<
       "ntdts - Dependability Test Suite\n"
       "\n"
-      "  ntdts run <config.ini> [output-dir] [--jobs=N] [--resume]\n"
+      "  ntdts run <config.ini> [output-dir] [--jobs=N] [--resume] [--max-faults=N]\n"
+      "            [--plan=PATH | --plan-auto | --exhaustive] [--ci-width=X]\n"
       "            [--trace=off|failures|all] [--forensics-depth=N] [--metrics-out=PATH]\n"
       "        --jobs=N   parallel campaign workers (0 = all hardware threads;\n"
       "                   output is byte-identical at any job count)\n"
       "        --resume   continue an interrupted campaign from its run journal\n"
+      "        --max-faults=N  cap the sweep at N faults (evenly sampled; 0 = all)\n"
+      "        --plan=PATH  execute a saved campaign plan (see 'ntdts plan')\n"
+      "        --plan-auto  golden-profile + prune before executing; writes the\n"
+      "                   plan to <output-dir>/plan.json\n"
+      "        --exhaustive run the plain full sweep (the default; rejects the\n"
+      "                   plan flags so scripts can pin the mode explicitly)\n"
+      "        --ci-width=X adaptive sampling: stop a (function x fault-type)\n"
+      "                   stratum once the Wilson 95% CI half-width on its\n"
+      "                   failure rate is <= X (requires --plan/--plan-auto;\n"
+      "                   0 = off, keeping outcome counts exact)\n"
       "        --trace=M  per-run syscall tracing: 'failures' dumps forensics for\n"
       "                   failed/restarted runs, 'all' for every run (default off)\n"
       "        --forensics-depth=N  ring depth: last N calls kept per run (default 32)\n"
       "        --metrics-out=PATH   write campaign metrics as Prometheus text to PATH\n"
       "                   and a Chrome trace timeline to PATH.trace.json\n"
+      "  ntdts plan <config.ini> [plan.json] [--ci-width=X]\n"
+      "        golden-run profile + equivalence pruning: prints per-stratum\n"
+      "        counts and predicted savings; saves the plan when a path is given\n"
       "  ntdts profile <workload>\n"
       "  ntdts faultlist <workload> [file] [--class=<fault-class>]\n"
       "  ntdts classes <workload>\n"
       "  ntdts single <workload> <fault-id> [none|mscs|watchd] [1|2|3] [--trace]\n"
       "  ntdts report <campaign.dts>...\n"
       "  ntdts workloads\n";
+  return 2;
+}
+
+/// Satellite guard: every subcommand routes unrecognized --flags here instead
+/// of silently treating them as positional arguments.
+int unknown_flag(const std::string& cmd, const std::string& flag) {
+  std::cerr << "ntdts " << cmd << ": unknown flag '" << flag
+            << "' (run 'ntdts' with no arguments for usage)\n";
   return 2;
 }
 
@@ -206,9 +228,8 @@ int cmd_single(const std::string& workload, const std::string& fault_id,
   return r.outcome == core::Outcome::kFailure ? 1 : 0;
 }
 
-int cmd_run(const std::string& config_path, const std::string& out_dir,
-            std::optional<int> jobs_override, bool resume, obs::TraceMode trace,
-            std::size_t forensics_depth, const std::string& metrics_out) {
+int cmd_plan(const std::string& config_path, const std::string& out_path,
+             double ci_width) {
   const auto text = read_file(config_path);
   if (!text) {
     std::cerr << "cannot read " << config_path << "\n";
@@ -220,10 +241,95 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
     std::cerr << config_path << ": " << error << "\n";
     return 2;
   }
-  if (jobs_override) cfg->campaign.jobs = *jobs_override;
+  const plan::Plan p = core::build_campaign_plan(cfg->run, cfg->campaign);
+
+  std::cout << "campaign plan: " << p.workload << " seed=" << p.seed
+            << " iterations=" << p.iterations << "\n";
+  std::cout << "  sweep entries:  " << p.entries.size() << "\n";
+  std::cout << "  execute:        " << p.executable_count() << "\n";
+  std::cout << "  deduplicated:   " << p.duplicate_count()
+            << "  (same injection point, same corrupted word)\n";
+  std::cout << "  pruned:         " << p.pruned_count() << "\n";
+  for (const auto& [reason, count] : p.prune_histogram()) {
+    std::cout << "    " << plan::to_string(reason) << ": " << count << "\n";
+  }
+  std::cout << "  reachable sweep: " << p.reachable_count()
+            << " (what the profile-restricted exhaustive campaign executes)\n";
+  char pct[32];
+  std::snprintf(pct, sizeof pct, "%.1f%%", 100.0 * p.predicted_savings());
+  std::cout << "  predicted savings vs reachable sweep: " << pct << "\n";
+
+  std::cout << "\n  strata (function x fault type):\n";
+  for (const plan::Stratum& s : p.strata()) {
+    std::cout << "    " << plan::to_string(s.key) << ": " << s.members.size()
+              << " faults\n";
+  }
+  if (ci_width > 0.0) {
+    std::cout << "\n  adaptive sampling: strata stop once the Wilson 95% CI\n"
+                 "  half-width on their failure rate is <= "
+              << ci_width << " (per-stratum counts above are maxima)\n";
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 2;
+    }
+    out << p.serialize();
+    std::cout << "\nplan written to " << out_path << " (run with --plan=" << out_path
+              << ")\n";
+  }
+  return 0;
+}
+
+/// Parsed `run` flags — one struct so the plan knobs travel with the rest.
+struct RunFlags {
+  std::optional<int> jobs;
+  bool resume = false;
+  obs::TraceMode trace = obs::TraceMode::kOff;
+  std::size_t forensics_depth = 32;
+  std::string metrics_out;
+  plan::PlanOptions::Mode plan_mode = plan::PlanOptions::Mode::kExhaustive;
+  bool plan_flag_seen = false;  // --plan/--plan-auto/--exhaustive given
+  std::string plan_file;
+  double ci_width = 0.0;
+  std::optional<std::size_t> max_faults;
+};
+
+int cmd_run(const std::string& config_path, const std::string& out_dir,
+            const RunFlags& flags) {
+  const auto text = read_file(config_path);
+  if (!text) {
+    std::cerr << "cannot read " << config_path << "\n";
+    return 2;
+  }
+  std::string error;
+  auto cfg = core::parse_config(*text, &error);
+  if (!cfg) {
+    std::cerr << config_path << ": " << error << "\n";
+    return 2;
+  }
+  if (flags.jobs) cfg->campaign.jobs = *flags.jobs;
+  if (flags.max_faults) cfg->campaign.max_faults = *flags.max_faults;
+  cfg->campaign.plan.mode = flags.plan_mode;
+  cfg->campaign.plan.plan_file = flags.plan_file;
+  cfg->campaign.plan.ci_half_width = flags.ci_width;
+  if (flags.plan_mode == plan::PlanOptions::Mode::kAuto) {
+    cfg->campaign.plan.plan_out = out_dir + "/plan.json";
+  }
+  const bool resume = flags.resume;
+  const obs::TraceMode trace = flags.trace;
+  const std::size_t forensics_depth = flags.forensics_depth;
+  const std::string& metrics_out = flags.metrics_out;
 
   // Explicit fault list, if configured.
   std::optional<inject::FaultList> explicit_faults;
+  if (!cfg->fault_list_file.empty() &&
+      flags.plan_mode != plan::PlanOptions::Mode::kExhaustive) {
+    std::cerr << "ntdts run: --plan/--plan-auto cannot be combined with an explicit "
+                 "fault list (the plan already decides what executes)\n";
+    return 2;
+  }
   if (!cfg->fault_list_file.empty()) {
     const auto list_text = read_file(cfg->fault_list_file);
     if (!list_text) {
@@ -297,6 +403,23 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
   std::ostringstream summary;
   summary << core::fig2_outcome_table({&set, 1});
   summary << "\nActivated functions: " << set.activated_functions.size() << "\n";
+  if (set.plan_digest) {
+    const core::PlanDigest& d = *set.plan_digest;
+    summary << "Plan: " << d.entries << " sweep entries -> " << d.executed
+            << " executed, " << d.reused << " reused, " << d.deduped
+            << " deduplicated, " << d.pruned << " pruned, " << d.unsampled
+            << " unsampled\n";
+    for (const auto& [reason, count] : d.prune_histogram) {
+      summary << "  pruned " << plan::to_string(reason) << ": " << count << "\n";
+    }
+    for (const auto& s : d.strata) {
+      if (!s.stopped_early) continue;
+      char ci[32];
+      std::snprintf(ci, sizeof ci, "%.3f", s.ci_half_width);
+      summary << "  stratum " << plan::to_string(s.key) << " stopped early after "
+              << s.trials << " trials (CI half-width " << ci << ")\n";
+    }
+  }
   {
     std::ofstream out(out_dir + "/summary.txt");
     out << summary.str();
@@ -321,6 +444,8 @@ int main(int argc, char** argv) {
         const std::string a = argv[i];
         if (a.rfind("--class=", 0) == 0) {
           class_name = a.substr(8);
+        } else if (a.rfind("--", 0) == 0) {
+          return unknown_flag("faultlist", a);
         } else {
           out_path = a;
         }
@@ -331,23 +456,50 @@ int main(int argc, char** argv) {
       std::vector<std::string> rest;
       bool trace = false;
       for (int i = 4; i < argc; ++i) {
-        if (std::string(argv[i]) == "--trace") {
+        const std::string a = argv[i];
+        if (a == "--trace") {
           trace = true;
+        } else if (a.rfind("--", 0) == 0) {
+          return unknown_flag("single", a);
         } else {
-          rest.emplace_back(argv[i]);
+          rest.emplace_back(a);
         }
       }
       return cmd_single(argv[2], argv[3], !rest.empty() ? rest[0] : "none",
                         rest.size() > 1 ? rest[1] : "", trace);
     }
+    if (cmd == "plan" && argc >= 3) {
+      std::string out_path;
+      double ci_width = 0.0;
+      bool have_out = false;
+      for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--ci-width=", 0) == 0) {
+          const std::string value = a.substr(11);
+          char* end = nullptr;
+          ci_width = std::strtod(value.c_str(), &end);
+          if (value.empty() || end != value.c_str() + value.size() || ci_width < 0.0 ||
+              ci_width >= 0.5) {
+            std::cerr << "ntdts: --ci-width expects a number in [0, 0.5), got '"
+                      << value << "'\n";
+            return 2;
+          }
+        } else if (a.rfind("--", 0) == 0) {
+          return unknown_flag("plan", a);
+        } else if (!have_out) {
+          out_path = a;
+          have_out = true;
+        } else {
+          return usage();
+        }
+      }
+      return cmd_plan(argv[2], out_path, ci_width);
+    }
     if (cmd == "run" && argc >= 3) {
       std::string out_dir = "dts-results";
-      std::optional<int> jobs;
-      bool resume = false;
       bool have_out_dir = false;
-      obs::TraceMode trace = obs::TraceMode::kOff;
-      std::size_t forensics_depth = 32;
-      std::string metrics_out;
+      RunFlags flags;
+      int plan_mode_flags = 0;  // --plan / --plan-auto / --exhaustive are exclusive
       for (int i = 3; i < argc; ++i) {
         const std::string a = argv[i];
         if (a.rfind("--jobs=", 0) == 0) {
@@ -363,11 +515,49 @@ int main(int argc, char** argv) {
                       << value << "'\n";
             return 2;
           }
-          jobs = n;
+          flags.jobs = n;
         } else if (a == "--resume") {
-          resume = true;
+          flags.resume = true;
+        } else if (a.rfind("--max-faults=", 0) == 0) {
+          const std::string value = a.substr(13);
+          std::size_t used = 0;
+          long n = -1;
+          try {
+            n = std::stol(value, &used);
+          } catch (const std::exception&) {
+          }
+          if (used != value.size() || n < 0) {
+            std::cerr << "ntdts: --max-faults expects a non-negative integer, got '"
+                      << value << "'\n";
+            return 2;
+          }
+          flags.max_faults = static_cast<std::size_t>(n);
+        } else if (a.rfind("--plan=", 0) == 0) {
+          flags.plan_mode = plan::PlanOptions::Mode::kFromFile;
+          flags.plan_file = a.substr(7);
+          ++plan_mode_flags;
+          if (flags.plan_file.empty()) {
+            std::cerr << "ntdts: --plan expects a path\n";
+            return 2;
+          }
+        } else if (a == "--plan-auto") {
+          flags.plan_mode = plan::PlanOptions::Mode::kAuto;
+          ++plan_mode_flags;
+        } else if (a == "--exhaustive") {
+          flags.plan_mode = plan::PlanOptions::Mode::kExhaustive;
+          ++plan_mode_flags;
+        } else if (a.rfind("--ci-width=", 0) == 0) {
+          const std::string value = a.substr(11);
+          char* end = nullptr;
+          flags.ci_width = std::strtod(value.c_str(), &end);
+          if (value.empty() || end != value.c_str() + value.size() ||
+              flags.ci_width < 0.0 || flags.ci_width >= 0.5) {
+            std::cerr << "ntdts: --ci-width expects a number in [0, 0.5), got '"
+                      << value << "'\n";
+            return 2;
+          }
         } else if (a.rfind("--trace=", 0) == 0) {
-          if (!obs::trace_mode_from_string(a.substr(8), &trace)) {
+          if (!obs::trace_mode_from_string(a.substr(8), &flags.trace)) {
             std::cerr << "ntdts: --trace expects off|failures|all, got '"
                       << a.substr(8) << "'\n";
             return 2;
@@ -385,13 +575,15 @@ int main(int argc, char** argv) {
                          "[1, 100000], got '" << value << "'\n";
             return 2;
           }
-          forensics_depth = static_cast<std::size_t>(n);
+          flags.forensics_depth = static_cast<std::size_t>(n);
         } else if (a.rfind("--metrics-out=", 0) == 0) {
-          metrics_out = a.substr(14);
-          if (metrics_out.empty()) {
+          flags.metrics_out = a.substr(14);
+          if (flags.metrics_out.empty()) {
             std::cerr << "ntdts: --metrics-out expects a path\n";
             return 2;
           }
+        } else if (a.rfind("--", 0) == 0) {
+          return unknown_flag("run", a);
         } else if (!have_out_dir) {
           out_dir = a;
           have_out_dir = true;
@@ -399,8 +591,17 @@ int main(int argc, char** argv) {
           return usage();
         }
       }
-      return cmd_run(argv[2], out_dir, jobs, resume, trace, forensics_depth,
-                     metrics_out);
+      if (plan_mode_flags > 1) {
+        std::cerr << "ntdts run: --plan, --plan-auto and --exhaustive are mutually "
+                     "exclusive\n";
+        return 2;
+      }
+      if (flags.ci_width > 0.0 &&
+          flags.plan_mode == plan::PlanOptions::Mode::kExhaustive) {
+        std::cerr << "ntdts run: --ci-width requires --plan or --plan-auto\n";
+        return 2;
+      }
+      return cmd_run(argv[2], out_dir, flags);
     }
     if (cmd == "report" && argc >= 3) return cmd_report(argc, argv);
     return usage();
