@@ -1,0 +1,638 @@
+#include "dist/coordinator.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "dist/protocol.h"
+#include "dist/socket.h"
+#include "dist/wire.h"
+#include "exec/journal.h"
+#include "plan/plan.h"
+
+namespace dts::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ms_between(Clock::time_point from, Clock::time_point to) {
+  return static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(to - from).count());
+}
+
+// fn -> lowest fault index whose executed run proved the function uncalled;
+// the same induction the in-process executor uses (a lease may elide fault i
+// only given a proof at index j < i), single-threaded here.
+class Proofs {
+ public:
+  void record(nt::Fn fn, std::size_t index) {
+    auto [it, inserted] = proofs_.emplace(fn, index);
+    if (!inserted && index < it->second) it->second = index;
+  }
+  bool proven_before(nt::Fn fn, std::size_t index) const {
+    auto it = proofs_.find(fn);
+    return it != proofs_.end() && it->second < index;
+  }
+
+ private:
+  std::map<nt::Fn, std::size_t> proofs_;
+};
+
+enum class SlotState : std::uint8_t { kPending, kExecuted, kElided };
+
+struct Slot {
+  core::RunResult result;
+  bool fn_called = false;
+  SlotState state = SlotState::kPending;
+};
+
+struct ActiveLease {
+  std::uint64_t id = 0;
+  std::set<std::size_t> outstanding;  // leased indices with no result yet
+};
+
+struct Conn {
+  Socket sock;
+  FrameDecoder decoder;
+  enum class State : std::uint8_t { kAwaitHello, kAwaitReady, kIdle, kLeased };
+  State state = State::kAwaitHello;
+  int worker_id = 0;
+  std::optional<ActiveLease> lease;
+  Clock::time_point first_seen;
+  Clock::time_point last_seen;
+  std::uint64_t runs = 0;
+  bool dead = false;  // marked mid-iteration, swept afterwards
+};
+
+}  // namespace
+
+struct Coordinator::Impl {
+  core::RunConfig base;
+  inject::FaultList list;
+  std::uint64_t seed = 0;
+  DistOptions options;
+
+  Listener listener;
+  std::uint64_t digest = 0;
+  std::string welcome_line;  // identical for every worker; rendered once
+
+  std::vector<Slot> slots;
+  std::vector<std::string> fault_ids;  // pre-rendered, reused everywhere
+  std::deque<std::size_t> pending;     // ascending fault indices awaiting a lease
+  Proofs proofs;
+  exec::RunJournal journal;
+  std::unique_ptr<exec::ProgressTracker> tracker;
+
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::uint64_t next_lease_id = 0;
+  int next_worker_id = 0;
+  std::size_t outstanding_total = 0;  // leased indices with no result yet
+  std::size_t executed_fresh = 0;
+  std::size_t reused = 0;
+
+  std::vector<pid_t> children;  // spawned local workers not yet reaped
+  int respawns_left = 0;
+
+  // dts_dist_* handles (null registry => all null).
+  obs::Gauge* workers_live = nullptr;
+  obs::Counter* leases_issued = nullptr;
+  obs::Counter* leases_expired = nullptr;
+  obs::Counter* leases_reassigned = nullptr;
+  obs::Counter* bytes_sent = nullptr;
+  obs::Counter* bytes_received = nullptr;
+
+  // --- small helpers ------------------------------------------------------
+
+  bool complete() const { return pending.empty() && outstanding_total == 0; }
+
+  void progress(bool fresh) {
+    const exec::ProgressSnapshot s = tracker->completed(fresh);
+    if (options.on_progress) options.on_progress(s);
+  }
+
+  void update_live() {
+    if (workers_live != nullptr) {
+      workers_live->set(static_cast<double>(conns.size()));
+    }
+  }
+
+  bool send_msg(Conn& c, const std::string& payload) {
+    const std::string frame = encode_frame(payload);
+    if (!send_all(c.sock.fd(), frame, options.io_timeout_ms)) {
+      c.dead = true;
+      return false;
+    }
+    if (bytes_sent != nullptr) bytes_sent->inc(frame.size());
+    return true;
+  }
+
+  void finish_worker_rate(const Conn& c, Clock::time_point now) {
+    if (options.metrics == nullptr) return;
+    const double secs = ms_between(c.first_seen, now) / 1e3;
+    options.metrics
+        ->gauge("dts_dist_worker_runs_per_sec",
+                {{"worker", std::to_string(c.worker_id)}},
+                "observed fresh-run throughput per distributed worker")
+        .set(secs > 0 ? static_cast<double>(c.runs) / secs : 0.0);
+  }
+
+  /// Returns a lost lease's unfinished indices to the queue. Leases are cut
+  /// from the front of the ascending queue, so the remainder sorts before
+  /// everything still pending — push_front keeps the queue ascending.
+  void reassign_lease(Conn& c, bool expired) {
+    if (!c.lease || c.lease->outstanding.empty()) {
+      c.lease.reset();
+      return;
+    }
+    for (auto it = c.lease->outstanding.rbegin(); it != c.lease->outstanding.rend();
+         ++it) {
+      pending.push_front(*it);
+    }
+    outstanding_total -= c.lease->outstanding.size();
+    c.lease.reset();
+    if (leases_reassigned != nullptr) leases_reassigned->inc();
+    if (expired && leases_expired != nullptr) leases_expired->inc();
+  }
+
+  /// Leases the next contiguous shard to an idle worker. Faults already
+  /// proven uncalled are elided here (the serial sweep would skip them), so
+  /// wire time is only spent on faults that need a simulation.
+  void try_assign(Conn& c) {
+    if (c.state != Conn::State::kIdle || pending.empty()) return;
+    const std::size_t shard = options.lease_size > 0
+                                  ? options.lease_size
+                                  : std::clamp<std::size_t>(slots.size() / 16, 1, 64);
+    Lease lease;
+    lease.digest = digest;
+    ActiveLease active;
+    while (!pending.empty() && lease.indices.size() < shard) {
+      const std::size_t i = pending.front();
+      pending.pop_front();
+      if (options.skip_uncalled && proofs.proven_before(list.faults[i].fn, i)) {
+        slots[i].state = SlotState::kElided;
+        progress(/*fresh=*/false);
+        continue;
+      }
+      lease.indices.push_back(i);
+      lease.fault_ids.push_back(fault_ids[i]);
+      active.outstanding.insert(i);
+    }
+    if (lease.indices.empty()) return;  // everything up front elided
+    lease.lease_id = active.id = ++next_lease_id;
+    c.lease = std::move(active);
+    c.state = Conn::State::kLeased;
+    outstanding_total += c.lease->outstanding.size();
+    if (send_msg(c, encode_lease(lease))) {
+      if (leases_issued != nullptr) leases_issued->inc();
+    }
+    // On send failure the conn is marked dead; the sweep reassigns the lease.
+  }
+
+  void record_result(Conn& c, const WireResult& r) {
+    if (!c.lease || r.lease_id != c.lease->id) return;  // stale, ignore
+    if (r.index >= slots.size() || fault_ids[r.index] != r.fault_id) {
+      c.dead = true;
+      return;
+    }
+    if (c.lease->outstanding.erase(r.index) == 0) return;  // duplicate
+    --outstanding_total;
+    ++c.runs;
+    if (options.metrics != nullptr) {
+      options.metrics
+          ->counter("dts_dist_worker_runs_total",
+                    {{"worker", std::to_string(c.worker_id)}},
+                    "fresh runs streamed back per distributed worker")
+          .inc();
+    }
+
+    Slot& slot = slots[r.index];
+    if (slot.state != SlotState::kPending) return;  // at-most-once: first wins
+    if (!core::parse_run_line(base.workload.target_image, r.run_line, &slot.result,
+                              nullptr)) {
+      c.dead = true;
+      return;
+    }
+    // The run line round-trips the journal fields; the wire additionally
+    // carries what results.csv renders but the journal elides.
+    slot.result.detail = r.detail;
+    slot.result.requests = decode_requests(r.requests);
+    slot.result.sim_elapsed = sim::Duration::micros(static_cast<std::int64_t>(r.sim_us));
+    slot.fn_called = r.fn_called;
+    slot.state = SlotState::kExecuted;
+    if (!slot.result.activated && !slot.fn_called) {
+      proofs.record(list.faults[r.index].fn, r.index);
+    }
+    ++executed_fresh;
+
+    if (journal.is_open()) {
+      exec::JournalRecord rec;
+      rec.index = r.index;
+      rec.fault_id = r.fault_id;
+      rec.fn_called = r.fn_called;
+      rec.run_line = r.run_line;
+      rec.wall_us = r.wall_us;
+      rec.sim_us = r.sim_us;
+      journal.append(rec);
+    }
+    progress(/*fresh=*/true);
+  }
+
+  /// Handles one decoded message; marks the conn dead on protocol violations.
+  void handle(Conn& c, const std::string& line) {
+    c.last_seen = Clock::now();
+    const auto type = message_type(line);
+    if (!type) {
+      c.dead = true;
+      return;
+    }
+    switch (*type) {
+      case MsgType::kHello: {
+        const auto hello = decode_hello(line);
+        if (c.state != Conn::State::kAwaitHello || !hello ||
+            hello->proto != kProtocolVersion) {
+          send_msg(c, encode_error("protocol version mismatch"));
+          c.dead = true;
+          return;
+        }
+        if (send_msg(c, welcome_line)) c.state = Conn::State::kAwaitReady;
+        return;
+      }
+      case MsgType::kReady: {
+        const auto ready = decode_ready(line);
+        if (!ready || ready->digest != digest) {
+          // The worker validated against a different campaign; none of its
+          // results would be trustworthy.
+          send_msg(c, encode_error("campaign digest mismatch"));
+          c.dead = true;
+          return;
+        }
+        if (c.state == Conn::State::kLeased) {
+          if (!c.lease->outstanding.empty()) {
+            c.dead = true;  // READY with results still owed: protocol violation
+            return;
+          }
+          c.lease.reset();
+        } else if (c.state != Conn::State::kAwaitReady &&
+                   c.state != Conn::State::kIdle) {
+          c.dead = true;
+          return;
+        }
+        c.state = Conn::State::kIdle;
+        try_assign(c);
+        return;
+      }
+      case MsgType::kResult:
+        if (const auto r = decode_result(line)) {
+          record_result(c, *r);
+        } else {
+          c.dead = true;
+        }
+        return;
+      case MsgType::kHeartbeat:
+        return;  // last_seen already refreshed
+      case MsgType::kError:
+      default:
+        c.dead = true;  // worker gave up, or speaks something else entirely
+        return;
+    }
+  }
+
+  void pump_conn(Conn& c) {
+    std::string chunk;
+    switch (recv_some(c.sock.fd(), &chunk, 64 * 1024, /*timeout_ms=*/0)) {
+      case RecvStatus::kData:
+        if (bytes_received != nullptr) bytes_received->inc(chunk.size());
+        c.decoder.feed(chunk);
+        break;
+      case RecvStatus::kTimeout:
+        return;  // spurious wakeup
+      case RecvStatus::kClosed:
+      case RecvStatus::kError:
+        c.dead = true;
+        return;
+    }
+    while (!c.dead) {
+      const auto frame = c.decoder.next();
+      if (!frame) break;
+      handle(c, *frame);
+    }
+    if (!c.decoder.error().empty()) c.dead = true;
+  }
+
+  /// Removes dead connections, reassigning whatever they still owed.
+  void sweep_dead(Clock::time_point now) {
+    for (auto& c : conns) {
+      if (!c->dead) continue;
+      reassign_lease(*c, /*expired=*/false);
+      finish_worker_rate(*c, now);
+    }
+    std::erase_if(conns, [](const auto& c) { return c->dead; });
+    update_live();
+  }
+
+  void expire_leases(Clock::time_point now) {
+    for (auto& c : conns) {
+      if (c->dead || c->state != Conn::State::kLeased) continue;
+      if (ms_between(c->last_seen, now) <= options.lease_timeout_ms) continue;
+      reassign_lease(*c, /*expired=*/true);
+      finish_worker_rate(*c, now);
+      c->dead = true;  // the socket may still be open; the worker is not
+    }
+    std::erase_if(conns, [](const auto& c) { return c->dead; });
+    update_live();
+  }
+
+  void spawn_one() {
+    WorkerOptions w = options.worker;
+    w.host = "127.0.0.1";
+    w.port = listener.port();
+    const pid_t pid = spawn_worker_process(w, listener.fd());
+    if (pid > 0) children.push_back(pid);
+  }
+
+  void reap_children() {
+    std::erase_if(children, [](pid_t pid) {
+      int status = 0;
+      return ::waitpid(pid, &status, WNOHANG) == pid;
+    });
+  }
+
+  /// Keeps local fleets alive: when every spawned worker died with work still
+  /// outstanding, spawn a replacement (bounded). Throws once the campaign
+  /// provably cannot finish. Listen-only campaigns (spawn_workers == 0) wait
+  /// for external workers indefinitely instead.
+  void ensure_workers() {
+    if (options.spawn_workers <= 0 || complete()) return;
+    reap_children();
+    if (!children.empty() || !conns.empty()) return;
+    if (respawns_left <= 0) {
+      throw std::runtime_error(
+          "distributed campaign stalled: every worker exited and the respawn "
+          "budget is exhausted");
+    }
+    --respawns_left;
+    spawn_one();
+  }
+
+  void accept_new(Clock::time_point now) {
+    for (;;) {
+      Socket s = listener.accept(/*timeout_ms=*/0);
+      if (!s.valid()) break;
+      auto c = std::make_unique<Conn>();
+      c->sock = std::move(s);
+      c->worker_id = next_worker_id++;
+      c->first_seen = c->last_seen = now;
+      conns.push_back(std::move(c));
+    }
+    update_live();
+  }
+
+  void serve() {
+    while (!complete()) {
+      ensure_workers();
+
+      std::vector<pollfd> fds;
+      fds.reserve(conns.size() + 1);
+      fds.push_back({listener.fd(), POLLIN, 0});
+      for (const auto& c : conns) fds.push_back({c->sock.fd(), POLLIN, 0});
+      const int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/50);
+      if (rc < 0 && errno != EINTR) {
+        throw std::runtime_error("coordinator poll() failed");
+      }
+
+      const auto now = Clock::now();
+      if (rc > 0) {
+        // conns may grow via accept below; iterate the polled prefix only.
+        for (std::size_t k = 1; k < fds.size(); ++k) {
+          Conn& c = *conns[k - 1];
+          if (fds[k].revents & (POLLIN | POLLHUP | POLLERR)) pump_conn(c);
+        }
+        if (fds[0].revents & POLLIN) accept_new(now);
+      }
+      sweep_dead(now);
+      expire_leases(now);
+      // A reassignment may have refilled the queue while workers sit idle.
+      for (auto& c : conns) {
+        if (pending.empty()) break;
+        try_assign(*c);
+      }
+      sweep_dead(now);
+    }
+  }
+
+  void shutdown() {
+    const auto now = Clock::now();
+    for (auto& c : conns) {
+      send_msg(*c, encode_done());
+      finish_worker_rate(*c, now);
+    }
+    conns.clear();
+    update_live();
+    for (pid_t pid : children) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    children.clear();
+  }
+};
+
+Coordinator::Coordinator(core::RunConfig base, inject::FaultList list,
+                         std::uint64_t seed, DistOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->base = std::move(base);
+  impl_->list = std::move(list);
+  impl_->seed = seed;
+  impl_->options = std::move(options);
+
+  std::string error;
+  impl_->listener =
+      Listener::open(impl_->options.listen_host, impl_->options.listen_port, &error);
+  if (!impl_->listener.valid()) {
+    throw std::runtime_error("cannot listen on " + impl_->options.listen_host + ":" +
+                             std::to_string(impl_->options.listen_port) + ": " + error);
+  }
+
+  impl_->digest = plan::sweep_digest(impl_->list);
+  impl_->fault_ids.reserve(impl_->list.faults.size());
+  for (const auto& f : impl_->list.faults) impl_->fault_ids.push_back(f.id());
+
+  core::DtsConfig shipped;
+  shipped.run = impl_->base;
+  shipped.campaign.seed = seed;
+  Welcome welcome;
+  welcome.workload = impl_->base.workload.name;
+  welcome.middleware = static_cast<int>(impl_->base.middleware);
+  welcome.watchd_version = static_cast<int>(impl_->base.watchd_version);
+  welcome.seed = seed;
+  welcome.fault_count = impl_->list.faults.size();
+  welcome.digest = impl_->digest;
+  welcome.config = core::serialize_config(shipped);
+  impl_->welcome_line = encode_welcome(welcome);
+
+  if (impl_->options.metrics != nullptr) {
+    obs::MetricsRegistry& m = *impl_->options.metrics;
+    impl_->workers_live =
+        &m.gauge("dts_dist_workers_live", {}, "connected distributed workers");
+    impl_->leases_issued =
+        &m.counter("dts_dist_leases_issued_total", {}, "shard leases handed to workers");
+    impl_->leases_expired = &m.counter(
+        "dts_dist_leases_expired_total", {},
+        "leases whose worker went silent past the lease timeout");
+    impl_->leases_reassigned = &m.counter(
+        "dts_dist_leases_reassigned_total", {},
+        "lost leases whose unfinished remainder went back to the queue");
+    impl_->bytes_sent =
+        &m.counter("dts_dist_bytes_sent_total", {}, "protocol bytes sent to workers");
+    impl_->bytes_received = &m.counter("dts_dist_bytes_received_total", {},
+                                       "protocol bytes received from workers");
+  }
+}
+
+Coordinator::~Coordinator() {
+  if (impl_ == nullptr) return;
+  impl_->conns.clear();
+  for (pid_t pid : impl_->children) {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+}
+
+std::uint16_t Coordinator::port() const { return impl_->listener.port(); }
+
+exec::CampaignResult Coordinator::run() {
+  Impl& im = *impl_;
+  const std::size_t n = im.list.faults.size();
+  im.slots.assign(n, Slot{});
+
+  exec::JournalKey key;
+  key.workload = im.base.workload.name;
+  key.middleware = static_cast<int>(im.base.middleware);
+  key.watchd_version = static_cast<int>(im.base.watchd_version);
+  key.seed = im.seed;
+  key.fault_count = n;
+
+  if (!im.options.journal_path.empty() && im.options.resume) {
+    std::string error;
+    auto records = exec::read_journal(im.options.journal_path, key, &error);
+    if (!records) throw std::runtime_error(error);
+    for (const auto& rec : *records) {
+      if (rec.index >= n) continue;
+      if (im.fault_ids[rec.index] != rec.fault_id) continue;
+      Slot& slot = im.slots[rec.index];
+      if (slot.state != SlotState::kPending) continue;  // duplicate record
+      if (!core::parse_run_line(im.base.workload.target_image, rec.run_line,
+                                &slot.result, nullptr)) {
+        continue;
+      }
+      slot.fn_called = rec.fn_called;
+      slot.state = SlotState::kExecuted;
+      if (!slot.result.activated && !slot.fn_called) {
+        im.proofs.record(im.list.faults[rec.index].fn, rec.index);
+      }
+      ++im.reused;
+    }
+  }
+
+  if (!im.options.journal_path.empty()) {
+    std::string error;
+    if (!im.journal.open(im.options.journal_path, key, im.options.resume, &error)) {
+      throw std::runtime_error(error);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (im.slots[i].state == SlotState::kPending) im.pending.push_back(i);
+  }
+  im.tracker = std::make_unique<exec::ProgressTracker>(n, im.reused);
+
+  if (im.pending.empty()) {
+    // Fully resumed (or an empty sweep): nothing to distribute.
+    if (im.options.on_progress) im.options.on_progress(im.tracker->snapshot());
+  } else {
+    im.respawns_left = im.options.spawn_workers;
+    for (int w = 0; w < im.options.spawn_workers; ++w) im.spawn_one();
+    im.serve();
+  }
+  im.shutdown();
+
+  // Same merge as the in-process executor: replay the skip rule serially so
+  // the distributed output is byte-identical to --jobs=1.
+  std::vector<exec::CompletedRun> completed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    completed[i].result = std::move(im.slots[i].result);
+    completed[i].fn_called = im.slots[i].fn_called;
+    completed[i].executed = im.slots[i].state == SlotState::kExecuted;
+  }
+  exec::CampaignResult out = exec::merge_completed_runs(
+      im.base, im.list, im.seed, im.options.skip_uncalled, std::move(completed));
+  out.executed += im.executed_fresh;
+  out.reused = im.reused;
+  return out;
+}
+
+pid_t spawn_worker_process(const WorkerOptions& options, int close_fd) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  if (close_fd >= 0) ::close(close_fd);
+  std::string error;
+  _exit(run_worker(options, &error));
+}
+
+core::WorkloadSetResult run_workload_set_distributed(
+    const core::RunConfig& base, const core::CampaignOptions& options,
+    DistOptions dist, const std::optional<inject::FaultList>& explicit_faults) {
+  core::WorkloadSetResult result;
+  result.base_config = base;
+  result.activated_functions = core::profile_workload(base, options.seed);
+
+  inject::FaultList list;
+  if (explicit_faults) {
+    list = *explicit_faults;
+    // Explicit lists execute in full, as in-process campaigns do.
+    dist.skip_uncalled = false;
+  } else {
+    list = (options.profile_first
+                ? inject::FaultList::for_functions(base.workload.target_image,
+                                                   result.activated_functions,
+                                                   options.iterations)
+                : inject::FaultList::full_sweep(base.workload.target_image,
+                                                options.iterations))
+               .sampled(options.max_faults);
+  }
+
+  dist.journal_path = options.journal_path;
+  dist.resume = options.resume;
+  dist.metrics = options.metrics;
+  if (options.on_snapshot || options.on_progress) {
+    dist.on_progress = [&options](const exec::ProgressSnapshot& s) {
+      if (options.on_snapshot) options.on_snapshot(s);
+      if (options.on_progress) options.on_progress(s.done, s.total);
+    };
+  }
+
+  const auto on_listen = dist.on_listen;
+  Coordinator coordinator(base, list, options.seed, std::move(dist));
+  if (on_listen) on_listen(coordinator.port());
+  exec::CampaignResult campaign = coordinator.run();
+  result.executed_runs = campaign.executed;
+  result.runs = std::move(campaign.runs);
+  return result;
+}
+
+}  // namespace dts::dist

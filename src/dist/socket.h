@@ -1,0 +1,133 @@
+// POSIX TCP plumbing for distributed campaigns: a move-only fd wrapper,
+// connect with timeout and bounded retry, a listener, timed whole-buffer
+// writes / single reads, and SocketTransport — a framed socket channel that
+// implements the existing core::Transport interface, so the paper's
+// Controller / TargetAgent protocol runs across machines unchanged.
+//
+// Everything here is loopback-friendly and test-driven: ports default to
+// ephemeral (bind port 0, ask the kernel), reads and writes carry explicit
+// millisecond deadlines, and no call ever raises SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/controller.h"
+#include "dist/wire.h"
+
+namespace dts::dist {
+
+/// Move-only owner of a socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// "host:port" → (host, port). Returns nullopt on a missing/invalid port.
+std::optional<std::pair<std::string, std::uint16_t>> parse_host_port(
+    const std::string& addr);
+
+/// Connects to host:port, waiting at most `timeout_ms` per attempt and
+/// retrying a refused/timed-out connection up to `retries` further times
+/// (with a short linear backoff — the worker typically races the
+/// coordinator's listen()). Returns an invalid Socket with *error set when
+/// every attempt fails.
+Socket tcp_connect(const std::string& host, std::uint16_t port, int timeout_ms,
+                   int retries, std::string* error);
+
+/// Listening TCP socket. Binds immediately; port 0 picks an ephemeral port
+/// (read it back via port()).
+class Listener {
+ public:
+  /// Returns an unbound Listener with *error set on failure.
+  static Listener open(const std::string& host, std::uint16_t port,
+                       std::string* error);
+
+  bool valid() const { return sock_.valid(); }
+  int fd() const { return sock_.fd(); }
+  std::uint16_t port() const { return port_; }
+
+  /// Accepts one pending connection, waiting at most timeout_ms (0 = just
+  /// poll). Invalid Socket when nothing arrived.
+  Socket accept(int timeout_ms);
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Writes all of `data`, tolerating short writes, within timeout_ms overall.
+bool send_all(int fd, std::string_view data, int timeout_ms);
+
+/// One read of up to `cap` bytes into `out` (appended), waiting at most
+/// timeout_ms for readability.
+enum class RecvStatus { kData, kClosed, kTimeout, kError };
+RecvStatus recv_some(int fd, std::string* out, std::size_t cap, int timeout_ms);
+
+/// core::Transport over a framed TCP socket.
+///
+/// Two usage modes cover the two ends of the paper's control/target split:
+///  - sync_request=true (controller end): send() writes the frame and then
+///    blocks until the peer's reply frame arrives and is dispatched to the
+///    receiver — core::Controller's send-then-read-reply pattern works
+///    unchanged.
+///  - sync_request=false (agent end): send() only writes; the owner pumps
+///    incoming frames explicitly with serve_one() (the agent's serve loop).
+///
+/// The base interface has no error channel, so failures latch into error()
+/// and the transport goes silent — the controller observes a missing reply
+/// and counts a protocol error, exactly as for a garbled one.
+class SocketTransport final : public core::Transport {
+ public:
+  struct Options {
+    int io_timeout_ms = 30000;  // per send() / serve_one() deadline
+    bool sync_request = false;
+  };
+
+  SocketTransport(Socket sock, Options options)
+      : sock_(std::move(sock)), options_(options) {}
+
+  void send(const std::string& message) override;
+  void set_receiver(std::function<void(const std::string&)> on_message) override {
+    receiver_ = std::move(on_message);
+  }
+
+  /// Reads until one complete frame is dispatched to the receiver. False on
+  /// timeout, peer close, or protocol violation (see error()).
+  bool serve_one(int timeout_ms);
+
+  bool ok() const { return error_.empty() && sock_.valid(); }
+  const std::string& error() const { return error_; }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  void fail(const std::string& why);
+
+  Socket sock_;
+  Options options_;
+  FrameDecoder decoder_;
+  std::function<void(const std::string&)> receiver_;
+  std::string error_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace dts::dist

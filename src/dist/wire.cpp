@@ -1,0 +1,55 @@
+#include "dist/wire.h"
+
+#include <stdexcept>
+
+namespace dts::dist {
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::length_error("dist frame payload exceeds " +
+                            std::to_string(kMaxFramePayload) + " bytes");
+  }
+  std::string out = std::to_string(payload.size());
+  out += '\n';
+  out += payload;
+  return out;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (!error_.empty()) return;
+  buffer_.append(bytes);
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (!error_.empty()) return std::nullopt;
+  const std::size_t nl = buffer_.find('\n');
+  if (nl == std::string::npos) {
+    // A length prefix is at most 7 digits (kMaxFramePayload fits); anything
+    // longer without a newline is not this protocol.
+    if (buffer_.size() > 8) error_ = "malformed frame length prefix";
+    return std::nullopt;
+  }
+  if (nl == 0 || nl > 8) {
+    error_ = "malformed frame length prefix";
+    return std::nullopt;
+  }
+  std::size_t len = 0;
+  for (std::size_t i = 0; i < nl; ++i) {
+    const char c = buffer_[i];
+    if (c < '0' || c > '9') {
+      error_ = "malformed frame length prefix";
+      return std::nullopt;
+    }
+    len = len * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (len > kMaxFramePayload) {
+    error_ = "oversized frame (" + std::to_string(len) + " bytes)";
+    return std::nullopt;
+  }
+  if (buffer_.size() - nl - 1 < len) return std::nullopt;  // short read
+  std::string payload = buffer_.substr(nl + 1, len);
+  buffer_.erase(0, nl + 1 + len);
+  return payload;
+}
+
+}  // namespace dts::dist

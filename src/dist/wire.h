@@ -1,0 +1,54 @@
+// Wire framing for the distributed campaign protocol: length-prefixed JSONL.
+// A frame is `<decimal byte count>\n<payload>`, where the payload is one flat
+// JSON object (the grammar obs/jsonl.h parses — the same subset the run
+// journal uses). The explicit length prefix makes framing independent of the
+// payload's content: a forensics dump embedded in a record may contain
+// newlines once unescaped, and a reader never has to scan for a terminator.
+//
+// The decoder is incremental — feed() accepts arbitrary byte slices (short
+// reads included) and next() yields complete frames — and defensive: a
+// malformed or oversized length prefix poisons the stream (a peer speaking
+// the wrong protocol is unrecoverable mid-stream).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dts::dist {
+
+/// Frames larger than this are rejected by encoder and decoder alike. Big
+/// enough for a journal-v2 record with an embedded forensics dump, small
+/// enough that a garbage length prefix cannot make the decoder buffer
+/// gigabytes.
+constexpr std::size_t kMaxFramePayload = 4 * 1024 * 1024;
+
+/// Renders one frame. Throws std::length_error beyond kMaxFramePayload.
+std::string encode_frame(std::string_view payload);
+
+/// Incremental frame decoder for one connection's byte stream.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the peer (any slicing, including 1 byte at a
+  /// time). No-op once the stream is poisoned.
+  void feed(std::string_view bytes);
+
+  /// Extracts the next complete frame payload, or nullopt when more bytes
+  /// are needed. After a protocol violation (non-numeric or oversized length
+  /// prefix) returns nullopt forever and error() is non-empty.
+  std::optional<std::string> next();
+
+  /// Empty while the stream is healthy.
+  const std::string& error() const { return error_; }
+
+  /// True when no partial frame is buffered — i.e. the peer closing the
+  /// connection here would not tear a frame.
+  bool at_frame_boundary() const { return buffer_.empty() && error_.empty(); }
+
+ private:
+  std::string buffer_;
+  std::string error_;
+};
+
+}  // namespace dts::dist

@@ -1,0 +1,44 @@
+// The target-machine half of a distributed campaign: connects to a
+// coordinator, validates the campaign's identity, then executes leased
+// fault-injection runs and streams their records back. Stateless between
+// leases — every run builds a fresh simulated world, exactly as in-process
+// execution does, and per-run seeds derive from (campaign seed, fault id)
+// alone, so a run computes the same bits no matter which process hosts it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dts::dist {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  /// Connect deadline per attempt, plus bounded retry (the worker commonly
+  /// races the coordinator's listen()).
+  int connect_timeout_ms = 5000;
+  int connect_retries = 25;
+
+  /// Read/write deadline for every protocol exchange. Also bounds how long
+  /// an idle worker waits for its next lease before giving up.
+  int io_timeout_ms = 60000;
+
+  /// A heartbeat is sent between runs when this much time passed since the
+  /// last message to the coordinator. Runs complete in milliseconds of wall
+  /// clock, so between-run heartbeats keep a healthy worker visibly alive.
+  int heartbeat_ms = 1000;
+
+  /// Test hook: after streaming this many results, _exit() abruptly —
+  /// simulating a worker crash mid-shard (lease reassignment path).
+  /// -1 = never.
+  int crash_after_runs = -1;
+};
+
+/// Runs one worker until the coordinator reports the campaign done.
+/// Returns 0 on a completed campaign, 1 on a lost connection or timeout,
+/// 2 on a failed handshake / campaign-identity validation; *error describes
+/// non-zero exits.
+int run_worker(const WorkerOptions& options, std::string* error);
+
+}  // namespace dts::dist

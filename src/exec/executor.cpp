@@ -212,6 +212,45 @@ core::RunResult execute_fault(const core::RunConfig& base, std::uint64_t campaig
 
 }  // namespace
 
+int effective_jobs(int jobs, unsigned hardware_threads) {
+  if (jobs >= 1) return jobs;
+  return hardware_threads >= 1 ? static_cast<int>(hardware_threads) : 1;
+}
+
+int effective_jobs(int jobs) {
+  return effective_jobs(jobs, std::thread::hardware_concurrency());
+}
+
+CampaignResult merge_completed_runs(const core::RunConfig& base,
+                                    const inject::FaultList& list,
+                                    std::uint64_t campaign_seed, bool skip_uncalled,
+                                    std::vector<CompletedRun> completed) {
+  const std::size_t n = list.faults.size();
+  CampaignResult out;
+  std::set<nt::Fn> uncalled;
+  out.runs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const inject::FaultSpec& fault = list.faults[i];
+    if (skip_uncalled && uncalled.contains(fault.fn)) {
+      out.runs.push_back(skipped_result(fault));
+      ++out.skipped;
+      continue;
+    }
+    CompletedRun& slot = completed[i];
+    if (!slot.executed) {
+      // Defensive: an elided fault always has an earlier uncalled proof, so
+      // this branch is unreachable unless that invariant breaks — in which
+      // case run the fault now rather than emit a wrong record.
+      slot.result = execute_fault(base, campaign_seed, fault, &slot.fn_called);
+      slot.executed = true;
+      ++out.executed;
+    }
+    if (!slot.result.activated && !slot.fn_called) uncalled.insert(fault.fn);
+    out.runs.push_back(std::move(slot.result));
+  }
+  return out;
+}
+
 CampaignResult CampaignExecutor::run(const core::RunConfig& base,
                                      const inject::FaultList& list,
                                      std::uint64_t campaign_seed) {
@@ -264,13 +303,8 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
     if (slots[i].state == SlotState::kPending) pending.push_back(i);
   }
 
-  int workers = options_.jobs;
-  if (workers <= 0) {
-    workers = static_cast<int>(std::thread::hardware_concurrency());
-    if (workers < 1) workers = 1;
-  }
-  workers = static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(workers),
+  int workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(effective_jobs(options_.jobs)),
                             std::max<std::size_t>(pending.size(), 1)));
 
   // Observability: resolve every per-campaign metric handle once — outcome
@@ -459,28 +493,19 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
 
   // Merge: replay the paper-§4 skip rule serially over the completed results
   // so the output is byte-identical to a one-worker sweep regardless of how
-  // the faults were scheduled above.
-  std::set<nt::Fn> uncalled;
-  out.runs.reserve(n);
+  // the faults were scheduled above (shared with the distributed coordinator).
+  std::vector<CompletedRun> completed(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const inject::FaultSpec& fault = list.faults[i];
-    if (options_.skip_uncalled && uncalled.contains(fault.fn)) {
-      out.runs.push_back(skipped_result(fault));
-      ++out.skipped;
-      continue;
-    }
-    Slot& slot = slots[i];
-    if (slot.state != SlotState::kExecuted) {
-      // Defensive: an elided fault always has an earlier uncalled proof, so
-      // this branch is unreachable unless that invariant breaks — in which
-      // case run the fault now rather than emit a wrong record.
-      slot.result = execute_fault(base, campaign_seed, fault, &slot.fn_called);
-      slot.state = SlotState::kExecuted;
-      ++out.executed;
-    }
-    if (!slot.result.activated && !slot.fn_called) uncalled.insert(fault.fn);
-    out.runs.push_back(std::move(slot.result));
+    completed[i].result = std::move(slots[i].result);
+    completed[i].fn_called = slots[i].fn_called;
+    completed[i].executed = slots[i].state == SlotState::kExecuted;
   }
+  CampaignResult merged = merge_completed_runs(base, list, campaign_seed,
+                                               options_.skip_uncalled,
+                                               std::move(completed));
+  out.runs = std::move(merged.runs);
+  out.skipped = merged.skipped;
+  out.executed += merged.executed;
   return out;
 }
 
@@ -549,11 +574,7 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
     std::filesystem::create_directories(options_.forensics_dir);
   }
 
-  int workers = options_.jobs;
-  if (workers <= 0) {
-    workers = static_cast<int>(std::thread::hardware_concurrency());
-    if (workers < 1) workers = 1;
-  }
+  const int workers = effective_jobs(options_.jobs);
 
   plan::AdaptiveSampler sampler(plan, sampler_options);
   ProgressTracker tracker(plan.executable_count(), 0);

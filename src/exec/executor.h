@@ -80,6 +80,34 @@ struct CampaignResult {
   std::size_t skipped = 0;   // skip-uncalled records in the merged output
 };
 
+/// Resolves a requested job count to a usable worker count. jobs >= 1 passes
+/// through; jobs <= 0 means one worker per hardware thread, where a zero
+/// `hardware_threads` (std::thread::hardware_concurrency() is advisory and
+/// may return 0 — single-core containers do) clamps to 1.
+int effective_jobs(int jobs, unsigned hardware_threads);
+/// Same, against the real std::thread::hardware_concurrency().
+int effective_jobs(int jobs);
+
+/// One fault of a campaign sweep after the execution phase, ready to merge.
+/// `executed == false` marks a fault nobody ran (elided under an
+/// uncalled-function proof, or lost to a crashed distributed worker).
+struct CompletedRun {
+  core::RunResult result;
+  bool fn_called = false;
+  bool executed = false;
+};
+
+/// Serially replays the paper-§4 skip-uncalled rule over completed runs, in
+/// fault-list order, producing output byte-identical to a one-worker sweep
+/// regardless of how (or where — see src/dist/) the faults were executed.
+/// Unexecuted faults the skip rule does not cover are defensively executed
+/// here; the returned `executed` counts only those defensive runs. Shared by
+/// the in-process executor and the distributed coordinator.
+CampaignResult merge_completed_runs(const core::RunConfig& base,
+                                    const inject::FaultList& list,
+                                    std::uint64_t campaign_seed, bool skip_uncalled,
+                                    std::vector<CompletedRun> completed);
+
 /// Result of a planned campaign (run_plan). `runs` is in plan-entry order;
 /// pruned entries carry synthesized non-activated records, duplicates carry
 /// the representative's outcome under their own fault id, and entries an

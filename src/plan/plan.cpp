@@ -250,4 +250,37 @@ std::optional<Plan> Plan::parse(const std::string& text, std::string* error) {
   return plan;
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t* h, std::string_view bytes) {
+  for (unsigned char c : bytes) {
+    *h ^= c;
+    *h *= kFnvPrime;
+  }
+  // Separator between fields, so concatenation cannot alias across ids.
+  *h ^= 0xff;
+  *h *= kFnvPrime;
+}
+
+}  // namespace
+
+std::uint64_t sweep_digest(const inject::FaultList& list) {
+  std::uint64_t h = kFnvOffset;
+  for (const inject::FaultSpec& f : list.faults) fnv_mix(&h, f.id());
+  return h;
+}
+
+std::uint64_t sweep_digest(const Plan& plan) {
+  std::uint64_t h = kFnvOffset;
+  for (const PlanEntry& e : plan.entries) {
+    fnv_mix(&h, e.fault.id());
+    const char d = static_cast<char>('0' + static_cast<int>(e.disposition));
+    fnv_mix(&h, std::string_view(&d, 1));
+  }
+  return h;
+}
+
 }  // namespace dts::plan

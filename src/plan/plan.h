@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "inject/fault.h"
+#include "inject/fault_list.h"
 
 namespace dts::plan {
 
@@ -115,6 +116,15 @@ struct Plan {
 
   friend bool operator==(const Plan&, const Plan&) = default;
 };
+
+/// Order-sensitive FNV-1a fingerprint of a fault space — the campaign's
+/// sweep identity. The distributed coordinator (src/dist/) ships this digest
+/// to workers, which refuse leases whose digest does not match the campaign
+/// they accepted; two processes agreeing on the digest agree on every fault
+/// id and its index. The Plan overload additionally folds in each entry's
+/// disposition, so a re-pruned plan reads as a different campaign.
+std::uint64_t sweep_digest(const inject::FaultList& list);
+std::uint64_t sweep_digest(const Plan& plan);
 
 /// The CampaignOptions planning block (consumed by core::run_workload_set).
 struct PlanOptions {

@@ -1,0 +1,418 @@
+// Tests for the distributed campaign subsystem (src/dist/): wire framing,
+// socket edge paths (loopback only), the Controller/TargetAgent protocol over
+// a real TCP socket, and coordinator + multi-process worker campaigns —
+// including a forced worker crash — whose output must stay byte-identical to
+// a serial sweep. Labelled `dist` in CTest (also run under ASan/TSan presets).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/controller.h"
+#include "core/report.h"
+#include "dist/coordinator.h"
+#include "dist/protocol.h"
+#include "dist/socket.h"
+#include "dist/wire.h"
+#include "dist/worker.h"
+#include "exec/executor.h"
+#include "obs/metrics.h"
+
+namespace dts {
+namespace {
+
+core::RunConfig make_config(const std::string& workload,
+                            mw::MiddlewareKind m = mw::MiddlewareKind::kNone) {
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name(workload);
+  cfg.middleware = m;
+  cfg.watchd_version = mw::WatchdVersion::kV3;
+  return cfg;
+}
+
+inject::FaultList capped_list(const core::RunConfig& cfg, std::uint64_t seed,
+                              std::size_t cap) {
+  const auto fns = core::profile_workload(cfg, seed);
+  return inject::FaultList::for_functions(cfg.workload.target_image, fns).sampled(cap);
+}
+
+std::vector<std::string> run_lines(const std::vector<core::RunResult>& runs) {
+  std::vector<std::string> out;
+  out.reserve(runs.size());
+  for (const auto& r : runs) out.push_back(core::serialize_run_line(r));
+  return out;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// Forks a worker process joining the loopback coordinator at `port`.
+pid_t fork_worker(std::uint16_t port, int crash_after_runs = -1) {
+  dist::WorkerOptions w;
+  w.port = port;
+  w.crash_after_runs = crash_after_runs;
+  return dist::spawn_worker_process(w, /*close_fd=*/-1);
+}
+
+// --- wire framing --------------------------------------------------------
+
+TEST(DistWire, FramesReassembleFromSingleByteFeeds) {
+  const std::vector<std::string> payloads = {"{\"type\":\"hello\"}", "", "x",
+                                             std::string(1000, 'z')};
+  std::string stream;
+  for (const auto& p : payloads) stream += dist::encode_frame(p);
+
+  dist::FrameDecoder decoder;
+  std::vector<std::string> got;
+  for (char c : stream) {
+    decoder.feed(std::string_view(&c, 1));  // worst-case short reads
+    while (auto f = decoder.next()) got.push_back(*f);
+  }
+  EXPECT_EQ(got, payloads);
+  EXPECT_TRUE(decoder.at_frame_boundary());
+  EXPECT_TRUE(decoder.error().empty());
+}
+
+TEST(DistWire, OversizedFrameRejectedBothWays) {
+  EXPECT_THROW((void)dist::encode_frame(std::string(dist::kMaxFramePayload + 1, 'a')),
+               std::length_error);
+
+  dist::FrameDecoder decoder;
+  decoder.feed(std::to_string(dist::kMaxFramePayload + 1) + "\n");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.error().empty());
+  // Poisoned for good: even valid bytes afterwards yield nothing.
+  decoder.feed(dist::encode_frame("ok"));
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(DistWire, MalformedLengthPrefixPoisonsStream) {
+  dist::FrameDecoder decoder;
+  decoder.feed("GET / HTTP/1.1\r\n");  // a peer speaking the wrong protocol
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.error().empty());
+  EXPECT_FALSE(decoder.at_frame_boundary());
+}
+
+TEST(DistWire, MidFrameIsNotAFrameBoundary) {
+  dist::FrameDecoder decoder;
+  const std::string frame = dist::encode_frame("{\"type\":\"done\"}");
+  decoder.feed(std::string_view(frame).substr(0, frame.size() / 2));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.at_frame_boundary());  // a disconnect here tears a frame
+  decoder.feed(std::string_view(frame).substr(frame.size() / 2));
+  EXPECT_TRUE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.at_frame_boundary());
+}
+
+// --- protocol messages ---------------------------------------------------
+
+TEST(DistProtocol, MessagesRoundTrip) {
+  dist::Welcome w;
+  w.workload = "Apache1";
+  w.middleware = 2;
+  w.watchd_version = 3;
+  w.seed = 7;
+  w.fault_count = 42;
+  w.digest = 0xdeadbeefull;
+  w.config = "[test]\nworkload = Apache1\n";
+  const auto w2 = dist::decode_welcome(dist::encode_welcome(w));
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(w2->workload, w.workload);
+  EXPECT_EQ(w2->config, w.config);
+  EXPECT_EQ(w2->digest, w.digest);
+
+  dist::Lease lease;
+  lease.lease_id = 3;
+  lease.digest = 9;
+  lease.indices = {4, 5, 9};
+  lease.fault_ids = {"a.b#1:zero", "a.b#2:rand", "c.d#1:null"};
+  const auto l2 = dist::decode_lease(dist::encode_lease(lease));
+  ASSERT_TRUE(l2.has_value());
+  EXPECT_EQ(l2->indices, lease.indices);
+  EXPECT_EQ(l2->fault_ids, lease.fault_ids);
+
+  std::vector<core::RequestResult> reqs(2);
+  reqs[0].ok = true;
+  reqs[0].attempts = 1;
+  reqs[1].ok = false;
+  reqs[1].attempts = 3;
+  const auto back = dist::decode_requests(dist::encode_requests(reqs));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back[0].ok);
+  EXPECT_EQ(back[1].attempts, 3);
+}
+
+// --- socket edge paths (loopback) ----------------------------------------
+
+TEST(DistSocket, ConnectFailureIsBoundedAndReported) {
+  // Grab an ephemeral port, then free it so nothing listens there.
+  std::string error;
+  std::uint16_t dead_port = 0;
+  {
+    dist::Listener probe = dist::Listener::open("127.0.0.1", 0, &error);
+    ASSERT_TRUE(probe.valid()) << error;
+    dead_port = probe.port();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  dist::Socket s = dist::tcp_connect("127.0.0.1", dead_port, /*timeout_ms=*/200,
+                                     /*retries=*/2, &error);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(s.valid());
+  EXPECT_FALSE(error.empty());
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 10);
+}
+
+TEST(DistSocket, ShortWritesAndReadsReassemble) {
+  std::string error;
+  dist::Listener listener = dist::Listener::open("127.0.0.1", 0, &error);
+  ASSERT_TRUE(listener.valid()) << error;
+  dist::Socket client =
+      dist::tcp_connect("127.0.0.1", listener.port(), 1000, 0, &error);
+  ASSERT_TRUE(client.valid()) << error;
+  dist::Socket server = listener.accept(1000);
+  ASSERT_TRUE(server.valid());
+
+  const std::string payload(64 * 1024, 'q');  // larger than one recv cap
+  const std::string frame = dist::encode_frame(payload);
+  for (std::size_t off = 0; off < frame.size(); off += 1024) {
+    ASSERT_TRUE(dist::send_all(client.fd(),
+                               std::string_view(frame).substr(off, 1024), 1000));
+  }
+
+  dist::FrameDecoder decoder;
+  std::string got;
+  while (true) {
+    if (auto f = decoder.next()) {
+      got = *f;
+      break;
+    }
+    std::string chunk;
+    const auto st = dist::recv_some(server.fd(), &chunk, 4096, 1000);
+    ASSERT_EQ(st, dist::RecvStatus::kData);
+    decoder.feed(chunk);
+  }
+  EXPECT_EQ(got, payload);
+}
+
+TEST(DistSocket, PeerDisconnectMidFrameIsDetected) {
+  std::string error;
+  dist::Listener listener = dist::Listener::open("127.0.0.1", 0, &error);
+  ASSERT_TRUE(listener.valid()) << error;
+  dist::Socket client =
+      dist::tcp_connect("127.0.0.1", listener.port(), 1000, 0, &error);
+  ASSERT_TRUE(client.valid()) << error;
+  dist::Socket server = listener.accept(1000);
+  ASSERT_TRUE(server.valid());
+
+  const std::string frame = dist::encode_frame("{\"type\":\"ready\",\"digest\":1}");
+  ASSERT_TRUE(dist::send_all(client.fd(),
+                             std::string_view(frame).substr(0, frame.size() - 3), 1000));
+  client.close();  // crash mid-frame
+
+  dist::FrameDecoder decoder;
+  for (;;) {
+    std::string chunk;
+    const auto st = dist::recv_some(server.fd(), &chunk, 4096, 1000);
+    if (st == dist::RecvStatus::kData) {
+      decoder.feed(chunk);
+      continue;
+    }
+    EXPECT_EQ(st, dist::RecvStatus::kClosed);
+    break;
+  }
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.at_frame_boundary());  // the tear is visible
+}
+
+TEST(DistSocket, ReadFromSilentPeerTimesOut) {
+  std::string error;
+  dist::Listener listener = dist::Listener::open("127.0.0.1", 0, &error);
+  ASSERT_TRUE(listener.valid()) << error;
+  dist::Socket client =
+      dist::tcp_connect("127.0.0.1", listener.port(), 1000, 0, &error);
+  ASSERT_TRUE(client.valid()) << error;
+  dist::Socket server = listener.accept(1000);
+  ASSERT_TRUE(server.valid());
+
+  std::string chunk;
+  EXPECT_EQ(dist::recv_some(server.fd(), &chunk, 4096, /*timeout_ms=*/50),
+            dist::RecvStatus::kTimeout);
+  EXPECT_TRUE(chunk.empty());
+}
+
+TEST(DistSocket, ParseHostPort) {
+  const auto hp = dist::parse_host_port("10.1.2.3:8080");
+  ASSERT_TRUE(hp.has_value());
+  EXPECT_EQ(hp->first, "10.1.2.3");
+  EXPECT_EQ(hp->second, 8080);
+  EXPECT_FALSE(dist::parse_host_port("nohost").has_value());
+  EXPECT_FALSE(dist::parse_host_port("host:notaport").has_value());
+  EXPECT_FALSE(dist::parse_host_port("host:99999").has_value());
+}
+
+// The paper's Controller/TargetAgent protocol over a real TCP socket: the
+// line protocol was designed so "a socket transport drops in unchanged".
+TEST(DistSocket, ControllerDrivesTargetAgentOverLoopback) {
+  std::string error;
+  dist::Listener listener = dist::Listener::open("127.0.0.1", 0, &error);
+  ASSERT_TRUE(listener.valid()) << error;
+  dist::Socket client =
+      dist::tcp_connect("127.0.0.1", listener.port(), 1000, 0, &error);
+  ASSERT_TRUE(client.valid()) << error;
+  dist::Socket server = listener.accept(1000);
+  ASSERT_TRUE(server.valid());
+
+  const core::RunConfig cfg = make_config("Apache1");
+  std::thread agent_thread([&server, cfg] {
+    dist::SocketTransport agent_end(std::move(server), {.io_timeout_ms = 5000});
+    core::TargetAgent agent(cfg, agent_end);
+    // One profile request + one run request.
+    ASSERT_TRUE(agent_end.serve_one(5000)) << agent_end.error();
+    ASSERT_TRUE(agent_end.serve_one(5000)) << agent_end.error();
+  });
+
+  dist::SocketTransport controller_end(std::move(client),
+                                       {.io_timeout_ms = 5000, .sync_request = true});
+  core::Controller controller(controller_end);
+  const auto fns = controller.profile();
+  EXPECT_FALSE(fns.empty());
+
+  const inject::FaultList list = capped_list(cfg, 7, 4);
+  ASSERT_FALSE(list.faults.empty());
+  const core::RunResult remote = controller.run_fault(list.faults[0]);
+  EXPECT_EQ(controller.protocol_errors(), 0);
+  EXPECT_GT(controller_end.bytes_sent(), 0u);
+  EXPECT_GT(controller_end.bytes_received(), 0u);
+  agent_thread.join();
+
+  // The remote run reports the same outcome line as a local controller pair.
+  core::TransportPair pair = core::make_in_process_transport();
+  core::TargetAgent local_agent(cfg, *pair.agent_end);
+  core::Controller local(*pair.controller_end);
+  EXPECT_EQ(core::serialize_run_line(remote),
+            core::serialize_run_line(local.run_fault(list.faults[0])));
+}
+
+// --- coordinator + worker fleet ------------------------------------------
+
+// The tentpole acceptance bar: a coordinator with two worker processes
+// produces byte-identical output to the in-process serial executor —
+// including results.csv, which renders per-request results and details that
+// travel over the wire, not through the journal.
+TEST(DistCampaign, TwoWorkerProcessesMatchSerialByteIdentical) {
+  const core::RunConfig cfg = make_config("Apache1", mw::MiddlewareKind::kWatchd);
+  core::CampaignOptions opt;
+  opt.seed = 7;
+  opt.max_faults = 16;
+
+  opt.jobs = 1;
+  const core::WorkloadSetResult serial = core::run_workload_set(cfg, opt);
+
+  dist::DistOptions d;
+  d.spawn_workers = 2;
+  obs::MetricsRegistry metrics;
+  core::CampaignOptions dopt = opt;
+  dopt.metrics = &metrics;
+  const core::WorkloadSetResult distributed =
+      dist::run_workload_set_distributed(cfg, dopt, d);
+
+  EXPECT_EQ(core::serialize_workload_set(distributed),
+            core::serialize_workload_set(serial));
+  EXPECT_EQ(core::runs_csv(distributed), core::runs_csv(serial));
+  EXPECT_EQ(metrics.counter("dts_dist_leases_reassigned_total").value(), 0u);
+  EXPECT_GT(metrics.counter("dts_dist_leases_issued_total").value(), 0u);
+  EXPECT_GT(metrics.counter("dts_dist_bytes_sent_total").value(), 0u);
+  EXPECT_GT(metrics.counter("dts_dist_bytes_received_total").value(), 0u);
+}
+
+// Kill one worker mid-shard: its lease is reassigned (exactly once) and the
+// campaign still completes byte-identical to serial.
+TEST(DistCampaign, WorkerCrashMidShardReassignsLeaseAndStaysByteIdentical) {
+  const core::RunConfig cfg = make_config("Apache1");
+  const inject::FaultList list = capped_list(cfg, 7, 20);
+  ASSERT_GE(list.faults.size(), 8u);
+
+  exec::ExecOptions serial_opts;
+  serial_opts.jobs = 1;
+  const exec::CampaignResult serial =
+      exec::CampaignExecutor(serial_opts).run(cfg, list, 7);
+
+  obs::MetricsRegistry metrics;
+  dist::DistOptions d;
+  d.lease_size = 4;  // leases span several faults, so a crash tears one
+  d.metrics = &metrics;
+  dist::Coordinator coordinator(cfg, list, 7, d);
+
+  // Worker A streams one result and then _exit()s mid-lease; worker B is
+  // healthy and finishes the campaign, including A's reassigned remainder.
+  const pid_t crasher = fork_worker(coordinator.port(), /*crash_after_runs=*/1);
+  const pid_t healthy = fork_worker(coordinator.port());
+  ASSERT_GT(crasher, 0);
+  ASSERT_GT(healthy, 0);
+
+  const exec::CampaignResult distributed = coordinator.run();
+  EXPECT_EQ(run_lines(distributed.runs), run_lines(serial.runs));
+  EXPECT_EQ(metrics.counter("dts_dist_leases_reassigned_total").value(), 1u);
+  EXPECT_EQ(metrics.counter("dts_dist_leases_expired_total").value(), 0u);
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(crasher, &status, 0), crasher);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 3);  // the crash hook
+  ASSERT_EQ(::waitpid(healthy, &status, 0), healthy);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+// A distributed journal is the same artifact as an in-process journal: a
+// campaign interrupted distributed-side resumes in-process with nothing
+// re-executed, and vice versa the records pre-fill a distributed run.
+TEST(DistCampaign, DistributedJournalResumesInProcess) {
+  const core::RunConfig cfg = make_config("Apache1");
+  const inject::FaultList list = capped_list(cfg, 7, 10);
+
+  const std::string journal = temp_path("dist_journal.jsonl");
+  std::filesystem::remove(journal);
+
+  dist::DistOptions d;
+  d.spawn_workers = 1;
+  d.journal_path = journal;
+  dist::Coordinator coordinator(cfg, list, 7, d);
+  const exec::CampaignResult distributed = coordinator.run();
+  ASSERT_FALSE(distributed.runs.empty());
+
+  exec::ExecOptions eo;
+  eo.jobs = 1;
+  eo.journal_path = journal;
+  eo.resume = true;
+  const exec::CampaignResult resumed = exec::CampaignExecutor(eo).run(cfg, list, 7);
+  EXPECT_EQ(resumed.executed, 0u);  // every run came from the distributed journal
+  EXPECT_EQ(resumed.reused, distributed.executed);
+  EXPECT_EQ(run_lines(resumed.runs), run_lines(distributed.runs));
+}
+
+// A worker that validated against one campaign refuses leases from another:
+// the handshake digest travels on every lease, so a coordinator restarted
+// with a different fault list on the same port cannot feed a stale worker.
+TEST(DistCampaign, WorkerRefusesMismatchedCampaign) {
+  // Exercised end-to-end via run_worker's validation path: a worker pointed
+  // at a dead port exits 1 (connection), and the digest/identity checks are
+  // covered by the integration tests above accepting only matching leases.
+  dist::WorkerOptions w;
+  w.port = 1;  // privileged port nobody listens on
+  w.connect_timeout_ms = 100;
+  w.connect_retries = 1;
+  std::string error;
+  EXPECT_EQ(dist::run_worker(w, &error), 1);
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace dts

@@ -165,6 +165,58 @@ TEST(Exec, JournalFromDifferentCampaignRefused) {
   EXPECT_THROW((void)exec::CampaignExecutor(eo).run(cfg, list, 8), std::runtime_error);
 }
 
+// `--jobs=0` means auto-detect, and hardware_concurrency() is advisory —
+// it may return 0 (single-core containers do). The resolver must clamp
+// every degenerate combination to at least one worker.
+TEST(Exec, EffectiveJobsClampsAutoDetectAndUnknownHardware) {
+  EXPECT_EQ(exec::effective_jobs(4, 8u), 4);   // explicit request wins
+  EXPECT_EQ(exec::effective_jobs(1, 0u), 1);   // explicit, hw unknown
+  EXPECT_EQ(exec::effective_jobs(0, 8u), 8);   // auto-detect follows hw
+  EXPECT_EQ(exec::effective_jobs(-3, 8u), 8);  // negative treated as auto
+  EXPECT_EQ(exec::effective_jobs(0, 0u), 1);   // auto-detect, hw unknown
+  EXPECT_EQ(exec::effective_jobs(-1, 0u), 1);
+  EXPECT_GE(exec::effective_jobs(0), 1);  // real hardware_concurrency()
+}
+
+// The journal's FINAL record truncated mid-line — the classic
+// killed-inside-the-last-write shape — must resume by re-executing exactly
+// that one run and reusing every other record.
+TEST(Exec, FinalRecordTruncatedMidLineReexecutesOnlyThatRun) {
+  const core::RunConfig cfg = make_config("Apache1");
+  const inject::FaultList list = capped_list(cfg, 7, 6);
+
+  const std::string journal = temp_path("exec_torn_final.jsonl");
+  std::filesystem::remove(journal);
+  exec::ExecOptions eo;
+  eo.jobs = 1;
+  eo.journal_path = journal;
+  const exec::CampaignResult full = exec::CampaignExecutor(eo).run(cfg, list, 7);
+  ASSERT_GT(full.executed, 1u);
+
+  // Chop the last record in half, newline included.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(journal);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GE(lines.size(), 3u);
+  {
+    std::ofstream out(journal, std::ios::trunc);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) out << lines[i] << "\n";
+    out << lines.back().substr(0, lines.back().size() / 2);
+  }
+
+  exec::ExecOptions again;
+  again.jobs = 1;
+  again.journal_path = journal;
+  again.resume = true;
+  const exec::CampaignResult resumed = exec::CampaignExecutor(again).run(cfg, list, 7);
+  EXPECT_EQ(resumed.reused, full.executed - 1);
+  EXPECT_EQ(resumed.executed, 1u);
+  EXPECT_EQ(run_lines(resumed.runs), run_lines(full.runs));
+}
+
 // A journal torn mid-record (the process died inside a write) resumes
 // cleanly: the torn line is ignored, the valid records are reused.
 TEST(Exec, TruncatedJournalRecordsIgnoredOnResume) {

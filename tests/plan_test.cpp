@@ -298,6 +298,43 @@ TEST(Plan, PlannedCampaignResumesFromTruncatedJournal) {
   EXPECT_EQ(core::serialize_workload_set(resumed), core::serialize_workload_set(full));
 }
 
+// The sharper variant of the interrupted-campaign shape: only the FINAL
+// record is torn, mid-line (the process died inside its last journal
+// write). Resume must re-execute exactly that one run.
+TEST(Plan, FinalRecordTruncatedMidLineReexecutesOnlyThatRun) {
+  const core::RunConfig cfg = apache_config();
+  core::CampaignOptions opt;
+  opt.seed = 1;
+  opt.plan.mode = plan::PlanOptions::Mode::kAuto;
+  opt.max_faults = 600;
+
+  const std::string journal = temp_path("plan_torn_final.jsonl");
+  std::filesystem::remove(journal);
+  opt.journal_path = journal;
+  const core::WorkloadSetResult full = core::run_workload_set(cfg, opt);
+  ASSERT_GT(full.executed_runs, 1u);
+
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(journal);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 2u);
+  {
+    std::ofstream out(journal, std::ios::trunc);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) out << lines[i] << "\n";
+    out << lines.back().substr(0, lines.back().size() / 2);  // torn, no newline
+  }
+
+  opt.resume = true;
+  const core::WorkloadSetResult resumed = core::run_workload_set(cfg, opt);
+  ASSERT_TRUE(resumed.plan_digest.has_value());
+  EXPECT_EQ(resumed.plan_digest->reused, full.executed_runs - 1);
+  EXPECT_EQ(resumed.executed_runs, 1u);
+  EXPECT_EQ(core::serialize_workload_set(resumed), core::serialize_workload_set(full));
+}
+
 TEST(Plan, ExhaustiveJournalRefusesToResumeAPlannedCampaign) {
   const core::RunConfig cfg = apache_config();
   core::CampaignOptions opt;

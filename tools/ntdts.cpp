@@ -26,6 +26,11 @@
 // of interesting runs into <output-dir>/forensics/ (and into the journal
 // record as "fx"). --metrics-out=PATH exports campaign metrics as Prometheus
 // text at PATH and a Chrome trace_event timeline at PATH.trace.json.
+//
+// Distributed campaigns (src/dist/): `run --workers=N` spawns N local worker
+// processes over loopback TCP; `run --listen=host:port` waits for external
+// `ntdts worker --connect=host:port` processes instead. Either way the
+// output is byte-identical to a serial run.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -34,6 +39,9 @@
 
 #include "core/config.h"
 #include "core/report.h"
+#include "dist/coordinator.h"
+#include "dist/socket.h"
+#include "dist/worker.h"
 #include "exec/executor.h"
 #include "inject/fault_class.h"
 #include "obs/metrics.h"
@@ -68,6 +76,15 @@ int usage() {
       "        --forensics-depth=N  ring depth: last N calls kept per run (default 32)\n"
       "        --metrics-out=PATH   write campaign metrics as Prometheus text to PATH\n"
       "                   and a Chrome trace timeline to PATH.trace.json\n"
+      "        --workers=N  distributed mode: spawn N local worker processes\n"
+      "                   over loopback TCP (output byte-identical to serial)\n"
+      "        --listen=host:port  distributed mode: wait for external workers\n"
+      "                   (port 0 = ephemeral; the chosen port is printed)\n"
+      "        --lease-timeout-ms=N  reassign a shard lease after N ms of worker\n"
+      "                   silence (default 30000)\n"
+      "        --lease-size=N  faults per shard lease (default: auto)\n"
+      "  ntdts worker --connect=host:port [--io-timeout-ms=N]\n"
+      "        join a distributed campaign as a worker process\n"
       "  ntdts plan <config.ini> [plan.json] [--ci-width=X]\n"
       "        golden-run profile + equivalence pruning: prints per-stratum\n"
       "        counts and predicted savings; saves the plan when a path is given\n"
@@ -294,6 +311,14 @@ struct RunFlags {
   std::string plan_file;
   double ci_width = 0.0;
   std::optional<std::size_t> max_faults;
+
+  // Distributed mode (either flag selects it).
+  std::optional<int> dist_workers;
+  std::string listen_addr;
+  int lease_timeout_ms = 30000;
+  std::size_t lease_size = 0;
+
+  bool distributed() const { return dist_workers.has_value() || !listen_addr.empty(); }
 };
 
 int cmd_run(const std::string& config_path, const std::string& out_dir,
@@ -363,7 +388,32 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
   if (!metrics_out.empty()) cfg->campaign.metrics = &metrics;
 
   core::WorkloadSetResult set;
-  if (explicit_faults) {
+  if (flags.distributed()) {
+    dist::DistOptions d;
+    if (!flags.listen_addr.empty()) {
+      const auto hp = dist::parse_host_port(flags.listen_addr);
+      if (!hp) {
+        std::cerr << "ntdts run: --listen expects host:port, got '"
+                  << flags.listen_addr << "'\n";
+        return 2;
+      }
+      d.listen_host = hp->first;
+      d.listen_port = hp->second;
+    }
+    d.spawn_workers = flags.dist_workers.value_or(0);
+    d.lease_timeout_ms = flags.lease_timeout_ms;
+    d.lease_size = flags.lease_size;
+    const std::string host = d.listen_host;
+    if (d.spawn_workers == 0) {
+      d.on_listen = [host](std::uint16_t port) {
+        std::cerr << "coordinator listening on " << host << ":" << port
+                  << " — join workers with: ntdts worker --connect=" << host << ":"
+                  << port << "\n";
+      };
+    }
+    set = dist::run_workload_set_distributed(cfg->run, cfg->campaign, std::move(d),
+                                             explicit_faults);
+  } else if (explicit_faults) {
     // Run exactly the listed faults (no skip-uncalled: the user asked for
     // precisely these), sharded across the same executor.
     set.base_config = cfg->run;
@@ -582,6 +632,54 @@ int main(int argc, char** argv) {
             std::cerr << "ntdts: --metrics-out expects a path\n";
             return 2;
           }
+        } else if (a.rfind("--workers=", 0) == 0) {
+          const std::string value = a.substr(10);
+          std::size_t used = 0;
+          int n = -1;
+          try {
+            n = std::stoi(value, &used);
+          } catch (const std::exception&) {
+          }
+          if (used != value.size() || n < 1 || n > 1024) {
+            std::cerr << "ntdts: --workers expects an integer in [1, 1024], got '"
+                      << value << "'\n";
+            return 2;
+          }
+          flags.dist_workers = n;
+        } else if (a.rfind("--listen=", 0) == 0) {
+          flags.listen_addr = a.substr(9);
+          if (flags.listen_addr.empty()) {
+            std::cerr << "ntdts: --listen expects host:port\n";
+            return 2;
+          }
+        } else if (a.rfind("--lease-timeout-ms=", 0) == 0) {
+          const std::string value = a.substr(19);
+          std::size_t used = 0;
+          int n = -1;
+          try {
+            n = std::stoi(value, &used);
+          } catch (const std::exception&) {
+          }
+          if (used != value.size() || n < 1) {
+            std::cerr << "ntdts: --lease-timeout-ms expects a positive integer, got '"
+                      << value << "'\n";
+            return 2;
+          }
+          flags.lease_timeout_ms = n;
+        } else if (a.rfind("--lease-size=", 0) == 0) {
+          const std::string value = a.substr(13);
+          std::size_t used = 0;
+          long n = -1;
+          try {
+            n = std::stol(value, &used);
+          } catch (const std::exception&) {
+          }
+          if (used != value.size() || n < 0) {
+            std::cerr << "ntdts: --lease-size expects a non-negative integer, got '"
+                      << value << "'\n";
+            return 2;
+          }
+          flags.lease_size = static_cast<std::size_t>(n);
         } else if (a.rfind("--", 0) == 0) {
           return unknown_flag("run", a);
         } else if (!have_out_dir) {
@@ -601,7 +699,68 @@ int main(int argc, char** argv) {
         std::cerr << "ntdts run: --ci-width requires --plan or --plan-auto\n";
         return 2;
       }
+      if (flags.distributed()) {
+        // Plan execution and per-run tracing stay in-process for now: leases
+        // carry plain fault ids, and forensics dumps live with the executor.
+        if (flags.plan_mode != plan::PlanOptions::Mode::kExhaustive) {
+          std::cerr << "ntdts run: --workers/--listen cannot be combined with "
+                       "--plan/--plan-auto (distributed campaigns are exhaustive)\n";
+          return 2;
+        }
+        if (flags.trace != obs::TraceMode::kOff) {
+          std::cerr << "ntdts run: --workers/--listen cannot be combined with "
+                       "--trace (forensics capture is in-process only)\n";
+          return 2;
+        }
+        if (flags.jobs) {
+          std::cerr << "ntdts run: --jobs selects in-process parallelism; use "
+                       "--workers=N for a distributed campaign\n";
+          return 2;
+        }
+      }
       return cmd_run(argv[2], out_dir, flags);
+    }
+    if (cmd == "worker") {
+      dist::WorkerOptions w;
+      bool have_connect = false;
+      for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--connect=", 0) == 0) {
+          const auto hp = dist::parse_host_port(a.substr(10));
+          if (!hp) {
+            std::cerr << "ntdts worker: --connect expects host:port, got '"
+                      << a.substr(10) << "'\n";
+            return 2;
+          }
+          w.host = hp->first;
+          w.port = hp->second;
+          have_connect = true;
+        } else if (a.rfind("--io-timeout-ms=", 0) == 0) {
+          const std::string value = a.substr(16);
+          std::size_t used = 0;
+          int n = -1;
+          try {
+            n = std::stoi(value, &used);
+          } catch (const std::exception&) {
+          }
+          if (used != value.size() || n < 1) {
+            std::cerr << "ntdts: --io-timeout-ms expects a positive integer, got '"
+                      << value << "'\n";
+            return 2;
+          }
+          w.io_timeout_ms = n;
+        } else {
+          return unknown_flag("worker", a);
+        }
+      }
+      if (!have_connect) {
+        std::cerr << "ntdts worker: --connect=host:port is required\n";
+        return 2;
+      }
+      std::string werr;
+      const int rc = dist::run_worker(w, &werr);
+      if (rc != 0) std::cerr << "ntdts worker: " << werr << "\n";
+      return rc;
     }
     if (cmd == "report" && argc >= 3) return cmd_report(argc, argv);
     return usage();
