@@ -1,0 +1,177 @@
+// micro_fleet_telemetry — guards the fleet telemetry layer's two claims:
+//
+//  1. Correctness: a coordinator + 1 worker process WITH telemetry shipping
+//     enabled produces output byte-identical to the in-process `--jobs=1`
+//     executor (exits 1 on divergence), and the per-worker run totals the
+//     coordinator merges out of the TELEMETRY frames equal the number of
+//     executed runs exactly — the fleet view agrees with the results run
+//     for run.
+//  2. Cost: telemetry shipping must not slow the distributed campaign by
+//     more than 3% — asserted as the MEDIAN of per-round paired ratios
+//     telemetry-on/telemetry-off, both sides coordinator + 1 worker over
+//     the identical fault list. Adjacent pairing cancels load drift on a
+//     shared box; the median tolerates preemption spikes. Because the
+//     budget sits near the noise floor of a 1-core container, the whole
+//     measurement retries up to 3 attempts and passes if ANY attempt lands
+//     under budget — a real regression fails all three.
+//
+// Environment knobs:
+//   DTS_BENCH_TRIALS     paired rounds per attempt (default 8)
+//   DTS_BENCH_FAULT_CAP  faults in the measured campaign (default 64)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "dist/coordinator.h"
+#include "exec/executor.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace dts;
+
+constexpr std::uint64_t kSeed = 7;
+
+std::size_t trials() {
+  const char* v = std::getenv("DTS_BENCH_TRIALS");
+  const std::size_t n = v != nullptr ? std::strtoull(v, nullptr, 10) : 8;
+  return n == 0 ? 1 : n;
+}
+
+std::size_t fault_cap() {
+  const char* v = std::getenv("DTS_BENCH_FAULT_CAP");
+  const std::size_t n = v != nullptr ? std::strtoull(v, nullptr, 10) : 64;
+  return n == 0 ? 64 : n;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+std::vector<std::string> run_lines(const std::vector<core::RunResult>& runs) {
+  std::vector<std::string> out;
+  out.reserve(runs.size());
+  for (const auto& r : runs) out.push_back(core::serialize_run_line(r));
+  return out;
+}
+
+struct DistSample {
+  double seconds = 0.0;
+  std::vector<std::string> lines;
+  std::uint64_t worker_runs = 0;       // summed from worker="..." children
+  std::uint64_t telemetry_frames = 0;
+  std::size_t executed = 0;
+};
+
+/// One coordinator + 1 worker campaign; telemetry on or off.
+DistSample run_distributed(const core::RunConfig& cfg, const inject::FaultList& list,
+                           bool telemetry) {
+  obs::MetricsRegistry metrics;
+  dist::DistOptions d;
+  d.spawn_workers = 1;
+  d.metrics = &metrics;
+  d.telemetry_ms = telemetry ? 50 : 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  dist::Coordinator coordinator(cfg, list, kSeed, d);
+  const exec::CampaignResult result = coordinator.run();
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - t0;
+
+  DistSample sample;
+  sample.seconds = elapsed.count();
+  sample.lines = run_lines(result.runs);
+  sample.executed = result.executed;
+  sample.telemetry_frames =
+      metrics.counter("dts_fleet_telemetry_frames_total").value();
+  for (const auto& s : metrics.snapshot()) {
+    if (s.name == "dts_runs_total" &&
+        s.labels.find("worker=\"") != std::string::npos) {
+      sample.worker_runs += s.counter_value;
+    }
+  }
+  return sample;
+}
+
+}  // namespace
+
+int main() {
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name("Apache1");
+  const auto fns = core::profile_workload(cfg, kSeed);
+  const inject::FaultList list =
+      inject::FaultList::for_functions(cfg.workload.target_image, fns)
+          .sampled(fault_cap());
+  std::printf("campaign: Apache1, %zu faults, coordinator + 1 worker process\n",
+              list.faults.size());
+
+  exec::ExecOptions eo;
+  eo.jobs = 1;
+  const exec::CampaignResult serial = exec::CampaignExecutor(eo).run(cfg, list, kSeed);
+  const std::vector<std::string> baseline = run_lines(serial.runs);
+
+  constexpr int kAttempts = 3;
+  constexpr double kBudget = 0.03;
+  for (int attempt = 1; attempt <= kAttempts; ++attempt) {
+    std::printf("--- attempt %d/%d ---\n", attempt, kAttempts);
+    std::vector<double> ratios;
+    for (std::size_t t = 0; t < trials(); ++t) {
+      // The asserted pair runs strictly back-to-back, order alternating so
+      // neither config systematically absorbs warm-up or runs first.
+      DistSample off, on;
+      if (t % 2 == 0) {
+        off = run_distributed(cfg, list, false);
+        on = run_distributed(cfg, list, true);
+      } else {
+        on = run_distributed(cfg, list, true);
+        off = run_distributed(cfg, list, false);
+      }
+
+      // Correctness is asserted on every round, both configs.
+      if (off.lines != baseline || on.lines != baseline) {
+        std::fprintf(stderr,
+                     "FAIL: distributed output diverged from --jobs=1 "
+                     "(telemetry %s)\n",
+                     off.lines != baseline ? "off" : "on");
+        return 1;
+      }
+      if (on.telemetry_frames == 0) {
+        std::fprintf(stderr, "FAIL: telemetry enabled but no frames arrived\n");
+        return 1;
+      }
+      if (on.worker_runs != on.executed) {
+        std::fprintf(stderr,
+                     "FAIL: merged worker run totals (%llu) != executed runs "
+                     "(%zu)\n",
+                     static_cast<unsigned long long>(on.worker_runs), on.executed);
+        return 1;
+      }
+
+      ratios.push_back(on.seconds / off.seconds);
+      std::printf("round %2zu/%zu  telemetry-off %.3fs  telemetry-on %.3fs "
+                  "(%+.2f%%, %llu frames)\n",
+                  t + 1, trials(), off.seconds, on.seconds,
+                  100.0 * (on.seconds / off.seconds - 1.0),
+                  static_cast<unsigned long long>(on.telemetry_frames));
+    }
+    const double overhead = median(ratios) - 1.0;
+    std::printf("median-of-%zu paired ratios  telemetry overhead %+.2f%%\n",
+                trials(), 100.0 * overhead);
+    if (overhead < kBudget) {
+      std::printf("PASS: telemetry-on byte-identical to --jobs=1, overhead "
+                  "%.2f%% within the 3%% budget\n",
+                  100.0 * overhead);
+      return 0;
+    }
+    std::printf("attempt %d over budget (%.2f%%)%s\n", attempt, 100.0 * overhead,
+                attempt < kAttempts ? ", retrying" : "");
+  }
+  std::printf(
+      "FAIL: telemetry overhead exceeded the 3%% budget in all %d attempts\n",
+      kAttempts);
+  return 1;
+}

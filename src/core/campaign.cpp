@@ -95,6 +95,8 @@ exec::ExecOptions exec_options_from(const CampaignOptions& options) {
   eo.trace = options.trace;
   eo.forensics_depth = options.forensics_depth;
   eo.forensics_dir = options.forensics_dir;
+  eo.stall = options.stall;
+  eo.status = options.status;
   if (options.on_progress || options.on_snapshot) {
     eo.on_progress = [&options](const exec::ProgressSnapshot& s) {
       if (options.on_progress) options.on_progress(s.done, s.total);

@@ -18,6 +18,11 @@
 #include "plan/plan.h"
 #include "plan/sampler.h"
 
+namespace dts::obs::fleet {
+class StallDetector;
+class StatusBoard;
+}  // namespace dts::obs::fleet
+
 namespace dts::core {
 
 /// Summary of the campaign plan a workload set ran under (absent for
@@ -102,6 +107,11 @@ struct CampaignOptions {
   obs::TraceMode trace = obs::TraceMode::kOff;
   std::size_t forensics_depth = 32;
   std::string forensics_dir;
+
+  /// Fleet observability passthrough (src/obs/fleet/): stall/anomaly
+  /// detector and live status board, both fed per executed run. Null = off.
+  obs::fleet::StallDetector* stall = nullptr;
+  obs::fleet::StatusBoard* status = nullptr;
 
   /// Campaign planning (src/plan/): golden-run profiling, equivalence
   /// pruning, optional adaptive sampling. The default mode (kExhaustive)

@@ -22,6 +22,11 @@
 #include "dist/socket.h"
 #include "dist/wire.h"
 #include "exec/journal.h"
+#include "obs/fleet/events.h"
+#include "obs/fleet/span.h"
+#include "obs/fleet/stall.h"
+#include "obs/fleet/status.h"
+#include "obs/fleet/telemetry.h"
 #include "plan/plan.h"
 
 namespace dts::dist {
@@ -77,6 +82,11 @@ struct Conn {
   Clock::time_point last_seen;
   std::uint64_t runs = 0;
   bool dead = false;  // marked mid-iteration, swept afterwards
+
+  // Latest telemetry summary (protocol v2; zero/empty until a frame lands).
+  std::uint64_t telemetry_seq = 0;
+  std::uint64_t failures = 0;
+  std::string recent_failures;
 };
 
 }  // namespace
@@ -115,14 +125,53 @@ struct Coordinator::Impl {
   obs::Counter* leases_reassigned = nullptr;
   obs::Counter* bytes_sent = nullptr;
   obs::Counter* bytes_received = nullptr;
+  obs::Counter* telemetry_frames = nullptr;
 
   // --- small helpers ------------------------------------------------------
 
   bool complete() const { return pending.empty() && outstanding_total == 0; }
 
+  void event(obs::fleet::FleetEventKind kind, int worker_id, std::uint64_t lease_id,
+             std::string detail) {
+    if (options.events != nullptr) {
+      options.events->record(kind, worker_id, lease_id, std::move(detail));
+    }
+  }
+
   void progress(bool fresh) {
     const exec::ProgressSnapshot s = tracker->completed(fresh);
     if (options.on_progress) options.on_progress(s);
+    if (options.status != nullptr) {
+      obs::fleet::CampaignStatus cs;
+      cs.done = s.done;
+      cs.total = s.total;
+      cs.executed = s.executed;
+      cs.reused = s.reused;
+      cs.elapsed_s = s.elapsed_s;
+      cs.runs_per_sec = s.runs_per_sec;
+      cs.eta_s = s.eta_s;
+      options.status->update_campaign(cs);
+    }
+  }
+
+  void update_status_workers(Clock::time_point now) {
+    if (options.status == nullptr) return;
+    std::vector<obs::fleet::WorkerRow> rows;
+    rows.reserve(conns.size());
+    for (const auto& c : conns) {
+      if (c->dead) continue;
+      obs::fleet::WorkerRow row;
+      row.worker_id = c->worker_id;
+      row.runs = c->runs;
+      const double secs = ms_between(c->first_seen, now) / 1e3;
+      row.runs_per_sec = secs > 0 ? static_cast<double>(c->runs) / secs : 0.0;
+      row.lease_id = c->lease ? c->lease->id : 0;
+      row.outstanding = c->lease ? c->lease->outstanding.size() : 0;
+      row.failures = c->failures;
+      row.recent_failures = c->recent_failures;
+      rows.push_back(std::move(row));
+    }
+    options.status->update_workers(std::move(rows));
   }
 
   void update_live() {
@@ -159,14 +208,20 @@ struct Coordinator::Impl {
       c.lease.reset();
       return;
     }
+    const std::uint64_t lease_id = c.lease->id;
+    const std::size_t returned = c.lease->outstanding.size();
     for (auto it = c.lease->outstanding.rbegin(); it != c.lease->outstanding.rend();
          ++it) {
       pending.push_front(*it);
     }
-    outstanding_total -= c.lease->outstanding.size();
+    outstanding_total -= returned;
     c.lease.reset();
     if (leases_reassigned != nullptr) leases_reassigned->inc();
     if (expired && leases_expired != nullptr) leases_expired->inc();
+    event(expired ? obs::fleet::FleetEventKind::kLeaseExpired
+                  : obs::fleet::FleetEventKind::kLeaseReassigned,
+          c.worker_id, lease_id,
+          std::to_string(returned) + " unfinished faults returned to the queue");
   }
 
   /// Leases the next contiguous shard to an idle worker. Faults already
@@ -199,6 +254,8 @@ struct Coordinator::Impl {
     outstanding_total += c.lease->outstanding.size();
     if (send_msg(c, encode_lease(lease))) {
       if (leases_issued != nullptr) leases_issued->inc();
+      event(obs::fleet::FleetEventKind::kLeaseIssued, c.worker_id, lease.lease_id,
+            std::to_string(lease.indices.size()) + " faults");
     }
     // On send failure the conn is marked dead; the sweep reassigns the lease.
   }
@@ -239,6 +296,11 @@ struct Coordinator::Impl {
     }
     ++executed_fresh;
 
+    // The run's causal name: which campaign, which lease, which fault — the
+    // same identifier the worker's journal-v3 twin record would carry.
+    const std::string exec_index =
+        obs::fleet::ExecutionIndex{digest, r.lease_id, r.index}.to_string();
+
     if (journal.is_open()) {
       exec::JournalRecord rec;
       rec.index = r.index;
@@ -247,9 +309,48 @@ struct Coordinator::Impl {
       rec.run_line = r.run_line;
       rec.wall_us = r.wall_us;
       rec.sim_us = r.sim_us;
+      rec.exec_index = exec_index;
       journal.append(rec);
     }
+
+    if (options.stall != nullptr) {
+      options.stall->observe(
+          plan::StratumKey{list.faults[r.index].fn, list.faults[r.index].type},
+          static_cast<double>(r.wall_us) / 1e6, r.fault_id, exec_index);
+    }
+    if (options.status != nullptr) {
+      obs::fleet::RunEntry entry;
+      entry.index = r.index;
+      entry.fault_id = r.fault_id;
+      entry.outcome = std::string(exec::outcome_label(slot.result.outcome));
+      entry.wall_us = r.wall_us;
+      entry.worker_id = c.worker_id;
+      entry.lease_id = r.lease_id;
+      entry.exec_index = exec_index;
+      options.status->record_run(std::move(entry));
+    }
     progress(/*fresh=*/true);
+  }
+
+  void record_telemetry(Conn& c, const std::string& line) {
+    const auto t = decode_telemetry(line);
+    if (!t) {
+      c.dead = true;
+      return;
+    }
+    // Frames arrive in order on the connection, but a conn that died and was
+    // respawned restarts at seq 1 against an already-advanced worker id —
+    // never the case today (worker ids are never reused), so the seq check is
+    // pure belt-and-braces against a future transport that reorders.
+    if (t->seq <= c.telemetry_seq) return;
+    c.telemetry_seq = t->seq;
+    c.failures = t->failures;
+    c.recent_failures = t->recent_failures;
+    if (options.metrics != nullptr) {
+      obs::fleet::merge_samples(*options.metrics, c.worker_id,
+                                obs::fleet::decode_samples(t->metrics));
+    }
+    if (telemetry_frames != nullptr) telemetry_frames->inc();
   }
 
   /// Handles one decoded message; marks the conn dead on protocol violations.
@@ -305,6 +406,9 @@ struct Coordinator::Impl {
         return;
       case MsgType::kHeartbeat:
         return;  // last_seen already refreshed
+      case MsgType::kTelemetry:
+        record_telemetry(c, line);
+        return;
       case MsgType::kError:
       default:
         c.dead = true;  // worker gave up, or speaks something else entirely
@@ -340,6 +444,8 @@ struct Coordinator::Impl {
       if (!c->dead) continue;
       reassign_lease(*c, /*expired=*/false);
       finish_worker_rate(*c, now);
+      event(obs::fleet::FleetEventKind::kWorkerDisconnect, c->worker_id, 0,
+            std::to_string(c->runs) + " runs streamed");
     }
     std::erase_if(conns, [](const auto& c) { return c->dead; });
     update_live();
@@ -352,6 +458,8 @@ struct Coordinator::Impl {
       reassign_lease(*c, /*expired=*/true);
       finish_worker_rate(*c, now);
       c->dead = true;  // the socket may still be open; the worker is not
+      event(obs::fleet::FleetEventKind::kWorkerDisconnect, c->worker_id, 0,
+            "lease timeout");
     }
     std::erase_if(conns, [](const auto& c) { return c->dead; });
     update_live();
@@ -397,6 +505,7 @@ struct Coordinator::Impl {
       c->sock = std::move(s);
       c->worker_id = next_worker_id++;
       c->first_seen = c->last_seen = now;
+      event(obs::fleet::FleetEventKind::kWorkerConnect, c->worker_id, 0, "");
       conns.push_back(std::move(c));
     }
     update_live();
@@ -432,15 +541,55 @@ struct Coordinator::Impl {
         try_assign(*c);
       }
       sweep_dead(now);
+      update_status_workers(now);
+    }
+  }
+
+  /// Drains each connection until EOF or the deadline, merging telemetry
+  /// frames and ignoring everything else. A worker answers DONE with one
+  /// final snapshot and then closes the socket, and TCP ordering delivers
+  /// that snapshot ahead of the FIN — so reaching every EOF here makes the
+  /// fleet-wide totals exact, not merely latest-known.
+  void drain_final_telemetry() {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(2000);
+    for (;;) {
+      std::size_t open = 0;
+      for (auto& c : conns) {
+        if (c->dead) continue;
+        ++open;
+        std::string chunk;
+        switch (recv_some(c->sock.fd(), &chunk, 64 * 1024, /*timeout_ms=*/10)) {
+          case RecvStatus::kData:
+            if (bytes_received != nullptr) bytes_received->inc(chunk.size());
+            c->decoder.feed(chunk);
+            break;
+          case RecvStatus::kTimeout:
+            break;
+          case RecvStatus::kClosed:
+          case RecvStatus::kError:
+            c->dead = true;
+            break;
+        }
+        for (;;) {
+          const auto frame = c->decoder.next();
+          if (!frame) break;
+          if (message_type(*frame) == MsgType::kTelemetry) {
+            record_telemetry(*c, *frame);
+          }
+          // READY/heartbeat frames racing the DONE are expected; drop them.
+        }
+        if (!c->decoder.error().empty()) c->dead = true;
+      }
+      if (open == 0 || Clock::now() >= deadline) return;
     }
   }
 
   void shutdown() {
+    for (auto& c : conns) send_msg(*c, encode_done());
+    if (options.telemetry_ms > 0) drain_final_telemetry();
     const auto now = Clock::now();
-    for (auto& c : conns) {
-      send_msg(*c, encode_done());
-      finish_worker_rate(*c, now);
-    }
+    update_status_workers(now);
+    for (auto& c : conns) finish_worker_rate(*c, now);
     conns.clear();
     update_live();
     for (pid_t pid : children) {
@@ -458,6 +607,9 @@ Coordinator::Coordinator(core::RunConfig base, inject::FaultList list,
   impl_->list = std::move(list);
   impl_->seed = seed;
   impl_->options = std::move(options);
+  // No registry means nowhere to merge worker snapshots into — don't ask
+  // workers to ship any.
+  if (impl_->options.metrics == nullptr) impl_->options.telemetry_ms = 0;
 
   std::string error;
   impl_->listener =
@@ -481,6 +633,7 @@ Coordinator::Coordinator(core::RunConfig base, inject::FaultList list,
   welcome.seed = seed;
   welcome.fault_count = impl_->list.faults.size();
   welcome.digest = impl_->digest;
+  welcome.telemetry_ms = impl_->options.telemetry_ms;
   welcome.config = core::serialize_config(shipped);
   impl_->welcome_line = encode_welcome(welcome);
 
@@ -500,6 +653,9 @@ Coordinator::Coordinator(core::RunConfig base, inject::FaultList list,
         &m.counter("dts_dist_bytes_sent_total", {}, "protocol bytes sent to workers");
     impl_->bytes_received = &m.counter("dts_dist_bytes_received_total", {},
                                        "protocol bytes received from workers");
+    impl_->telemetry_frames =
+        &m.counter("dts_fleet_telemetry_frames_total", {},
+                   "worker telemetry snapshots merged by the coordinator");
   }
 }
 
@@ -619,6 +775,8 @@ core::WorkloadSetResult run_workload_set_distributed(
   dist.journal_path = options.journal_path;
   dist.resume = options.resume;
   dist.metrics = options.metrics;
+  if (dist.stall == nullptr) dist.stall = options.stall;
+  if (dist.status == nullptr) dist.status = options.status;
   if (options.on_snapshot || options.on_progress) {
     dist.on_progress = [&options](const exec::ProgressSnapshot& s) {
       if (options.on_snapshot) options.on_snapshot(s);

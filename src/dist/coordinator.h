@@ -34,6 +34,10 @@
 #include "obs/metrics.h"
 #include "dist/worker.h"
 
+namespace dts::obs::fleet {
+class FleetEventLog;
+}  // namespace dts::obs::fleet
+
 namespace dts::dist {
 
 struct DistOptions {
@@ -67,8 +71,27 @@ struct DistOptions {
   std::string journal_path;
   bool resume = false;
 
-  /// dts_dist_* counters and gauges land here. Null = no metrics.
+  /// dts_dist_* counters and gauges land here; with telemetry enabled,
+  /// worker-shipped metrics are merged here too (worker="<id>" labels).
+  /// Null = no metrics.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Telemetry cadence advertised to workers in WELCOME, in milliseconds.
+  /// 0 disables telemetry shipping; forced to 0 when metrics is null (there
+  /// is nowhere to merge snapshots into).
+  std::uint64_t telemetry_ms = 1000;
+
+  /// Structured fleet event log: worker connect/disconnect, lease issue/
+  /// expiry/reassignment. Must outlive run(). Null = off.
+  obs::fleet::FleetEventLog* events = nullptr;
+
+  /// Live status board for the HTTP endpoint (/status, /runs). Must outlive
+  /// run(). Null = off.
+  obs::fleet::StatusBoard* status = nullptr;
+
+  /// Stall detector fed every streamed result's wall time. Must outlive
+  /// run(). Null = off.
+  obs::fleet::StallDetector* stall = nullptr;
 
   std::function<void(const exec::ProgressSnapshot&)> on_progress;
 

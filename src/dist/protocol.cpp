@@ -27,6 +27,7 @@ std::optional<MsgType> message_type(const std::string& line) {
   if (t == "lease") return MsgType::kLease;
   if (t == "result") return MsgType::kResult;
   if (t == "heartbeat") return MsgType::kHeartbeat;
+  if (t == "telemetry") return MsgType::kTelemetry;
   if (t == "done") return MsgType::kDone;
   if (t == "error") return MsgType::kError;
   return std::nullopt;
@@ -51,7 +52,8 @@ std::string encode_welcome(const Welcome& m) {
       << json_escape(m.workload) << "\",\"middleware\":" << m.middleware
       << ",\"watchd\":" << m.watchd_version << ",\"seed\":" << m.seed
       << ",\"faults\":" << m.fault_count << ",\"digest\":" << m.digest
-      << ",\"config\":\"" << json_escape(m.config) << "\"}";
+      << ",\"telemetry_ms\":" << m.telemetry_ms << ",\"config\":\""
+      << json_escape(m.config) << "\"}";
   return out.str();
 }
 
@@ -71,6 +73,9 @@ std::optional<Welcome> decode_welcome(const std::string& line) {
   }
   m.middleware = static_cast<int>(mw);
   m.watchd_version = static_cast<int>(wv);
+  // Absent in v1 welcomes; tolerated so a v2 worker parses them (the proto
+  // check still rejects the session afterwards).
+  (void)json_uint_field(line, "telemetry_ms", &m.telemetry_ms);
   return m;
 }
 
@@ -196,6 +201,26 @@ std::optional<Heartbeat> decode_heartbeat(const std::string& line) {
   Heartbeat m;
   if (message_type(line) != MsgType::kHeartbeat) return std::nullopt;
   if (!json_uint_field(line, "lease", &m.lease_id)) return std::nullopt;
+  return m;
+}
+
+std::string encode_telemetry(const Telemetry& m) {
+  std::ostringstream out;
+  out << type_field("telemetry") << ",\"seq\":" << m.seq << ",\"fails\":" << m.failures
+      << ",\"recent\":\"" << json_escape(m.recent_failures) << "\",\"metrics\":\""
+      << json_escape(m.metrics) << "\"}";
+  return out.str();
+}
+
+std::optional<Telemetry> decode_telemetry(const std::string& line) {
+  Telemetry m;
+  if (message_type(line) != MsgType::kTelemetry) return std::nullopt;
+  if (!json_uint_field(line, "seq", &m.seq) ||
+      !json_uint_field(line, "fails", &m.failures) ||
+      !json_string_field(line, "recent", &m.recent_failures) ||
+      !json_string_field(line, "metrics", &m.metrics)) {
+    return std::nullopt;
+  }
   return m;
 }
 

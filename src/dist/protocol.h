@@ -11,8 +11,17 @@
 //                            <-   LEASE {lease, indices, fault ids, digest}
 //   RESULT {lease, i, run}   ->        (one per executed fault, streamed)
 //   HEARTBEAT {lease}        ->        (liveness while a lease is open)
+//   TELEMETRY {seq, metrics} ->        (periodic metric snapshot, optional)
 //   READY {digest}           ->        (lease complete, next please)
 //                            <-   DONE            (campaign complete)
+//   TELEMETRY {seq, metrics} ->        (final snapshot, then disconnect)
+//
+// Telemetry frames ship the worker's *cumulative* metric registry (not
+// deltas): the coordinator mirrors the latest snapshot, so a lost or
+// reordered frame can only make the fleet view stale, never wrong. The
+// final frame after DONE makes the fleet totals exact at shutdown — TCP
+// ordering guarantees it precedes the worker's FIN, and the coordinator
+// drains each connection to EOF before rendering final metrics.
 //
 // Campaign identity validation: WELCOME carries the sweep digest
 // (plan::sweep_digest — an order-sensitive fingerprint of every fault id).
@@ -31,10 +40,21 @@
 
 namespace dts::dist {
 
-/// Protocol revision; bumped on any incompatible message change.
-constexpr std::uint64_t kProtocolVersion = 1;
+/// Protocol revision; bumped on any incompatible message change. v2 adds
+/// the TELEMETRY message and Welcome.telemetry_ms.
+constexpr std::uint64_t kProtocolVersion = 2;
 
-enum class MsgType { kHello, kWelcome, kReady, kLease, kResult, kHeartbeat, kDone, kError };
+enum class MsgType {
+  kHello,
+  kWelcome,
+  kReady,
+  kLease,
+  kResult,
+  kHeartbeat,
+  kTelemetry,
+  kDone,
+  kError,
+};
 
 /// The "type" field of a message, or nullopt for anything unrecognized.
 std::optional<MsgType> message_type(const std::string& line);
@@ -62,6 +82,7 @@ struct Welcome {
   std::uint64_t fault_count = 0;
   std::uint64_t digest = 0;  // plan::sweep_digest of the fault list
   std::string config;        // core::serialize_config of the campaign config
+  std::uint64_t telemetry_ms = 0;  // telemetry cadence; 0 = don't ship any
 };
 std::string encode_welcome(const Welcome& m);
 std::optional<Welcome> decode_welcome(const std::string& line);
@@ -114,6 +135,20 @@ struct Heartbeat {
 };
 std::string encode_heartbeat(const Heartbeat& m);
 std::optional<Heartbeat> decode_heartbeat(const std::string& line);
+
+/// Periodic worker -> coordinator metric snapshot. `metrics` is the TSV
+/// encoding of the worker's whole registry (obs/fleet/telemetry.h) —
+/// cumulative values, so mirroring the highest-seq snapshot is exact.
+/// `failures` / `recent_failures` summarize the worker's failure outcomes
+/// for the /status endpoint without parsing the metric payload.
+struct Telemetry {
+  std::uint64_t seq = 0;  // per-worker, strictly increasing
+  std::string metrics;    // fleet::encode_samples payload
+  std::uint64_t failures = 0;
+  std::string recent_failures;  // space-joined fault ids, newest last
+};
+std::string encode_telemetry(const Telemetry& m);
+std::optional<Telemetry> decode_telemetry(const std::string& line);
 
 // --- control -------------------------------------------------------------
 

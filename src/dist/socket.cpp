@@ -73,7 +73,7 @@ void Socket::close() {
 }
 
 std::optional<std::pair<std::string, std::uint16_t>> parse_host_port(
-    const std::string& addr) {
+    const std::string& addr, bool allow_port_zero) {
   const std::size_t colon = addr.rfind(':');
   if (colon == std::string::npos || colon + 1 >= addr.size()) return std::nullopt;
   const std::string host = addr.substr(0, colon);
@@ -84,7 +84,7 @@ std::optional<std::pair<std::string, std::uint16_t>> parse_host_port(
     port = port * 10 + static_cast<std::uint32_t>(c - '0');
     if (port > 65535) return std::nullopt;
   }
-  if (port == 0) return std::nullopt;
+  if (port == 0 && !allow_port_zero) return std::nullopt;
   return std::make_pair(host, static_cast<std::uint16_t>(port));
 }
 

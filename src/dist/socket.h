@@ -40,8 +40,10 @@ class Socket {
 };
 
 /// "host:port" → (host, port). Returns nullopt on a missing/invalid port.
+/// Port 0 is invalid for connect targets; listeners pass allow_port_zero to
+/// accept it as "bind an ephemeral port".
 std::optional<std::pair<std::string, std::uint16_t>> parse_host_port(
-    const std::string& addr);
+    const std::string& addr, bool allow_port_zero = false);
 
 /// Connects to host:port, waiting at most `timeout_ms` per attempt and
 /// retrying a refused/timed-out connection up to `retries` further times

@@ -3,6 +3,8 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <deque>
+#include <map>
 #include <optional>
 
 #include "core/config.h"
@@ -10,7 +12,10 @@
 #include "dist/protocol.h"
 #include "dist/socket.h"
 #include "dist/wire.h"
+#include "exec/executor.h"
 #include "inject/fault.h"
+#include "obs/fleet/telemetry.h"
+#include "obs/metrics.h"
 #include "sim/rng.h"
 
 namespace dts::dist {
@@ -109,17 +114,62 @@ int run_worker(const WorkerOptions& options, std::string* error) {
     return fail(error, 2, "campaign identity mismatch between config and welcome");
   }
 
+  // Worker-local observability: the same per-run metrics the in-process
+  // executor records, shipped to the coordinator as cumulative snapshots
+  // when the welcome asked for telemetry. Purely additive — a worker whose
+  // frames never arrive still streams byte-identical results.
+  obs::MetricsRegistry registry;
+  const obs::Labels set_labels = {
+      {"workload", cfg->run.workload.name},
+      {"middleware", exec::middleware_label(cfg->run)}};
+  obs::Histogram& resp_hist = registry.histogram(
+      "dts_response_time_seconds", set_labels, obs::response_time_buckets(),
+      "client response time per run (seconds)");
+  obs::Histogram& wall_hist = registry.histogram(
+      "dts_run_wall_seconds", set_labels, obs::wall_time_buckets(),
+      "host wall-clock time per executed run (seconds)");
+  std::map<core::Outcome, obs::Counter*> outcome_counters;
+  for (core::Outcome o : core::kAllOutcomes) {
+    obs::Labels run_labels = set_labels;
+    run_labels.emplace_back("outcome", std::string(exec::outcome_label(o)));
+    outcome_counters[o] =
+        &registry.counter("dts_runs_total", run_labels, "executed runs by outcome");
+  }
+
+  std::uint64_t failures = 0;
+  std::deque<std::string> recent_failures;
+  std::uint64_t telemetry_seq = 0;
+  const bool telemetry_on = welcome->telemetry_ms > 0;
+  auto send_telemetry = [&]() -> bool {
+    if (!telemetry_on) return true;
+    Telemetry t;
+    t.seq = ++telemetry_seq;
+    t.metrics = obs::fleet::encode_samples(registry.snapshot());
+    t.failures = failures;
+    for (std::size_t i = 0; i < recent_failures.size(); ++i) {
+      if (i > 0) t.recent_failures += ' ';
+      t.recent_failures += recent_failures[i];
+    }
+    return conn.write_msg(encode_telemetry(t));
+  };
+
   if (!conn.write_msg(encode_ready(Ready{welcome->digest}))) {
     return fail(error, 1, "cannot send ready");
   }
 
   int runs_streamed = 0;
   auto last_send = std::chrono::steady_clock::now();
+  auto last_telemetry = last_send;
   for (;;) {
     const auto line = conn.read_msg(&why);
     if (!line) return fail(error, 1, why);
     const auto type = message_type(*line);
-    if (type == MsgType::kDone) return 0;
+    if (type == MsgType::kDone) {
+      // Final snapshot: sent after DONE and before the socket closes, so TCP
+      // ordering delivers it ahead of the FIN the coordinator drains to.
+      send_telemetry();
+      return 0;
+    }
     if (type == MsgType::kError) {
       const auto e = decode_error(*line);
       return fail(error, 2, "coordinator error: " + (e ? e->detail : *line));
@@ -154,6 +204,13 @@ int run_worker(const WorkerOptions& options, std::string* error) {
         }
         last_send = now;
       }
+      if (telemetry_on &&
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - last_telemetry)
+                  .count() >= static_cast<long long>(welcome->telemetry_ms)) {
+        if (!send_telemetry()) return fail(error, 1, "cannot send telemetry");
+        last_telemetry = now;
+        last_send = now;
+      }
 
       // Seed derivation identical to the in-process executor: the result is
       // bit-for-bit what a serial sweep computes for this fault.
@@ -176,6 +233,16 @@ int run_worker(const WorkerOptions& options, std::string* error) {
       res.sim_us = static_cast<std::uint64_t>(r.sim_elapsed.count_micros());
       res.requests = encode_requests(r.requests);
       res.detail = r.detail;
+
+      outcome_counters.at(r.outcome)->inc();
+      resp_hist.observe(r.response_time.to_seconds());
+      wall_hist.observe(wall_s);
+      if (r.outcome == core::Outcome::kFailure) {
+        ++failures;
+        recent_failures.push_back(fault_id);
+        if (recent_failures.size() > 8) recent_failures.pop_front();
+      }
+
       if (!conn.write_msg(encode_result(res))) {
         return fail(error, 1, "cannot stream result");
       }
@@ -188,6 +255,11 @@ int run_worker(const WorkerOptions& options, std::string* error) {
         _exit(3);
       }
     }
+
+    // Snapshot before asking for more work: the coordinator's fleet view is
+    // exact at every lease boundary, not just at shutdown.
+    if (!send_telemetry()) return fail(error, 1, "cannot send telemetry");
+    last_telemetry = std::chrono::steady_clock::now();
 
     if (!conn.write_msg(encode_ready(Ready{welcome->digest}))) {
       return fail(error, 1, "cannot send ready");

@@ -15,6 +15,9 @@
 
 #include "core/campaign.h"
 #include "exec/journal.h"
+#include "obs/fleet/span.h"
+#include "obs/fleet/stall.h"
+#include "obs/fleet/status.h"
 #include "sim/rng.h"
 
 namespace dts::exec {
@@ -38,31 +41,6 @@ core::RunResult skipped_result(const inject::FaultSpec& fault) {
   r.activated = false;
   r.detail = "skipped: function not called by this workload";
   return r;
-}
-
-/// Metrics label value for the outcome — matches the campaign-file outcome
-/// codes so dashboards and results.csv agree on vocabulary.
-std::string_view outcome_label(core::Outcome o) {
-  switch (o) {
-    case core::Outcome::kNormalSuccess: return "normal";
-    case core::Outcome::kRestartSuccess: return "restart";
-    case core::Outcome::kRestartRetrySuccess: return "restart_retry";
-    case core::Outcome::kRetrySuccess: return "retry";
-    case core::Outcome::kFailure: return "failure";
-  }
-  return "?";
-}
-
-/// Metrics label value for the middleware config, e.g. "none", "mscs",
-/// "watchd3".
-std::string middleware_label(const core::RunConfig& base) {
-  switch (base.middleware) {
-    case mw::MiddlewareKind::kNone: return "none";
-    case mw::MiddlewareKind::kMscs: return "mscs";
-    case mw::MiddlewareKind::kWatchd:
-      return "watchd" + std::to_string(static_cast<int>(base.watchd_version));
-  }
-  return "?";
 }
 
 bool forensics_wanted(obs::TraceMode mode, const core::RunResult& r) {
@@ -212,6 +190,27 @@ core::RunResult execute_fault(const core::RunConfig& base, std::uint64_t campaig
 
 }  // namespace
 
+std::string_view outcome_label(core::Outcome o) {
+  switch (o) {
+    case core::Outcome::kNormalSuccess: return "normal";
+    case core::Outcome::kRestartSuccess: return "restart";
+    case core::Outcome::kRestartRetrySuccess: return "restart_retry";
+    case core::Outcome::kRetrySuccess: return "retry";
+    case core::Outcome::kFailure: return "failure";
+  }
+  return "?";
+}
+
+std::string middleware_label(const core::RunConfig& base) {
+  switch (base.middleware) {
+    case mw::MiddlewareKind::kNone: return "none";
+    case mw::MiddlewareKind::kMscs: return "mscs";
+    case mw::MiddlewareKind::kWatchd:
+      return "watchd" + std::to_string(static_cast<int>(base.watchd_version));
+  }
+  return "?";
+}
+
 int effective_jobs(int jobs, unsigned hardware_threads) {
   if (jobs >= 1) return jobs;
   return hardware_threads >= 1 ? static_cast<int>(hardware_threads) : 1;
@@ -264,6 +263,12 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
   key.watchd_version = static_cast<int>(base.watchd_version);
   key.seed = campaign_seed;
   key.fault_count = n;
+
+  // Causal span: every journal record, forensics dump and trace event names
+  // its run as campaign_digest/lease_id/fault_index (lease 0 = in-process),
+  // the same identifier a distributed worker's record carries — so a record
+  // can be traced back to its campaign and shard from any artifact.
+  const std::uint64_t campaign_digest = plan::sweep_digest(list);
 
   UncalledProofs proofs;
 
@@ -410,10 +415,14 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
           slot.state = SlotState::kExecuted;
           if (!slot.result.activated && !slot.fn_called) proofs.record(fault.fn, i);
 
+          const std::string exec_index =
+              obs::fleet::ExecutionIndex{campaign_digest, 0, i}.to_string();
+
           std::string forensics;
           if (forensics_wanted(options_.trace, slot.result)) {
-            forensics = obs::forensics_dump(fault_id, forensics_context(slot.result),
-                                            &run.spans(),
+            std::vector<std::string> context = forensics_context(slot.result);
+            context.push_back("exec_index: " + exec_index);
+            forensics = obs::forensics_dump(fault_id, context, &run.spans(),
                                             run.interceptor().syscall_trace());
             if (!options_.forensics_dir.empty()) {
               std::ofstream fx(options_.forensics_dir + "/" +
@@ -431,8 +440,23 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
             rec.wall_us = static_cast<std::uint64_t>(std::llround(wall_s * 1e6));
             rec.sim_us =
                 static_cast<std::uint64_t>(slot.result.sim_elapsed.count_micros());
+            rec.exec_index = exec_index;
             rec.forensics = std::move(forensics);
             journal.append(rec);
+          }
+
+          if (options_.stall != nullptr) {
+            options_.stall->observe(plan::StratumKey{fault.fn, fault.type}, wall_s,
+                                    fault_id, exec_index);
+          }
+          if (options_.status != nullptr) {
+            obs::fleet::RunEntry entry;
+            entry.index = i;
+            entry.fault_id = fault_id;
+            entry.outcome = std::string(outcome_label(slot.result.outcome));
+            entry.wall_us = static_cast<std::uint64_t>(std::llround(wall_s * 1e6));
+            entry.exec_index = exec_index;
+            options_.status->record_run(std::move(entry));
           }
 
           if (metrics != nullptr) {
@@ -454,7 +478,8 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
             metrics->add_complete_event(
                 fault_id, "run", worker, run_start_us, wall_s * 1e6,
                 {{"outcome", std::string(outcome_label(slot.result.outcome))},
-                 {"sim_s", sim::to_string(slot.result.sim_elapsed)}});
+                 {"sim_s", sim::to_string(slot.result.sim_elapsed)},
+                 {"xi", exec_index}});
           }
         }
 
@@ -526,6 +551,10 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
   key.watchd_version = static_cast<int>(base.watchd_version);
   key.seed = campaign_seed;
   key.fault_count = n;
+
+  // Plan digest (folds in dispositions): the plan-campaign analogue of the
+  // sweep digest stamped into exec indices by run().
+  const std::uint64_t campaign_digest = plan::sweep_digest(plan);
 
   if (!options_.journal_path.empty() && options_.resume) {
     std::string error;
@@ -639,9 +668,14 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
                                     .count();
           const bool fn_called = run.interceptor().target_function_called();
 
+          const std::string exec_index =
+              obs::fleet::ExecutionIndex{campaign_digest, 0, idx}.to_string();
+
           std::string forensics;
           if (forensics_wanted(options_.trace, r)) {
-            forensics = obs::forensics_dump(fault_id, forensics_context(r), &run.spans(),
+            std::vector<std::string> context = forensics_context(r);
+            context.push_back("exec_index: " + exec_index);
+            forensics = obs::forensics_dump(fault_id, context, &run.spans(),
                                             run.interceptor().syscall_trace());
             if (!options_.forensics_dir.empty()) {
               std::ofstream fx(options_.forensics_dir + "/" +
@@ -658,9 +692,25 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
             rec.run_line = core::serialize_run_line(r);
             rec.wall_us = static_cast<std::uint64_t>(std::llround(wall_s * 1e6));
             rec.sim_us = static_cast<std::uint64_t>(r.sim_elapsed.count_micros());
+            rec.exec_index = exec_index;
             rec.stratum = plan::to_string(plan::StratumKey{entry.fault.fn, entry.fault.type});
             rec.forensics = std::move(forensics);
             journal.append(rec);
+          }
+
+          if (options_.stall != nullptr) {
+            options_.stall->observe(
+                plan::StratumKey{entry.fault.fn, entry.fault.type}, wall_s, fault_id,
+                exec_index);
+          }
+          if (options_.status != nullptr) {
+            obs::fleet::RunEntry run_entry;
+            run_entry.index = idx;
+            run_entry.fault_id = fault_id;
+            run_entry.outcome = std::string(outcome_label(r.outcome));
+            run_entry.wall_us = static_cast<std::uint64_t>(std::llround(wall_s * 1e6));
+            run_entry.exec_index = exec_index;
+            options_.status->record_run(std::move(run_entry));
           }
 
           if (metrics != nullptr) {

@@ -24,7 +24,21 @@
 #include "plan/plan.h"
 #include "plan/sampler.h"
 
+namespace dts::obs::fleet {
+class StallDetector;
+class StatusBoard;
+}  // namespace dts::obs::fleet
+
 namespace dts::exec {
+
+/// Metrics/report label value for an outcome — matches the campaign-file
+/// outcome codes so dashboards, results.csv and worker telemetry agree on
+/// vocabulary: "normal", "restart", "restart_retry", "retry", "failure".
+std::string_view outcome_label(core::Outcome o);
+
+/// Metrics label value for the middleware configuration, e.g. "none",
+/// "mscs", "watchd3".
+std::string middleware_label(const core::RunConfig& base);
 
 struct ExecOptions {
   /// Worker count: 1 = serial on the calling thread (today's exact
@@ -70,6 +84,14 @@ struct ExecOptions {
   /// written to `<forensics_dir>/run-<index>-<fault>.txt` for direct reading;
   /// the journal embeds it either way.
   std::string forensics_dir;
+
+  /// Stall/anomaly detector fed every executed run's wall time (with its
+  /// stratum and execution index). Must outlive run(). Null = off.
+  obs::fleet::StallDetector* stall = nullptr;
+
+  /// Live status board fed every executed run (for the /runs endpoint).
+  /// Must outlive run(). Null = off.
+  obs::fleet::StatusBoard* status = nullptr;
 };
 
 struct CampaignResult {

@@ -17,7 +17,7 @@ using obs::json_uint_field;
 
 std::string header_line(const JournalKey& key) {
   std::ostringstream out;
-  out << "{\"dts_journal\":2,\"workload\":\"" << json_escape(key.workload)
+  out << "{\"dts_journal\":3,\"workload\":\"" << json_escape(key.workload)
       << "\",\"middleware\":" << key.middleware
       << ",\"watchd_version\":" << key.watchd_version << ",\"seed\":" << key.seed
       << ",\"faults\":" << key.fault_count << "}";
@@ -26,40 +26,33 @@ std::string header_line(const JournalKey& key) {
 
 }  // namespace
 
-std::optional<std::vector<JournalRecord>> read_journal(const std::string& path,
-                                                       const JournalKey& key,
-                                                       std::string* error) {
+std::optional<JournalFile> read_journal_file(const std::string& path,
+                                             std::string* error) {
   auto fail = [&](const std::string& msg) {
     if (error != nullptr) *error = path + ": " + msg;
     return std::nullopt;
   };
   std::ifstream in(path);
-  std::vector<JournalRecord> records;
-  if (!in) return records;  // no journal yet: fresh start
+  if (!in) return fail("cannot open journal");
 
   std::string line;
-  if (!std::getline(in, line)) return records;  // empty file: fresh start
-  std::uint64_t version = 0;
-  if (!json_uint_field(line, "dts_journal", &version) ||
-      (version != 1 && version != 2)) {
+  if (!std::getline(in, line)) return fail("empty journal");
+  JournalFile file;
+  if (!json_uint_field(line, "dts_journal", &file.version) ||
+      (file.version != 1 && file.version != 2 && file.version != 3)) {
     return fail("not a DTS run journal");
   }
-  JournalKey on_disk;
   std::uint64_t mw = 0, wv = 0, faults = 0;
-  if (!json_string_field(line, "workload", &on_disk.workload) ||
+  if (!json_string_field(line, "workload", &file.key.workload) ||
       !json_uint_field(line, "middleware", &mw) ||
       !json_uint_field(line, "watchd_version", &wv) ||
-      !json_uint_field(line, "seed", &on_disk.seed) ||
+      !json_uint_field(line, "seed", &file.key.seed) ||
       !json_uint_field(line, "faults", &faults)) {
     return fail("malformed journal header");
   }
-  on_disk.middleware = static_cast<int>(mw);
-  on_disk.watchd_version = static_cast<int>(wv);
-  on_disk.fault_count = static_cast<std::size_t>(faults);
-  if (!(on_disk == key)) {
-    return fail("journal belongs to a different campaign (workload/middleware/seed/"
-                "fault-count mismatch); remove it or pick another output dir");
-  }
+  file.key.middleware = static_cast<int>(mw);
+  file.key.watchd_version = static_cast<int>(wv);
+  file.key.fault_count = static_cast<std::size_t>(faults);
 
   while (std::getline(in, line)) {
     JournalRecord rec;
@@ -71,14 +64,39 @@ std::optional<std::vector<JournalRecord>> read_journal(const std::string& path,
     }
     rec.index = static_cast<std::size_t>(index);
     rec.fn_called = called != 0;
-    // v2 extras; absent in v1 records (and in v2 records without forensics).
+    // v2/v3 extras; absent in older records (and in runs without forensics).
     (void)json_uint_field(line, "wall_us", &rec.wall_us);
     (void)json_uint_field(line, "sim_us", &rec.sim_us);
     (void)json_string_field(line, "fx", &rec.forensics);
     (void)json_string_field(line, "st", &rec.stratum);
-    records.push_back(std::move(rec));
+    (void)json_string_field(line, "xi", &rec.exec_index);
+    file.records.push_back(std::move(rec));
   }
-  return records;
+  return file;
+}
+
+std::optional<std::vector<JournalRecord>> read_journal(const std::string& path,
+                                                       const JournalKey& key,
+                                                       std::string* error) {
+  {
+    std::ifstream probe(path);
+    if (!probe) return std::vector<JournalRecord>{};  // no journal: fresh start
+    std::string first;
+    if (!std::getline(probe, first)) {
+      return std::vector<JournalRecord>{};  // empty file: fresh start
+    }
+  }
+  std::optional<JournalFile> file = read_journal_file(path, error);
+  if (!file) return std::nullopt;
+  if (!(file->key == key)) {
+    if (error != nullptr) {
+      *error = path +
+               ": journal belongs to a different campaign (workload/middleware/"
+               "seed/fault-count mismatch); remove it or pick another output dir";
+    }
+    return std::nullopt;
+  }
+  return std::move(file->records);
 }
 
 bool RunJournal::open(const std::string& path, const JournalKey& key, bool append,
@@ -103,6 +121,9 @@ void RunJournal::append(const JournalRecord& rec) {
        << "\",\"called\":" << (rec.fn_called ? 1 : 0) << ",\"run\":\""
        << json_escape(rec.run_line) << "\",\"wall_us\":" << rec.wall_us
        << ",\"sim_us\":" << rec.sim_us;
+  if (!rec.exec_index.empty()) {
+    out_ << ",\"xi\":\"" << json_escape(rec.exec_index) << "\"";
+  }
   if (!rec.stratum.empty()) {
     out_ << ",\"st\":\"" << json_escape(rec.stratum) << "\"";
   }

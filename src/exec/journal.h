@@ -5,12 +5,13 @@
 // deterministic given the campaign seed and fault id (per-run seeds never
 // depend on worker id or schedule).
 //
-// Format (one JSON object per line), schema version 2:
-//   {"dts_journal":2,"workload":"Apache1","middleware":2,"watchd_version":3,
+// Format (one JSON object per line), schema version 3:
+//   {"dts_journal":3,"workload":"Apache1","middleware":2,"watchd_version":3,
 //    "seed":7,"faults":423}
 //   {"i":17,"fault":"ReadFile.hFile#1:zero","called":1,
 //    "run":"ReadFile.hFile#1:zero 1 failure 0 123456 0 0 1",
-//    "wall_us":1832,"sim_us":414000000,"fx":"=== DTS forensics: ...\n..."}
+//    "wall_us":1832,"sim_us":414000000,"xi":"a3f1c0de9b24e871/4/17",
+//    "fx":"=== DTS forensics: ...\n..."}
 //
 // The "run" payload reuses the campaign-file run serialization
 // (core::serialize_run_line); "called" records whether the target image
@@ -21,10 +22,13 @@
 // observability only) and "sim_us" (simulated time consumed) — plus an
 // optional "fx" forensics dump (the syscall-trace tail) on runs the trace
 // mode selects. Planned campaigns (src/plan/) additionally tag each record
-// with its sampling stratum as "st":"fn/type". The reader is field-based and
-// accepts both versions: v1 files (no timings, no forensics) resume cleanly
-// under v2, and v2 records with fields a v1-era reader never knew about
-// parse the same way.
+// with its sampling stratum as "st":"fn/type". v3 adds the causal execution
+// index "xi":"campaign_digest/lease_id/fault_index" (obs/fleet/span.h) so
+// every record names which campaign, which shard lease, and which fault
+// produced it — the same identifier stamped into forensics dumps and trace
+// events. The reader is field-based and accepts all three versions: v1/v2
+// files resume cleanly under v3 (missing fields stay zero/empty), and newer
+// records with fields an older reader never knew about parse the same way.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +65,9 @@ struct JournalRecord {
   std::string forensics;      // syscall-trace dump (empty = not captured)
   std::string stratum;        // plan sampling stratum, "fn/type" (empty =
                               // not a planned campaign)
+
+  // v3 field; empty when reading a v1/v2 journal.
+  std::string exec_index;  // "campaign_digest/lease_id/fault_index"
 };
 
 /// Reads the records of an existing journal. A missing file yields an empty
@@ -70,6 +77,21 @@ struct JournalRecord {
 std::optional<std::vector<JournalRecord>> read_journal(const std::string& path,
                                                        const JournalKey& key,
                                                        std::string* error);
+
+/// A journal read without a key to check against: the header as found on
+/// disk plus every well-formed record. Used by `ntdts report`, which merges
+/// journals from whatever campaigns the operator hands it.
+struct JournalFile {
+  JournalKey key;
+  std::uint64_t version = 0;
+  std::vector<JournalRecord> records;
+};
+
+/// Reads `path` as a journal of any supported version. Unlike read_journal a
+/// missing file is an error here (nullopt with *error set) — the caller
+/// named the file explicitly.
+std::optional<JournalFile> read_journal_file(const std::string& path,
+                                             std::string* error);
 
 /// Append-only JSONL writer. Thread-safe; every record is flushed so a
 /// killed campaign loses at most the in-flight line.

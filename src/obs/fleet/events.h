@@ -1,0 +1,71 @@
+// Structured fleet event log: worker connect/disconnect, lease lifecycle
+// and anomaly events of a distributed (or in-process) campaign, in one
+// bounded, thread-safe, strictly-ordered buffer. Before this existed, lease
+// reassignment was only a metric counter — a number with no story; the event
+// log records who lost which lease when, so a post-mortem can replay the
+// fleet's history instead of inferring it.
+//
+// Entries carry a strictly increasing sequence number (the ordering tests'
+// anchor), a wall-clock timestamp (fleet events are host-side operational
+// facts — unlike nt::EventLog, which logs simulated time inside a run) and
+// a monotonic microsecond offset for interval math.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dts::obs::fleet {
+
+enum class FleetEventKind {
+  kWorkerConnect,
+  kWorkerDisconnect,
+  kLeaseIssued,
+  kLeaseExpired,
+  kLeaseReassigned,
+  kAnomaly,
+};
+
+std::string_view to_string(FleetEventKind k);
+
+struct FleetEvent {
+  std::uint64_t seq = 0;  // strictly increasing, never reused
+  std::chrono::system_clock::time_point wall{};
+  std::uint64_t mono_us = 0;  // microseconds since log construction
+  FleetEventKind kind = FleetEventKind::kWorkerConnect;
+  int worker_id = -1;          // -1 = not worker-scoped
+  std::uint64_t lease_id = 0;  // 0 = not lease-scoped
+  std::string detail;
+};
+
+class FleetEventLog {
+ public:
+  /// Keeps at most `capacity` entries; older entries are dropped (counted in
+  /// dropped()).
+  explicit FleetEventLog(std::size_t capacity = 4096);
+
+  void record(FleetEventKind kind, int worker_id, std::uint64_t lease_id,
+              std::string detail);
+
+  /// Copy of the retained entries, oldest first.
+  std::vector<FleetEvent> entries() const;
+  /// The last `n` retained entries, oldest first.
+  std::vector<FleetEvent> tail(std::size_t n) const;
+
+  std::uint64_t total() const;    // events ever recorded
+  std::uint64_t dropped() const;  // events evicted by the capacity bound
+
+ private:
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::deque<FleetEvent> entries_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dts::obs::fleet

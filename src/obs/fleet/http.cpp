@@ -1,0 +1,147 @@
+#include "obs/fleet/http.h"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "dist/socket.h"
+
+namespace dts::obs::fleet {
+
+namespace {
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+std::map<std::string, std::string> parse_query(std::string_view query) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view pair = query.substr(pos, end - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && eq > 0) {
+      out[std::string(pair.substr(0, eq))] = std::string(pair.substr(eq + 1));
+    } else if (!pair.empty()) {
+      out[std::string(pair)] = "";
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
+struct HttpEndpoint::Impl {
+  Options options;
+  std::map<std::string, std::function<HttpResponse(const HttpRequest&)>> routes;
+  dist::Listener listener;
+  std::thread thread;
+  std::atomic<bool> stopping{false};
+  bool started = false;
+
+  void serve() {
+    while (!stopping.load(std::memory_order_relaxed)) {
+      dist::Socket conn = listener.accept(100);
+      if (!conn.valid()) continue;
+      serve_connection(conn.fd());
+    }
+  }
+
+  void serve_connection(int fd) {
+    std::string head;
+    while (head.find("\r\n\r\n") == std::string::npos &&
+           head.find("\n\n") == std::string::npos) {
+      if (head.size() >= options.max_request) return;
+      const dist::RecvStatus st =
+          dist::recv_some(fd, &head, options.max_request - head.size(),
+                          options.io_timeout_ms);
+      if (st != dist::RecvStatus::kData) return;
+    }
+
+    // Request line: METHOD SP request-target SP HTTP/x.y
+    const std::size_t line_end = head.find_first_of("\r\n");
+    const std::string line = head.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    HttpResponse resp;
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      resp = {400, "text/plain; charset=utf-8", "bad request\n"};
+    } else {
+      HttpRequest req;
+      req.method = line.substr(0, sp1);
+      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::size_t qmark = target.find('?');
+      if (qmark != std::string::npos) {
+        req.query = parse_query(std::string_view(target).substr(qmark + 1));
+        target.resize(qmark);
+      }
+      req.path = std::move(target);
+      if (req.method != "GET" && req.method != "HEAD") {
+        resp = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+      } else if (auto it = routes.find(req.path); it != routes.end()) {
+        resp = it->second(req);
+      } else {
+        resp = {404, "text/plain; charset=utf-8", "not found\n"};
+      }
+      if (req.method == "HEAD") resp.body.clear();
+    }
+
+    std::string out = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                      reason_phrase(resp.status) + "\r\n";
+    out += "Content-Type: " + resp.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += resp.body;
+    dist::send_all(fd, out, options.io_timeout_ms);
+  }
+};
+
+HttpEndpoint::HttpEndpoint() : HttpEndpoint(Options()) {}
+
+HttpEndpoint::HttpEndpoint(Options options) : impl_(new Impl) {
+  impl_->options = options;
+}
+
+HttpEndpoint::~HttpEndpoint() { stop(); }
+
+void HttpEndpoint::handle(const std::string& path,
+                          std::function<HttpResponse(const HttpRequest&)> handler) {
+  impl_->routes[path] = std::move(handler);
+}
+
+bool HttpEndpoint::start(const std::string& host, std::uint16_t port,
+                         std::string* error) {
+  if (impl_->started) {
+    if (error != nullptr) *error = "http endpoint already started";
+    return false;
+  }
+  std::string err;
+  impl_->listener = dist::Listener::open(host, port, &err);
+  if (!impl_->listener.valid()) {
+    if (error != nullptr) *error = "http: " + err;
+    return false;
+  }
+  impl_->started = true;
+  impl_->thread = std::thread([impl = impl_.get()] { impl->serve(); });
+  return true;
+}
+
+void HttpEndpoint::stop() {
+  if (!impl_->started) return;
+  impl_->stopping.store(true, std::memory_order_relaxed);
+  if (impl_->thread.joinable()) impl_->thread.join();
+  impl_->started = false;
+}
+
+std::uint16_t HttpEndpoint::port() const { return impl_->listener.port(); }
+
+}  // namespace dts::obs::fleet

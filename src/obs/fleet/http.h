@@ -1,0 +1,65 @@
+// Dependency-free HTTP/1.0 endpoint for live campaign observability
+// (`ntdts run --http=addr`). Deliberately minimal: GET only, exact-path
+// routing, Connection: close, one short-lived connection at a time on a
+// dedicated background thread — a Prometheus scraper or curl is the whole
+// audience. Reads and writes both carry bounded timeouts, so a stalled
+// scraper costs the endpoint thread at most one deadline and costs the
+// campaign loop nothing (the two threads share only the registry and the
+// status board, both briefly-locked snapshots).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace dts::obs::fleet {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;  // without the query string
+  std::map<std::string, std::string> query;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Parses "k=v&k2=v2" (no %-decoding: our keys and values are plain tokens).
+std::map<std::string, std::string> parse_query(std::string_view query);
+
+class HttpEndpoint {
+ public:
+  struct Options {
+    int io_timeout_ms = 2000;        // per-connection read and write deadline
+    std::size_t max_request = 8192;  // request-head size cap
+  };
+
+  HttpEndpoint();
+  explicit HttpEndpoint(Options options);
+  ~HttpEndpoint();  // stops the serving thread
+
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  /// Routes GET `path` (exact match) to `handler`. Register before start().
+  void handle(const std::string& path,
+              std::function<HttpResponse(const HttpRequest&)> handler);
+
+  /// Binds host:port (0 = ephemeral) and starts serving on a background
+  /// thread. False with *error set when the endpoint is unavailable.
+  bool start(const std::string& host, std::uint16_t port, std::string* error);
+  void stop();
+
+  /// The bound port (after start()).
+  std::uint16_t port() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dts::obs::fleet

@@ -1,0 +1,251 @@
+#include "obs/fleet/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/campaign.h"
+#include "core/workload.h"
+#include "obs/metrics.h"
+
+namespace dts::obs::fleet {
+
+namespace {
+
+std::size_t outcome_slot(core::Outcome o) { return static_cast<std::size_t>(o); }
+
+std::string config_label(const exec::JournalKey& key) {
+  std::ostringstream out;
+  out << key.workload << " mw=" << key.middleware << " wd=" << key.watchd_version
+      << " seed=" << key.seed;
+  return out.str();
+}
+
+std::string bound_label(double bound) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", bound);
+  return buf;
+}
+
+std::string bar(std::uint64_t count, std::uint64_t max_count) {
+  if (count == 0 || max_count == 0) return "";
+  const std::size_t width =
+      std::max<std::size_t>(1, static_cast<std::size_t>(40.0 * static_cast<double>(count) /
+                                                        static_cast<double>(max_count)));
+  return std::string(width, '#');
+}
+
+std::string html_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void render_histogram_lines(const ReportGroup& g,
+                            const std::function<void(const std::string&, std::uint64_t,
+                                                     const std::string&)>& emit) {
+  const std::vector<double>& bounds = obs::response_time_buckets();
+  std::uint64_t max_count = 0;
+  for (std::uint64_t c : g.response_buckets) max_count = std::max(max_count, c);
+  for (std::size_t i = 0; i < g.response_buckets.size(); ++i) {
+    const std::string label =
+        i < bounds.size() ? "<= " + bound_label(bounds[i]) + "s" : "> last";
+    emit(label, g.response_buckets[i], bar(g.response_buckets[i], max_count));
+  }
+}
+
+}  // namespace
+
+FleetReport build_report(const std::vector<exec::JournalFile>& files) {
+  FleetReport report;
+  const std::vector<double>& bounds = obs::response_time_buckets();
+
+  // Group index by campaign identity; per-group set of seen fault indices
+  // implements first-record-wins across files.
+  std::map<std::string, std::size_t> group_of;
+  std::vector<std::set<std::size_t>> seen;
+
+  for (const exec::JournalFile& file : files) {
+    std::ostringstream id;
+    id << file.key.workload << '\0' << file.key.middleware << '\0'
+       << file.key.watchd_version << '\0' << file.key.seed << '\0'
+       << file.key.fault_count;
+    auto [it, inserted] = group_of.try_emplace(id.str(), report.groups.size());
+    if (inserted) {
+      ReportGroup g;
+      g.key = file.key;
+      g.min_version = g.max_version = file.version;
+      g.response_buckets.assign(bounds.size() + 1, 0);
+      report.groups.push_back(std::move(g));
+      seen.emplace_back();
+    }
+    ReportGroup& g = report.groups[it->second];
+    g.min_version = std::min(g.min_version, file.version);
+    g.max_version = std::max(g.max_version, file.version);
+
+    std::string target_image;
+    bool known_workload = true;
+    try {
+      target_image = core::workload_by_name(file.key.workload).target_image;
+    } catch (const std::invalid_argument&) {
+      known_workload = false;
+    }
+
+    for (const exec::JournalRecord& rec : file.records) {
+      if (!seen[it->second].insert(rec.index).second) {
+        ++g.duplicates;
+        ++report.duplicates;
+        continue;
+      }
+      ++g.records;
+      ++report.records;
+      if (!rec.fn_called) ++g.uncalled;
+
+      core::RunResult run;
+      std::string error;
+      if (!known_workload ||
+          !core::parse_run_line(target_image, rec.run_line, &run, &error)) {
+        ++g.unparsed;
+        continue;
+      }
+      ++g.outcomes[outcome_slot(run.outcome)];
+      ++report.outcomes[outcome_slot(run.outcome)];
+      if (run.response_received) {
+        ++g.responses;
+        const double rt_s = run.response_time.to_seconds();
+        g.response_sum_s += rt_s;
+        std::size_t slot = bounds.size();
+        for (std::size_t b = 0; b < bounds.size(); ++b) {
+          if (rt_s <= bounds[b]) {
+            slot = b;
+            break;
+          }
+        }
+        ++g.response_buckets[slot];
+      }
+    }
+  }
+  return report;
+}
+
+std::string render_report_markdown(const FleetReport& report) {
+  std::ostringstream out;
+  out << "# DTS campaign report\n\n";
+  out << "Merged " << report.records << " runs";
+  if (report.duplicates > 0) {
+    out << " (" << report.duplicates << " duplicate records dropped)";
+  }
+  out << " across " << report.groups.size() << " campaign configuration"
+      << (report.groups.size() == 1 ? "" : "s") << ".\n\n";
+
+  out << "## Outcome matrix\n\n";
+  out << "| configuration | runs |";
+  for (core::Outcome o : core::kAllOutcomes) out << " " << core::short_label(o) << " |";
+  out << " uncalled | unparsed |\n";
+  out << "|---|---:|";
+  for (std::size_t i = 0; i < 5; ++i) out << "---:|";
+  out << "---:|---:|\n";
+  for (const ReportGroup& g : report.groups) {
+    out << "| " << config_label(g.key) << " | " << g.records << " |";
+    for (std::uint64_t c : g.outcomes) out << " " << c << " |";
+    out << " " << g.uncalled << " | " << g.unparsed << " |\n";
+  }
+  if (report.groups.size() > 1) {
+    out << "| total | " << report.records << " |";
+    for (std::uint64_t c : report.outcomes) out << " " << c << " |";
+    out << "  |  |\n";
+  }
+
+  for (const ReportGroup& g : report.groups) {
+    out << "\n## Response times: " << config_label(g.key) << "\n\n";
+    if (g.min_version != g.max_version) {
+      out << "Merged from journal schema versions " << g.min_version << ".."
+          << g.max_version << ".\n\n";
+    }
+    if (g.responses == 0) {
+      out << "No responses recorded.\n";
+      continue;
+    }
+    char mean[48];
+    std::snprintf(mean, sizeof mean, "%.3f",
+                  g.response_sum_s / static_cast<double>(g.responses));
+    out << g.responses << " responses, mean " << mean << "s.\n\n```\n";
+    render_histogram_lines(g, [&](const std::string& label, std::uint64_t count,
+                                  const std::string& bar_text) {
+      char line[160];
+      std::snprintf(line, sizeof line, "%10s %8llu %s\n", label.c_str(),
+                    static_cast<unsigned long long>(count), bar_text.c_str());
+      out << line;
+    });
+    out << "```\n";
+  }
+  return out.str();
+}
+
+std::string render_report_html(const FleetReport& report) {
+  std::ostringstream out;
+  out << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+      << "<title>DTS campaign report</title>\n"
+      << "<style>body{font-family:sans-serif;margin:2em}"
+      << "table{border-collapse:collapse}td,th{border:1px solid #999;"
+      << "padding:4px 8px;text-align:right}th:first-child,td:first-child"
+      << "{text-align:left}pre{background:#f4f4f4;padding:1em}</style>"
+      << "</head><body>\n<h1>DTS campaign report</h1>\n";
+  out << "<p>Merged " << report.records << " runs";
+  if (report.duplicates > 0) {
+    out << " (" << report.duplicates << " duplicate records dropped)";
+  }
+  out << " across " << report.groups.size() << " campaign configuration"
+      << (report.groups.size() == 1 ? "" : "s") << ".</p>\n";
+
+  out << "<h2>Outcome matrix</h2>\n<table>\n<tr><th>configuration</th><th>runs</th>";
+  for (core::Outcome o : core::kAllOutcomes) {
+    out << "<th>" << html_escape(std::string(core::short_label(o))) << "</th>";
+  }
+  out << "<th>uncalled</th><th>unparsed</th></tr>\n";
+  for (const ReportGroup& g : report.groups) {
+    out << "<tr><td>" << html_escape(config_label(g.key)) << "</td><td>" << g.records
+        << "</td>";
+    for (std::uint64_t c : g.outcomes) out << "<td>" << c << "</td>";
+    out << "<td>" << g.uncalled << "</td><td>" << g.unparsed << "</td></tr>\n";
+  }
+  if (report.groups.size() > 1) {
+    out << "<tr><td>total</td><td>" << report.records << "</td>";
+    for (std::uint64_t c : report.outcomes) out << "<td>" << c << "</td>";
+    out << "<td></td><td></td></tr>\n";
+  }
+  out << "</table>\n";
+
+  for (const ReportGroup& g : report.groups) {
+    out << "<h2>Response times: " << html_escape(config_label(g.key)) << "</h2>\n";
+    if (g.responses == 0) {
+      out << "<p>No responses recorded.</p>\n";
+      continue;
+    }
+    out << "<pre>\n";
+    render_histogram_lines(g, [&](const std::string& label, std::uint64_t count,
+                                  const std::string& bar_text) {
+      char line[160];
+      std::snprintf(line, sizeof line, "%10s %8llu %s\n", label.c_str(),
+                    static_cast<unsigned long long>(count), bar_text.c_str());
+      out << html_escape(line);
+    });
+    out << "</pre>\n";
+  }
+  out << "</body></html>\n";
+  return out.str();
+}
+
+}  // namespace dts::obs::fleet

@@ -1,0 +1,48 @@
+// Campaign report generator: merges one or more run journals (any schema
+// version, any mix of campaigns) into a single Markdown or HTML report —
+// outcome matrix per workload×configuration group plus response-time
+// histograms. Merging follows the journal's own first-record-wins rule:
+// within a (campaign, fault index) pair the record from the earliest file
+// wins and later duplicates are counted but dropped, so re-reporting over a
+// journal plus its resumed continuation is exact, never double-counted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/outcome.h"
+#include "exec/journal.h"
+
+namespace dts::obs::fleet {
+
+/// Aggregates for one campaign configuration (one JournalKey).
+struct ReportGroup {
+  exec::JournalKey key;
+  std::uint64_t min_version = 0;  // journal schema versions merged into this
+  std::uint64_t max_version = 0;  // group (differ on mixed-version merges)
+  std::uint64_t records = 0;      // deduplicated records
+  std::uint64_t duplicates = 0;   // dropped (same fault index seen again)
+  std::uint64_t unparsed = 0;     // records whose run payload did not parse
+  std::uint64_t uncalled = 0;     // fn never called (skip-uncalled rule)
+  std::array<std::uint64_t, 5> outcomes{};  // indexed like core::kAllOutcomes
+  std::vector<std::uint64_t> response_buckets;  // over response_time_buckets,
+                                                // +Inf last; responses only
+  std::uint64_t responses = 0;
+  double response_sum_s = 0.0;
+};
+
+struct FleetReport {
+  std::vector<ReportGroup> groups;          // in first-seen order
+  std::array<std::uint64_t, 5> outcomes{};  // aggregate across groups
+  std::uint64_t records = 0;
+  std::uint64_t duplicates = 0;
+};
+
+FleetReport build_report(const std::vector<exec::JournalFile>& files);
+
+std::string render_report_markdown(const FleetReport& report);
+std::string render_report_html(const FleetReport& report);
+
+}  // namespace dts::obs::fleet

@@ -1,0 +1,37 @@
+// Causal execution indexing for fault-injection runs (after "Distributed
+// Execution Indexing", arXiv:2209.08740): every run carries a stable
+// identifier `campaign_digest/lease_id/fault_index` that survives process
+// hops. The digest pins the campaign (plan::sweep_digest — order-sensitive
+// over the fault ids), the lease id pins which shard lease executed the run
+// (0 for in-process execution, where no lease exists), and the fault index
+// pins the position in the sweep. The same run re-executed anywhere — a
+// resume, a reassigned lease, a different fleet — produces the same index,
+// so a failure seen at the coordinator links back to the exact journal
+// record, forensics dump and trace event of the worker that ran it.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace dts::obs::fleet {
+
+struct ExecutionIndex {
+  std::uint64_t campaign_digest = 0;
+  std::uint64_t lease_id = 0;  // 0 = in-process (no lease)
+  std::uint64_t fault_index = 0;
+
+  /// "016x-hex-digest/lease/index", e.g. "a3f0.../7/412".
+  std::string to_string() const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%016llx/%llu/%llu",
+                  static_cast<unsigned long long>(campaign_digest),
+                  static_cast<unsigned long long>(lease_id),
+                  static_cast<unsigned long long>(fault_index));
+    return buf;
+  }
+
+  friend bool operator==(const ExecutionIndex&, const ExecutionIndex&) = default;
+};
+
+}  // namespace dts::obs::fleet

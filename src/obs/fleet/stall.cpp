@@ -1,0 +1,91 @@
+#include "obs/fleet/stall.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dts::obs::fleet {
+
+namespace {
+
+/// Median + k*IQR over a (small) sample set. Robust to the occasional
+/// preemption spike a mean-based budget would chase.
+double robust_budget(std::vector<double> sample, double k, double slack_s) {
+  std::sort(sample.begin(), sample.end());
+  const std::size_t n = sample.size();
+  const double median =
+      n % 2 == 1 ? sample[n / 2] : 0.5 * (sample[n / 2 - 1] + sample[n / 2]);
+  const double q1 = sample[n / 4];
+  const double q3 = sample[(3 * n) / 4];
+  return median + k * (q3 - q1) + slack_s;
+}
+
+}  // namespace
+
+StallDetector::StallDetector(MetricsRegistry* metrics, FleetEventLog* events)
+    : StallDetector(metrics, events, Options()) {}
+
+StallDetector::StallDetector(MetricsRegistry* metrics, FleetEventLog* events,
+                             Options options)
+    : options_(options), metrics_(metrics), events_(events) {}
+
+bool StallDetector::observe(const plan::StratumKey& key, double wall_s,
+                            const std::string& fault_id,
+                            const std::string& exec_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = strata_.try_emplace(key);
+  Stratum& s = it->second;
+  if (inserted && metrics_ != nullptr) {
+    const Labels labels = {{"fn", std::string(nt::to_string(key.fn))},
+                           {"type", std::string(inject::to_string(key.type))}};
+    s.flagged = &metrics_->counter("dts_anomaly_runs_total", labels,
+                                   "runs that exceeded their stratum's adaptive "
+                                   "latency budget");
+    s.budget = &metrics_->gauge("dts_anomaly_budget_seconds", labels,
+                                "current per-stratum latency budget "
+                                "(median + k*IQR of recent runs)");
+  }
+
+  // Judge against the budget of the *prior* window: a stalled run must not
+  // stretch its own yardstick.
+  const bool armed = s.window.size() >= options_.min_samples;
+  const bool flagged = armed && wall_s > s.armed_budget_s;
+
+  if (s.window.size() < options_.window) {
+    s.window.push_back(wall_s);
+  } else {
+    s.window[s.next] = wall_s;
+    s.next = (s.next + 1) % options_.window;
+  }
+  if (s.window.size() >= options_.min_samples) {
+    s.armed_budget_s = robust_budget(s.window, options_.k, options_.slack_s);
+    if (s.budget != nullptr) s.budget->set(s.armed_budget_s);
+  }
+
+  if (!flagged) return false;
+  ++anomalies_;
+  if (s.flagged != nullptr) s.flagged->inc();
+  if (events_ != nullptr) {
+    char msg[192];
+    std::snprintf(msg, sizeof msg, "%s wall=%.6fs budget=%.6fs xi=%s",
+                  fault_id.c_str(), wall_s, s.armed_budget_s, exec_index.c_str());
+    events_->record(FleetEventKind::kAnomaly, /*worker_id=*/-1, /*lease_id=*/0,
+                    msg);
+  }
+  return true;
+}
+
+double StallDetector::budget_s(const plan::StratumKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = strata_.find(key);
+  if (it == strata_.end() || it->second.window.size() < options_.min_samples) {
+    return 0.0;
+  }
+  return it->second.armed_budget_s;
+}
+
+std::uint64_t StallDetector::anomalies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return anomalies_;
+}
+
+}  // namespace dts::obs::fleet

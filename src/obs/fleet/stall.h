@@ -1,0 +1,69 @@
+// Stall/anomaly detection for campaign runs. Fault-injection runs within one
+// (function, fault-type) stratum simulate near-identical scenarios, so their
+// host wall-clock durations cluster tightly; a run that takes far longer than
+// its stratum's recent history is stalling (a wedged simulation, a slow
+// worker, an interposed debugger...) and worth flagging while the campaign
+// is still running rather than in the post-mortem.
+//
+// The budget is adaptive and robust: median + k * IQR over a sliding window
+// of recent durations for the stratum, armed only once the window holds
+// min_samples observations (cold strata never false-positive). Flagged runs
+// increment dts_anomaly_runs_total{fn,type}, the live budget is exported as
+// dts_anomaly_budget_seconds{fn,type}, and each anomaly lands in the fleet
+// event log with the run's execution index so it links back to the exact
+// journal record.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/fleet/events.h"
+#include "obs/metrics.h"
+#include "plan/plan.h"
+
+namespace dts::obs::fleet {
+
+class StallDetector {
+ public:
+  struct Options {
+    double k = 4.0;               // budget = median + k * IQR (+ slack)
+    double slack_s = 0.002;       // absolute slack: never flag sub-slack jitter
+    std::size_t min_samples = 8;  // window size before the budget arms
+    std::size_t window = 128;     // sliding window per stratum
+  };
+
+  /// Either sink may be null; detection still runs (anomalies() counts).
+  StallDetector(MetricsRegistry* metrics, FleetEventLog* events);
+  StallDetector(MetricsRegistry* metrics, FleetEventLog* events, Options options);
+
+  /// Records one run and returns true when it exceeded the stratum's armed
+  /// budget. `fault_id`/`exec_index` only decorate the emitted event.
+  bool observe(const plan::StratumKey& key, double wall_s,
+               const std::string& fault_id, const std::string& exec_index);
+
+  /// Current budget for a stratum in seconds, or 0 while unarmed.
+  double budget_s(const plan::StratumKey& key) const;
+
+  std::uint64_t anomalies() const;
+
+ private:
+  struct Stratum {
+    std::vector<double> window;  // ring buffer of recent wall durations
+    std::size_t next = 0;
+    obs::Counter* flagged = nullptr;
+    obs::Gauge* budget = nullptr;
+    double armed_budget_s = 0.0;
+  };
+
+  const Options options_;
+  MetricsRegistry* metrics_;
+  FleetEventLog* events_;
+  mutable std::mutex mu_;
+  std::map<plan::StratumKey, Stratum> strata_;
+  std::uint64_t anomalies_ = 0;
+};
+
+}  // namespace dts::obs::fleet

@@ -1,0 +1,120 @@
+#include "obs/fleet/status.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/jsonl.h"
+
+namespace dts::obs::fleet {
+
+namespace {
+
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+void append_run(std::ostringstream& out, const RunEntry& e) {
+  out << "{\"i\":" << e.index << ",\"fault\":\"" << obs::json_escape(e.fault_id)
+      << "\",\"outcome\":\"" << obs::json_escape(e.outcome)
+      << "\",\"wall_us\":" << e.wall_us << ",\"worker\":" << e.worker_id
+      << ",\"lease\":" << e.lease_id << ",\"xi\":\""
+      << obs::json_escape(e.exec_index) << "\"}";
+}
+
+}  // namespace
+
+StatusBoard::StatusBoard(std::size_t run_capacity)
+    : run_capacity_(run_capacity > 0 ? run_capacity : 1) {}
+
+void StatusBoard::update_campaign(const CampaignStatus& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  campaign_ = s;
+}
+
+void StatusBoard::update_workers(std::vector<WorkerRow> rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  workers_ = std::move(rows);
+}
+
+void StatusBoard::record_run(RunEntry e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++outcomes_[e.outcome];
+  if (runs_.size() == run_capacity_) runs_.pop_front();
+  runs_.push_back(std::move(e));
+}
+
+std::string StatusBoard::status_json(const FleetEventLog* events) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"campaign\":{\"done\":" << campaign_.done
+      << ",\"total\":" << campaign_.total << ",\"executed\":" << campaign_.executed
+      << ",\"reused\":" << campaign_.reused << ",\"elapsed_s\":"
+      << num(campaign_.elapsed_s) << ",\"runs_per_sec\":"
+      << num(campaign_.runs_per_sec) << ",\"eta_s\":" << num(campaign_.eta_s)
+      << "},\"outcomes\":{";
+  bool first = true;
+  for (const auto& [outcome, count] : outcomes_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << obs::json_escape(outcome) << "\":" << count;
+  }
+  out << "},\"workers\":[";
+  first = true;
+  for (const WorkerRow& w : workers_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":" << w.worker_id << ",\"runs\":" << w.runs
+        << ",\"runs_per_sec\":" << num(w.runs_per_sec) << ",\"lease\":" << w.lease_id
+        << ",\"outstanding\":" << w.outstanding << ",\"failures\":" << w.failures
+        << ",\"recent_failures\":\"" << obs::json_escape(w.recent_failures)
+        << "\"}";
+  }
+  out << "]";
+  if (events != nullptr) {
+    out << ",\"events\":[";
+    first = true;
+    for (const FleetEvent& e : events->tail(32)) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"seq\":" << e.seq << ",\"kind\":\"" << to_string(e.kind)
+          << "\",\"worker\":" << e.worker_id << ",\"lease\":" << e.lease_id
+          << ",\"mono_us\":" << e.mono_us << ",\"detail\":\""
+          << obs::json_escape(e.detail) << "\"}";
+    }
+    out << "]";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string StatusBoard::runs_json(const std::string& worker_filter,
+                                   const std::string& outcome_filter,
+                                   std::size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const RunEntry*> selected;
+  for (const RunEntry& e : runs_) {
+    if (!worker_filter.empty() && std::to_string(e.worker_id) != worker_filter) {
+      continue;
+    }
+    if (!outcome_filter.empty() && e.outcome != outcome_filter) continue;
+    selected.push_back(&e);
+  }
+  const std::size_t skip = selected.size() > limit ? selected.size() - limit : 0;
+  std::ostringstream out;
+  out << "{\"runs\":[";
+  for (std::size_t i = skip; i < selected.size(); ++i) {
+    if (i > skip) out << ",";
+    append_run(out, *selected[i]);
+  }
+  out << "],\"matched\":" << selected.size() << "}";
+  return out.str();
+}
+
+std::map<std::string, std::uint64_t> StatusBoard::outcome_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outcomes_;
+}
+
+}  // namespace dts::obs::fleet

@@ -1,0 +1,79 @@
+// Live campaign status for the coordinator's HTTP endpoint: a small
+// mutex-guarded board the campaign loop updates (cheap copies, no I/O) and
+// the endpoint thread renders as JSON on demand. The two sides never share
+// anything but this board, which is what keeps a slow or hostile scraper
+// from ever blocking the coordinator poll loop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/fleet/events.h"
+
+namespace dts::obs::fleet {
+
+struct CampaignStatus {
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t reused = 0;
+  double elapsed_s = 0.0;
+  double runs_per_sec = 0.0;
+  double eta_s = 0.0;
+};
+
+struct WorkerRow {
+  int worker_id = 0;
+  std::uint64_t runs = 0;
+  double runs_per_sec = 0.0;
+  std::uint64_t lease_id = 0;       // 0 = idle
+  std::uint64_t outstanding = 0;    // leased faults with no result yet
+  std::uint64_t failures = 0;       // worker-reported failure outcomes
+  std::string recent_failures;      // space-joined fault ids, newest last
+};
+
+struct RunEntry {
+  std::uint64_t index = 0;
+  std::string fault_id;
+  std::string outcome;  // executor outcome label ("normal", "failure", ...)
+  std::uint64_t wall_us = 0;
+  int worker_id = -1;  // -1 = in-process
+  std::uint64_t lease_id = 0;
+  std::string exec_index;
+};
+
+class StatusBoard {
+ public:
+  /// Keeps the last `run_capacity` completed runs for /runs.
+  explicit StatusBoard(std::size_t run_capacity = 512);
+
+  void update_campaign(const CampaignStatus& s);
+  void update_workers(std::vector<WorkerRow> rows);
+  void record_run(RunEntry e);
+
+  /// /status payload. When `events` is non-null its tail is embedded.
+  std::string status_json(const FleetEventLog* events = nullptr) const;
+
+  /// /runs payload: the retained journal tail, newest last, optionally
+  /// filtered by worker id (as decimal text) and/or outcome label.
+  std::string runs_json(const std::string& worker_filter,
+                        const std::string& outcome_filter,
+                        std::size_t limit = 100) const;
+
+  /// Aggregate outcome counts over every record_run() so far.
+  std::map<std::string, std::uint64_t> outcome_counts() const;
+
+ private:
+  const std::size_t run_capacity_;
+  mutable std::mutex mu_;
+  CampaignStatus campaign_;
+  std::vector<WorkerRow> workers_;
+  std::deque<RunEntry> runs_;
+  std::map<std::string, std::uint64_t> outcomes_;
+};
+
+}  // namespace dts::obs::fleet

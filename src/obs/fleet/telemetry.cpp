@@ -1,0 +1,133 @@
+#include "obs/fleet/telemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace dts::obs::fleet {
+
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    std::size_t end = line.find(sep, pos);
+    if (end == std::string::npos) end = line.size();
+    out.push_back(line.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+template <typename T, typename Parse>
+std::vector<T> parse_list(const std::string& text, Parse parse) {
+  std::vector<T> out;
+  std::istringstream in(text);
+  std::string tok;
+  while (in >> tok) out.push_back(parse(tok));
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string encode_samples(const std::vector<MetricSample>& samples) {
+  std::ostringstream out;
+  for (const MetricSample& s : samples) {
+    out << s.kind << '\t' << s.name << '\t' << s.labels << '\t';
+    switch (s.kind) {
+      case 'c': out << s.counter_value; break;
+      case 'g': out << format_double(s.gauge_value); break;
+      case 'h': {
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+          if (i > 0) out << ' ';
+          out << format_double(s.bounds[i]);
+        }
+        out << ';';
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i > 0) out << ' ';
+          out << s.buckets[i];
+        }
+        out << ';' << s.sum_micro;
+        break;
+      }
+      default: continue;
+    }
+    out << '\t' << s.help << '\n';
+  }
+  return out.str();
+}
+
+std::vector<MetricSample> decode_samples(const std::string& text) {
+  std::vector<MetricSample> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::vector<std::string> fields = split(line, '\t');
+    if (fields.size() < 4 || fields[0].size() != 1) continue;
+    MetricSample s;
+    s.kind = fields[0][0];
+    s.name = fields[1];
+    s.labels = fields[2];
+    s.help = fields.size() >= 5 ? fields[4] : "";
+    const std::string& value = fields[3];
+    switch (s.kind) {
+      case 'c':
+        s.counter_value = std::strtoull(value.c_str(), nullptr, 10);
+        break;
+      case 'g':
+        s.gauge_value = std::strtod(value.c_str(), nullptr);
+        break;
+      case 'h': {
+        const std::vector<std::string> parts = split(value, ';');
+        if (parts.size() != 3) continue;
+        s.bounds = parse_list<double>(
+            parts[0], [](const std::string& t) { return std::strtod(t.c_str(), nullptr); });
+        s.buckets = parse_list<std::uint64_t>(parts[1], [](const std::string& t) {
+          return std::strtoull(t.c_str(), nullptr, 10);
+        });
+        s.sum_micro = std::strtoll(parts[2].c_str(), nullptr, 10);
+        if (s.buckets.size() != s.bounds.size() + 1) continue;
+        break;
+      }
+      default: continue;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void merge_samples(MetricsRegistry& registry, int worker_id,
+                   const std::vector<MetricSample>& samples) {
+  const std::string worker = std::to_string(worker_id);
+  for (const MetricSample& s : samples) {
+    const std::string labels = labels_with(s.labels, "worker", worker);
+    try {
+      switch (s.kind) {
+        case 'c':
+          registry.counter_at(s.name, labels, s.help).advance_to(s.counter_value);
+          break;
+        case 'g':
+          registry.gauge_at(s.name, labels, s.help).set(s.gauge_value);
+          break;
+        case 'h':
+          registry.histogram_at(s.name, labels, s.bounds, s.help)
+              .mirror(s.buckets, s.sum_micro);
+          break;
+        default:
+          break;
+      }
+    } catch (const std::exception&) {
+      // A name/kind collision with a coordinator-side family: the shipped
+      // sample is advisory — drop it rather than poison the campaign.
+    }
+  }
+}
+
+}  // namespace dts::obs::fleet

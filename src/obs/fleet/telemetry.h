@@ -1,0 +1,39 @@
+// Fleet telemetry shipping: a worker serializes its local MetricsRegistry
+// snapshot into a compact text payload (carried inside the TELEMETRY wire
+// message, dist/protocol.h), and the coordinator merges decoded samples into
+// the fleet-wide registry with a worker="<id>" label spliced into every
+// child — one Prometheus scrape of the coordinator then shows the whole
+// fleet, per worker.
+//
+// Payload grammar (one sample per line, fields tab-separated — names, label
+// strings and help texts never contain tabs):
+//   c <TAB> name <TAB> {labels} <TAB> value            <TAB> help
+//   g <TAB> name <TAB> {labels} <TAB> value            <TAB> help
+//   h <TAB> name <TAB> {labels} <TAB> bounds;buckets;sum_micro <TAB> help
+// Histogram bounds/buckets are space-joined; buckets are per-bucket with
+// +Inf last. Snapshots are cumulative, not deltas: merging mirrors the
+// latest snapshot into the worker's children (Counter::advance_to /
+// Histogram::mirror), so a lost or reordered frame can only make the fleet
+// view momentarily stale, never wrong.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dts::obs::fleet {
+
+/// Serializes registry samples for the wire (see grammar above).
+std::string encode_samples(const std::vector<MetricSample>& samples);
+
+/// Parses an encoded payload. Malformed lines are skipped — a telemetry
+/// frame is advisory, never worth killing a worker connection over.
+std::vector<MetricSample> decode_samples(const std::string& text);
+
+/// Merges one worker's snapshot into `registry`, tagging every child with
+/// worker="<worker_id>".
+void merge_samples(MetricsRegistry& registry, int worker_id,
+                   const std::vector<MetricSample>& samples);
+
+}  // namespace dts::obs::fleet

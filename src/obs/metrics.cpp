@@ -74,17 +74,15 @@ std::string number(double v) {
   return buf;
 }
 
-/// Splices extra labels into an already-rendered label string (for the
-/// histogram `le` label).
-std::string with_extra_label(const std::string& rendered, const std::string& k,
-                             const std::string& v) {
-  if (rendered.empty()) return "{" + k + "=\"" + v + "\"}";
+}  // namespace
+
+std::string labels_with(const std::string& rendered, const std::string& key,
+                        const std::string& value) {
+  if (rendered.empty()) return "{" + key + "=\"" + prom_escape(value) + "\"}";
   std::string out = rendered;
-  out.insert(out.size() - 1, "," + k + "=\"" + v + "\"");
+  out.insert(out.size() - 1, "," + key + "=\"" + prom_escape(value) + "\"");
   return out;
 }
-
-}  // namespace
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
@@ -99,6 +97,18 @@ void Histogram::observe(double v) {
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_micro_.fetch_add(static_cast<std::int64_t>(v * 1e6 + (v >= 0 ? 0.5 : -0.5)),
                        std::memory_order_relaxed);
+}
+
+void Histogram::mirror(const std::vector<std::uint64_t>& buckets,
+                       std::int64_t sum_micro) {
+  if (buckets.size() != bounds_.size() + 1) return;  // foreign shape: drop it
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets_[i].store(buckets[i], std::memory_order_relaxed);
+    total += buckets[i];
+  }
+  count_.store(total, std::memory_order_relaxed);
+  sum_micro_.store(sum_micro, std::memory_order_relaxed);
 }
 
 const std::vector<double>& response_time_buckets() {
@@ -157,6 +167,82 @@ Histogram& MetricsRegistry::histogram(const std::string& name, const Labels& lab
   return *it->second;
 }
 
+Counter& MetricsRegistry::counter_at(const std::string& name,
+                                     const std::string& rendered_labels,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family(name, Kind::kCounter, help);
+  auto [it, inserted] = fam.counters.try_emplace(rendered_labels);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge_at(const std::string& name,
+                                 const std::string& rendered_labels,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family(name, Kind::kGauge, help);
+  auto [it, inserted] = fam.gauges.try_emplace(rendered_labels);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram_at(const std::string& name,
+                                         const std::string& rendered_labels,
+                                         const std::vector<double>& bounds,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family(name, Kind::kHistogram, help);
+  auto [it, inserted] = fam.histograms.try_emplace(rendered_labels);
+  if (inserted) it->second = std::make_unique<Histogram>(bounds);
+  return *it->second;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  for (const auto& [name, fam] : families_) {
+    MetricSample base;
+    base.name = name;
+    base.help = fam.help;
+    switch (fam.kind) {
+      case Kind::kCounter:
+        for (const auto& [ls, c] : fam.counters) {
+          MetricSample s = base;
+          s.kind = 'c';
+          s.labels = ls;
+          s.counter_value = c->value();
+          out.push_back(std::move(s));
+        }
+        break;
+      case Kind::kGauge:
+        for (const auto& [ls, g] : fam.gauges) {
+          MetricSample s = base;
+          s.kind = 'g';
+          s.labels = ls;
+          s.gauge_value = g->value();
+          out.push_back(std::move(s));
+        }
+        break;
+      case Kind::kHistogram:
+        for (const auto& [ls, h] : fam.histograms) {
+          MetricSample s = base;
+          s.kind = 'h';
+          s.labels = ls;
+          s.bounds = h->bounds();
+          s.buckets.reserve(s.bounds.size() + 1);
+          for (std::size_t i = 0; i <= s.bounds.size(); ++i) {
+            s.buckets.push_back(h->bucket_count(i));
+          }
+          s.sum_micro = h->sum_micro();
+          out.push_back(std::move(s));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
 std::string MetricsRegistry::prometheus_text() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
@@ -182,14 +268,18 @@ std::string MetricsRegistry::prometheus_text() const {
           for (std::size_t i = 0; i < h->bounds().size(); ++i) {
             cumulative += h->bucket_count(i);
             out << name << "_bucket"
-                << with_extra_label(ls, "le", number(h->bounds()[i])) << " "
+                << labels_with(ls, "le", number(h->bounds()[i])) << " "
                 << cumulative << "\n";
           }
           cumulative += h->bucket_count(h->bounds().size());
-          out << name << "_bucket" << with_extra_label(ls, "le", "+Inf") << " "
+          out << name << "_bucket" << labels_with(ls, "le", "+Inf") << " "
               << cumulative << "\n";
           out << name << "_sum" << ls << " " << number(h->sum()) << "\n";
-          out << name << "_count" << ls << " " << h->count() << "\n";
+          // _count derives from the buckets just read, never from the
+          // separate count cell: observe() is three relaxed atomic adds, so
+          // reading count independently could expose count != +Inf bucket
+          // under concurrent writers — a torn scrape Prometheus rejects.
+          out << name << "_count" << ls << " " << cumulative << "\n";
         }
         break;
     }

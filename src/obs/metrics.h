@@ -33,6 +33,16 @@ class Counter {
   void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
+  /// Telemetry merge: mirrors a worker's cumulative snapshot into this child.
+  /// Monotonic — a stale frame arriving out of order can never wind the
+  /// counter backwards.
+  void advance_to(std::uint64_t v) {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
  private:
   std::atomic<std::uint64_t> value_{0};
 };
@@ -64,6 +74,13 @@ class Histogram {
   double sum() const {
     return static_cast<double>(sum_micro_.load(std::memory_order_relaxed)) / 1e6;
   }
+  std::int64_t sum_micro() const { return sum_micro_.load(std::memory_order_relaxed); }
+
+  /// Telemetry merge: mirrors a worker's cumulative bucket snapshot into this
+  /// child (`buckets` per-bucket including +Inf; sizes must match bounds).
+  /// The internal count is derived from the buckets, never shipped
+  /// separately, so the merged child can't disagree with itself.
+  void mirror(const std::vector<std::uint64_t>& buckets, std::int64_t sum_micro);
 
  private:
   std::vector<double> bounds_;
@@ -76,6 +93,26 @@ class Histogram {
 const std::vector<double>& response_time_buckets();
 /// Default bucket edges for per-run wall time (seconds).
 const std::vector<double>& wall_time_buckets();
+
+/// Splices one more label into an already-rendered `{k="v",...}` label
+/// string (telemetry merging tags shipped children with worker="N").
+std::string labels_with(const std::string& rendered, const std::string& key,
+                        const std::string& value);
+
+/// One metric child, frozen at snapshot() time. For histograms the buckets
+/// are per-bucket (non-cumulative) with +Inf last; the count is by
+/// definition the bucket total and is not carried separately.
+struct MetricSample {
+  char kind = 'c';  // 'c' counter, 'g' gauge, 'h' histogram
+  std::string name;
+  std::string help;
+  std::string labels;  // rendered {k="v",...}, "" for no labels
+  std::uint64_t counter_value = 0;
+  double gauge_value = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::int64_t sum_micro = 0;
+};
 
 class MetricsRegistry {
  public:
@@ -94,6 +131,23 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, const Labels& labels,
                        const std::vector<double>& bounds,
                        const std::string& help = "");
+
+  /// Handle lookup by pre-rendered label string (the form snapshot() and the
+  /// telemetry wire carry) — the merge path re-creates a worker's children
+  /// without reconstructing Labels vectors.
+  Counter& counter_at(const std::string& name, const std::string& rendered_labels,
+                      const std::string& help = "");
+  Gauge& gauge_at(const std::string& name, const std::string& rendered_labels,
+                  const std::string& help = "");
+  Histogram& histogram_at(const std::string& name, const std::string& rendered_labels,
+                          const std::vector<double>& bounds,
+                          const std::string& help = "");
+
+  /// Consistent-enough copy of every child for telemetry shipping. Values
+  /// are relaxed-atomic reads; histogram counts derive from the buckets (see
+  /// Histogram::mirror), so a snapshot never exposes a torn count/bucket
+  /// pair.
+  std::vector<MetricSample> snapshot() const;
 
   /// Prometheus text exposition format (# HELP / # TYPE + samples).
   std::string prometheus_text() const;

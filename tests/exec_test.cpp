@@ -309,9 +309,9 @@ TEST(Exec, EtaFallsBackToLifetimeAverageWhenWindowCold) {
   EXPECT_NEAR(skip.runs_per_sec, 0.25, 1e-9);  // still 1 fresh run, now / 4s
 }
 
-// A v1 journal (no wall_us/sim_us/fx) written by the previous release must
-// resume cleanly under the v2 reader.
-TEST(Exec, JournalV1FilesResumeUnderV2Reader) {
+// A v1 journal (no wall_us/sim_us/fx) written by two releases ago must
+// resume cleanly under the current reader.
+TEST(Exec, JournalV1FilesResumeUnderCurrentReader) {
   const core::RunConfig cfg = make_config("Apache1");
   const inject::FaultList list = capped_list(cfg, 7, 6);
 
@@ -323,8 +323,8 @@ TEST(Exec, JournalV1FilesResumeUnderV2Reader) {
   const exec::CampaignResult full = exec::CampaignExecutor(eo).run(cfg, list, 7);
   ASSERT_GT(full.executed, 0u);
 
-  // Rewrite the v2 journal as its v1 ancestor: version 1 header, records
-  // truncated before the v2 timing fields.
+  // Rewrite the journal as its v1 ancestor: version 1 header, records
+  // truncated before the v2 timing fields (which also drops the v3 "xi").
   std::vector<std::string> lines;
   {
     std::ifstream in(journal);
@@ -335,7 +335,7 @@ TEST(Exec, JournalV1FilesResumeUnderV2Reader) {
   {
     std::ofstream out(journal, std::ios::trunc);
     for (std::string line : lines) {
-      const auto header = line.find("\"dts_journal\":2");
+      const auto header = line.find("\"dts_journal\":3");
       if (header != std::string::npos) {
         line.replace(header, 15, "\"dts_journal\":1");
       }
@@ -400,11 +400,11 @@ TEST(Exec, JournalReaderToleratesUnknownFieldsAndRoundTripsV2Extras) {
   EXPECT_EQ((*records)[1].sim_us, 34u);
   EXPECT_TRUE((*records)[1].forensics.empty());
 
-  // And the header written today really is schema v2.
+  // And the header written today really is schema v3.
   std::ifstream in(path);
   std::string header;
   ASSERT_TRUE(std::getline(in, header));
-  EXPECT_NE(header.find("\"dts_journal\":2"), std::string::npos);
+  EXPECT_NE(header.find("\"dts_journal\":3"), std::string::npos);
 }
 
 TEST(Exec, ProgressFormatting) {

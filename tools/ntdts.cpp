@@ -9,6 +9,8 @@
 //                                           execute one fault-injection run
 //   ntdts report <campaign.dts>...          render saved campaigns as the
 //                                           paper-style tables
+//   ntdts report <journal.jsonl>...         merge run journals into a fleet
+//                                           campaign report (Markdown/HTML)
 //   ntdts workloads                         list built-in workloads
 //
 // `run` writes <output-dir>/results.csv (one line per fault-injection run),
@@ -31,6 +33,12 @@
 // processes over loopback TCP; `run --listen=host:port` waits for external
 // `ntdts worker --connect=host:port` processes instead. Either way the
 // output is byte-identical to a serial run.
+//
+// Fleet observability (src/obs/fleet/): `run --http=host:port` serves live
+// /metrics (Prometheus text), /status (leases, per-worker rates, ETA) and
+// /runs?worker=&outcome= (journal tail) while the campaign runs. Workers in
+// a distributed campaign ship their metric snapshots to the coordinator, so
+// the endpoint sees the whole fleet.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -43,7 +51,13 @@
 #include "dist/socket.h"
 #include "dist/worker.h"
 #include "exec/executor.h"
+#include "exec/journal.h"
 #include "inject/fault_class.h"
+#include "obs/fleet/events.h"
+#include "obs/fleet/http.h"
+#include "obs/fleet/report.h"
+#include "obs/fleet/stall.h"
+#include "obs/fleet/status.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -83,6 +97,10 @@ int usage() {
       "        --lease-timeout-ms=N  reassign a shard lease after N ms of worker\n"
       "                   silence (default 30000)\n"
       "        --lease-size=N  faults per shard lease (default: auto)\n"
+      "        --http=host:port  serve live observability over HTTP while the\n"
+      "                   campaign runs: /metrics (Prometheus), /status (JSON:\n"
+      "                   leases, per-worker rates, ETA), /runs?worker=&outcome=\n"
+      "                   (journal tail); port 0 = ephemeral, printed on start\n"
       "  ntdts worker --connect=host:port [--io-timeout-ms=N]\n"
       "        join a distributed campaign as a worker process\n"
       "  ntdts plan <config.ini> [plan.json] [--ci-width=X]\n"
@@ -93,6 +111,11 @@ int usage() {
       "  ntdts classes <workload>\n"
       "  ntdts single <workload> <fault-id> [none|mscs|watchd] [1|2|3] [--trace]\n"
       "  ntdts report <campaign.dts>...\n"
+      "        render saved campaigns as the paper-style tables\n"
+      "  ntdts report <journal.jsonl>... [--out=PATH] [--html]\n"
+      "        merge run journals (any mix of schema versions, duplicate\n"
+      "        records dropped) into a campaign report with outcome matrices\n"
+      "        and response-time histograms\n"
       "  ntdts workloads\n";
   return 2;
 }
@@ -114,17 +137,89 @@ std::optional<std::string> read_file(const std::string& path) {
 }
 
 int cmd_report(int argc, char** argv) {
-  std::vector<core::WorkloadSetResult> sets;
+  std::vector<std::string> paths;
+  std::string out_path;
+  bool html = false;
   for (int i = 2; i < argc; ++i) {
-    const auto text = read_file(argv[i]);
+    const std::string a = argv[i];
+    if (a.rfind("--out=", 0) == 0) {
+      out_path = a.substr(6);
+      if (out_path.empty()) {
+        std::cerr << "ntdts report: --out expects a path\n";
+        return 2;
+      }
+    } else if (a == "--html") {
+      html = true;
+    } else if (a.rfind("--", 0) == 0) {
+      return unknown_flag("report", a);
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.empty()) return usage();
+
+  // Classify inputs by content, not extension: a run journal announces
+  // itself in its header line. Mixing the two report kinds is an error.
+  std::vector<std::string> texts;
+  bool any_journal = false;
+  bool any_campaign = false;
+  for (const std::string& path : paths) {
+    const auto text = read_file(path);
     if (!text) {
-      std::cerr << "cannot read " << argv[i] << "\n";
+      std::cerr << "cannot read " << path << "\n";
       return 2;
     }
+    const std::string first_line = text->substr(0, text->find('\n'));
+    (first_line.find("\"dts_journal\"") != std::string::npos ? any_journal
+                                                            : any_campaign) = true;
+    texts.push_back(std::move(*text));
+  }
+  if (any_journal && any_campaign) {
+    std::cerr << "ntdts report: cannot mix run journals and campaign.dts files "
+                 "in one report\n";
+    return 2;
+  }
+
+  if (any_journal) {
+    std::vector<exec::JournalFile> files;
+    for (const std::string& path : paths) {
+      std::string error;
+      auto file = exec::read_journal_file(path, &error);
+      if (!file) {
+        std::cerr << path << ": " << error << "\n";
+        return 2;
+      }
+      files.push_back(std::move(*file));
+    }
+    const obs::fleet::FleetReport report = obs::fleet::build_report(files);
+    const std::string rendered = html ? obs::fleet::render_report_html(report)
+                                      : obs::fleet::render_report_markdown(report);
+    if (out_path.empty()) {
+      std::cout << rendered;
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 2;
+      }
+      out << rendered;
+      std::cout << "report written to " << out_path << " (" << report.records
+                << " runs, " << report.groups.size() << " configuration"
+                << (report.groups.size() == 1 ? "" : "s") << ")\n";
+    }
+    return 0;
+  }
+
+  if (html || !out_path.empty()) {
+    std::cerr << "ntdts report: --out/--html apply to journal reports only\n";
+    return 2;
+  }
+  std::vector<core::WorkloadSetResult> sets;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
     std::string error;
-    auto set = core::deserialize_workload_set(*text, &error);
+    auto set = core::deserialize_workload_set(texts[i], &error);
     if (!set) {
-      std::cerr << argv[i] << ": " << error << "\n";
+      std::cerr << paths[i] << ": " << error << "\n";
       return 2;
     }
     sets.push_back(std::move(*set));
@@ -318,6 +413,9 @@ struct RunFlags {
   int lease_timeout_ms = 30000;
   std::size_t lease_size = 0;
 
+  // Live observability endpoint (empty = off).
+  std::string http_addr;
+
   bool distributed() const { return dist_workers.has_value() || !listen_addr.empty(); }
 };
 
@@ -387,11 +485,62 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
   if (trace != obs::TraceMode::kOff) cfg->campaign.forensics_dir = out_dir + "/forensics";
   if (!metrics_out.empty()) cfg->campaign.metrics = &metrics;
 
+  // Fleet observability (src/obs/fleet/): --http turns the registry on and
+  // serves it live; the stall detector and status board ride along whenever
+  // metrics are collected, so anomaly counters land in --metrics-out too.
+  obs::fleet::FleetEventLog events;
+  obs::fleet::StatusBoard status_board;
+  obs::fleet::StallDetector stall(&metrics, &events);
+  if (!flags.http_addr.empty()) cfg->campaign.metrics = &metrics;
+  if (cfg->campaign.metrics != nullptr) {
+    cfg->campaign.stall = &stall;
+    cfg->campaign.status = &status_board;
+  }
+  obs::fleet::HttpEndpoint http;
+  if (!flags.http_addr.empty()) {
+    const auto hp = dist::parse_host_port(flags.http_addr, /*allow_port_zero=*/true);
+    if (!hp) {
+      std::cerr << "ntdts run: --http expects host:port, got '" << flags.http_addr
+                << "'\n";
+      return 2;
+    }
+    http.handle("/metrics", [&metrics](const obs::fleet::HttpRequest&) {
+      obs::fleet::HttpResponse r;
+      r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      r.body = metrics.prometheus_text();
+      return r;
+    });
+    http.handle("/status", [&status_board, &events](const obs::fleet::HttpRequest&) {
+      obs::fleet::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = status_board.status_json(&events);
+      return r;
+    });
+    http.handle("/runs", [&status_board](const obs::fleet::HttpRequest& req) {
+      const auto get = [&req](const char* key) {
+        const auto it = req.query.find(key);
+        return it != req.query.end() ? it->second : std::string();
+      };
+      obs::fleet::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = status_board.runs_json(get("worker"), get("outcome"));
+      return r;
+    });
+    std::string herr;
+    if (!http.start(hp->first, hp->second, &herr)) {
+      std::cerr << "ntdts run: " << herr << "\n";
+      return 2;
+    }
+    std::cerr << "live observability at http://" << hp->first << ":" << http.port()
+              << "/{metrics,status,runs}\n";
+  }
+
   core::WorkloadSetResult set;
   if (flags.distributed()) {
     dist::DistOptions d;
     if (!flags.listen_addr.empty()) {
-      const auto hp = dist::parse_host_port(flags.listen_addr);
+      const auto hp =
+          dist::parse_host_port(flags.listen_addr, /*allow_port_zero=*/true);
       if (!hp) {
         std::cerr << "ntdts run: --listen expects host:port, got '"
                   << flags.listen_addr << "'\n";
@@ -403,6 +552,7 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
     d.spawn_workers = flags.dist_workers.value_or(0);
     d.lease_timeout_ms = flags.lease_timeout_ms;
     d.lease_size = flags.lease_size;
+    d.events = &events;
     const std::string host = d.listen_host;
     if (d.spawn_workers == 0) {
       d.on_listen = [host](std::uint16_t port) {
@@ -428,6 +578,8 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
     eo.trace = cfg->campaign.trace;
     eo.forensics_depth = cfg->campaign.forensics_depth;
     eo.forensics_dir = cfg->campaign.forensics_dir;
+    eo.stall = cfg->campaign.stall;
+    eo.status = cfg->campaign.status;
     exec::CampaignExecutor executor(std::move(eo));
     set.runs = executor.run(cfg->run, *explicit_faults, cfg->campaign.seed).runs;
   } else {
@@ -666,6 +818,12 @@ int main(int argc, char** argv) {
             return 2;
           }
           flags.lease_timeout_ms = n;
+        } else if (a.rfind("--http=", 0) == 0) {
+          flags.http_addr = a.substr(7);
+          if (flags.http_addr.empty()) {
+            std::cerr << "ntdts: --http expects host:port\n";
+            return 2;
+          }
         } else if (a.rfind("--lease-size=", 0) == 0) {
           const std::string value = a.substr(13);
           std::size_t used = 0;
