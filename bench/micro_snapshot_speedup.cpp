@@ -1,0 +1,141 @@
+// micro_snapshot_speedup — guards the snapshot subsystem's two contracts
+// (DESIGN §snap) on the seed Apache workload:
+//
+//   1. Byte-identity: the snapshot/fork campaign serializes byte-identical
+//      to the plain executor, at --jobs=1 and --jobs=8.
+//   2. Speedup: snapshot execution reaches >= 5x the plain executor's
+//      runs/sec on the seed campaign (both measured at jobs=1 — the win is
+//      work skipped per run, not parallelism, so it holds on one core).
+//
+// Both are hard assertions; the binary exits 1 on violation. The campaign is
+// the deep per-invocation Apache1 sweep (iterations=48): the paper's I axis
+// makes every campaign run replay one shared golden trajectory up to its
+// injection point, and the deeper the sweep, the larger the share of faults
+// the golden profile proves can never fire at all. Snapshot execution turns
+// exactly that redundancy into skipped work — never-firing runs are
+// synthesized from the host golden run without forking, and the at-site
+// remainder forks from checkpoint snapshots. The plain executor re-executes
+// every run from scratch.
+//
+// Environment knobs:
+//   DTS_BENCH_TRIALS       timing rounds (default 3)
+//   DTS_BENCH_FAULT_CAP    cap faults per campaign (default 0 = full sweep)
+//   DTS_BENCH_SEED         campaign seed (default 7)
+//   DTS_BENCH_METRICS_OUT  export the campaign-metrics registry (including
+//                          the dts_snap_* counters) at exit
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "paper_common.h"
+#include "core/campaign.h"
+#include "snap/fork_runner.h"
+
+namespace {
+
+using namespace dts;
+
+std::size_t trials() {
+  const char* v = std::getenv("DTS_BENCH_TRIALS");
+  const std::size_t n = v != nullptr ? std::strtoull(v, nullptr, 10) : 3;
+  return n == 0 ? 1 : n;
+}
+
+core::RunConfig apache_config() {
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name("Apache1");
+  cfg.middleware = mw::MiddlewareKind::kNone;
+  return cfg;
+}
+
+core::CampaignOptions base_options() {
+  core::CampaignOptions opt;
+  opt.seed = bench::bench_seed();
+  opt.iterations = 48;
+  opt.max_faults = bench::fault_cap();
+  opt.metrics = &bench::bench_registry();
+  return opt;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+struct Timed {
+  std::string output;
+  std::size_t runs = 0;
+  double seconds = 0.0;
+};
+
+Timed timed_campaign(bool snapshots, int jobs) {
+  core::CampaignOptions opt = base_options();
+  opt.snapshots = snapshots;
+  opt.jobs = jobs;
+  const auto start = std::chrono::steady_clock::now();
+  const core::WorkloadSetResult set = core::run_workload_set(apache_config(), opt);
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return Timed{core::serialize_workload_set(set), set.runs.size(), elapsed.count()};
+}
+
+}  // namespace
+
+int main() {
+  if (!snap::snapshots_supported()) {
+    std::fprintf(stderr, "SKIP: snapshot forking unsupported on this platform\n");
+    return 0;
+  }
+
+  // Byte-identity first — a fast snapshot campaign with different bytes is
+  // not a speedup, it is a bug.
+  const Timed plain_ref = timed_campaign(/*snapshots=*/false, /*jobs=*/1);
+  for (const int jobs : {1, 8}) {
+    const Timed snap_run = timed_campaign(/*snapshots=*/true, jobs);
+    if (snap_run.output != plain_ref.output) {
+      std::fprintf(stderr, "FAIL: snapshot campaign at jobs=%d diverged from plain jobs=1\n",
+                   jobs);
+      return 1;
+    }
+    std::printf("byte-identical at jobs=%d: ok (%zu runs)\n", jobs, snap_run.runs);
+  }
+
+  std::vector<double> plain_times, snap_times;
+  const std::size_t n = trials();
+  for (std::size_t t = 0; t < n; ++t) {
+    // Strictly back-to-back, order alternating, as in micro_plan_pruning.
+    Timed plain, snapped;
+    if (t % 2 == 0) {
+      plain = timed_campaign(false, 1);
+      snapped = timed_campaign(true, 1);
+    } else {
+      snapped = timed_campaign(true, 1);
+      plain = timed_campaign(false, 1);
+    }
+    if (snapped.output != plain.output) {
+      std::fprintf(stderr, "FAIL: divergence in timing round %zu\n", t + 1);
+      return 1;
+    }
+    plain_times.push_back(plain.seconds);
+    snap_times.push_back(snapped.seconds);
+    std::printf("round %2zu/%zu  plain %.3fs  snapshot %.3fs  (%.1fx)\n", t + 1, n,
+                plain.seconds, snapped.seconds, plain.seconds / snapped.seconds);
+  }
+
+  const double plain_s = median(plain_times);
+  const double snap_s = median(snap_times);
+  const double runs = static_cast<double>(plain_ref.runs);
+  const double speedup = plain_s / snap_s;
+  std::printf("median-of-%zu  plain %.1f runs/s  snapshot %.1f runs/s  speedup %.2fx\n",
+              n, runs / plain_s, runs / snap_s, speedup);
+
+  if (speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: snapshot speedup %.2fx < 5x bar\n", speedup);
+    return 1;
+  }
+  std::printf("PASS: byte-identical at jobs 1/8 and %.2fx >= 5x\n", speedup);
+  return 0;
+}

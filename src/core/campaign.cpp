@@ -86,8 +86,11 @@ std::set<nt::Fn> activated_from_plan(const plan::Plan& p) {
   return out;
 }
 
-exec::ExecOptions exec_options_from(const CampaignOptions& options) {
+exec::ExecOptions exec_options_from(const CampaignOptions& options,
+                                    const plan::GoldenProfile* profile = nullptr) {
   exec::ExecOptions eo;
+  eo.snapshots = options.snapshots && profile != nullptr;
+  eo.snapshot_profile = profile;
   eo.jobs = options.jobs;
   eo.journal_path = options.journal_path;
   eo.resume = options.resume;
@@ -161,7 +164,14 @@ static WorkloadSetResult run_planned_workload_set(const RunConfig& base,
   so.batch = options.plan.batch;
   so.seed = options.seed;
 
-  exec::CampaignExecutor executor(exec_options_from(options));
+  // Snapshot execution wants the golden profile (for the tail checkpoint);
+  // the plan's entries already carry their own call sites.
+  std::optional<plan::GoldenProfile> profile;
+  if (options.snapshots) {
+    profile = plan::golden_profile(base, options.seed, options.iterations);
+  }
+  exec::CampaignExecutor executor(
+      exec_options_from(options, profile ? &*profile : nullptr));
   exec::PlanCampaignResult campaign = executor.run_plan(base, p, options.seed, so);
 
   PlanDigest digest;
@@ -189,7 +199,16 @@ WorkloadSetResult run_workload_set(const RunConfig& base, const CampaignOptions&
   result.base_config = base;
 
   // Profiling pass: which functions does this workload activate at all?
-  result.activated_functions = profile_workload(base, options.seed);
+  // With snapshots on, the full golden profile doubles as the profiling pass
+  // (same seed derivation, so `activated` is the same set) and additionally
+  // resolves every fault's injection site for checkpoint placement.
+  std::optional<plan::GoldenProfile> profile;
+  if (options.snapshots) {
+    profile = plan::golden_profile(base, options.seed, options.iterations);
+    result.activated_functions = profile->activated;
+  } else {
+    result.activated_functions = profile_workload(base, options.seed);
+  }
 
   // Capped lists sample evenly across the whole sweep rather than truncating:
   // a prefix slice would cover only the catalogue's first functions and badly
@@ -205,7 +224,8 @@ WorkloadSetResult run_workload_set(const RunConfig& base, const CampaignOptions&
   // The executor applies the skip-uncalled rule (paper §4): once a function
   // proves uncalled, the rest of its faults are skipped. With profiling this
   // rarely triggers, but nondeterminism can still starve a function of calls.
-  exec::CampaignExecutor executor(exec_options_from(options));
+  exec::CampaignExecutor executor(
+      exec_options_from(options, profile ? &*profile : nullptr));
   exec::CampaignResult campaign = executor.run(base, list, options.seed);
   result.executed_runs = campaign.executed;
   result.runs = std::move(campaign.runs);

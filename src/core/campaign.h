@@ -117,6 +117,14 @@ struct CampaignOptions {
   /// pruning, optional adaptive sampling. The default mode (kExhaustive)
   /// bypasses the planner entirely and reproduces the plain sweep.
   plan::PlanOptions plan;
+
+  /// Snapshot/fork execution (src/snap/): execute the fault-free golden
+  /// prefix once, capture COW snapshots at checkpoints, and fork each run
+  /// from the checkpoint nearest below its injection site instead of
+  /// replaying the prefix. Output is byte-identical to the default path at
+  /// any jobs count (anything not provably resumable falls back to a full
+  /// run), so the result cache key deliberately ignores this flag.
+  bool snapshots = false;
 };
 
 /// Runs a complete workload set and returns its results.

@@ -35,6 +35,12 @@ FaultInjectionRun::~FaultInjectionRun() = default;
 
 nt::Machine& FaultInjectionRun::target() { return world_->target; }
 
+nt::Machine& FaultInjectionRun::control() { return world_->control; }
+
+sim::Simulation& FaultInjectionRun::simulation() { return world_->simulation; }
+
+nt::net::Network& FaultInjectionRun::network() { return world_->network; }
+
 const obs::SpanLog& FaultInjectionRun::spans() const { return world_->spans; }
 
 const std::set<nt::Fn>& FaultInjectionRun::activated_functions() const {
@@ -79,6 +85,7 @@ RunResult FaultInjectionRun::execute(const std::optional<inject::FaultSpec>& fau
 
   // --- arm the injector ---------------------------------------------------------
   interceptor_ = inject::Interceptor{};
+  if (cfg_.checkpoints != nullptr) interceptor_.set_checkpoints(*cfg_.checkpoints);
   interceptor_.set_trace_limit(cfg_.trace_limit);
   if (cfg_.golden_capture > 0) {
     interceptor_.set_golden_capture(cfg_.workload.target_image, cfg_.golden_capture);

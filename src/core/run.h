@@ -56,6 +56,11 @@ struct RunConfig {
   /// interceptor().captured_calls(). Off for injection runs.
   int golden_capture = 0;
 
+  /// Snapshot-execution checkpoints (src/snap/): when non-null, the plan is
+  /// installed on the interceptor at the start of execute(), firing the
+  /// callback at each golden-run call site. The pointee must outlive the run.
+  const inject::Interceptor::CheckpointPlan* checkpoints = nullptr;
+
   // Application tuning knobs (defaults reproduce the paper's setup).
   apps::ApacheConfig apache;
   apps::IisConfig iis;
@@ -80,9 +85,15 @@ class FaultInjectionRun {
   /// paper's "activated functions" (Table 1).
   const std::set<nt::Fn>& activated_functions() const;
 
-  /// The world, accessible after execute() for inspection in tests.
+  /// The world, accessible after execute() for inspection in tests — and
+  /// *during* execute() from checkpoint callbacks (snapshot capture needs the
+  /// live simulation, both machines and the network mid-run).
   nt::Machine& target();
+  nt::Machine& control();
+  sim::Simulation& simulation();
+  nt::net::Network& network();
   const inject::Interceptor& interceptor() const { return interceptor_; }
+  inject::Interceptor& interceptor() { return interceptor_; }
 
   /// Middleware latency spans recorded during the last execute() (detection
   /// windows, recovery times, heartbeat hang detection). Empty for

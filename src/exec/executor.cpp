@@ -18,7 +18,9 @@
 #include "obs/fleet/span.h"
 #include "obs/fleet/stall.h"
 #include "obs/fleet/status.h"
+#include "plan/checkpoints.h"
 #include "sim/rng.h"
+#include "snap/fork_runner.h"
 
 namespace dts::exec {
 
@@ -188,6 +190,87 @@ core::RunResult execute_fault(const core::RunConfig& base, std::uint64_t campaig
   return r;
 }
 
+// True when the campaign may route runs through the snapshot/fork phase.
+// The phase costs one host golden run, so a single pending fault never pays.
+bool snapshot_phase_applicable(const ExecOptions& options, const core::RunConfig& base,
+                               std::size_t pending) {
+  return options.snapshots && options.snapshot_profile != nullptr && pending >= 2 &&
+         snap::unsupported_reason(base, options.trace != obs::TraceMode::kOff).empty();
+}
+
+// Latest golden call site (max syscall seq the profile observed) — the
+// checkpoint that lets profile-proven never-firing faults replay only the
+// run's tail.
+std::uint64_t profile_tail_site(const plan::GoldenProfile& profile) {
+  std::uint64_t tail = 0;
+  for (const auto& [fn, calls] : profile.calls) {
+    for (const plan::GoldenCall& c : calls) tail = std::max(tail, c.call_site);
+  }
+  return tail;
+}
+
+void emit_snap_metrics(obs::MetricsRegistry* metrics, const obs::Labels& set_labels,
+                       const snap::ForkStats& st) {
+  if (metrics == nullptr) return;
+  metrics->counter("dts_snap_checkpoints_total", set_labels,
+                   "checkpoints planned across host golden runs")
+      .inc(st.checkpoints_planned);
+  metrics->counter("dts_snap_snapshots_total", set_labels,
+                   "COW world snapshots captured at checkpoints")
+      .inc(st.snapshots_taken);
+  metrics->counter("dts_snap_forked_runs_total", set_labels,
+                   "campaign runs executed as forked snapshot children")
+      .inc(st.forked_runs);
+  metrics->counter("dts_snap_synthesized_runs_total", set_labels,
+                   "never-firing runs synthesized from the host golden run")
+      .inc(st.synthesized_runs);
+  metrics->counter("dts_snap_fallback_runs_total", set_labels,
+                   "snapshot-phase runs that fell back to full execution")
+      .inc(st.fallback_runs);
+  metrics->counter("dts_snap_identity_checks_total", set_labels,
+                   "snapshot-identity validations (child pre-arm + parent self-check)")
+      .inc(st.identity_checks);
+  metrics->counter("dts_snap_cow_violations_total", set_labels,
+                   "snapshot digests invalidated by in-place payload mutation")
+      .inc(st.cow_violations);
+  metrics->counter("dts_snap_shared_blocks_total", set_labels,
+                   "memory/file payloads structure-shared at capture")
+      .inc(st.shared_blocks);
+  metrics->counter("dts_snap_copied_blocks_total", set_labels,
+                   "memory/file payloads deep-copied at capture")
+      .inc(st.copied_blocks);
+  metrics->counter("dts_snap_shared_bytes_total", set_labels,
+                   "payload bytes structure-shared at capture")
+      .inc(st.shared_bytes);
+  metrics->counter("dts_snap_copied_bytes_total", set_labels,
+                   "payload bytes deep-copied at capture")
+      .inc(st.copied_bytes);
+  metrics->counter("dts_snap_skipped_sim_us_total", set_labels,
+                   "golden-prefix simulated microseconds not re-executed")
+      .inc(st.skipped_sim_us);
+}
+
+// Executes the snapshot/fork phase and returns the indices that still need a
+// full run. `record` fires once per forked result, in deterministic fork
+// order, on the calling thread.
+std::vector<std::size_t> run_snapshot_phase(
+    const core::RunConfig& base, const ExecOptions& options,
+    std::uint64_t campaign_seed, std::uint64_t campaign_digest,
+    std::uint64_t tail_site, const std::vector<snap::ForkItem>& items,
+    const std::function<void(const snap::ChildOutcome&)>& record,
+    const obs::Labels& set_labels) {
+  snap::ForkRunner::Options ropts;
+  ropts.campaign_seed = campaign_seed;
+  ropts.campaign_digest = campaign_digest;
+  ropts.max_checkpoints = options.snapshot_max_checkpoints;
+  ropts.jobs = effective_jobs(options.jobs);
+  ropts.tail_site = tail_site;
+  snap::ForkRunner runner(base, ropts);
+  std::vector<std::size_t> fallback = runner.run(items, record);
+  emit_snap_metrics(options.metrics, set_labels, runner.stats());
+  return fallback;
+}
+
 }  // namespace
 
 std::string_view outcome_label(core::Outcome o) {
@@ -308,10 +391,6 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
     if (slots[i].state == SlotState::kPending) pending.push_back(i);
   }
 
-  int workers = static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(effective_jobs(options_.jobs)),
-                            std::max<std::size_t>(pending.size(), 1)));
-
   // Observability: resolve every per-campaign metric handle once — outcome
   // counters, per-function activation counters, the histograms — so the
   // worker hot loop only does relaxed atomic updates. Registry lookups
@@ -353,6 +432,107 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
     std::filesystem::create_directories(options_.forensics_dir);
   }
 
+  ProgressTracker tracker(n, out.reused);
+
+  // --- snapshot/fork phase ---------------------------------------------------
+  // One host golden run captures COW snapshots at planned checkpoints; each
+  // fault whose injection site the profile resolves forks from the nearest
+  // checkpoint and executes only the suffix. Results are recorded exactly as
+  // the worker loop records a full run (the merge below then guarantees
+  // byte-identical campaign output either way); whatever cannot be forked
+  // stays in `pending` for the thread pool.
+  if (snapshot_phase_applicable(options_, base, pending.size()) &&
+      (options_.cancel == nullptr ||
+       !options_.cancel->load(std::memory_order_relaxed))) {
+    const plan::GoldenProfile& profile = *options_.snapshot_profile;
+    const std::uint64_t tail_site = profile_tail_site(profile);
+    std::vector<snap::ForkItem> items;
+    std::vector<std::size_t> next_pending;
+    for (std::size_t i : pending) {
+      const inject::FaultSpec& fault = list.faults[i];
+      snap::ForkItem item;
+      item.index = i;
+      item.fault = fault;
+      item.seed = sim::Rng::mix(campaign_seed, sim::Rng::hash(fault.id()));
+      if (auto site = plan::injection_site(profile, fault)) {
+        item.mode = snap::ForkItem::Mode::kAtSite;
+        item.site = *site;
+        items.push_back(item);
+        continue;
+      }
+      const auto cnt = profile.invocation_counts.find(fault.fn);
+      const int count = cnt == profile.invocation_counts.end() ? 0 : cnt->second;
+      if (tail_site > 0 && fault.invocation > count) {
+        // Profile-proven never-firing: the run IS the golden run; its result
+        // is synthesized from the host run's end state.
+        item.mode = snap::ForkItem::Mode::kGoldenTail;
+        item.fn_called = count > 0;
+        items.push_back(item);
+        continue;
+      }
+      // Reached but outside the profile's capture window: full run.
+      next_pending.push_back(i);
+    }
+    if (!items.empty()) {
+      auto record = [&](const snap::ChildOutcome& o) {
+        const std::size_t i = o.index;
+        const inject::FaultSpec& fault = list.faults[i];
+        const std::string fault_id = fault.id();
+        Slot& slot = slots[i];
+        slot.result = o.result;
+        slot.fn_called = o.fn_called;
+        slot.state = SlotState::kExecuted;
+        if (!slot.result.activated && !slot.fn_called) proofs.record(fault.fn, i);
+        const double wall_s = static_cast<double>(o.wall_us) * 1e-6;
+        const std::string exec_index =
+            obs::fleet::ExecutionIndex{campaign_digest, 0, i}.to_string();
+        if (journal.is_open()) {
+          JournalRecord rec;
+          rec.index = i;
+          rec.fault_id = fault_id;
+          rec.fn_called = slot.fn_called;
+          rec.run_line = core::serialize_run_line(slot.result);
+          rec.wall_us = o.wall_us;
+          rec.sim_us =
+              static_cast<std::uint64_t>(slot.result.sim_elapsed.count_micros());
+          rec.exec_index = exec_index;
+          journal.append(rec);
+        }
+        if (options_.stall != nullptr) {
+          options_.stall->observe(plan::StratumKey{fault.fn, fault.type}, wall_s,
+                                  fault_id, exec_index);
+        }
+        if (options_.status != nullptr) {
+          obs::fleet::RunEntry entry;
+          entry.index = i;
+          entry.fault_id = fault_id;
+          entry.outcome = std::string(outcome_label(slot.result.outcome));
+          entry.wall_us = o.wall_us;
+          entry.exec_index = exec_index;
+          options_.status->record_run(std::move(entry));
+        }
+        if (metrics != nullptr) {
+          outcome_counters.at(slot.result.outcome)->inc();
+          if (slot.result.activated) activation_counters.at(fault.fn)->inc();
+          resp_hist->observe(slot.result.response_time.to_seconds());
+          wall_hist->observe(wall_s);
+        }
+        const ProgressSnapshot s = tracker.completed(/*fresh_execution=*/true);
+        if (options_.on_progress) options_.on_progress(s);
+      };
+      std::vector<std::size_t> fallbacks =
+          run_snapshot_phase(base, options_, campaign_seed, campaign_digest,
+                             tail_site, items, record, set_labels);
+      next_pending.insert(next_pending.end(), fallbacks.begin(), fallbacks.end());
+      std::sort(next_pending.begin(), next_pending.end());
+      pending = std::move(next_pending);
+    }
+  }
+
+  const int workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(effective_jobs(options_.jobs)),
+                            std::max<std::size_t>(pending.size(), 1)));
+
   ShardQueue queue(pending.size(), workers);
   if (metrics != nullptr) {
     queue.set_metrics(
@@ -361,7 +541,6 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
         &metrics->gauge("dts_exec_queue_depth", {},
                         "unclaimed faults remaining in the shard queue"));
   }
-  ProgressTracker tracker(n, out.reused);
   std::mutex progress_mu;
   std::atomic<bool> stop{false};
   std::atomic<bool> cancelled{false};
@@ -634,6 +813,81 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
         if (options_.on_progress) options_.on_progress(s);
       } else {
         fresh.push_back(idx);
+      }
+    }
+
+    // Snapshot/fork phase, per round: plan entries carry their golden call
+    // site directly (golden_known), so forked items need no profile lookup;
+    // the profile still provides the tail checkpoint. Leftovers stay in
+    // `fresh` for the round's worker pool.
+    if (snapshot_phase_applicable(options_, base, fresh.size())) {
+      const std::uint64_t tail_site = profile_tail_site(*options_.snapshot_profile);
+      std::vector<snap::ForkItem> items;
+      std::vector<std::size_t> next_fresh;
+      for (std::size_t idx : fresh) {
+        const plan::PlanEntry& entry = plan.entries[idx];
+        if (!entry.golden_known) {
+          next_fresh.push_back(idx);
+          continue;
+        }
+        snap::ForkItem item;
+        item.index = idx;
+        item.fault = entry.fault;
+        item.seed = sim::Rng::mix(campaign_seed, sim::Rng::hash(entry.fault.id()));
+        item.mode = snap::ForkItem::Mode::kAtSite;
+        item.site = entry.call_site;
+        items.push_back(item);
+      }
+      if (!items.empty()) {
+        auto record = [&](const snap::ChildOutcome& o) {
+          const std::size_t idx = o.index;
+          const plan::PlanEntry& entry = plan.entries[idx];
+          const std::string fault_id = entry.fault.id();
+          const double wall_s = static_cast<double>(o.wall_us) * 1e-6;
+          const std::string exec_index =
+              obs::fleet::ExecutionIndex{campaign_digest, 0, idx}.to_string();
+          if (journal.is_open()) {
+            JournalRecord rec;
+            rec.index = idx;
+            rec.fault_id = fault_id;
+            rec.fn_called = o.fn_called;
+            rec.run_line = core::serialize_run_line(o.result);
+            rec.wall_us = o.wall_us;
+            rec.sim_us =
+                static_cast<std::uint64_t>(o.result.sim_elapsed.count_micros());
+            rec.exec_index = exec_index;
+            rec.stratum =
+                plan::to_string(plan::StratumKey{entry.fault.fn, entry.fault.type});
+            journal.append(rec);
+          }
+          if (options_.stall != nullptr) {
+            options_.stall->observe(plan::StratumKey{entry.fault.fn, entry.fault.type},
+                                    wall_s, fault_id, exec_index);
+          }
+          if (options_.status != nullptr) {
+            obs::fleet::RunEntry run_entry;
+            run_entry.index = idx;
+            run_entry.fault_id = fault_id;
+            run_entry.outcome = std::string(outcome_label(o.result.outcome));
+            run_entry.wall_us = o.wall_us;
+            run_entry.exec_index = exec_index;
+            options_.status->record_run(std::move(run_entry));
+          }
+          if (metrics != nullptr) {
+            outcome_counters.at(o.result.outcome)->inc();
+            resp_hist->observe(o.result.response_time.to_seconds());
+          }
+          results[idx] = o.result;
+          std::lock_guard<std::mutex> lock(progress_mu);
+          const ProgressSnapshot s = tracker.completed(/*fresh_execution=*/true);
+          if (options_.on_progress) options_.on_progress(s);
+        };
+        std::vector<std::size_t> fallbacks =
+            run_snapshot_phase(base, options_, campaign_seed, campaign_digest,
+                               tail_site, items, record, set_labels);
+        next_fresh.insert(next_fresh.end(), fallbacks.begin(), fallbacks.end());
+        std::sort(next_fresh.begin(), next_fresh.end());
+        fresh = std::move(next_fresh);
       }
     }
 

@@ -22,6 +22,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plan/plan.h"
+#include "plan/profiler.h"
 #include "plan/sampler.h"
 
 namespace dts::obs::fleet {
@@ -92,6 +93,25 @@ struct ExecOptions {
   /// Live status board fed every executed run (for the /runs endpoint).
   /// Must outlive run(). Null = off.
   obs::fleet::StatusBoard* status = nullptr;
+
+  // --- snapshot execution (src/snap/) -------------------------------------
+
+  /// Fork each campaign run from a COW snapshot taken during one shared
+  /// golden run instead of replaying the fault-free prefix (POSIX only).
+  /// Campaign output stays byte-identical to the unsnapshotted path at any
+  /// jobs count: anything not provably resumable — unknown injection sites,
+  /// jitter/tracing configs, semantic RNG draws in the prefix, abnormal
+  /// child exits (see snap::unsupported_reason) — silently falls back to a
+  /// full run. Requires snapshot_profile.
+  bool snapshots = false;
+
+  /// Upper bound on snapshots captured during the host golden run
+  /// (0 = one per distinct injection site).
+  std::size_t snapshot_max_checkpoints = 64;
+
+  /// Golden profile used to place checkpoints and resolve each fault's
+  /// injection site. Must outlive run(). Null disables snapshots.
+  const plan::GoldenProfile* snapshot_profile = nullptr;
 };
 
 struct CampaignResult {

@@ -129,7 +129,7 @@ void Filesystem::put_file(std::string_view path, std::string_view contents) {
   if (!norm) throw std::invalid_argument("put_file: bad path: " + std::string(path));
   auto parent = parent_of(*norm);
   if (parent) mkdirs(*parent);
-  files_[fold(*norm)] = FileNode{*norm, std::string(contents)};
+  files_[fold(*norm)] = FileNode{*norm, std::make_shared<std::string>(contents)};
 }
 
 std::optional<std::string> Filesystem::get_file(std::string_view path) const {
@@ -137,7 +137,7 @@ std::optional<std::string> Filesystem::get_file(std::string_view path) const {
   if (!norm) return std::nullopt;
   auto it = files_.find(fold(*norm));
   if (it == files_.end()) return std::nullopt;
-  return it->second.content;
+  return it->second.data();
 }
 
 Win32Error Filesystem::open(std::string_view path, Dword access, Dword disposition,
@@ -170,10 +170,11 @@ Win32Error Filesystem::open(std::string_view path, Dword access, Dword dispositi
   if (!exists) {
     auto parent = parent_of(*norm);
     if (!parent || !dirs_.contains(fold(*parent))) return Win32Error::kPathNotFound;
-    files_.emplace(key, FileNode{*norm, ""});
+    files_.emplace(key, FileNode{*norm, std::make_shared<std::string>()});
     if (created != nullptr) *created = true;
   } else if (disposition == kCreateAlways || disposition == kTruncateExisting) {
-    files_[key].content.clear();
+    // Fresh empty content: never clone the old bytes just to discard them.
+    files_[key].content = std::make_shared<std::string>();
   }
   if (canonical != nullptr) *canonical = key;
   return Win32Error::kSuccess;
@@ -183,7 +184,7 @@ Win32Error Filesystem::read(const std::string& canonical, Word offset, Word size
                             std::string* out) const {
   auto it = files_.find(canonical);
   if (it == files_.end()) return Win32Error::kFileNotFound;
-  const std::string& c = it->second.content;
+  const std::string& c = it->second.data();
   if (offset >= c.size()) {
     out->clear();
     return Win32Error::kSuccess;  // EOF: zero bytes read
@@ -196,7 +197,7 @@ Win32Error Filesystem::read(const std::string& canonical, Word offset, Word size
 Win32Error Filesystem::write(const std::string& canonical, Word offset, std::string_view data) {
   auto it = files_.find(canonical);
   if (it == files_.end()) return Win32Error::kFileNotFound;
-  std::string& c = it->second.content;
+  std::string& c = writable(it->second);
   if (c.size() < offset + data.size()) c.resize(offset + data.size(), '\0');
   c.replace(offset, data.size(), data);
   return Win32Error::kSuccess;
@@ -205,7 +206,7 @@ Win32Error Filesystem::write(const std::string& canonical, Word offset, std::str
 Win32Error Filesystem::truncate(const std::string& canonical, Word new_size) {
   auto it = files_.find(canonical);
   if (it == files_.end()) return Win32Error::kFileNotFound;
-  it->second.content.resize(new_size, '\0');
+  writable(it->second).resize(new_size, '\0');
   return Win32Error::kSuccess;
 }
 
@@ -214,7 +215,7 @@ std::optional<Word> Filesystem::size(std::string_view path) const {
   if (!norm) return std::nullopt;
   auto it = files_.find(fold(*norm));
   if (it == files_.end()) return std::nullopt;
-  return static_cast<Word>(it->second.content.size());
+  return static_cast<Word>(it->second.data().size());
 }
 
 Win32Error Filesystem::remove(std::string_view path) {
@@ -294,9 +295,56 @@ bool Filesystem::match(std::string_view pattern, std::string_view name) {
   return p == pattern.size();
 }
 
+std::string& Filesystem::writable(FileNode& node) {
+  if (!node.content) {
+    node.content = std::make_shared<std::string>();
+  } else if (node.content.use_count() > 1) {
+    node.content = std::make_shared<std::string>(*node.content);
+    ++cow_copies_;
+  }
+  return *node.content;
+}
+
+bool operator==(const Filesystem::Snapshot& a, const Filesystem::Snapshot& b) {
+  if (a.dirs != b.dirs || a.files.size() != b.files.size()) return false;
+  auto ia = a.files.begin();
+  auto ib = b.files.begin();
+  for (; ia != a.files.end(); ++ia, ++ib) {
+    if (ia->first != ib->first ||
+        ia->second.display_path != ib->second.display_path) {
+      return false;
+    }
+    if (ia->second.content != ib->second.content &&
+        ia->second.data() != ib->second.data()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Filesystem::Snapshot Filesystem::capture(CowStats* stats) const {
+  if (stats != nullptr) {
+    for (const auto& [key, node] : files_) {
+      if (node.content.use_count() > 1) {
+        ++stats->shared_blocks;
+        stats->shared_bytes += node.data().size();
+      } else {
+        ++stats->copied_blocks;
+        stats->copied_bytes += node.data().size();
+      }
+    }
+  }
+  return Snapshot{files_, dirs_};
+}
+
+void Filesystem::restore(const Snapshot& s) {
+  files_ = s.files;
+  dirs_ = s.dirs;
+}
+
 std::uint64_t Filesystem::total_bytes() const {
   std::uint64_t sum = 0;
-  for (const auto& [_, node] : files_) sum += node.content.size();
+  for (const auto& [_, node] : files_) sum += node.data().size();
   return sum;
 }
 

@@ -114,16 +114,45 @@ class Filesystem {
   std::uint64_t total_bytes() const;
   std::size_t file_count() const { return files_.size(); }
 
- private:
+  // --- snapshots (src/snap/) ------------------------------------------------
+  // File contents are copy-on-write, exactly like VirtualMemory blocks: a
+  // capture shares every content string with the live tree; the first write
+  // to a shared file clones it. CopyFile also structure-shares (a copied
+  // file costs nothing until one side is written).
+
   struct FileNode {
     std::string display_path;  // case-preserving canonical path
-    std::string content;
+    std::shared_ptr<std::string> content;
+
+    const std::string& data() const {
+      static const std::string empty;
+      return content ? *content : empty;
+    }
   };
 
+  struct Snapshot {
+    std::map<std::string, FileNode> files;
+    std::map<std::string, std::string> dirs;
+
+    /// Deep equality (content bytes, not pointer identity).
+    friend bool operator==(const Snapshot& a, const Snapshot& b);
+  };
+
+  Snapshot capture(CowStats* stats = nullptr) const;
+  void restore(const Snapshot& s);
+
+  /// Content clones forced by writes to shared files since construction.
+  std::uint64_t cow_copies() const { return cow_copies_; }
+
+ private:
   static std::optional<std::string> parent_of(std::string_view normalized);
+
+  /// The node's content string, cloned first if a snapshot still shares it.
+  std::string& writable(FileNode& node);
 
   std::map<std::string, FileNode> files_;     // keyed by folded path
   std::map<std::string, std::string> dirs_;   // folded path -> display path
+  std::uint64_t cow_copies_ = 0;
 };
 
 }  // namespace dts::nt

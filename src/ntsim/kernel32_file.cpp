@@ -298,7 +298,13 @@ Word sync_file(Sys& s, const CallRecord& r) {
       const std::string dir = s.mem().read_cstr(Ptr{a[0]});
       const std::string prefix = s.mem().read_cstr(Ptr{a[1]});
       Word unique = a[2];
-      if (unique == 0) unique = static_cast<Word>(s.m.sim().rng().uniform(1, 0xFFFF));
+      if (unique == 0) {
+        // This draw's value escapes into machine state (the generated file
+        // name), so a run that skips the prefix cannot reproduce it from the
+        // RNG cursor alone — flag it so snapshot execution falls back.
+        s.m.sim().note_semantic_rng_draw();
+        unique = static_cast<Word>(s.m.sim().rng().uniform(1, 0xFFFF));
+      }
       char name[64];
       std::snprintf(name, sizeof name, "%s%04X.TMP", prefix.substr(0, 3).c_str(),
                     unique & 0xFFFF);

@@ -22,10 +22,22 @@ Ptr VirtualMemory::alloc(Word size) {
   next_addr_ = base + static_cast<Word>(usable) + kGuardGap;
   Block b;
   b.size = size;
-  b.bytes.assign(size, std::byte{0});
+  b.bytes = std::make_shared<std::vector<std::byte>>(size, std::byte{0});
   blocks_.emplace(base, std::move(b));
   bytes_in_use_ += size;
   return Ptr{base};
+}
+
+std::vector<std::byte>& VirtualMemory::writable(const Block& b) {
+  // `b` lives in blocks_ (find() returns owned elements); the map is not
+  // resized here, so mutating the payload pointer through the const ref is
+  // safe — the same const_cast the pre-COW code did on the byte vector.
+  Block& block = const_cast<Block&>(b);
+  if (block.bytes.use_count() > 1) {
+    block.bytes = std::make_shared<std::vector<std::byte>>(*block.bytes);
+    ++cow_copies_;
+  }
+  return *block.bytes;
 }
 
 bool VirtualMemory::free(Ptr p) {
@@ -63,14 +75,14 @@ void VirtualMemory::write(Ptr p, std::span<const std::byte> data) {
   Word off = 0;
   const Block* b = find(p.addr, static_cast<Word>(data.size()), &off);
   if (b == nullptr) throw AccessViolation{p.addr, /*is_write=*/true};
-  std::memcpy(const_cast<std::byte*>(b->bytes.data()) + off, data.data(), data.size());
+  std::memcpy(writable(*b).data() + off, data.data(), data.size());
 }
 
 void VirtualMemory::read(Ptr p, std::span<std::byte> out) const {
   Word off = 0;
   const Block* b = find(p.addr, static_cast<Word>(out.size()), &off);
   if (b == nullptr) throw AccessViolation{p.addr, /*is_write=*/false};
-  std::memcpy(out.data(), b->bytes.data() + off, out.size());
+  std::memcpy(out.data(), b->bytes->data() + off, out.size());
 }
 
 std::vector<std::byte> VirtualMemory::read(Ptr p, Word size) const {
@@ -130,6 +142,46 @@ Ptr VirtualMemory::alloc_cstr(std::string_view s) {
   Ptr p = alloc(static_cast<Word>(s.size()) + 1);
   write_cstr(p, s);
   return p;
+}
+
+bool operator==(const VirtualMemory::Snapshot& a, const VirtualMemory::Snapshot& b) {
+  if (a.next_addr != b.next_addr || a.bytes_in_use != b.bytes_in_use ||
+      a.blocks.size() != b.blocks.size()) {
+    return false;
+  }
+  auto ia = a.blocks.begin();
+  auto ib = b.blocks.begin();
+  for (; ia != a.blocks.end(); ++ia, ++ib) {
+    if (ia->first != ib->first || ia->second.size != ib->second.size) return false;
+    if (ia->second.bytes != ib->second.bytes && *ia->second.bytes != *ib->second.bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+VirtualMemory::Snapshot VirtualMemory::capture(CowStats* stats) const {
+  if (stats != nullptr) {
+    for (const auto& [base, b] : blocks_) {
+      // use_count > 1 before this capture copies the map means an earlier
+      // snapshot still shares the payload — the block stayed clean.
+      if (b.bytes.use_count() > 1) {
+        ++stats->shared_blocks;
+        stats->shared_bytes += b.bytes->size();
+      } else {
+        ++stats->copied_blocks;
+        stats->copied_bytes += b.bytes->size();
+      }
+    }
+  }
+  return Snapshot{blocks_, next_addr_, bytes_in_use_};
+}
+
+void VirtualMemory::restore(const Snapshot& s) {
+  // Share the snapshot's payloads; the next write to any of them clones.
+  blocks_ = s.blocks;
+  next_addr_ = s.next_addr;
+  bytes_in_use_ = s.bytes_in_use;
 }
 
 }  // namespace dts::nt

@@ -92,7 +92,9 @@ class Process {
   void set_state(State s) { state_ = s; }
 
   VirtualMemory& mem() { return mem_; }
+  const VirtualMemory& mem() const { return mem_; }
   HandleTable& handles() { return handles_; }
+  const HandleTable& handles() const { return handles_; }
   const std::shared_ptr<ProcessObject>& object() const { return object_; }
 
   // --- environment ----------------------------------------------------------

@@ -1,0 +1,43 @@
+#include "plan/checkpoints.h"
+
+#include <algorithm>
+
+#include "sim/rng.h"
+
+namespace dts::plan {
+
+std::vector<std::uint64_t> place_checkpoints(std::vector<std::uint64_t> sites,
+                                             std::size_t max_checkpoints) {
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  if (max_checkpoints == 0 || sites.size() <= max_checkpoints) return sites;
+  if (max_checkpoints == 1) return {sites.front()};
+  std::vector<std::uint64_t> out;
+  out.reserve(max_checkpoints);
+  // Even spacing by *index* (not seq value): every checkpoint lands on an
+  // actual injection site, and k == 0 keeps the earliest one.
+  for (std::size_t k = 0; k < max_checkpoints; ++k) {
+    out.push_back(sites[k * (sites.size() - 1) / (max_checkpoints - 1)]);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::optional<std::uint64_t> injection_site(const GoldenProfile& profile,
+                                            const inject::FaultSpec& fault) {
+  if (fault.target_image != profile.target_image) return std::nullopt;
+  auto it = profile.calls.find(fault.fn);
+  if (it == profile.calls.end()) return std::nullopt;
+  if (fault.invocation < 1 ||
+      static_cast<std::size_t>(fault.invocation) > it->second.size()) {
+    return std::nullopt;
+  }
+  return it->second[static_cast<std::size_t>(fault.invocation) - 1].call_site;
+}
+
+std::uint64_t snapshot_identity(std::uint64_t campaign_digest, std::uint64_t site,
+                                std::uint64_t world_digest) {
+  return sim::Rng::mix(campaign_digest, sim::Rng::mix(site, world_digest));
+}
+
+}  // namespace dts::plan

@@ -1,0 +1,44 @@
+// Checkpoint placement for snapshot execution (src/snap/).
+//
+// The golden-run profile names every injection point by its machine-wide
+// syscall sequence number. Snapshot execution captures world state at a
+// bounded subset of those sites; each fault run then forks from the greatest
+// checkpoint at or before its own injection site and replays only the
+// suffix. Placement is pure arithmetic over the profile — deterministic, so
+// every process planning the same campaign places identical checkpoints.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "inject/fault.h"
+#include "plan/profiler.h"
+
+namespace dts::plan {
+
+/// Thins `sites` (golden-run call sites, any order, duplicates allowed) to at
+/// most `max_checkpoints` snapshot points: sorted, unique, evenly spaced over
+/// the site list by index, always retaining the earliest site (a fault whose
+/// injection site precedes every checkpoint could otherwise never fork —
+/// checkpoints after the injection point are useless to it).
+/// `max_checkpoints == 0` means unbounded.
+std::vector<std::uint64_t> place_checkpoints(std::vector<std::uint64_t> sites,
+                                             std::size_t max_checkpoints);
+
+/// The golden-run call site of `fault`'s injection point: the seq of
+/// invocation `fault.invocation` of `fault.fn` by the profiled image.
+/// nullopt if the golden run never reached that invocation (or profiled a
+/// different image) — such faults cannot fork and take a full run.
+std::optional<std::uint64_t> injection_site(const GoldenProfile& profile,
+                                            const inject::FaultSpec& fault);
+
+/// Identity of one snapshot: campaign digest × call site × captured world
+/// digest. Validated when a fault run is attached to a snapshot, so a
+/// snapshot taken for a different campaign (or a world that diverged from
+/// the golden run) can never silently serve a fork.
+std::uint64_t snapshot_identity(std::uint64_t campaign_digest, std::uint64_t site,
+                                std::uint64_t world_digest);
+
+}  // namespace dts::plan

@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -7,28 +8,27 @@ namespace dts::sim {
 
 std::uint64_t EventQueue::push(TimePoint at, Callback fn) {
   const std::uint64_t id = next_seq_++;
-  heap_.push(Event{at, id, std::move(fn)});
+  heap_.push_back(Event{at, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return id;
 }
 
 TimePoint EventQueue::next_time() const {
   if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
 EventQueue::Callback EventQueue::pop(TimePoint* at) {
   if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
-  // priority_queue::top() is const; the callback must be moved out, so we
-  // const_cast the owned element just before popping it.
-  Event& top = const_cast<Event&>(heap_.top());
-  if (at != nullptr) *at = top.at;
-  Callback fn = std::move(top.fn);
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  if (at != nullptr) *at = heap_.back().at;
+  Callback fn = std::move(heap_.back().fn);
+  heap_.pop_back();
   return fn;
 }
 
 void EventQueue::clear() {
-  heap_ = {};
+  heap_.clear();
 }
 
 }  // namespace dts::sim

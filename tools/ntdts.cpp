@@ -71,9 +71,13 @@ int usage() {
       "\n"
       "  ntdts run <config.ini> [output-dir] [--jobs=N] [--resume] [--max-faults=N]\n"
       "            [--plan=PATH | --plan-auto | --exhaustive] [--ci-width=X]\n"
-      "            [--trace=off|failures|all] [--forensics-depth=N] [--metrics-out=PATH]\n"
+      "            [--snapshots=on|off] [--trace=off|failures|all]\n"
+      "            [--forensics-depth=N] [--metrics-out=PATH]\n"
       "        --jobs=N   parallel campaign workers (0 = all hardware threads;\n"
       "                   output is byte-identical at any job count)\n"
+      "        --snapshots=on|off  fork each run from a COW snapshot of the\n"
+      "                   shared golden prefix instead of replaying it (POSIX\n"
+      "                   only; output stays byte-identical, default off)\n"
       "        --resume   continue an interrupted campaign from its run journal\n"
       "        --max-faults=N  cap the sweep at N faults (evenly sampled; 0 = all)\n"
       "        --plan=PATH  execute a saved campaign plan (see 'ntdts plan')\n"
@@ -406,6 +410,7 @@ struct RunFlags {
   std::string plan_file;
   double ci_width = 0.0;
   std::optional<std::size_t> max_faults;
+  std::optional<bool> snapshots;
 
   // Distributed mode (either flag selects it).
   std::optional<int> dist_workers;
@@ -434,6 +439,7 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
   }
   if (flags.jobs) cfg->campaign.jobs = *flags.jobs;
   if (flags.max_faults) cfg->campaign.max_faults = *flags.max_faults;
+  if (flags.snapshots) cfg->campaign.snapshots = *flags.snapshots;
   cfg->campaign.plan.mode = flags.plan_mode;
   cfg->campaign.plan.plan_file = flags.plan_file;
   cfg->campaign.plan.ci_half_width = flags.ci_width;
@@ -824,6 +830,16 @@ int main(int argc, char** argv) {
             std::cerr << "ntdts: --http expects host:port\n";
             return 2;
           }
+        } else if (a.rfind("--snapshots=", 0) == 0) {
+          const std::string value = a.substr(12);
+          if (value == "on") {
+            flags.snapshots = true;
+          } else if (value == "off") {
+            flags.snapshots = false;
+          } else {
+            std::cerr << "ntdts: --snapshots expects on|off, got '" << value << "'\n";
+            return 2;
+          }
         } else if (a.rfind("--lease-size=", 0) == 0) {
           const std::string value = a.substr(13);
           std::size_t used = 0;
@@ -875,6 +891,16 @@ int main(int argc, char** argv) {
                        "--workers=N for a distributed campaign\n";
           return 2;
         }
+        if (flags.snapshots.value_or(false)) {
+          std::cerr << "ntdts run: --snapshots=on cannot be combined with "
+                       "--workers/--listen (snapshot forking is in-process only)\n";
+          return 2;
+        }
+      }
+      if (flags.snapshots.value_or(false) && flags.trace != obs::TraceMode::kOff) {
+        std::cerr << "ntdts run: --snapshots=on cannot be combined with --trace "
+                     "(a forked run's trace would be missing its skipped prefix)\n";
+        return 2;
       }
       return cmd_run(argv[2], out_dir, flags);
     }
