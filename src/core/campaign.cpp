@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/config.h"
 #include "exec/executor.h"
 #include "plan/profiler.h"
 #include "plan/pruner.h"
@@ -86,9 +87,17 @@ std::set<nt::Fn> activated_from_plan(const plan::Plan& p) {
   return out;
 }
 
-exec::ExecOptions exec_options_from(const CampaignOptions& options,
+exec::ExecOptions exec_options_from(const RunConfig& base,
+                                    const CampaignOptions& options,
                                     const plan::GoldenProfile* profile = nullptr) {
   exec::ExecOptions eo;
+  // Journal v4 headers embed the serialized campaign configuration, so
+  // `ntdts replay <journal> <xi>` reconstructs the exact run without the
+  // original config file on hand.
+  DtsConfig shipped;
+  shipped.run = base;
+  shipped.campaign = options;
+  eo.config_text = serialize_config(shipped);
   eo.snapshots = options.snapshots && profile != nullptr;
   eo.snapshot_profile = profile;
   eo.jobs = options.jobs;
@@ -171,7 +180,7 @@ static WorkloadSetResult run_planned_workload_set(const RunConfig& base,
     profile = plan::golden_profile(base, options.seed, options.iterations);
   }
   exec::CampaignExecutor executor(
-      exec_options_from(options, profile ? &*profile : nullptr));
+      exec_options_from(base, options, profile ? &*profile : nullptr));
   exec::PlanCampaignResult campaign = executor.run_plan(base, p, options.seed, so);
 
   PlanDigest digest;
@@ -225,7 +234,7 @@ WorkloadSetResult run_workload_set(const RunConfig& base, const CampaignOptions&
   // proves uncalled, the rest of its faults are skipped. With profiling this
   // rarely triggers, but nondeterminism can still starve a function of calls.
   exec::CampaignExecutor executor(
-      exec_options_from(options, profile ? &*profile : nullptr));
+      exec_options_from(base, options, profile ? &*profile : nullptr));
   exec::CampaignResult campaign = executor.run(base, list, options.seed);
   result.executed_runs = campaign.executed;
   result.runs = std::move(campaign.runs);

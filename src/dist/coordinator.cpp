@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <iostream>
 
 #include <algorithm>
 #include <chrono>
@@ -22,6 +23,7 @@
 #include "dist/socket.h"
 #include "dist/wire.h"
 #include "exec/journal.h"
+#include "forensics/signature.h"
 #include "obs/fleet/events.h"
 #include "obs/fleet/span.h"
 #include "obs/fleet/stall.h"
@@ -100,6 +102,7 @@ struct Coordinator::Impl {
   Listener listener;
   std::uint64_t digest = 0;
   std::string welcome_line;  // identical for every worker; rendered once
+  std::string welcome_config;  // serialize_config text, journal v4 header
 
   std::vector<Slot> slots;
   std::vector<std::string> fault_ids;  // pre-rendered, reused everywhere
@@ -310,6 +313,8 @@ struct Coordinator::Impl {
       rec.wall_us = r.wall_us;
       rec.sim_us = r.sim_us;
       rec.exec_index = exec_index;
+      rec.trace_digest = r.trace_digest;
+      rec.call_context = r.call_context;
       journal.append(rec);
     }
 
@@ -328,6 +333,17 @@ struct Coordinator::Impl {
       entry.lease_id = r.lease_id;
       entry.exec_index = exec_index;
       options.status->record_run(std::move(entry));
+      const forensics::SignatureKey sig_key =
+          forensics::signature_of(slot.result, r.call_context);
+      obs::fleet::SignatureEntry sig;
+      sig.id = forensics::signature_id(sig_key);
+      sig.fault_class = sig_key.fault_class;
+      sig.call_context = sig_key.call_context;
+      sig.outcome = sig_key.outcome;
+      sig.span = sig_key.span;
+      sig.example_fault = r.fault_id;
+      sig.example_xi = exec_index;
+      options.status->record_signature(sig);
     }
     progress(/*fresh=*/true);
   }
@@ -636,6 +652,7 @@ Coordinator::Coordinator(core::RunConfig base, inject::FaultList list,
   welcome.telemetry_ms = impl_->options.telemetry_ms;
   welcome.config = core::serialize_config(shipped);
   impl_->welcome_line = encode_welcome(welcome);
+  impl_->welcome_config = welcome.config;
 
   if (impl_->options.metrics != nullptr) {
     obs::MetricsRegistry& m = *impl_->options.metrics;
@@ -687,9 +704,19 @@ exec::CampaignResult Coordinator::run() {
     std::string error;
     auto records = exec::read_journal(im.options.journal_path, key, &error);
     if (!records) throw std::runtime_error(error);
+    std::size_t foreign = 0;
     for (const auto& rec : *records) {
       if (rec.index >= n) continue;
       if (im.fault_ids[rec.index] != rec.fault_id) continue;
+      if (!rec.exec_index.empty()) {
+        const auto ei = obs::fleet::ExecutionIndex::parse(rec.exec_index);
+        if (ei && ei->campaign_digest != im.digest) {
+          // A foreign campaign digest: merging the record would silently mix
+          // another campaign's results into this one.
+          ++foreign;
+          continue;
+        }
+      }
       Slot& slot = im.slots[rec.index];
       if (slot.state != SlotState::kPending) continue;  // duplicate record
       if (!core::parse_run_line(im.base.workload.target_image, rec.run_line,
@@ -703,11 +730,25 @@ exec::CampaignResult Coordinator::run() {
       }
       ++im.reused;
     }
+    if (foreign > 0) {
+      std::cerr << "warning: " << im.options.journal_path << ": skipped "
+                << foreign
+                << " journal record(s) whose execution index names a foreign "
+                   "campaign digest\n";
+      if (im.options.metrics != nullptr) {
+        im.options.metrics
+            ->counter("dts_report_foreign_records_total", {},
+                      "journal records skipped for carrying a foreign campaign "
+                      "digest in their execution index")
+            .inc(foreign);
+      }
+    }
   }
 
   if (!im.options.journal_path.empty()) {
     std::string error;
-    if (!im.journal.open(im.options.journal_path, key, im.options.resume, &error)) {
+    if (!im.journal.open(im.options.journal_path, key, im.options.resume, &error,
+                         im.welcome_config)) {
       throw std::runtime_error(error);
     }
   }

@@ -1,5 +1,7 @@
 #include "dist/protocol.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "obs/jsonl.h"
@@ -141,7 +143,18 @@ std::string encode_result(const WireResult& m) {
       << "\",\"called\":" << (m.fn_called ? 1 : 0) << ",\"run\":\""
       << json_escape(m.run_line) << "\",\"wall_us\":" << m.wall_us
       << ",\"sim_us\":" << m.sim_us << ",\"req\":\"" << json_escape(m.requests)
-      << "\",\"detail\":\"" << json_escape(m.detail) << "\"}";
+      << "\",\"detail\":\"" << json_escape(m.detail) << "\"";
+  // v4 forensics fields, omitted when empty (see WireResult).
+  if (m.trace_digest != 0) {
+    char td[24];
+    std::snprintf(td, sizeof td, "%016llx",
+                  static_cast<unsigned long long>(m.trace_digest));
+    out << ",\"td\":\"" << td << "\"";
+  }
+  if (!m.call_context.empty()) {
+    out << ",\"cc\":\"" << json_escape(m.call_context) << "\"";
+  }
+  out << "}";
   return out.str();
 }
 
@@ -161,6 +174,11 @@ std::optional<WireResult> decode_result(const std::string& line) {
     return std::nullopt;
   }
   m.fn_called = called != 0;
+  std::string td;
+  if (json_string_field(line, "td", &td)) {
+    m.trace_digest = std::strtoull(td.c_str(), nullptr, 16);
+  }
+  (void)json_string_field(line, "cc", &m.call_context);
   return m;
 }
 

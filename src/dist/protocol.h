@@ -111,6 +111,9 @@ std::optional<Lease> decode_lease(const std::string& line);
 /// record fields (run line, fn_called, timings) plus the per-request results
 /// and detail string that the journal elides but results.csv renders — so a
 /// distributed campaign's outputs are byte-identical to an in-process run's.
+/// The journal-v4 forensics fields (trace digest, corrupted-call context)
+/// travel as optional fields: a v2 peer that never sends them decodes fine
+/// and its records simply lack them, exactly like a pre-v4 journal.
 struct WireResult {
   std::uint64_t lease_id = 0;
   std::uint64_t index = 0;
@@ -121,6 +124,8 @@ struct WireResult {
   std::uint64_t sim_us = 0;
   std::string requests;  // encode_requests() of the per-request results
   std::string detail;
+  std::uint64_t trace_digest = 0;  // interceptor trajectory fingerprint
+  std::string call_context;        // corrupted-call context ("" = not fired)
 };
 std::string encode_result(const WireResult& m);
 std::optional<WireResult> decode_result(const std::string& line);

@@ -233,6 +233,9 @@ int run_worker(const WorkerOptions& options, std::string* error) {
       res.sim_us = static_cast<std::uint64_t>(r.sim_elapsed.count_micros());
       res.requests = encode_requests(r.requests);
       res.detail = r.detail;
+      res.trace_digest = run.interceptor().trace_digest();
+      const auto& inj_ctx = run.interceptor().injection_context();
+      res.call_context = inj_ctx ? inj_ctx->to_string() : "";
 
       outcome_counters.at(r.outcome)->inc();
       resp_hist.observe(r.response_time.to_seconds());

@@ -6,6 +6,7 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -15,6 +16,7 @@
 
 #include "core/campaign.h"
 #include "exec/journal.h"
+#include "forensics/signature.h"
 #include "obs/fleet/span.h"
 #include "obs/fleet/stall.h"
 #include "obs/fleet/status.h"
@@ -70,6 +72,52 @@ std::vector<std::string> forensics_context(const core::RunResult& r) {
                 "  retries: " + std::to_string(r.retries));
   if (!r.detail.empty()) out.push_back("detail: " + r.detail);
   return out;
+}
+
+/// True when a journal record's execution index names a different campaign
+/// digest — merging it on resume would silently mix another campaign's
+/// results into this one. Records without an index (v1/v2 journals, or a
+/// corrupted field) pass: the JournalKey header check already vouched for
+/// them at file granularity.
+bool foreign_record(const JournalRecord& rec, std::uint64_t campaign_digest) {
+  if (rec.exec_index.empty()) return false;
+  const auto ei = obs::fleet::ExecutionIndex::parse(rec.exec_index);
+  return ei && ei->campaign_digest != campaign_digest;
+}
+
+void warn_foreign_records(const std::string& path, std::size_t foreign,
+                          obs::MetricsRegistry* metrics) {
+  if (foreign == 0) return;
+  std::cerr << "warning: " << path << ": skipped " << foreign
+            << " journal record(s) whose execution index names a foreign "
+               "campaign digest\n";
+  if (metrics != nullptr) {
+    metrics
+        ->counter("dts_report_foreign_records_total", {},
+                  "journal records skipped for carrying a foreign campaign "
+                  "digest in their execution index")
+        .inc(foreign);
+  }
+}
+
+/// Signature/status bookkeeping shared by every record path: stamps the
+/// run's failure signature (src/forensics/) into the live status board.
+void record_status_signature(obs::fleet::StatusBoard* status,
+                             const core::RunResult& result,
+                             const std::string& call_context,
+                             const std::string& fault_id,
+                             const std::string& exec_index) {
+  if (status == nullptr) return;
+  const forensics::SignatureKey key = forensics::signature_of(result, call_context);
+  obs::fleet::SignatureEntry sig;
+  sig.id = forensics::signature_id(key);
+  sig.fault_class = key.fault_class;
+  sig.call_context = key.call_context;
+  sig.outcome = key.outcome;
+  sig.span = key.span;
+  sig.example_fault = fault_id;
+  sig.example_xi = exec_index;
+  status->record_signature(sig);
 }
 
 /// File name for an on-disk forensics dump: fault ids contain '.'/'#'/':',
@@ -359,9 +407,14 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
     std::string error;
     auto records = read_journal(options_.journal_path, key, &error);
     if (!records) throw std::runtime_error(error);
+    std::size_t foreign = 0;
     for (const auto& rec : *records) {
       if (rec.index >= n) continue;
       if (list.faults[rec.index].id() != rec.fault_id) continue;
+      if (foreign_record(rec, campaign_digest)) {
+        ++foreign;
+        continue;
+      }
       Slot& slot = slots[rec.index];
       if (slot.state != SlotState::kPending) continue;  // duplicate record
       if (!core::parse_run_line(base.workload.target_image, rec.run_line, &slot.result,
@@ -375,12 +428,14 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
       }
       ++out.reused;
     }
+    warn_foreign_records(options_.journal_path, foreign, options_.metrics);
   }
 
   RunJournal journal;
   if (!options_.journal_path.empty()) {
     std::string error;
-    if (!journal.open(options_.journal_path, key, options_.resume, &error)) {
+    if (!journal.open(options_.journal_path, key, options_.resume, &error,
+                      options_.config_text)) {
       throw std::runtime_error(error);
     }
   }
@@ -496,6 +551,8 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
           rec.sim_us =
               static_cast<std::uint64_t>(slot.result.sim_elapsed.count_micros());
           rec.exec_index = exec_index;
+          rec.trace_digest = o.trace_digest;
+          rec.call_context = o.call_context;
           journal.append(rec);
         }
         if (options_.stall != nullptr) {
@@ -510,6 +567,8 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
           entry.wall_us = o.wall_us;
           entry.exec_index = exec_index;
           options_.status->record_run(std::move(entry));
+          record_status_signature(options_.status, slot.result, o.call_context,
+                                  fault_id, exec_index);
         }
         if (metrics != nullptr) {
           outcome_counters.at(slot.result.outcome)->inc();
@@ -596,11 +655,16 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
 
           const std::string exec_index =
               obs::fleet::ExecutionIndex{campaign_digest, 0, i}.to_string();
+          const auto& inj_ctx = run.interceptor().injection_context();
+          const std::string call_context = inj_ctx ? inj_ctx->to_string() : "";
 
           std::string forensics;
           if (forensics_wanted(options_.trace, slot.result)) {
             std::vector<std::string> context = forensics_context(slot.result);
             context.push_back("exec_index: " + exec_index);
+            if (!call_context.empty()) {
+              context.push_back("call_context: " + call_context);
+            }
             forensics = obs::forensics_dump(fault_id, context, &run.spans(),
                                             run.interceptor().syscall_trace());
             if (!options_.forensics_dir.empty()) {
@@ -620,6 +684,8 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
             rec.sim_us =
                 static_cast<std::uint64_t>(slot.result.sim_elapsed.count_micros());
             rec.exec_index = exec_index;
+            rec.trace_digest = run.interceptor().trace_digest();
+            rec.call_context = call_context;
             rec.forensics = std::move(forensics);
             journal.append(rec);
           }
@@ -636,6 +702,8 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
             entry.wall_us = static_cast<std::uint64_t>(std::llround(wall_s * 1e6));
             entry.exec_index = exec_index;
             options_.status->record_run(std::move(entry));
+            record_status_signature(options_.status, slot.result, call_context,
+                                    fault_id, exec_index);
           }
 
           if (metrics != nullptr) {
@@ -739,11 +807,16 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
     std::string error;
     auto records = read_journal(options_.journal_path, key, &error);
     if (!records) throw std::runtime_error(error);
+    std::size_t foreign = 0;
     for (const auto& rec : *records) {
       if (rec.index >= n) continue;
       const plan::PlanEntry& e = plan.entries[rec.index];
       if (e.disposition != plan::Disposition::kExecute) continue;
       if (e.fault.id() != rec.fault_id) continue;
+      if (foreign_record(rec, campaign_digest)) {
+        ++foreign;
+        continue;
+      }
       if (results[rec.index]) continue;  // duplicate record
       core::RunResult r;
       if (!core::parse_run_line(base.workload.target_image, rec.run_line, &r, nullptr)) {
@@ -752,12 +825,14 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
       results[rec.index] = std::move(r);
       ++out.reused;
     }
+    warn_foreign_records(options_.journal_path, foreign, options_.metrics);
   }
 
   RunJournal journal;
   if (!options_.journal_path.empty()) {
     std::string error;
-    if (!journal.open(options_.journal_path, key, options_.resume, &error)) {
+    if (!journal.open(options_.journal_path, key, options_.resume, &error,
+                      options_.config_text)) {
       throw std::runtime_error(error);
     }
   }
@@ -858,6 +933,8 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
             rec.exec_index = exec_index;
             rec.stratum =
                 plan::to_string(plan::StratumKey{entry.fault.fn, entry.fault.type});
+            rec.trace_digest = o.trace_digest;
+            rec.call_context = o.call_context;
             journal.append(rec);
           }
           if (options_.stall != nullptr) {
@@ -872,6 +949,8 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
             run_entry.wall_us = o.wall_us;
             run_entry.exec_index = exec_index;
             options_.status->record_run(std::move(run_entry));
+            record_status_signature(options_.status, o.result, o.call_context,
+                                    fault_id, exec_index);
           }
           if (metrics != nullptr) {
             outcome_counters.at(o.result.outcome)->inc();
@@ -924,11 +1003,16 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
 
           const std::string exec_index =
               obs::fleet::ExecutionIndex{campaign_digest, 0, idx}.to_string();
+          const auto& inj_ctx = run.interceptor().injection_context();
+          const std::string call_context = inj_ctx ? inj_ctx->to_string() : "";
 
           std::string forensics;
           if (forensics_wanted(options_.trace, r)) {
             std::vector<std::string> context = forensics_context(r);
             context.push_back("exec_index: " + exec_index);
+            if (!call_context.empty()) {
+              context.push_back("call_context: " + call_context);
+            }
             forensics = obs::forensics_dump(fault_id, context, &run.spans(),
                                             run.interceptor().syscall_trace());
             if (!options_.forensics_dir.empty()) {
@@ -948,6 +1032,8 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
             rec.sim_us = static_cast<std::uint64_t>(r.sim_elapsed.count_micros());
             rec.exec_index = exec_index;
             rec.stratum = plan::to_string(plan::StratumKey{entry.fault.fn, entry.fault.type});
+            rec.trace_digest = run.interceptor().trace_digest();
+            rec.call_context = call_context;
             rec.forensics = std::move(forensics);
             journal.append(rec);
           }
@@ -965,6 +1051,8 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
             run_entry.wall_us = static_cast<std::uint64_t>(std::llround(wall_s * 1e6));
             run_entry.exec_index = exec_index;
             options_.status->record_run(std::move(run_entry));
+            record_status_signature(options_.status, r, call_context, fault_id,
+                                    exec_index);
           }
 
           if (metrics != nullptr) {

@@ -55,7 +55,15 @@ struct ExecOptions {
 
   /// Reuse completed runs from an existing journal before executing the
   /// rest. Refuses (throws) if the journal belongs to a different campaign.
+  /// Records whose execution index names a foreign campaign digest are
+  /// skipped with a warning (they would merge another campaign's results).
   bool resume = false;
+
+  /// Full serialized campaign configuration (core::serialize_config),
+  /// embedded in the journal v4 header so `ntdts replay` can rebuild the
+  /// exact RunConfig from the journal alone. Empty = header carries the
+  /// identity fields only (pre-v4 behaviour).
+  std::string config_text;
 
   /// Fired after every completed fault (executed, skipped or reused), with
   /// throughput and ETA. Serialized: never invoked concurrently.

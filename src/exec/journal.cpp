@@ -1,5 +1,6 @@
 #include "exec/journal.h"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "obs/jsonl.h"
@@ -15,13 +16,34 @@ using obs::json_escape;
 using obs::json_string_field;
 using obs::json_uint_field;
 
-std::string header_line(const JournalKey& key) {
+std::string header_line(const JournalKey& key, const std::string& config_text) {
   std::ostringstream out;
-  out << "{\"dts_journal\":3,\"workload\":\"" << json_escape(key.workload)
+  out << "{\"dts_journal\":4,\"workload\":\"" << json_escape(key.workload)
       << "\",\"middleware\":" << key.middleware
       << ",\"watchd_version\":" << key.watchd_version << ",\"seed\":" << key.seed
-      << ",\"faults\":" << key.fault_count << "}";
+      << ",\"faults\":" << key.fault_count;
+  if (!config_text.empty()) {
+    out << ",\"config\":\"" << json_escape(config_text) << "\"";
+  }
+  out << "}";
   return out.str();
+}
+
+char hex_digit(std::uint64_t nibble) {
+  return nibble < 10 ? static_cast<char>('0' + nibble)
+                     : static_cast<char>('a' + (nibble - 10));
+}
+
+// "td" travels as a 16-hex string, not a JSON number: 64-bit digests exceed
+// the 2^53 range where every integer survives a double round-trip, and hex
+// matches the xi / forensics rendering of the same value.
+std::string hex16(std::uint64_t value) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex_digit(value & 0xf);
+    value >>= 4;
+  }
+  return out;
 }
 
 }  // namespace
@@ -39,7 +61,7 @@ std::optional<JournalFile> read_journal_file(const std::string& path,
   if (!std::getline(in, line)) return fail("empty journal");
   JournalFile file;
   if (!json_uint_field(line, "dts_journal", &file.version) ||
-      (file.version != 1 && file.version != 2 && file.version != 3)) {
+      file.version < 1 || file.version > 4) {
     return fail("not a DTS run journal");
   }
   std::uint64_t mw = 0, wv = 0, faults = 0;
@@ -53,10 +75,17 @@ std::optional<JournalFile> read_journal_file(const std::string& path,
   file.key.middleware = static_cast<int>(mw);
   file.key.watchd_version = static_cast<int>(wv);
   file.key.fault_count = static_cast<std::size_t>(faults);
+  (void)json_string_field(line, "config", &file.config_text);  // v4, optional
 
   while (std::getline(in, line)) {
     JournalRecord rec;
     std::uint64_t index = 0, called = 0;
+    // The writer terminates every record with '}' before the newline; a line
+    // without it was torn mid-write. The required-field check alone is not
+    // enough: a truncated line can still carry every required field and lose
+    // only optional tail fields (td/cc/fx), which must not be mistaken for a
+    // complete record.
+    if (line.empty() || line.back() != '}') continue;
     if (!json_uint_field(line, "i", &index) || !json_uint_field(line, "called", &called) ||
         !json_string_field(line, "fault", &rec.fault_id) ||
         !json_string_field(line, "run", &rec.run_line)) {
@@ -70,6 +99,12 @@ std::optional<JournalFile> read_journal_file(const std::string& path,
     (void)json_string_field(line, "fx", &rec.forensics);
     (void)json_string_field(line, "st", &rec.stratum);
     (void)json_string_field(line, "xi", &rec.exec_index);
+    // v4 extras.
+    std::string td;
+    if (json_string_field(line, "td", &td)) {
+      rec.trace_digest = std::strtoull(td.c_str(), nullptr, 16);
+    }
+    (void)json_string_field(line, "cc", &rec.call_context);
     file.records.push_back(std::move(rec));
   }
   return file;
@@ -100,7 +135,7 @@ std::optional<std::vector<JournalRecord>> read_journal(const std::string& path,
 }
 
 bool RunJournal::open(const std::string& path, const JournalKey& key, bool append,
-                      std::string* error) {
+                      std::string* error, const std::string& config_text) {
   std::lock_guard<std::mutex> lock(mu_);
   out_.open(path, append ? std::ios::app : std::ios::trunc);
   if (!out_) {
@@ -109,7 +144,7 @@ bool RunJournal::open(const std::string& path, const JournalKey& key, bool appen
   }
   // An append to a missing/empty file is still a fresh journal.
   if (!append || out_.tellp() == std::ofstream::pos_type(0)) {
-    out_ << header_line(key) << "\n" << std::flush;
+    out_ << header_line(key, config_text) << "\n" << std::flush;
   }
   return true;
 }
@@ -126,6 +161,12 @@ void RunJournal::append(const JournalRecord& rec) {
   }
   if (!rec.stratum.empty()) {
     out_ << ",\"st\":\"" << json_escape(rec.stratum) << "\"";
+  }
+  if (rec.trace_digest != 0) {
+    out_ << ",\"td\":\"" << hex16(rec.trace_digest) << "\"";
+  }
+  if (!rec.call_context.empty()) {
+    out_ << ",\"cc\":\"" << json_escape(rec.call_context) << "\"";
   }
   // Forensics last: the dump is big and optional, the fixed fields stay
   // greppable at the front of the line.

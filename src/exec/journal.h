@@ -5,12 +5,13 @@
 // deterministic given the campaign seed and fault id (per-run seeds never
 // depend on worker id or schedule).
 //
-// Format (one JSON object per line), schema version 3:
-//   {"dts_journal":3,"workload":"Apache1","middleware":2,"watchd_version":3,
-//    "seed":7,"faults":423}
+// Format (one JSON object per line), schema version 4:
+//   {"dts_journal":4,"workload":"Apache1","middleware":2,"watchd_version":3,
+//    "seed":7,"faults":423,"config":"[test]\nworkload = Apache1\n..."}
 //   {"i":17,"fault":"ReadFile.hFile#1:zero","called":1,
 //    "run":"ReadFile.hFile#1:zero 1 failure 0 123456 0 0 1",
 //    "wall_us":1832,"sim_us":414000000,"xi":"a3f1c0de9b24e871/4/17",
+//    "td":"9b24e871a3f1c0de","cc":"ReadFile@417#1/89abcdef01234567",
 //    "fx":"=== DTS forensics: ...\n..."}
 //
 // The "run" payload reuses the campaign-file run serialization
@@ -26,8 +27,14 @@
 // index "xi":"campaign_digest/lease_id/fault_index" (obs/fleet/span.h) so
 // every record names which campaign, which shard lease, and which fault
 // produced it — the same identifier stamped into forensics dumps and trace
-// events. The reader is field-based and accepts all three versions: v1/v2
-// files resume cleanly under v3 (missing fields stay zero/empty), and newer
+// events. v4 adds forensic replay fields (src/forensics/): the header gains
+// an optional "config" carrying the full serialized campaign configuration
+// (core::serialize_config) so `ntdts replay` can rebuild the exact RunConfig
+// from the journal alone, and each record gains "td" (the interceptor's
+// rolling trace digest, 16-hex — the run's trajectory fingerprint) and "cc"
+// (the dynamic call context of the corrupted call, present only when the
+// fault fired). The reader is field-based and accepts versions 1–4: older
+// files resume cleanly under v4 (missing fields stay zero/empty), and newer
 // records with fields an older reader never knew about parse the same way.
 #pragma once
 
@@ -68,6 +75,11 @@ struct JournalRecord {
 
   // v3 field; empty when reading a v1/v2 journal.
   std::string exec_index;  // "campaign_digest/lease_id/fault_index"
+
+  // v4 fields; zero/empty when reading an older journal.
+  std::uint64_t trace_digest = 0;  // interceptor trajectory fingerprint
+  std::string call_context;        // corrupted call's dynamic context
+                                   // (empty = fault never fired)
 };
 
 /// Reads the records of an existing journal. A missing file yields an empty
@@ -84,6 +96,8 @@ std::optional<std::vector<JournalRecord>> read_journal(const std::string& path,
 struct JournalFile {
   JournalKey key;
   std::uint64_t version = 0;
+  std::string config_text;  // v4 header "config" (serialized campaign
+                            // configuration; empty in older journals)
   std::vector<JournalRecord> records;
 };
 
@@ -99,9 +113,12 @@ class RunJournal {
  public:
   /// Opens `path`. With append=false the file is truncated and a fresh
   /// header written; with append=true new records accumulate after the
-  /// existing content (resume). Returns false with *error on I/O failure.
+  /// existing content (resume). `config_text`, when non-empty, is embedded
+  /// in the v4 header so `ntdts replay` can rebuild the exact run
+  /// configuration; it is informational and not part of the resume identity
+  /// check (JournalKey). Returns false with *error on I/O failure.
   bool open(const std::string& path, const JournalKey& key, bool append,
-            std::string* error);
+            std::string* error, const std::string& config_text = "");
 
   bool is_open() const { return out_.is_open(); }
 

@@ -1,0 +1,60 @@
+// Repro minimisation: shrink the workload configuration around one journaled
+// failure while its five-outcome classification is preserved (ddmin-style
+// greedy reduction to a fixpoint). The output is a runnable repro — a config
+// file plus a one-fault explicit fault list — that `ntdts run` re-executes
+// with the exact same seed derivation the original campaign used, so the
+// minimal repro still lands the same corruption on the same invocation.
+//
+// Reduction axes are the knobs that dominate a run's simulated time and
+// complexity, each with a floor that keeps the config valid and
+// serializable in whole seconds (core::serialize_config's unit):
+//   client.max_attempts        3 -> 2 -> 1      (drops whole retry cycles)
+//   client.retry_wait          halved, >= 1 s
+//   client.response_timeout    halved, >= 1 s
+//   client.server_up_timeout   halved, >= 1 s
+//   run_timeout                halved, >= 1 s   (bounds a hung run sooner)
+// Every accepted reduction was verified by actually re-executing the run and
+// observing the same outcome, so the emitted repro is correct by
+// construction, not by assumption.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/run.h"
+#include "inject/fault.h"
+
+namespace dts::forensics {
+
+struct MinimizeOptions {
+  /// Hard cap on verification runs (baseline included).
+  std::size_t max_runs = 48;
+};
+
+struct MinimizeStep {
+  std::string description;  // "max_attempts 3 -> 2"
+  bool kept = false;        // outcome preserved -> reduction accepted
+};
+
+struct MinimizeResult {
+  core::DtsConfig minimal;   // the reduced, runnable configuration
+  core::Outcome outcome{};   // preserved classification
+  std::size_t runs_tried = 0;
+  std::vector<MinimizeStep> steps;
+  std::uint64_t sim_us_before = 0;  // baseline run's simulated time
+  std::uint64_t sim_us_after = 0;   // minimal config's simulated time
+  bool reduced = false;             // at least one reduction was kept
+};
+
+/// Minimises `base` around `fault`. The run seed is derived exactly as the
+/// campaign did: mix(campaign_seed, hash(fault.id())). `target` is the
+/// outcome to preserve (the journaled classification).
+MinimizeResult minimize_repro(const core::RunConfig& base,
+                              std::uint64_t campaign_seed,
+                              const inject::FaultSpec& fault,
+                              core::Outcome target,
+                              const MinimizeOptions& opts = {});
+
+}  // namespace dts::forensics

@@ -1,0 +1,113 @@
+#include "forensics/signature.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "exec/executor.h"
+#include "inject/fault_class.h"
+
+namespace dts::forensics {
+
+namespace {
+
+std::uint64_t fold(std::uint64_t digest, const std::string& s) {
+  for (unsigned char c : s) {
+    digest = (digest ^ c) * 1099511628211ull;
+  }
+  // Fold the terminator too, so ("ab","c") and ("a","bc") differ.
+  return (digest ^ 0xffu) * 1099511628211ull;
+}
+
+}  // namespace
+
+std::uint64_t signature_digest(const SignatureKey& key) {
+  std::uint64_t d = 14695981039346656037ull;
+  d = fold(d, key.fault_class);
+  d = fold(d, key.call_context);
+  d = fold(d, key.outcome);
+  d = fold(d, key.span);
+  return d;
+}
+
+std::string signature_id(const SignatureKey& key) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(signature_digest(key)));
+  return buf;
+}
+
+std::string detection_span(const core::RunResult& run) {
+  if (run.restarts > 0 && run.retries > 0) return "restart+retry";
+  if (run.restarts > 0) return "restart";
+  if (run.retries > 0) return "retry";
+  return "none";
+}
+
+SignatureKey signature_of(const core::RunResult& run,
+                          const std::string& call_context) {
+  SignatureKey key;
+  const auto cls = inject::classify(run.fault.fn, run.fault.param_index);
+  key.fault_class =
+      std::string(cls ? inject::to_string(*cls) : "unclassified") + ":" +
+      std::string(inject::to_string(run.fault.type));
+  if (!call_context.empty()) {
+    key.call_context = call_context;
+  } else if (run.activated) {
+    // Pre-v4 record of a fired fault: the static injection point is the best
+    // context available — "ReadFile.hFile#1" (the fault id minus its type).
+    const std::string id = run.fault.id();
+    const std::size_t colon = id.rfind(':');
+    key.call_context = colon == std::string::npos ? id : id.substr(0, colon);
+  } else {
+    key.call_context = "-";  // never fired: there is no corrupted call
+  }
+  key.outcome = std::string(exec::outcome_label(run.outcome));
+  key.span = detection_span(run);
+  return key;
+}
+
+SignatureKey unparsed_signature() {
+  SignatureKey key;
+  key.fault_class = "unparsed";
+  key.call_context = "-";
+  key.outcome = "unparsed";
+  key.span = "-";
+  return key;
+}
+
+void SignatureIndex::add(const SignatureKey& key, const std::string& fault_id,
+                         const std::string& exec_index,
+                         const std::string& campaign) {
+  const std::string id = signature_id(key);
+  Entry& e = clusters_[id];
+  if (e.cluster.count == 0) {
+    e.cluster.key = key;
+    e.cluster.id = id;
+    e.cluster.example_fault = fault_id;
+    e.cluster.example_xi = exec_index;
+  }
+  ++e.cluster.count;
+  ++total_;
+  if (!campaign.empty()) e.campaigns.insert(campaign);
+}
+
+std::vector<SignatureCluster> SignatureIndex::ranked() const {
+  std::vector<SignatureCluster> out;
+  out.reserve(clusters_.size());
+  for (const auto& [id, e] : clusters_) {
+    SignatureCluster c = e.cluster;
+    c.campaigns = e.campaigns.size();
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SignatureCluster& a, const SignatureCluster& b) {
+              const bool af = a.key.outcome == "failure";
+              const bool bf = b.key.outcome == "failure";
+              if (af != bf) return af;  // failures first: they get debugged
+              if (a.count != b.count) return a.count > b.count;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace dts::forensics

@@ -1,11 +1,27 @@
 #include "inject/interceptor.h"
 
+#include <cstdio>
+
 #include "ntsim/kernel.h"
+#include "ntsim/kernel32_registry.h"
 
 namespace dts::inject {
 
 namespace {
 const std::set<nt::Fn> kEmpty;
+
+inline std::uint64_t fold(std::uint64_t digest, std::uint64_t value) {
+  return (digest ^ value) * 1099511628211ull;  // FNV-1a prime
+}
+}
+
+std::string Interceptor::CallContext::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s@%llu#%d/%016llx",
+                std::string(nt::to_string(fn)).c_str(),
+                static_cast<unsigned long long>(call_site), invocation,
+                static_cast<unsigned long long>(path_digest));
+  return buf;
 }
 
 int Interceptor::invocations(const std::string& image, nt::Fn fn) const {
@@ -65,7 +81,24 @@ void Interceptor::on_call(const nt::Process& proc, nt::CallRecord& rec) {
       word = corrupted_word_;
       injected_ = true;
       injected_here = true;
+      CallContext ctx;
+      ctx.fn = rec.fn;
+      ctx.call_site = rec.seq;
+      ctx.invocation = count;
+      ctx.path_digest = path_digest_;  // the path that LED here, pre-fold
+      context_ = ctx;
     }
+  }
+
+  // Fold this call into the rolling digests. Post-corruption by placement:
+  // the trajectory digest fingerprints what the kernel actually received.
+  path_digest_ = fold(fold(path_digest_, static_cast<std::uint64_t>(rec.fn)),
+                      static_cast<std::uint64_t>(count));
+  trace_digest_ = fold(trace_digest_, rec.seq);
+  trace_digest_ = fold(trace_digest_, static_cast<std::uint64_t>(rec.fn));
+  trace_digest_ = fold(trace_digest_, static_cast<std::uint64_t>(rec.argc));
+  for (int i = 0; i < rec.argc; ++i) {
+    trace_digest_ = fold(trace_digest_, rec.args[static_cast<std::size_t>(i)]);
   }
 
   // Trace target-image calls (post-corruption: the trace shows what the
@@ -86,6 +119,7 @@ void Interceptor::on_call(const nt::Process& proc, nt::CallRecord& rec) {
 void Interceptor::on_result(const nt::Process& proc, const nt::CallRecord& rec,
                             nt::Word result) {
   (void)proc;
+  trace_digest_ = fold(fold(trace_digest_, rec.seq), result);
   if (!trace_.enabled()) return;
   trace_.record_result(rec.seq, result);
 }

@@ -6,6 +6,20 @@
 // parameter word of one invocation. When tracing is enabled it also feeds
 // every target-image call (with sim-time and, once dispatch returns, the
 // result word) into an obs::SyscallTrace ring for failure forensics.
+//
+// Independently of the trace ring (which is bounded and optional), the
+// interceptor folds every call into two rolling FNV-1a digests that are
+// always on — a few integer multiplies per call:
+//   trace_digest  — seq, function, argc, post-corruption argument words, and
+//                   each dispatch result. A fingerprint of the whole machine
+//                   trajectory: two runs with equal digests made the same
+//                   calls with the same arguments and got the same answers.
+//                   Journaled per run ("td") and re-checked by ntdts replay —
+//                   a mismatch means ntsim itself was nondeterministic.
+//   path_digest   — function × per-(image,function) invocation count, i.e.
+//                   the dynamic invocation path. Its value just before the
+//                   armed fault fires names the call context of the
+//                   corruption (src/forensics/ execution indexing).
 #pragma once
 
 #include <cstdint>
@@ -30,6 +44,7 @@ class Interceptor final : public nt::SyscallHook {
   void arm(FaultSpec fault) {
     armed_ = std::move(fault);
     injected_ = false;
+    context_.reset();
   }
   void disarm() { armed_.reset(); }
   const std::optional<FaultSpec>& armed() const { return armed_; }
@@ -60,6 +75,25 @@ class Interceptor final : public nt::SyscallHook {
   bool target_function_called() const;
 
   std::uint64_t calls_observed() const { return calls_observed_; }
+
+  /// Dynamic call context of the corrupted call: which function, at which
+  /// machine-wide call site (CallRecord::seq), on which invocation, reached
+  /// over which invocation path (path_digest just before the fault fired).
+  /// Set exactly when the armed fault fires; journaled per run ("cc").
+  struct CallContext {
+    nt::Fn fn{};
+    std::uint64_t call_site = 0;
+    int invocation = 0;
+    std::uint64_t path_digest = 0;
+    /// "ReadFile@417#1/89abcdef01234567" — stable, parse-free display form.
+    std::string to_string() const;
+  };
+  const std::optional<CallContext>& injection_context() const { return context_; }
+
+  /// Rolling trajectory digests (see file comment). Both start at the FNV
+  /// offset basis, so a freshly constructed interceptor on any host agrees.
+  std::uint64_t trace_digest() const { return trace_digest_; }
+  std::uint64_t path_digest() const { return path_digest_; }
 
   /// One traced call (kept as an alias so existing call sites read the same).
   using TraceEntry = obs::TraceEvent;
@@ -133,6 +167,9 @@ class Interceptor final : public nt::SyscallHook {
   nt::Word original_word_ = 0;
   nt::Word corrupted_word_ = 0;
   std::uint64_t calls_observed_ = 0;
+  std::uint64_t trace_digest_ = 14695981039346656037ull;  // FNV-1a offset
+  std::uint64_t path_digest_ = 14695981039346656037ull;
+  std::optional<CallContext> context_;
 
   std::map<std::pair<std::string, nt::Fn>, int> counts_;
   std::map<std::string, std::set<nt::Fn>> called_;

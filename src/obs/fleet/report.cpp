@@ -10,6 +10,7 @@
 
 #include "core/campaign.h"
 #include "core/workload.h"
+#include "obs/fleet/span.h"
 #include "obs/metrics.h"
 
 namespace dts::obs::fleet {
@@ -39,6 +40,10 @@ std::string bar(std::uint64_t count, std::uint64_t max_count) {
   return std::string(width, '#');
 }
 
+// Full five-character escape: workload/fault/context strings come from
+// journals on disk, which nothing guarantees are tame — a workload named
+// `<script>` or a detail string with a stray quote must render inert, both
+// in element content and inside attribute values.
 std::string html_escape(const std::string& text) {
   std::string out;
   out.reserve(text.size());
@@ -47,6 +52,8 @@ std::string html_escape(const std::string& text) {
       case '&': out += "&amp;"; break;
       case '<': out += "&lt;"; break;
       case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&#39;"; break;
       default: out += c;
     }
   }
@@ -68,7 +75,8 @@ void render_histogram_lines(const ReportGroup& g,
 
 }  // namespace
 
-FleetReport build_report(const std::vector<exec::JournalFile>& files) {
+FleetReport build_report(const std::vector<exec::JournalFile>& files,
+                         obs::MetricsRegistry* metrics) {
   FleetReport report;
   const std::vector<double>& bounds = obs::response_time_buckets();
 
@@ -76,6 +84,14 @@ FleetReport build_report(const std::vector<exec::JournalFile>& files) {
   // implements first-record-wins across files.
   std::map<std::string, std::size_t> group_of;
   std::vector<std::set<std::size_t>> seen;
+  // Per group: the campaign digest its first xi-bearing record carries.
+  // Records naming any OTHER digest were appended to the wrong file (or the
+  // file was concatenated from two campaigns); merging them would silently
+  // blend foreign results, so they are excluded and counted instead.
+  // 0 = no xi seen yet (v1/v2 journals never resolve one — every record
+  // passes, as the JournalKey header check vouched at file granularity).
+  std::vector<std::uint64_t> group_digest;
+  forensics::SignatureIndex signatures;
 
   for (const exec::JournalFile& file : files) {
     std::ostringstream id;
@@ -90,6 +106,7 @@ FleetReport build_report(const std::vector<exec::JournalFile>& files) {
       g.response_buckets.assign(bounds.size() + 1, 0);
       report.groups.push_back(std::move(g));
       seen.emplace_back();
+      group_digest.push_back(0);
     }
     ReportGroup& g = report.groups[it->second];
     g.min_version = std::min(g.min_version, file.version);
@@ -103,7 +120,20 @@ FleetReport build_report(const std::vector<exec::JournalFile>& files) {
       known_workload = false;
     }
 
+    const std::string campaign = config_label(file.key);
     for (const exec::JournalRecord& rec : file.records) {
+      if (!rec.exec_index.empty()) {
+        const auto ei = ExecutionIndex::parse(rec.exec_index);
+        if (ei) {
+          std::uint64_t& expected = group_digest[it->second];
+          if (expected == 0) expected = ei->campaign_digest;
+          if (ei->campaign_digest != expected) {
+            ++g.foreign;
+            ++report.foreign;
+            continue;
+          }
+        }
+      }
       if (!seen[it->second].insert(rec.index).second) {
         ++g.duplicates;
         ++report.duplicates;
@@ -118,8 +148,13 @@ FleetReport build_report(const std::vector<exec::JournalFile>& files) {
       if (!known_workload ||
           !core::parse_run_line(target_image, rec.run_line, &run, &error)) {
         ++g.unparsed;
+        // Reserved signature keeps Σ cluster counts == merged records.
+        signatures.add(forensics::unparsed_signature(), rec.fault_id,
+                       rec.exec_index, campaign);
         continue;
       }
+      signatures.add(forensics::signature_of(run, rec.call_context), rec.fault_id,
+                     rec.exec_index, campaign);
       ++g.outcomes[outcome_slot(run.outcome)];
       ++report.outcomes[outcome_slot(run.outcome)];
       if (run.response_received) {
@@ -137,6 +172,15 @@ FleetReport build_report(const std::vector<exec::JournalFile>& files) {
       }
     }
   }
+  report.signatures = signatures.ranked();
+  report.signature_runs = signatures.total();
+  if (metrics != nullptr && report.foreign > 0) {
+    metrics
+        ->counter("dts_report_foreign_records_total", {},
+                  "journal records skipped for carrying a foreign campaign "
+                  "digest in their execution index")
+        .inc(report.foreign);
+  }
   return report;
 }
 
@@ -149,6 +193,11 @@ std::string render_report_markdown(const FleetReport& report) {
   }
   out << " across " << report.groups.size() << " campaign configuration"
       << (report.groups.size() == 1 ? "" : "s") << ".\n\n";
+  if (report.foreign > 0) {
+    out << "**Warning:** " << report.foreign << " record"
+        << (report.foreign == 1 ? "" : "s")
+        << " excluded — execution index names a foreign campaign digest.\n\n";
+  }
 
   out << "## Outcome matrix\n\n";
   out << "| configuration | runs |";
@@ -166,6 +215,22 @@ std::string render_report_markdown(const FleetReport& report) {
     out << "| total | " << report.records << " |";
     for (std::uint64_t c : report.outcomes) out << " " << c << " |";
     out << "  |  |\n";
+  }
+
+  if (!report.signatures.empty()) {
+    out << "\n## Failure signatures\n\n";
+    out << report.signature_runs << " runs collapse into "
+        << report.signatures.size() << " distinct signature"
+        << (report.signatures.size() == 1 ? "" : "s") << ".\n\n";
+    out << "| signature | fault class | call context | outcome | span | runs "
+           "| campaigns | example |\n";
+    out << "|---|---|---|---|---|---:|---:|---|\n";
+    for (const forensics::SignatureCluster& s : report.signatures) {
+      out << "| " << s.id << " | " << s.key.fault_class << " | "
+          << s.key.call_context << " | " << s.key.outcome << " | " << s.key.span
+          << " | " << s.count << " | " << s.campaigns << " | " << s.example_fault
+          << " |\n";
+    }
   }
 
   for (const ReportGroup& g : report.groups) {
@@ -209,6 +274,12 @@ std::string render_report_html(const FleetReport& report) {
   }
   out << " across " << report.groups.size() << " campaign configuration"
       << (report.groups.size() == 1 ? "" : "s") << ".</p>\n";
+  if (report.foreign > 0) {
+    out << "<p><strong>Warning:</strong> " << report.foreign << " record"
+        << (report.foreign == 1 ? "" : "s")
+        << " excluded &mdash; execution index names a foreign campaign "
+           "digest.</p>\n";
+  }
 
   out << "<h2>Outcome matrix</h2>\n<table>\n<tr><th>configuration</th><th>runs</th>";
   for (core::Outcome o : core::kAllOutcomes) {
@@ -227,6 +298,24 @@ std::string render_report_html(const FleetReport& report) {
     out << "<td></td><td></td></tr>\n";
   }
   out << "</table>\n";
+
+  if (!report.signatures.empty()) {
+    out << "<h2>Failure signatures</h2>\n<p>" << report.signature_runs
+        << " runs collapse into " << report.signatures.size()
+        << " distinct signature" << (report.signatures.size() == 1 ? "" : "s")
+        << ".</p>\n<table>\n<tr><th>signature</th><th>fault class</th>"
+        << "<th>call context</th><th>outcome</th><th>span</th><th>runs</th>"
+        << "<th>campaigns</th><th>example</th></tr>\n";
+    for (const forensics::SignatureCluster& s : report.signatures) {
+      out << "<tr><td>" << html_escape(s.id) << "</td><td>"
+          << html_escape(s.key.fault_class) << "</td><td>"
+          << html_escape(s.key.call_context) << "</td><td>"
+          << html_escape(s.key.outcome) << "</td><td>" << html_escape(s.key.span)
+          << "</td><td>" << s.count << "</td><td>" << s.campaigns << "</td><td>"
+          << html_escape(s.example_fault) << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
 
   for (const ReportGroup& g : report.groups) {
     out << "<h2>Response times: " << html_escape(config_label(g.key)) << "</h2>\n";

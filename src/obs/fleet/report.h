@@ -14,6 +14,11 @@
 
 #include "core/outcome.h"
 #include "exec/journal.h"
+#include "forensics/signature.h"
+
+namespace dts::obs {
+class MetricsRegistry;
+}
 
 namespace dts::obs::fleet {
 
@@ -24,6 +29,8 @@ struct ReportGroup {
   std::uint64_t max_version = 0;  // group (differ on mixed-version merges)
   std::uint64_t records = 0;      // deduplicated records
   std::uint64_t duplicates = 0;   // dropped (same fault index seen again)
+  std::uint64_t foreign = 0;      // excluded: execution index names a foreign
+                                  // campaign digest (see build_report)
   std::uint64_t unparsed = 0;     // records whose run payload did not parse
   std::uint64_t uncalled = 0;     // fn never called (skip-uncalled rule)
   std::array<std::uint64_t, 5> outcomes{};  // indexed like core::kAllOutcomes
@@ -38,9 +45,23 @@ struct FleetReport {
   std::array<std::uint64_t, 5> outcomes{};  // aggregate across groups
   std::uint64_t records = 0;
   std::uint64_t duplicates = 0;
+  std::uint64_t foreign = 0;  // Σ groups' foreign-digest exclusions
+
+  /// Failure-signature clusters across every merged record (ranked failures
+  /// first). Every deduplicated record maps to exactly one signature, so
+  /// signature_runs == records — the reconciliation invariant `ntdts report`
+  /// asserts before rendering.
+  std::vector<forensics::SignatureCluster> signatures;
+  std::uint64_t signature_runs = 0;
 };
 
-FleetReport build_report(const std::vector<exec::JournalFile>& files);
+/// Merges journals into a report. Records whose execution index carries a
+/// campaign digest different from the group's own (first xi-bearing record
+/// wins) are NOT merged: they are counted per group as `foreign`, reported
+/// as a warning, and — when `metrics` is given — counted on the
+/// `dts_report_foreign_records_total` counter.
+FleetReport build_report(const std::vector<exec::JournalFile>& files,
+                         obs::MetricsRegistry* metrics = nullptr);
 
 std::string render_report_markdown(const FleetReport& report);
 std::string render_report_html(const FleetReport& report);

@@ -10,8 +10,10 @@
 // record, forensics dump and trace event of the worker that ran it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
 
 namespace dts::obs::fleet {
@@ -29,6 +31,23 @@ struct ExecutionIndex {
                   static_cast<unsigned long long>(lease_id),
                   static_cast<unsigned long long>(fault_index));
     return buf;
+  }
+
+  /// Inverse of to_string. Rejects trailing garbage so a truncated or
+  /// corrupted journal field never half-parses into a wrong identity.
+  static std::optional<ExecutionIndex> parse(const std::string& text) {
+    ExecutionIndex ei;
+    unsigned long long digest = 0, lease = 0, index = 0;
+    int consumed = 0;
+    if (std::sscanf(text.c_str(), "%16llx/%llu/%llu%n", &digest, &lease,
+                    &index, &consumed) != 3 ||
+        static_cast<std::size_t>(consumed) != text.size()) {
+      return std::nullopt;
+    }
+    ei.campaign_digest = digest;
+    ei.lease_id = lease;
+    ei.fault_index = index;
+    return ei;
   }
 
   friend bool operator==(const ExecutionIndex&, const ExecutionIndex&) = default;

@@ -1,5 +1,6 @@
 #include "obs/fleet/status.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -115,6 +116,48 @@ std::string StatusBoard::runs_json(const std::string& worker_filter,
 std::map<std::string, std::uint64_t> StatusBoard::outcome_counts() const {
   std::lock_guard<std::mutex> lock(mu_);
   return outcomes_;
+}
+
+void StatusBoard::record_signature(const SignatureEntry& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SignatureRow& row = signatures_[e.id];
+  if (row.count == 0) row.entry = e;
+  ++row.count;
+  ++signature_total_;
+}
+
+std::string StatusBoard::signatures_json(std::size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const SignatureRow*> ranked;
+  ranked.reserve(signatures_.size());
+  for (const auto& [id, row] : signatures_) ranked.push_back(&row);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const SignatureRow* a, const SignatureRow* b) {
+              const bool af = a->entry.outcome == "failure";
+              const bool bf = b->entry.outcome == "failure";
+              if (af != bf) return af;
+              if (a->count != b->count) return a->count > b->count;
+              return a->entry.id < b->entry.id;
+            });
+  if (ranked.size() > limit) ranked.resize(limit);
+  std::ostringstream out;
+  out << "{\"signatures\":[";
+  bool first = true;
+  for (const SignatureRow* row : ranked) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":\"" << obs::json_escape(row->entry.id) << "\",\"class\":\""
+        << obs::json_escape(row->entry.fault_class) << "\",\"context\":\""
+        << obs::json_escape(row->entry.call_context) << "\",\"outcome\":\""
+        << obs::json_escape(row->entry.outcome) << "\",\"span\":\""
+        << obs::json_escape(row->entry.span) << "\",\"count\":" << row->count
+        << ",\"example_fault\":\"" << obs::json_escape(row->entry.example_fault)
+        << "\",\"example_xi\":\"" << obs::json_escape(row->entry.example_xi)
+        << "\"}";
+  }
+  out << "],\"distinct\":" << signatures_.size()
+      << ",\"total\":" << signature_total_ << "}";
+  return out.str();
 }
 
 }  // namespace dts::obs::fleet

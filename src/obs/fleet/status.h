@@ -46,6 +46,19 @@ struct RunEntry {
   std::string exec_index;
 };
 
+/// One failure signature observed on a completed run (see
+/// forensics/signature.h — the board stores rendered strings only, so the
+/// HTTP layer stays free of forensics types).
+struct SignatureEntry {
+  std::string id;  // 16-hex signature digest
+  std::string fault_class;
+  std::string call_context;
+  std::string outcome;
+  std::string span;
+  std::string example_fault;
+  std::string example_xi;
+};
+
 class StatusBoard {
  public:
   /// Keeps the last `run_capacity` completed runs for /runs.
@@ -54,6 +67,9 @@ class StatusBoard {
   void update_campaign(const CampaignStatus& s);
   void update_workers(std::vector<WorkerRow> rows);
   void record_run(RunEntry e);
+
+  /// Accumulates one run's failure signature into the live cluster table.
+  void record_signature(const SignatureEntry& e);
 
   /// /status payload. When `events` is non-null its tail is embedded.
   std::string status_json(const FleetEventLog* events = nullptr) const;
@@ -67,13 +83,25 @@ class StatusBoard {
   /// Aggregate outcome counts over every record_run() so far.
   std::map<std::string, std::uint64_t> outcome_counts() const;
 
+  /// /signatures payload: ranked clusters (failures first, then by count)
+  /// with per-cluster counts and a "total" that reconciles against the
+  /// number of record_signature() calls.
+  std::string signatures_json(std::size_t limit = 64) const;
+
  private:
+  struct SignatureRow {
+    SignatureEntry entry;
+    std::uint64_t count = 0;
+  };
+
   const std::size_t run_capacity_;
   mutable std::mutex mu_;
   CampaignStatus campaign_;
   std::vector<WorkerRow> workers_;
   std::deque<RunEntry> runs_;
   std::map<std::string, std::uint64_t> outcomes_;
+  std::map<std::string, SignatureRow> signatures_;  // id -> row
+  std::uint64_t signature_total_ = 0;
 };
 
 }  // namespace dts::obs::fleet

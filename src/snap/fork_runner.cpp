@@ -142,6 +142,10 @@ std::vector<std::size_t> ForkRunner::run(
         out.fn_called = item.fn_called;
         out.wall_us = 0;  // synthesis does no per-run work
         out.skipped_sim_us = run_sim_us;
+        // The run's trajectory IS the host trajectory (seed-invariance gate
+        // above), so the host's end-state digest is the run's digest. The
+        // fault never fires, so there is no injection context.
+        out.trace_digest = run_->interceptor().trace_digest();
         stats_.skipped_sim_us += run_sim_us;
         ++stats_.synthesized_runs;
         (*on_result_)(out);
@@ -300,6 +304,8 @@ void ForkRunner::reap_oldest() {
   out.fn_called = wire->fn_called;
   out.wall_us = wire->wall_us;
   out.skipped_sim_us = c.skipped_us;
+  out.trace_digest = wire->trace_digest;
+  out.call_context = wire->call_context;
   stats_.skipped_sim_us += c.skipped_us;
   (*on_result_)(out);
 }
@@ -318,6 +324,9 @@ void ForkRunner::finish_child(core::RunResult result) {
   wire.sim_us = static_cast<std::uint64_t>(result.sim_elapsed.count_micros());
   wire.requests = dist::encode_requests(result.requests);
   wire.detail = result.detail;
+  wire.trace_digest = run_->interceptor().trace_digest();
+  const auto& inj_ctx = run_->interceptor().injection_context();
+  wire.call_context = inj_ctx ? inj_ctx->to_string() : "";
   std::string line = dist::encode_result(wire);
   line += '\n';
   const char* p = line.data();

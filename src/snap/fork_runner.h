@@ -76,6 +76,11 @@ struct ChildOutcome {
   bool fn_called = false;
   std::uint64_t wall_us = 0;         // child-side wall clock, fork -> done
   std::uint64_t skipped_sim_us = 0;  // golden-prefix sim time not re-executed
+  /// Forensics (journal v4): the interceptor's rolling trace digest at run
+  /// end and the injected call's context. A forked child inherits the host's
+  /// digest state across fork(), so both match a full run byte-for-byte.
+  std::uint64_t trace_digest = 0;
+  std::string call_context;
 };
 
 struct ForkStats {

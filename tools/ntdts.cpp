@@ -11,6 +11,8 @@
 //                                           paper-style tables
 //   ntdts report <journal.jsonl>...         merge run journals into a fleet
 //                                           campaign report (Markdown/HTML)
+//   ntdts replay <journal> <xi|index|id>    re-execute one journaled run with
+//                                           the tracer pinned on and compare
 //   ntdts workloads                         list built-in workloads
 //
 // `run` writes <output-dir>/results.csv (one line per fault-injection run),
@@ -52,6 +54,8 @@
 #include "dist/worker.h"
 #include "exec/executor.h"
 #include "exec/journal.h"
+#include "forensics/minimize.h"
+#include "forensics/replay.h"
 #include "inject/fault_class.h"
 #include "obs/fleet/events.h"
 #include "obs/fleet/http.h"
@@ -118,8 +122,16 @@ int usage() {
       "        render saved campaigns as the paper-style tables\n"
       "  ntdts report <journal.jsonl>... [--out=PATH] [--html]\n"
       "        merge run journals (any mix of schema versions, duplicate\n"
-      "        records dropped) into a campaign report with outcome matrices\n"
-      "        and response-time histograms\n"
+      "        records dropped) into a campaign report with outcome matrices,\n"
+      "        failure-signature clusters and response-time histograms\n"
+      "  ntdts replay <journal.jsonl> <xi|fault-index|fault-id>\n"
+      "            [--minimize] [--out=PATH] [--trace-depth=N]\n"
+      "        re-execute one journaled run with tracing pinned on and compare\n"
+      "        outcome/run line/trace digest against the record (exit 0 =\n"
+      "        match, 1 = mismatch — the ntsim nondeterminism detector).\n"
+      "        --minimize shrinks the configuration ddmin-style while the\n"
+      "        outcome is preserved and writes a runnable repro config (+ a\n"
+      "        one-fault .faults list) to --out (default repro.ini)\n"
       "  ntdts workloads\n";
   return 2;
 }
@@ -138,6 +150,158 @@ std::optional<std::string> read_file(const std::string& path) {
   std::stringstream buf;
   buf << in.rdbuf();
   return buf.str();
+}
+
+/// `ntdts replay <journal> <selector>` — one-command failure replay (and,
+/// with --minimize, repro minimisation). Exit 0 = replay matches the journal
+/// record, 1 = mismatch (the ntsim nondeterminism detector fired), 2 = usage
+/// or I/O error.
+int cmd_replay(int argc, char** argv) {
+  std::string journal_path, selector, out_path;
+  bool minimize = false;
+  std::size_t trace_depth = 512;
+  int positional = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--minimize") {
+      minimize = true;
+    } else if (a.rfind("--out=", 0) == 0) {
+      out_path = a.substr(6);
+      if (out_path.empty()) {
+        std::cerr << "ntdts replay: --out expects a path\n";
+        return 2;
+      }
+    } else if (a.rfind("--trace-depth=", 0) == 0) {
+      const std::string value = a.substr(14);
+      std::size_t used = 0;
+      long n = -1;
+      try {
+        n = std::stol(value, &used);
+      } catch (const std::exception&) {
+      }
+      if (used != value.size() || n < 1 || n > 100000) {
+        std::cerr << "ntdts replay: --trace-depth expects an integer in "
+                     "[1, 100000], got '" << value << "'\n";
+        return 2;
+      }
+      trace_depth = static_cast<std::size_t>(n);
+    } else if (a.rfind("--", 0) == 0) {
+      return unknown_flag("replay", a);
+    } else if (positional == 0) {
+      journal_path = a;
+      ++positional;
+    } else if (positional == 1) {
+      selector = a;
+      ++positional;
+    } else {
+      return usage();
+    }
+  }
+  if (positional < 2) return usage();
+
+  std::string error;
+  auto file = exec::read_journal_file(journal_path, &error);
+  if (!file) {
+    std::cerr << journal_path << ": " << error << "\n";
+    return 2;
+  }
+  const exec::JournalRecord* rec = forensics::find_record(*file, selector, &error);
+  if (rec == nullptr) {
+    std::cerr << "ntdts replay: " << error << "\n";
+    return 2;
+  }
+
+  forensics::ReplayOptions opts;
+  opts.trace_depth = trace_depth;
+  const auto replay = forensics::replay_record(*file, *rec, opts, &error);
+  if (!replay) {
+    std::cerr << "ntdts replay: " << error << "\n";
+    return 2;
+  }
+
+  std::cout << "replaying record #" << rec->index << " fault " << rec->fault_id;
+  if (!rec->exec_index.empty()) std::cout << " (xi " << rec->exec_index << ")";
+  std::cout << "\nconfiguration from " << replay->config_source << "\n";
+  std::cout << "journal outcome:  " << replay->journal_outcome << "\n";
+  std::cout << "replayed outcome: " << exec::outcome_label(replay->run.outcome)
+            << (replay->outcome_match ? "" : "   <-- MISMATCH") << "\n";
+  std::cout << "run line match:   " << (replay->run_line_match ? "yes" : "NO")
+            << "\n";
+  std::cout << "trace digest:     "
+            << (rec->trace_digest == 0
+                    ? "(not journaled — pre-v4 record)"
+                    : (replay->trace_digest_match ? "match" : "MISMATCH"))
+            << "\n";
+  std::cout << "call context:     "
+            << (replay->call_context.empty() ? "(fault never fired)"
+                                             : replay->call_context)
+            << (replay->call_context_match ? "" : "   <-- MISMATCH") << "\n";
+  std::cout << "\n" << replay->forensics;
+  if (!replay->matches()) {
+    std::cerr << "\nREPLAY MISMATCH: the journaled run and the replay were fed "
+                 "identical inputs.\nDivergence means the simulator was "
+                 "nondeterministic or the journal came from a\ndifferent "
+                 "build — either way, this run is the repro.\n";
+  }
+
+  if (minimize) {
+    std::string src;
+    auto run_cfg = forensics::config_from_journal(*file, &src, &error);
+    if (!run_cfg) {
+      std::cerr << "ntdts replay: " << error << "\n";
+      return 2;
+    }
+    const auto fault =
+        inject::parse_fault_id(run_cfg->workload.target_image, rec->fault_id);
+    if (!fault) {
+      std::cerr << "ntdts replay: unparsable fault id " << rec->fault_id << "\n";
+      return 2;
+    }
+    core::RunResult journaled;
+    if (!core::parse_run_line(run_cfg->workload.target_image, rec->run_line,
+                              &journaled, &error)) {
+      std::cerr << "ntdts replay: " << error << "\n";
+      return 2;
+    }
+    const auto mres = forensics::minimize_repro(*run_cfg, file->key.seed, *fault,
+                                                journaled.outcome);
+    std::cout << "\n--- minimisation (" << mres.runs_tried << " verification runs) ---\n";
+    for (const auto& step : mres.steps) {
+      std::cout << "  " << (step.kept ? "kept   " : "reject ") << step.description
+                << "\n";
+    }
+    std::cout << "  simulated time: " << mres.sim_us_before << " us -> "
+              << mres.sim_us_after << " us\n";
+    if (!mres.reduced) {
+      std::cout << "  no reduction preserved the outcome; emitting the "
+                   "baseline config\n";
+    }
+    const std::string repro_path = out_path.empty() ? "repro.ini" : out_path;
+    const std::string faults_path = repro_path + ".faults";
+    core::DtsConfig repro = mres.minimal;
+    repro.fault_list_file = faults_path;
+    inject::FaultList single;
+    single.faults.push_back(*fault);
+    {
+      std::ofstream out(repro_path);
+      if (!out) {
+        std::cerr << "cannot write " << repro_path << "\n";
+        return 2;
+      }
+      out << core::serialize_config(repro);
+    }
+    {
+      std::ofstream out(faults_path);
+      if (!out) {
+        std::cerr << "cannot write " << faults_path << "\n";
+        return 2;
+      }
+      out << single.serialize();
+    }
+    std::cout << "minimal repro written to " << repro_path << " (+ " << faults_path
+              << ") — run it with: ntdts run " << repro_path << "\n";
+  }
+  return replay->matches() ? 0 : 1;
 }
 
 int cmd_report(int argc, char** argv) {
@@ -196,6 +360,13 @@ int cmd_report(int argc, char** argv) {
       files.push_back(std::move(*file));
     }
     const obs::fleet::FleetReport report = obs::fleet::build_report(files);
+    if (report.foreign > 0) {
+      std::cerr << "warning: " << report.foreign << " record"
+                << (report.foreign == 1 ? "" : "s")
+                << " excluded — execution index names a foreign campaign "
+                   "digest (journal file mixed with another campaign's "
+                   "records?)\n";
+    }
     const std::string rendered = html ? obs::fleet::render_report_html(report)
                                       : obs::fleet::render_report_markdown(report);
     if (out_path.empty()) {
@@ -532,13 +703,19 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
       r.body = status_board.runs_json(get("worker"), get("outcome"));
       return r;
     });
+    http.handle("/signatures", [&status_board](const obs::fleet::HttpRequest&) {
+      obs::fleet::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = status_board.signatures_json();
+      return r;
+    });
     std::string herr;
     if (!http.start(hp->first, hp->second, &herr)) {
       std::cerr << "ntdts run: " << herr << "\n";
       return 2;
     }
     std::cerr << "live observability at http://" << hp->first << ":" << http.port()
-              << "/{metrics,status,runs}\n";
+              << "/{metrics,status,runs,signatures}\n";
   }
 
   core::WorkloadSetResult set;
@@ -575,6 +752,7 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
     set.base_config = cfg->run;
     set.activated_functions = core::profile_workload(cfg->run, cfg->campaign.seed);
     exec::ExecOptions eo;
+    eo.config_text = core::serialize_config(*cfg);
     eo.jobs = cfg->campaign.jobs;
     eo.skip_uncalled = false;
     eo.journal_path = cfg->campaign.journal_path;
@@ -947,6 +1125,7 @@ int main(int argc, char** argv) {
       return rc;
     }
     if (cmd == "report" && argc >= 3) return cmd_report(argc, argv);
+    if (cmd == "replay" && argc >= 3) return cmd_replay(argc, argv);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "ntdts: " << e.what() << "\n";
