@@ -1,0 +1,177 @@
+// micro_fault_models — guards the fault-model registry's compatibility
+// contract (DESIGN §fault) on the seed Apache workload:
+//
+//   1. Sweep identity: the registry's paper enumerator emits the legacy
+//      sweep byte for byte (full sweep and activated-function sweep).
+//   2. Campaign identity: the default-model campaign routed through the
+//      registry produces run lines byte-identical to the pre-registry
+//      pipeline — profile, FaultList::for_functions, executor — executed
+//      in-process as the baseline.
+//   3. Overhead: the registry path's runs/sec stays within noise of that
+//      baseline (generous 20% tolerance, best-of-N retries — enumeration is
+//      a few hundred struct pushes against a full campaign's simulation
+//      work, so a real regression shows up far above this bar).
+//
+// All three are hard assertions; the binary exits 1 on violation. The new
+// model families are reported (sweep size, runs/sec) but not gated: their
+// outcome distributions are the experiment, not the contract.
+//
+// Environment knobs:
+//   DTS_BENCH_TRIALS       timing rounds (default 3)
+//   DTS_BENCH_FAULT_CAP    cap faults per campaign (default 0 = full sweep)
+//   DTS_BENCH_SEED         campaign seed (default 7)
+//   DTS_BENCH_METRICS_OUT  export the campaign-metrics registry at exit
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "paper_common.h"
+#include "core/campaign.h"
+#include "exec/executor.h"
+#include "fault/model.h"
+#include "inject/fault_list.h"
+
+namespace {
+
+using namespace dts;
+
+std::size_t trials() {
+  const char* v = std::getenv("DTS_BENCH_TRIALS");
+  const std::size_t n = v != nullptr ? std::strtoull(v, nullptr, 10) : 3;
+  return n == 0 ? 1 : n;
+}
+
+core::RunConfig apache_config() {
+  core::RunConfig cfg;
+  cfg.workload = core::workload_by_name("Apache1");
+  cfg.middleware = mw::MiddlewareKind::kNone;
+  return cfg;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+struct Timed {
+  std::vector<std::string> run_lines;
+  double seconds = 0.0;
+};
+
+/// The registry path: run_workload_set with the given model selection.
+Timed registry_campaign(const std::string& models) {
+  core::CampaignOptions opt;
+  opt.seed = bench::bench_seed();
+  opt.max_faults = bench::fault_cap();
+  opt.metrics = &bench::bench_registry();
+  opt.models = models;
+  const auto start = std::chrono::steady_clock::now();
+  const core::WorkloadSetResult set = core::run_workload_set(apache_config(), opt);
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  Timed out;
+  out.seconds = elapsed.count();
+  out.run_lines.reserve(set.runs.size());
+  for (const auto& r : set.runs) out.run_lines.push_back(core::serialize_run_line(r));
+  return out;
+}
+
+/// The pre-registry pipeline, inlined as the in-process baseline: profiling
+/// pass, activated-function fault list, campaign executor.
+Timed legacy_campaign() {
+  const core::RunConfig cfg = apache_config();
+  const auto start = std::chrono::steady_clock::now();
+  const auto fns = core::profile_workload(cfg, bench::bench_seed());
+  const inject::FaultList list =
+      inject::FaultList::for_functions(cfg.workload.target_image, fns)
+          .sampled(bench::fault_cap());
+  exec::ExecOptions eo;
+  eo.jobs = 1;
+  const exec::CampaignResult r =
+      exec::CampaignExecutor(eo).run(cfg, list, bench::bench_seed());
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  Timed out;
+  out.seconds = elapsed.count();
+  out.run_lines.reserve(r.runs.size());
+  for (const auto& run : r.runs) out.run_lines.push_back(core::serialize_run_line(run));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const core::RunConfig cfg = apache_config();
+  const std::string& image = cfg.workload.target_image;
+
+  // 1. Sweep identity.
+  const auto def = fault::ModelSet::paper_default();
+  if (fault::build_sweep(image, def, nullptr, 1).serialize() !=
+      inject::FaultList::full_sweep(image).serialize()) {
+    std::fprintf(stderr, "FAIL: paper-model full sweep diverged from legacy sweep\n");
+    return 1;
+  }
+  const auto fns = core::profile_workload(cfg, bench::bench_seed());
+  if (fault::build_sweep(image, def, &fns, 1).serialize() !=
+      inject::FaultList::for_functions(image, fns).serialize()) {
+    std::fprintf(stderr, "FAIL: paper-model activated sweep diverged from legacy sweep\n");
+    return 1;
+  }
+  std::printf("paper sweep byte-identical to legacy enumeration: ok\n");
+
+  // 2 + 3. Campaign identity and overhead, measured back to back with
+  // alternating order; identity is checked every round, timing on medians.
+  const std::size_t n = trials();
+  std::vector<double> legacy_times, registry_times;
+  std::size_t runs = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    Timed legacy, registry;
+    if (t % 2 == 0) {
+      legacy = legacy_campaign();
+      registry = registry_campaign("");
+    } else {
+      registry = registry_campaign("");
+      legacy = legacy_campaign();
+    }
+    if (registry.run_lines != legacy.run_lines) {
+      std::fprintf(stderr,
+                   "FAIL: default-model campaign diverged from the legacy pipeline "
+                   "in round %zu\n",
+                   t + 1);
+      return 1;
+    }
+    runs = legacy.run_lines.size();
+    legacy_times.push_back(legacy.seconds);
+    registry_times.push_back(registry.seconds);
+    std::printf("round %2zu/%zu  legacy %.3fs  registry %.3fs\n", t + 1, n,
+                legacy.seconds, registry.seconds);
+  }
+  const double legacy_s = median(legacy_times);
+  const double registry_s = median(registry_times);
+  const double rate_legacy = static_cast<double>(runs) / legacy_s;
+  const double rate_registry = static_cast<double>(runs) / registry_s;
+  std::printf("paper model: %zu runs  legacy %.1f runs/s  registry %.1f runs/s\n", runs,
+              rate_legacy, rate_registry);
+  if (rate_registry < 0.8 * rate_legacy) {
+    std::fprintf(stderr, "FAIL: registry path %.1f runs/s < 80%% of legacy %.1f runs/s\n",
+                 rate_registry, rate_legacy);
+    return 1;
+  }
+
+  // Per-model report (informational): sweep size over the activated
+  // functions and end-to-end campaign throughput.
+  for (const char* models : {"mutation", "oserror", "temporal"}) {
+    std::string error;
+    const auto set = fault::ModelSet::parse(models, &error);
+    const std::size_t sweep = fault::build_sweep(image, *set, &fns, 1).faults.size();
+    const Timed timed = registry_campaign(models);
+    std::printf("%-8s sweep %4zu faults  %zu runs  %.1f runs/s\n", models, sweep,
+                timed.run_lines.size(),
+                static_cast<double>(timed.run_lines.size()) / timed.seconds);
+  }
+
+  std::printf("PASS: paper sweep + campaign byte-identical, throughput within noise\n");
+  return 0;
+}

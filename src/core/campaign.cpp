@@ -7,6 +7,7 @@
 
 #include "core/config.h"
 #include "exec/executor.h"
+#include "fault/model.h"
 #include "plan/profiler.h"
 #include "plan/pruner.h"
 
@@ -71,6 +72,15 @@ std::set<nt::Fn> profile_workload(const RunConfig& base, std::uint64_t seed) {
 }
 
 namespace {
+
+/// Parses the campaign's model selection (empty = paper default); unknown
+/// model names are a configuration error.
+fault::ModelSet model_set_from(const CampaignOptions& options) {
+  std::string error;
+  auto set = fault::ModelSet::parse(options.models, &error);
+  if (!set) throw std::runtime_error(error);
+  return *set;
+}
 
 /// Activated-function set recovered from a plan: every function whose faults
 /// were not pruned as uncalled (the pruner consulted the golden profile, so
@@ -142,8 +152,11 @@ plan::Plan build_campaign_plan(const RunConfig& base, const CampaignOptions& opt
   }
   // The plan covers the *raw* sweep, so functions the golden run never
   // touched are logged as pruned rather than silently absent from the file.
+  // The model registry enumerates it (byte-identical to the classic
+  // full_sweep for the paper default).
   const inject::FaultList sweep =
-      inject::FaultList::full_sweep(base.workload.target_image, options.iterations)
+      fault::build_sweep(base.workload.target_image, model_set_from(options),
+                         /*functions=*/nullptr, options.iterations)
           .sampled(options.max_faults);
   const plan::GoldenProfile profile =
       plan::golden_profile(base, options.seed, options.iterations);
@@ -221,13 +234,12 @@ WorkloadSetResult run_workload_set(const RunConfig& base, const CampaignOptions&
 
   // Capped lists sample evenly across the whole sweep rather than truncating:
   // a prefix slice would cover only the catalogue's first functions and badly
-  // skew the outcome mix.
+  // skew the outcome mix. The fault-model registry enumerates the sweep; the
+  // paper default is byte-identical to the classic for_functions/full_sweep.
   const inject::FaultList list =
-      (options.profile_first
-           ? inject::FaultList::for_functions(base.workload.target_image,
-                                              result.activated_functions,
-                                              options.iterations)
-           : inject::FaultList::full_sweep(base.workload.target_image, options.iterations))
+      fault::build_sweep(base.workload.target_image, model_set_from(options),
+                         options.profile_first ? &result.activated_functions : nullptr,
+                         options.iterations)
           .sampled(options.max_faults);
 
   // The executor applies the skip-uncalled rule (paper §4): once a function
@@ -413,9 +425,16 @@ WorkloadSetResult load_or_run_workload_set(const RunConfig& base,
                                                   static_cast<std::uint64_t>(
                                                       options.iterations) * 1000003 +
                                                       options.max_faults))));
+    // Non-default model sets are different campaigns; the default leaves the
+    // key untouched so pre-existing caches stay valid.
+    std::uint64_t model_aware_key = key;
+    const fault::ModelSet models = model_set_from(options);
+    if (!models.is_paper_default()) {
+      model_aware_key = sim::Rng::mix(key, sim::Rng::hash(models.to_string()));
+    }
     char name[64];
     std::snprintf(name, sizeof name, "dts_%016llx.campaign",
-                  static_cast<unsigned long long>(key));
+                  static_cast<unsigned long long>(model_aware_key));
     std::filesystem::create_directories(cache_dir);
     path = cache_dir + "/" + name;
     std::ifstream in(path);

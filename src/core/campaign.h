@@ -125,6 +125,14 @@ struct CampaignOptions {
   /// any jobs count (anything not provably resumable falls back to a full
   /// run), so the result cache key deliberately ignores this flag.
   bool snapshots = false;
+
+  /// Fault-model selection (src/fault/): CSV of model names expanded by the
+  /// registry's sweep enumerators ("paper,oserror"). Empty = the paper
+  /// default, whose sweep is byte-identical to the pre-registry code. Parsed
+  /// with fault::ModelSet::parse; run_workload_set throws std::runtime_error
+  /// on unknown names. Part of the result cache key — different model sets
+  /// are different campaigns.
+  std::string models;
 };
 
 /// Runs a complete workload set and returns its results.

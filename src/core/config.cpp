@@ -4,6 +4,8 @@
 #include <charconv>
 #include <sstream>
 
+#include "fault/model.h"
+
 namespace dts::core {
 
 namespace {
@@ -100,6 +102,14 @@ std::optional<DtsConfig> parse_config(const std::string& text, std::string* erro
       } else if (key == "jobs") {
         if (!parse_int(value, &iv) || iv < 0 || iv > 1024) return fail("bad jobs");
         cfg.campaign.jobs = static_cast<int>(iv);
+      } else if (key == "models") {
+        std::string model_error;
+        const auto set = fault::ModelSet::parse(lower(value), &model_error);
+        if (!set) return fail(model_error);
+        // Canonical CSV; the paper default stores as empty so the serialized
+        // config (and the journal header embedding it) is byte-identical to
+        // a config that never named the key.
+        cfg.campaign.models = set->is_paper_default() ? "" : set->to_string();
       } else if (key == "fault_list_file") {
         cfg.fault_list_file = value;
       } else {
@@ -173,6 +183,7 @@ std::string serialize_config(const DtsConfig& cfg) {
   out << "iterations = " << cfg.campaign.iterations << "\n";
   out << "max_faults = " << cfg.campaign.max_faults << "\n";
   out << "jobs = " << cfg.campaign.jobs << "\n";
+  if (!cfg.campaign.models.empty()) out << "models = " << cfg.campaign.models << "\n";
   if (!cfg.fault_list_file.empty()) out << "fault_list_file = " << cfg.fault_list_file << "\n";
   out << "\n[client]\n";
   out << "response_timeout_s = " << cfg.run.client.response_timeout.count_micros() / 1000000

@@ -12,6 +12,8 @@
 //   iterations      = 1            ; invocations injected per function
 //   max_faults      = 0            ; 0 = unlimited
 //   jobs            = 1            ; parallel workers (0 = hardware threads)
+//   models          = paper        ; fault models (CSV): paper | mutation |
+//                                  ; oserror | temporal (src/fault/)
 //   fault_list_file =              ; optional explicit fault list
 //
 //   [client]

@@ -23,6 +23,7 @@
 #include "dist/socket.h"
 #include "dist/wire.h"
 #include "exec/journal.h"
+#include "fault/model.h"
 #include "forensics/signature.h"
 #include "obs/fleet/events.h"
 #include "obs/fleet/span.h"
@@ -315,6 +316,7 @@ struct Coordinator::Impl {
       rec.exec_index = exec_index;
       rec.trace_digest = r.trace_digest;
       rec.call_context = r.call_context;
+      rec.model = fault::model_annotation(list.faults[r.index]);
       journal.append(rec);
     }
 
@@ -804,12 +806,15 @@ core::WorkloadSetResult run_workload_set_distributed(
     // Explicit lists execute in full, as in-process campaigns do.
     dist.skip_uncalled = false;
   } else {
-    list = (options.profile_first
-                ? inject::FaultList::for_functions(base.workload.target_image,
-                                                   result.activated_functions,
-                                                   options.iterations)
-                : inject::FaultList::full_sweep(base.workload.target_image,
-                                                options.iterations))
+    // The model registry enumerates the sweep exactly like the in-process
+    // path, so a distributed campaign's merged output stays byte-identical
+    // to --jobs=1 under any model set.
+    std::string model_error;
+    const auto models = fault::ModelSet::parse(options.models, &model_error);
+    if (!models) throw std::runtime_error(model_error);
+    list = fault::build_sweep(base.workload.target_image, *models,
+                              options.profile_first ? &result.activated_functions : nullptr,
+                              options.iterations)
                .sampled(options.max_faults);
   }
 

@@ -16,6 +16,7 @@
 
 #include "core/campaign.h"
 #include "exec/journal.h"
+#include "fault/model.h"
 #include "forensics/signature.h"
 #include "obs/fleet/span.h"
 #include "obs/fleet/stall.h"
@@ -553,6 +554,7 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
           rec.exec_index = exec_index;
           rec.trace_digest = o.trace_digest;
           rec.call_context = o.call_context;
+          rec.model = fault::model_annotation(fault);
           journal.append(rec);
         }
         if (options_.stall != nullptr) {
@@ -687,6 +689,7 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
             rec.trace_digest = run.interceptor().trace_digest();
             rec.call_context = call_context;
             rec.forensics = std::move(forensics);
+            rec.model = fault::model_annotation(fault);
             journal.append(rec);
           }
 
@@ -935,6 +938,7 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
                 plan::to_string(plan::StratumKey{entry.fault.fn, entry.fault.type});
             rec.trace_digest = o.trace_digest;
             rec.call_context = o.call_context;
+            rec.model = fault::model_annotation(entry.fault);
             journal.append(rec);
           }
           if (options_.stall != nullptr) {
@@ -1035,6 +1039,7 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
             rec.trace_digest = run.interceptor().trace_digest();
             rec.call_context = call_context;
             rec.forensics = std::move(forensics);
+            rec.model = fault::model_annotation(entry.fault);
             journal.append(rec);
           }
 

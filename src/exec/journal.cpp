@@ -18,7 +18,7 @@ using obs::json_uint_field;
 
 std::string header_line(const JournalKey& key, const std::string& config_text) {
   std::ostringstream out;
-  out << "{\"dts_journal\":4,\"workload\":\"" << json_escape(key.workload)
+  out << "{\"dts_journal\":5,\"workload\":\"" << json_escape(key.workload)
       << "\",\"middleware\":" << key.middleware
       << ",\"watchd_version\":" << key.watchd_version << ",\"seed\":" << key.seed
       << ",\"faults\":" << key.fault_count;
@@ -61,7 +61,7 @@ std::optional<JournalFile> read_journal_file(const std::string& path,
   if (!std::getline(in, line)) return fail("empty journal");
   JournalFile file;
   if (!json_uint_field(line, "dts_journal", &file.version) ||
-      file.version < 1 || file.version > 4) {
+      file.version < 1 || file.version > 5) {
     return fail("not a DTS run journal");
   }
   std::uint64_t mw = 0, wv = 0, faults = 0;
@@ -105,6 +105,8 @@ std::optional<JournalFile> read_journal_file(const std::string& path,
       rec.trace_digest = std::strtoull(td.c_str(), nullptr, 16);
     }
     (void)json_string_field(line, "cc", &rec.call_context);
+    // v5 extra.
+    (void)json_string_field(line, "fm", &rec.model);
     file.records.push_back(std::move(rec));
   }
   return file;
@@ -167,6 +169,9 @@ void RunJournal::append(const JournalRecord& rec) {
   }
   if (!rec.call_context.empty()) {
     out_ << ",\"cc\":\"" << json_escape(rec.call_context) << "\"";
+  }
+  if (!rec.model.empty()) {
+    out_ << ",\"fm\":\"" << json_escape(rec.model) << "\"";
   }
   // Forensics last: the dump is big and optional, the fixed fields stay
   // greppable at the front of the line.

@@ -5,8 +5,8 @@
 // deterministic given the campaign seed and fault id (per-run seeds never
 // depend on worker id or schedule).
 //
-// Format (one JSON object per line), schema version 4:
-//   {"dts_journal":4,"workload":"Apache1","middleware":2,"watchd_version":3,
+// Format (one JSON object per line), schema version 5:
+//   {"dts_journal":5,"workload":"Apache1","middleware":2,"watchd_version":3,
 //    "seed":7,"faults":423,"config":"[test]\nworkload = Apache1\n..."}
 //   {"i":17,"fault":"ReadFile.hFile#1:zero","called":1,
 //    "run":"ReadFile.hFile#1:zero 1 failure 0 123456 0 0 1",
@@ -33,9 +33,16 @@
 // from the journal alone, and each record gains "td" (the interceptor's
 // rolling trace digest, 16-hex — the run's trajectory fingerprint) and "cc"
 // (the dynamic call context of the corrupted call, present only when the
-// fault fired). The reader is field-based and accepts versions 1–4: older
-// files resume cleanly under v4 (missing fields stay zero/empty), and newer
-// records with fields an older reader never knew about parse the same way.
+// fault fired). v5 adds the fault-model axis (src/fault/): each record gains
+// an optional "fm" carrying the model annotation
+// "<operator-family>:<temporal>" (e.g. "oserror:transient", "paper:every2"),
+// ELIDED for the default axis (paper operator, transient) so default-model
+// journals differ from v4 only in the header version. `ntdts replay` uses it
+// to refuse silently-transient replays of records whose fault id names a
+// temporal mode but whose record predates the field. The reader is
+// field-based and accepts versions 1–5: older files resume cleanly under v5
+// (missing fields stay zero/empty), and newer records with fields an older
+// reader never knew about parse the same way.
 #pragma once
 
 #include <cstdint>
@@ -80,6 +87,10 @@ struct JournalRecord {
   std::uint64_t trace_digest = 0;  // interceptor trajectory fingerprint
   std::string call_context;        // corrupted call's dynamic context
                                    // (empty = fault never fired)
+
+  // v5 field; empty when reading an older journal AND for default-axis
+  // faults (paper operator, transient) — fault::model_annotation form.
+  std::string model;
 };
 
 /// Reads the records of an existing journal. A missing file yields an empty

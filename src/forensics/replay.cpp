@@ -7,6 +7,7 @@
 #include "core/campaign.h"
 #include "core/config.h"
 #include "exec/executor.h"
+#include "fault/model.h"
 #include "obs/trace.h"
 #include "sim/rng.h"
 
@@ -92,6 +93,25 @@ std::optional<ReplayResult> replay_record(const exec::JournalFile& file,
   const auto fault =
       inject::parse_fault_id(cfg->workload.target_image, rec.fault_id);
   if (!fault) return fail("unparsable fault id \"" + rec.fault_id + "\"");
+
+  // Fault-model consistency (journal v5). The temporal mode and operator are
+  // rebuilt from the fault id alone; the record's "fm" annotation must agree.
+  // A non-default fault in a record without "fm" means the journal predates
+  // the model field — refuse rather than silently replay a different model.
+  const std::string expected_model = fault::model_annotation(*fault);
+  if (!expected_model.empty() && rec.model.empty()) {
+    return fail("record's fault \"" + rec.fault_id +
+                "\" names a non-default fault model (" + expected_model +
+                ") but the record carries no model field; the journal predates "
+                "schema v5 — re-run the campaign to replay this fault");
+  }
+  if (!rec.model.empty() && rec.model != expected_model) {
+    return fail("record model annotation \"" + rec.model +
+                "\" does not match the fault id's model (" +
+                (expected_model.empty() ? std::string(fault::kDefaultAnnotation)
+                                        : expected_model) +
+                ") — corrupt or hand-edited journal");
+  }
 
   core::RunResult journaled;
   std::string parse_error;

@@ -46,17 +46,25 @@ std::string detection_span(const core::RunResult& run) {
 SignatureKey signature_of(const core::RunResult& run,
                           const std::string& call_context) {
   SignatureKey key;
+  // The operator+temporal axis rides in the id tail ("zero@every2", "drop"),
+  // so intermittent and single-shot corruptions of the same site cluster
+  // separately. Result-side faults (param_index -1) have no parameter class;
+  // "result" names the axis they corrupt instead of "unclassified".
   const auto cls = inject::classify(run.fault.fn, run.fault.param_index);
+  const std::string id = run.fault.id();
+  const std::size_t colon = id.rfind(':');
+  const std::string op_tail = colon == std::string::npos
+                                  ? std::string(inject::to_string(run.fault.type))
+                                  : id.substr(colon + 1);
   key.fault_class =
-      std::string(cls ? inject::to_string(*cls) : "unclassified") + ":" +
-      std::string(inject::to_string(run.fault.type));
+      std::string(cls ? inject::to_string(*cls)
+                      : (run.fault.param_index < 0 ? "result" : "unclassified")) +
+      ":" + op_tail;
   if (!call_context.empty()) {
     key.call_context = call_context;
   } else if (run.activated) {
     // Pre-v4 record of a fired fault: the static injection point is the best
     // context available — "ReadFile.hFile#1" (the fault id minus its type).
-    const std::string id = run.fault.id();
-    const std::size_t colon = id.rfind(':');
     key.call_context = colon == std::string::npos ? id : id.substr(0, colon);
   } else {
     key.call_context = "-";  // never fired: there is no corrupted call

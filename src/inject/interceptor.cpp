@@ -13,6 +13,61 @@ const std::set<nt::Fn> kEmpty;
 inline std::uint64_t fold(std::uint64_t digest, std::uint64_t value) {
   return (digest ^ value) * 1099511628211ull;  // FNV-1a prime
 }
+
+// Whether the armed fault fires at this per-(image,fn) invocation count.
+// Transient specs additionally require not having fired before (`fired`):
+// the count check alone would suffice for one process image, but a respawned
+// worker restarts nothing — counts are per image across instances — so the
+// guard is kept explicit.
+bool fires_at(const FaultSpec& f, int count, bool fired) {
+  switch (f.temporal) {
+    case Temporal::kTransient:
+      return !fired && count == f.invocation;
+    case Temporal::kIntermittent:
+      return count >= f.invocation && (count - f.invocation) % f.period == 0;
+    case Temporal::kPersistent:
+      return count >= f.invocation;
+  }
+  return false;
+}
+
+// Result-side operators ride the CallRecord completion-action mechanism
+// (ntsim/syscall.h); the dispatcher consumes the action after on_call.
+void set_completion_action(nt::CallRecord& rec, FaultType type) {
+  using Action = nt::CallRecord::Action;
+  switch (type) {
+    case FaultType::kNoStore:
+      rec.action = Action::kZeroResult;
+      break;
+    case FaultType::kFlipBranch:
+      rec.action = Action::kFlipResult;
+      break;
+    case FaultType::kErrNoMemory:
+      rec.action = Action::kForceResult;
+      rec.forced_result = 0;
+      rec.forced_error = nt::to_dword(nt::Win32Error::kNotEnoughMemory);
+      break;
+    case FaultType::kErrNoHandles:
+      rec.action = Action::kForceResult;
+      rec.forced_result = 0;
+      rec.forced_error = nt::to_dword(nt::Win32Error::kTooManyOpenFiles);
+      break;
+    case FaultType::kErrDiskFull:
+      rec.action = Action::kForceResult;
+      rec.forced_result = 0;
+      rec.forced_error = nt::to_dword(nt::Win32Error::kDiskFull);
+      break;
+    case FaultType::kDelay:
+      rec.action = Action::kDelay;
+      rec.delay_us = 50000;  // 50 ms of sim time, ~1250x the base call cost
+      break;
+    case FaultType::kDrop:
+      rec.action = Action::kDrop;
+      break;
+    default:
+      break;  // parameter operators never reach here
+  }
+}
 }
 
 std::string Interceptor::CallContext::to_string() const {
@@ -71,22 +126,39 @@ void Interceptor::on_call(const nt::Process& proc, nt::CallRecord& rec) {
   }
 
   bool injected_here = false;
-  if (armed_ && !injected_) {
+  if (armed_) {
     const FaultSpec& f = *armed_;
-    if (image == f.target_image && rec.fn == f.fn && count == f.invocation &&
-        f.param_index >= 0 && f.param_index < rec.argc) {
-      auto& word = rec.args[static_cast<std::size_t>(f.param_index)];
-      original_word_ = word;
-      corrupted_word_ = corrupt(word, f.type);
-      word = corrupted_word_;
-      injected_ = true;
+    const bool param_ok = targets_param(f.type)
+                              ? f.param_index >= 0 && f.param_index < rec.argc
+                              : f.param_index < 0;
+    if (image == f.target_image && rec.fn == f.fn && param_ok &&
+        fires_at(f, count, injected_)) {
+      if (targets_param(f.type)) {
+        auto& word = rec.args[static_cast<std::size_t>(f.param_index)];
+        original_word_ = word;
+        corrupted_word_ = corrupt(word, f.type);
+        word = corrupted_word_;
+        // Effective iff SOME firing changed a word: a persistent zero over
+        // an initially-zero argument still activates the moment the golden
+        // value turns nonzero.
+        effective_ = effective_ || corrupted_word_ != original_word_;
+      } else {
+        set_completion_action(rec, f.type);
+        effective_ = true;
+      }
       injected_here = true;
-      CallContext ctx;
-      ctx.fn = rec.fn;
-      ctx.call_site = rec.seq;
-      ctx.invocation = count;
-      ctx.path_digest = path_digest_;  // the path that LED here, pre-fold
-      context_ = ctx;
+      if (!injected_) {
+        // The call context names the FIRST firing — the point where the run
+        // diverges from golden; later intermittent/persistent firings happen
+        // on an already-perturbed path.
+        CallContext ctx;
+        ctx.fn = rec.fn;
+        ctx.call_site = rec.seq;
+        ctx.invocation = count;
+        ctx.path_digest = path_digest_;  // the path that LED here, pre-fold
+        context_ = ctx;
+      }
+      injected_ = true;
     }
   }
 

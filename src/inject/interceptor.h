@@ -39,27 +39,34 @@ namespace dts::inject {
 
 class Interceptor final : public nt::SyscallHook {
  public:
-  /// Arms a fault. At most one fault is injected per run (paper §4: "Only
-  /// one fault is injected for each execution of the server program").
+  /// Arms a fault. At most one fault SPEC is injected per run (paper §4:
+  /// "Only one fault is injected for each execution of the server program");
+  /// an intermittent/persistent spec fires that one fault at multiple
+  /// invocations, which is still one fault.
   void arm(FaultSpec fault) {
     armed_ = std::move(fault);
     injected_ = false;
+    effective_ = false;
     context_.reset();
   }
   void disarm() { armed_.reset(); }
   const std::optional<FaultSpec>& armed() const { return armed_; }
 
-  /// True once the armed fault has fired.
+  /// True once the armed fault has fired at least once.
   bool injected() const { return injected_; }
+  /// Parameter words of the most recent firing (parameter operators only).
   nt::Word original_word() const { return original_word_; }
   nt::Word corrupted_word() const { return corrupted_word_; }
 
-  /// True once the armed fault has fired AND actually changed the parameter
-  /// word. A corruption whose result equals the original value (zeroing an
+  /// True once the armed fault has fired AND could alter behaviour. For
+  /// parameter corruptions that means some firing actually changed the word:
+  /// a corruption whose result equals the original value (zeroing an
   /// already-zero argument, setting all bits of 0xFFFFFFFF) cannot alter
   /// behaviour and must not count as an activated fault — it would inflate
-  /// the paper-table denominators with provably inert runs.
-  bool effective() const { return injected_ && corrupted_word_ != original_word_; }
+  /// the paper-table denominators with provably inert runs. Result-side and
+  /// completion operators count as effective on any firing: they always
+  /// perturb the completion (result word, error state, or timing).
+  bool effective() const { return effective_; }
 
   /// Invocation counting is per image across process instances within one
   /// run: a respawned Apache worker continues the count, but the fault is
@@ -164,6 +171,7 @@ class Interceptor final : public nt::SyscallHook {
  private:
   std::optional<FaultSpec> armed_;
   bool injected_ = false;
+  bool effective_ = false;
   nt::Word original_word_ = 0;
   nt::Word corrupted_word_ = 0;
   std::uint64_t calls_observed_ = 0;

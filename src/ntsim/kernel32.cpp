@@ -84,7 +84,31 @@ sim::CoTask<Word> Kernel32::call(Ctx c, Fn fn, std::vector<Word> args) {
   if (hook_ != nullptr) hook_->on_call(*c.process, r);
 
   co_await sleep_in_sim(c, machine_->cost(kBaseCost));
-  const Word result = co_await dispatch(c, r);
+
+  // Completion actions set by the hook (see CallRecord::Action). A delayed
+  // completion is a fixed sim-time lag, deliberately NOT scaled by machine
+  // speed: the fault magnitude is part of the fault spec, not the hardware.
+  if (r.action == CallRecord::Action::kDelay && r.delay_us != 0) {
+    co_await sleep_in_sim(c, sim::Duration::micros(r.delay_us));
+  }
+  if (r.action == CallRecord::Action::kDrop) {
+    // The completion never arrives: block until teardown destroys us, like
+    // ExitProcess below. on_result deliberately never fires — a trace entry
+    // without a result is the forensic signal for a dropped completion.
+    auto tok = make_wait(c);
+    co_await await_token(c, tok, std::nullopt);
+    co_return 0;
+  }
+
+  Word result;
+  if (r.action == CallRecord::Action::kForceResult) {
+    c.thread().last_error = r.forced_error;
+    result = r.forced_result;
+  } else {
+    result = co_await dispatch(c, r);
+    if (r.action == CallRecord::Action::kZeroResult) result = 0;
+    if (r.action == CallRecord::Action::kFlipResult) result = result != 0 ? 0 : 1;
+  }
   if (hook_ != nullptr) hook_->on_result(*c.process, r, result);
   co_return result;
 }

@@ -29,6 +29,28 @@ struct CallRecord {
   /// on_call. Lets a tracing hook match on_result back to the entry it wrote
   /// in on_call even when coroutine calls interleave.
   std::uint64_t seq = 0;
+
+  /// Completion action requested by the hook. The dispatcher owns the
+  /// mechanism; which call gets which action is injector policy. kForceResult
+  /// skips dispatch entirely (the OS refuses the request: `forced_result` is
+  /// returned and `forced_error` becomes the thread's last error); the two
+  /// result transforms run dispatch normally and rewrite the result word
+  /// before on_result; kDelay stalls the completion by `delay_us` of sim
+  /// time; kDrop blocks the calling thread forever — the completion never
+  /// arrives and on_result never fires (same contract as calls that never
+  /// return).
+  enum class Action : std::uint8_t {
+    kNone = 0,
+    kForceResult,
+    kZeroResult,
+    kFlipResult,
+    kDelay,
+    kDrop,
+  };
+  Action action = Action::kNone;
+  Word forced_result = 0;
+  Dword forced_error = 0;
+  std::uint32_t delay_us = 0;
 };
 
 /// Interception interface installed on the Kernel32 dispatcher.

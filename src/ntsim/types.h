@@ -74,6 +74,7 @@ enum class Win32Error : Dword {
   kInvalidParameter = 87,
   kBrokenPipe = 109,
   kBufferOverflow = 111,
+  kDiskFull = 112,
   kInsufficientBuffer = 122,
   kInvalidName = 123,
   kDirNotEmpty = 145,

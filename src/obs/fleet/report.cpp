@@ -10,6 +10,7 @@
 
 #include "core/campaign.h"
 #include "core/workload.h"
+#include "fault/model.h"
 #include "obs/fleet/span.h"
 #include "obs/metrics.h"
 
@@ -58,6 +59,18 @@ std::string html_escape(const std::string& text) {
     }
   }
   return out;
+}
+
+// The per-model matrix is worth a section only when some record actually
+// carries a non-default model annotation; a pure paper-model report would
+// just repeat the outcome matrix row for row.
+bool has_model_axis(const FleetReport& report) {
+  for (const ReportGroup& g : report.groups) {
+    for (const auto& [label, counts] : g.model_outcomes) {
+      if (label != fault::kDefaultAnnotation) return true;
+    }
+  }
+  return false;
 }
 
 void render_histogram_lines(const ReportGroup& g,
@@ -157,6 +170,8 @@ FleetReport build_report(const std::vector<exec::JournalFile>& files,
                      rec.exec_index, campaign);
       ++g.outcomes[outcome_slot(run.outcome)];
       ++report.outcomes[outcome_slot(run.outcome)];
+      ++g.model_outcomes[rec.model.empty() ? std::string(fault::kDefaultAnnotation)
+                                           : rec.model][outcome_slot(run.outcome)];
       if (run.response_received) {
         ++g.responses;
         const double rt_s = run.response_time.to_seconds();
@@ -215,6 +230,24 @@ std::string render_report_markdown(const FleetReport& report) {
     out << "| total | " << report.records << " |";
     for (std::uint64_t c : report.outcomes) out << " " << c << " |";
     out << "  |  |\n";
+  }
+
+  if (has_model_axis(report)) {
+    out << "\n## Outcomes by fault model\n\n";
+    out << "| configuration | model | runs |";
+    for (core::Outcome o : core::kAllOutcomes) out << " " << core::short_label(o) << " |";
+    out << "\n|---|---|---:|";
+    for (std::size_t i = 0; i < 5; ++i) out << "---:|";
+    out << "\n";
+    for (const ReportGroup& g : report.groups) {
+      for (const auto& [label, counts] : g.model_outcomes) {
+        std::uint64_t runs = 0;
+        for (std::uint64_t c : counts) runs += c;
+        out << "| " << config_label(g.key) << " | " << label << " | " << runs << " |";
+        for (std::uint64_t c : counts) out << " " << c << " |";
+        out << "\n";
+      }
+    }
   }
 
   if (!report.signatures.empty()) {
@@ -298,6 +331,26 @@ std::string render_report_html(const FleetReport& report) {
     out << "<td></td><td></td></tr>\n";
   }
   out << "</table>\n";
+
+  if (has_model_axis(report)) {
+    out << "<h2>Outcomes by fault model</h2>\n<table>\n"
+        << "<tr><th>configuration</th><th>model</th><th>runs</th>";
+    for (core::Outcome o : core::kAllOutcomes) {
+      out << "<th>" << html_escape(std::string(core::short_label(o))) << "</th>";
+    }
+    out << "</tr>\n";
+    for (const ReportGroup& g : report.groups) {
+      for (const auto& [label, counts] : g.model_outcomes) {
+        std::uint64_t runs = 0;
+        for (std::uint64_t c : counts) runs += c;
+        out << "<tr><td>" << html_escape(config_label(g.key)) << "</td><td>"
+            << html_escape(label) << "</td><td>" << runs << "</td>";
+        for (std::uint64_t c : counts) out << "<td>" << c << "</td>";
+        out << "</tr>\n";
+      }
+    }
+    out << "</table>\n";
+  }
 
   if (!report.signatures.empty()) {
     out << "<h2>Failure signatures</h2>\n<p>" << report.signature_runs

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,11 @@ struct ReportGroup {
   std::uint64_t unparsed = 0;     // records whose run payload did not parse
   std::uint64_t uncalled = 0;     // fn never called (skip-uncalled rule)
   std::array<std::uint64_t, 5> outcomes{};  // indexed like core::kAllOutcomes
+  /// Fault-model axis (journal v5 "fm"): outcome counts per model annotation;
+  /// records without the field count under the default "paper:transient".
+  /// The per-model matrix renders only when a non-default annotation exists,
+  /// so default-model reports are unchanged.
+  std::map<std::string, std::array<std::uint64_t, 5>> model_outcomes;
   std::vector<std::uint64_t> response_buckets;  // over response_time_buckets,
                                                 // +Inf last; responses only
   std::uint64_t responses = 0;

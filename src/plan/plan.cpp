@@ -10,47 +10,13 @@ namespace dts::plan {
 
 namespace {
 
-// Like inject::parse_fault_id, but accepts catalogue-only (unimplemented)
-// functions: the raw sweep — and therefore every plan file — contains them
-// as function_uncalled prunes, while run-facing fault lists rightly reject
-// them as non-injectable.
+// Plan files parse with inject::parse_fault_id_any — unlike the run-facing
+// parser it accepts catalogue-only (unimplemented) functions: the raw sweep —
+// and therefore every plan file — contains them as function_uncalled prunes,
+// while run-facing fault lists rightly reject them as non-injectable.
 std::optional<inject::FaultSpec> parse_plan_fault_id(std::string_view target_image,
                                                      std::string_view id) {
-  const auto dot = id.find('.');
-  const auto hash = id.rfind('#');
-  const auto colon = id.rfind(':');
-  if (dot == std::string_view::npos || hash == std::string_view::npos ||
-      colon == std::string_view::npos || !(dot < hash && hash < colon)) {
-    return std::nullopt;
-  }
-  const nt::FunctionInfo* info = nt::Kernel32Registry::instance().by_name(id.substr(0, dot));
-  if (info == nullptr) return std::nullopt;
-
-  const std::string_view param_name = id.substr(dot + 1, hash - dot - 1);
-  int param_index = -1;
-  for (int i = 0; i < info->param_count(); ++i) {
-    if (info->params[static_cast<std::size_t>(i)] == param_name) {
-      param_index = i;
-      break;
-    }
-  }
-  if (param_index < 0) return std::nullopt;
-
-  int invocation = 0;
-  const std::string_view inv = id.substr(hash + 1, colon - hash - 1);
-  auto [p, ec] = std::from_chars(inv.data(), inv.data() + inv.size(), invocation);
-  if (ec != std::errc{} || p != inv.data() + inv.size() || invocation < 1) return std::nullopt;
-
-  auto type = inject::fault_type_from_string(id.substr(colon + 1));
-  if (!type) return std::nullopt;
-
-  inject::FaultSpec spec;
-  spec.target_image = std::string(target_image);
-  spec.fn = static_cast<nt::Fn>(info->id);
-  spec.param_index = param_index;
-  spec.invocation = invocation;
-  spec.type = *type;
-  return spec;
+  return inject::parse_fault_id_any(target_image, id);
 }
 
 }  // namespace

@@ -43,19 +43,27 @@ Plan build_plan(const core::RunConfig& base, const inject::FaultList& sweep,
 
     // The invocation is reached; look up its golden argument word when the
     // capture window covers it (it does whenever max_invocations >= the
-    // sweep's iteration axis).
+    // sweep's iteration axis). Result-side operators (param_index -1) have
+    // no golden argument word — the profiler captures call arguments, not
+    // results — so they carry no golden value.
     auto calls_it = profile.calls.find(fault.fn);
     if (calls_it != profile.calls.end() &&
         fault.invocation <= static_cast<int>(calls_it->second.size())) {
       const GoldenCall& call = calls_it->second[fault.invocation - 1];
-      if (fault.param_index < call.argc) {
+      if (fault.param_index >= 0 && fault.param_index < call.argc) {
         e.golden_known = true;
         e.call_site = call.call_site;
         e.golden_value = call.args[fault.param_index];
       }
     }
 
-    if (e.golden_known) {
+    // Value-level pruning is sound only when the golden word at ONE
+    // invocation decides the whole fault: a single-shot parameter corruption.
+    // `inert_corruption` does not apply to error-return/completion faults
+    // (they perturb the call regardless of its arguments), and an
+    // intermittent/persistent fault's later firings see post-divergence
+    // words the golden profile cannot predict. Such faults execute.
+    if (e.golden_known && inject::single_shot_param_corruption(fault)) {
       const nt::Word corrupted = inject::corrupt(e.golden_value, fault.type);
       if (corrupted == e.golden_value) {
         e.disposition = Disposition::kPruned;

@@ -400,11 +400,11 @@ TEST(Exec, JournalReaderToleratesUnknownFieldsAndRoundTripsV2Extras) {
   EXPECT_EQ((*records)[1].sim_us, 34u);
   EXPECT_TRUE((*records)[1].forensics.empty());
 
-  // And the header written today really is schema v4.
+  // And the header written today really is schema v5.
   std::ifstream in(path);
   std::string header;
   ASSERT_TRUE(std::getline(in, header));
-  EXPECT_NE(header.find("\"dts_journal\":4"), std::string::npos);
+  EXPECT_NE(header.find("\"dts_journal\":5"), std::string::npos);
 }
 
 TEST(Exec, ProgressFormatting) {

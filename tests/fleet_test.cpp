@@ -412,7 +412,7 @@ TEST(FleetSpan, JournalRecordsCarryExecutionIndices) {
   std::string error;
   const auto file = exec::read_journal_file(journal, &error);
   ASSERT_TRUE(file.has_value()) << error;
-  EXPECT_EQ(file->version, 4u);
+  EXPECT_EQ(file->version, 5u);
   ASSERT_FALSE(file->records.empty());
   for (const auto& rec : file->records) {
     // In-process: digest/0/fault_index.
@@ -481,8 +481,8 @@ TEST(FleetTelemetry, WorkerRunTotalsSumExactlyToJournalRecords) {
 
 // --- journal compat + report ---------------------------------------------
 
-/// Rewrites a current (v4) journal file as its v2 ancestor: version 2
-/// header, embedded "config" dropped, "xi"/"td"/"cc" fields stripped.
+/// Rewrites a current (v5) journal file as its v2 ancestor: version 2
+/// header, embedded "config" dropped, "xi"/"td"/"cc"/"fm" fields stripped.
 void downgrade_journal_to_v2(const std::string& path, const std::string& out) {
   std::vector<std::string> lines;
   {
@@ -492,14 +492,14 @@ void downgrade_journal_to_v2(const std::string& path, const std::string& out) {
   }
   std::ofstream dst(out, std::ios::trunc);
   for (std::string line : lines) {
-    const auto header = line.find("\"dts_journal\":4");
+    const auto header = line.find("\"dts_journal\":5");
     if (header != std::string::npos) {
       line.replace(header, 15, "\"dts_journal\":2");
       // "config" is the header's last field; keep the closing brace.
       const auto config = line.find(",\"config\":\"");
       if (config != std::string::npos) line.erase(config, line.size() - 1 - config);
     }
-    for (const char* field : {",\"xi\":\"", ",\"td\":\"", ",\"cc\":\""}) {
+    for (const char* field : {",\"xi\":\"", ",\"td\":\"", ",\"cc\":\"", ",\"fm\":\""}) {
       const auto at = line.find(field);
       if (at == std::string::npos) continue;
       const auto end = line.find('"', at + std::string(field).size());
@@ -565,7 +565,7 @@ TEST(FleetReport, MixedVersionMergeDeduplicatesAndMatchesAggregateCounts) {
   EXPECT_EQ(merged.duplicates, v2->records.size());
   EXPECT_EQ(merged.outcomes, solo.outcomes);
   EXPECT_EQ(merged.groups[0].min_version, 2u);
-  EXPECT_EQ(merged.groups[0].max_version, 4u);
+  EXPECT_EQ(merged.groups[0].max_version, 5u);
 
   // The aggregate outcome counts reproduce the executor's own results.
   std::array<std::uint64_t, 5> expected{};
@@ -576,7 +576,7 @@ TEST(FleetReport, MixedVersionMergeDeduplicatesAndMatchesAggregateCounts) {
 
   // Both renderers mention the merged schema range and every outcome column.
   const std::string md = obs::fleet::render_report_markdown(merged);
-  EXPECT_NE(md.find("schema versions 2..4"), std::string::npos);
+  EXPECT_NE(md.find("schema versions 2..5"), std::string::npos);
   EXPECT_NE(md.find("## Outcome matrix"), std::string::npos);
   const std::string html = obs::fleet::render_report_html(merged);
   EXPECT_NE(html.find("<table>"), std::string::npos);

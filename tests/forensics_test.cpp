@@ -140,7 +140,7 @@ TEST(ForensicsJournal, V4FieldsRoundTrip) {
 
   const auto file = exec::read_journal_file(path, &error);
   ASSERT_TRUE(file) << error;
-  EXPECT_EQ(file->version, 4u);
+  EXPECT_EQ(file->version, 5u);
   EXPECT_EQ(file->config_text, config_text);
   ASSERT_EQ(file->records.size(), 1u);
   EXPECT_EQ(file->records[0].trace_digest, rec.trace_digest);
@@ -149,7 +149,7 @@ TEST(ForensicsJournal, V4FieldsRoundTrip) {
 
 TEST(ForensicsJournal, CampaignJournalCarriesConfigAndDigests) {
   const exec::JournalFile file = campaign_journal("forensics_cfg.jsonl", 1, false);
-  EXPECT_EQ(file.version, 4u);
+  EXPECT_EQ(file.version, 5u);
   // The embedded config parses back to the campaign's configuration.
   std::string error;
   const auto cfg = core::parse_config(file.config_text, &error);

@@ -70,6 +70,105 @@ TEST_P(SyscallFuzz, RandomArgumentsAreContained) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SyscallFuzz, ::testing::Values(1, 2, 3, 4));
 
+// Error-return injection fuzz (src/fault/ oserror model): a hook that forces
+// random completion actions — forced error returns with arbitrary Win32
+// error codes, result rewrites, delays — onto every KERNEL32 call. The
+// containment invariant is the same as for argument corruption: the host
+// survives and the machine stays usable whatever error code the "OS" claims.
+// kDrop is exercised separately with a bounded run (it blocks the caller
+// forever by design).
+TEST(SyscallFuzzErrorReturns, ForcedCompletionActionsAreContained) {
+  struct ErrorHook : SyscallHook {
+    sim::Rng rng{0};
+    void on_call(const Process&, CallRecord& rec) override {
+      switch (rng.uniform(0, 4)) {
+        case 0:
+          rec.action = CallRecord::Action::kForceResult;
+          rec.forced_result = rng.chance(0.5) ? 0 : static_cast<Word>(rng.next());
+          // Arbitrary 32-bit error codes, not just the catalogued ones: a
+          // hostile fault list must not find an unconstrained code path.
+          rec.forced_error = static_cast<Dword>(rng.next());
+          break;
+        case 1: rec.action = CallRecord::Action::kZeroResult; break;
+        case 2: rec.action = CallRecord::Action::kFlipResult; break;
+        case 3:
+          rec.action = CallRecord::Action::kDelay;
+          rec.delay_us = static_cast<std::uint32_t>(rng.uniform(0, 200000));
+          break;
+        default: break;  // kNone: let the call through
+      }
+    }
+  };
+
+  const auto& reg = Kernel32Registry::instance();
+  for (std::uint64_t seed = 200; seed < 204; ++seed) {
+    sim::Rng rng{seed};
+    sim::Simulation simu{seed};
+    Machine m{simu, MachineConfig{.name = "target"}};
+    m.fs().put_file("C:\\data\\x.txt", "payload");
+    ErrorHook hook;
+    hook.rng = sim::Rng{seed * 31 + 1};
+    m.k32().set_hook(&hook);
+
+    std::vector<Fn> script;
+    for (int i = 0; i < 40; ++i) {
+      const Fn fn = static_cast<Fn>(rng.uniform(0, kImplementedFunctionCount - 1));
+      if (fn == Fn::ExitProcess || fn == Fn::ExitThread) continue;
+      script.push_back(fn);
+    }
+    m.register_program("fuzz.exe", [script, &reg](Ctx c) -> sim::Task {
+      for (Fn fn : script) {
+        std::vector<Word> args(static_cast<std::size_t>(reg.info(fn).param_count()), 1);
+        (void)co_await c.m().k32().call(c, fn, args);
+      }
+    });
+    m.start_process("fuzz.exe", "fuzz.exe");
+    simu.run_until(simu.now() + Duration::seconds(60));
+
+    // Healthy process afterwards, with the hook removed: the machine is not
+    // wedged by whatever the forced completions did.
+    m.k32().set_hook(nullptr);
+    bool healthy_ran = false;
+    m.register_program("healthy.exe", [&healthy_ran](Ctx c) -> sim::Task {
+      (void)co_await c.m().k32().call(c, Fn::GetCurrentProcessId);
+      healthy_ran = true;
+    });
+    m.start_process("healthy.exe", "healthy.exe");
+    simu.run_until(simu.now() + Duration::seconds(5));
+    ASSERT_TRUE(healthy_ran) << "seed " << seed << " wedged the machine";
+  }
+}
+
+TEST(SyscallFuzzErrorReturns, DroppedCompletionsOnlyBlockTheCaller) {
+  struct DropHook : SyscallHook {
+    void on_call(const Process& proc, CallRecord& rec) override {
+      // Drop every call of the fuzz target; other processes run untouched.
+      if (proc.image() == "fuzz.exe") rec.action = CallRecord::Action::kDrop;
+    }
+  };
+  sim::Simulation simu{5};
+  Machine m{simu, MachineConfig{.name = "target"}};
+  DropHook hook;
+  m.k32().set_hook(&hook);
+
+  bool past_drop = false;
+  m.register_program("fuzz.exe", [&past_drop](Ctx c) -> sim::Task {
+    (void)co_await c.m().k32().call(c, Fn::GetCurrentProcessId);
+    past_drop = true;  // must never execute: the completion was dropped
+  });
+  m.start_process("fuzz.exe", "fuzz.exe");
+
+  bool healthy_ran = false;
+  m.register_program("healthy.exe", [&healthy_ran](Ctx c) -> sim::Task {
+    (void)co_await c.m().k32().call(c, Fn::GetCurrentProcessId);
+    healthy_ran = true;
+  });
+  m.start_process("healthy.exe", "healthy.exe");
+  simu.run_until(simu.now() + Duration::seconds(30));
+  EXPECT_FALSE(past_drop);
+  EXPECT_TRUE(healthy_ran);
+}
+
 TEST(SyscallFuzzSequence, RandomCallSequencesAreContained) {
   // Longer random sequences inside one process: state built up by earlier
   // calls (handles, heaps, critical sections) feeds later corrupted calls.

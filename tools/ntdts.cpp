@@ -54,6 +54,7 @@
 #include "dist/worker.h"
 #include "exec/executor.h"
 #include "exec/journal.h"
+#include "fault/model.h"
 #include "forensics/minimize.h"
 #include "forensics/replay.h"
 #include "inject/fault_class.h"
@@ -75,13 +76,19 @@ int usage() {
       "\n"
       "  ntdts run <config.ini> [output-dir] [--jobs=N] [--resume] [--max-faults=N]\n"
       "            [--plan=PATH | --plan-auto | --exhaustive] [--ci-width=X]\n"
-      "            [--snapshots=on|off] [--trace=off|failures|all]\n"
+      "            [--snapshots=on|off] [--model=NAME[,NAME...]]\n"
+      "            [--trace=off|failures|all]\n"
       "            [--forensics-depth=N] [--metrics-out=PATH]\n"
       "        --jobs=N   parallel campaign workers (0 = all hardware threads;\n"
       "                   output is byte-identical at any job count)\n"
       "        --snapshots=on|off  fork each run from a COW snapshot of the\n"
       "                   shared golden prefix instead of replaying it (POSIX\n"
       "                   only; output stays byte-identical, default off)\n"
+      "        --model=NAME[,NAME...]  fault models to sweep: paper (default;\n"
+      "                   the DSN-2000 parameter corruptions), mutation (MINIX\n"
+      "                   faultlib-style operators), oserror (error-return /\n"
+      "                   delayed / dropped completions), temporal (intermittent\n"
+      "                   and persistent variants of the paper operators)\n"
       "        --resume   continue an interrupted campaign from its run journal\n"
       "        --max-faults=N  cap the sweep at N faults (evenly sampled; 0 = all)\n"
       "        --plan=PATH  execute a saved campaign plan (see 'ntdts plan')\n"
@@ -582,6 +589,7 @@ struct RunFlags {
   double ci_width = 0.0;
   std::optional<std::size_t> max_faults;
   std::optional<bool> snapshots;
+  std::optional<std::string> models;  // canonical ModelSet CSV ("" = default)
 
   // Distributed mode (either flag selects it).
   std::optional<int> dist_workers;
@@ -611,6 +619,7 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
   if (flags.jobs) cfg->campaign.jobs = *flags.jobs;
   if (flags.max_faults) cfg->campaign.max_faults = *flags.max_faults;
   if (flags.snapshots) cfg->campaign.snapshots = *flags.snapshots;
+  if (flags.models) cfg->campaign.models = *flags.models;
   cfg->campaign.plan.mode = flags.plan_mode;
   cfg->campaign.plan.plan_file = flags.plan_file;
   cfg->campaign.plan.ci_half_width = flags.ci_width;
@@ -1018,6 +1027,26 @@ int main(int argc, char** argv) {
             std::cerr << "ntdts: --snapshots expects on|off, got '" << value << "'\n";
             return 2;
           }
+        } else if (a.rfind("--model=", 0) == 0) {
+          const std::string value = a.substr(8);
+          std::string model_error;
+          auto set = fault::ModelSet::parse(value, &model_error);
+          if (!set) {
+            std::cerr << "ntdts: " << model_error << "\n";
+            return 2;
+          }
+          // Canonical form; the paper default stores as "" so the config
+          // text (and result cache key) stays identical to an unflagged run.
+          flags.models = set->is_paper_default() ? "" : set->to_string();
+        } else if (a.rfind("--model", 0) == 0) {
+          // Misspelling guard (--models=, --model-list, ...): name the valid
+          // set instead of the generic unknown-flag line, mirroring the
+          // strict-config philosophy — a typo'd axis must not silently run
+          // the default sweep.
+          std::cerr << "ntdts run: unknown flag '" << a
+                    << "' — did you mean --model=<name>[,<name>...]? valid models: "
+                    << fault::valid_model_names() << "\n";
+          return 2;
         } else if (a.rfind("--lease-size=", 0) == 0) {
           const std::string value = a.substr(13);
           std::size_t used = 0;
