@@ -1,0 +1,151 @@
+// micro_topology_overhead — guards the topology subsystem's zero-cost
+// contract for classic campaigns (DESIGN §topo): a campaign with no
+// [topology] section must flow through the topology-aware pipeline with no
+// topology artifacts anywhere —
+//
+//   1. Run lines carry no `topo` trailer and fault ids no tier prefix; the
+//      serialized campaign has no topology identity lines and round-trips
+//      byte-identically.
+//   2. The run journal stays schema v5 and no record carries a tier
+//      annotation.
+//   3. The campaign is deterministic: two executions serialize
+//      byte-identically (the property every per-run topology branch must
+//      preserve).
+//
+// All three are hard assertions; the binary exits 1 on violation. As the
+// overhead figure, the harness reports classic runs/sec next to a three-tier
+// campaign's runs/sec over the same fault budget — the cost of simulating a
+// five-machine service graph per run instead of one target machine.
+//
+// Environment knobs:
+//   DTS_BENCH_TRIALS     timing rounds (default 3)
+//   DTS_BENCH_FAULT_CAP  cap faults per campaign (default 24)
+//   DTS_BENCH_SEED       campaign seed (default 7)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "paper_common.h"
+#include "core/config.h"
+#include "exec/journal.h"
+
+namespace {
+
+using namespace dts;
+
+std::size_t trials() {
+  const char* v = std::getenv("DTS_BENCH_TRIALS");
+  const std::size_t n = v != nullptr ? std::strtoull(v, nullptr, 10) : 3;
+  return n == 0 ? 1 : n;
+}
+
+std::size_t fault_cap() {
+  const std::size_t cap = bench::fault_cap();
+  return cap == 0 ? 24 : cap;
+}
+
+core::DtsConfig parse_or_exit(const std::string& text) {
+  std::string error;
+  auto cfg = core::parse_config(text, &error);
+  if (!cfg) {
+    std::fprintf(stderr, "FAIL: config did not parse: %s\n", error.c_str());
+    std::exit(1);
+  }
+  return *cfg;
+}
+
+double timed_runs_per_sec(const core::RunConfig& cfg, const core::CampaignOptions& opt,
+                          std::size_t* runs_out) {
+  double best = 0.0;
+  const std::size_t n = trials();
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto set = core::run_workload_set(cfg, opt);
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    *runs_out = set.runs.size();
+    best = std::max(best, static_cast<double>(set.runs.size()) / dt.count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t cap = fault_cap();
+  char buf[512];
+
+  std::snprintf(buf, sizeof(buf),
+                "[test]\nworkload = SQL\nmiddleware = none\nseed = %llu\nmax_faults = %zu\n",
+                static_cast<unsigned long long>(bench::bench_seed()), cap);
+  const core::DtsConfig classic = parse_or_exit(buf);
+
+  std::snprintf(buf, sizeof(buf),
+                "[test]\nmiddleware = none\nseed = %llu\nmax_faults = %zu\n"
+                "[topology]\ntopology = lb:2*apache -> app:2*iis -> db:1*sql_server\n"
+                "tier = db\n",
+                static_cast<unsigned long long>(bench::bench_seed()), cap);
+  const core::DtsConfig tiered = parse_or_exit(buf);
+
+  // --- contract 1+3: artifact-free, deterministic classic campaign --------
+  const std::string journal_path =
+      (std::filesystem::temp_directory_path() / "dts_topo_overhead_journal.jsonl").string();
+  std::filesystem::remove(journal_path);
+
+  core::CampaignOptions opt = classic.campaign;
+  opt.journal_path = journal_path;
+  const std::string first = core::serialize_workload_set(core::run_workload_set(classic.run, opt));
+
+  opt.journal_path.clear();
+  const std::string second =
+      core::serialize_workload_set(core::run_workload_set(classic.run, opt));
+  if (first != second) {
+    std::fprintf(stderr, "FAIL: classic campaign not deterministic across executions\n");
+    return 1;
+  }
+  if (first.find(" topo ") != std::string::npos ||
+      first.find("topology") != std::string::npos) {
+    std::fprintf(stderr, "FAIL: classic campaign serialization carries topology artifacts\n");
+    return 1;
+  }
+  std::string error;
+  const auto reloaded = core::deserialize_workload_set(first, &error);
+  if (!reloaded || core::serialize_workload_set(*reloaded) != first) {
+    std::fprintf(stderr, "FAIL: classic campaign round-trip diverged: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("classic campaign serialization topology-free + round-trips: ok\n");
+
+  // --- contract 2: journal schema unchanged -------------------------------
+  const auto journal = exec::read_journal_file(journal_path, &error);
+  std::filesystem::remove(journal_path);
+  if (!journal) {
+    std::fprintf(stderr, "FAIL: journal unreadable: %s\n", error.c_str());
+    return 1;
+  }
+  if (journal->version != 5) {
+    std::fprintf(stderr, "FAIL: classic journal is v%llu, want v5\n",
+                 static_cast<unsigned long long>(journal->version));
+    return 1;
+  }
+  for (const auto& rec : journal->records) {
+    if (!rec.tier.empty()) {
+      std::fprintf(stderr, "FAIL: classic journal record %s carries tier '%s'\n",
+                   rec.fault_id.c_str(), rec.tier.c_str());
+      return 1;
+    }
+  }
+  std::printf("classic journal stays v5 with no tier annotations: ok\n");
+
+  // --- overhead figure ----------------------------------------------------
+  std::size_t classic_runs = 0, tiered_runs = 0;
+  const double classic_rps = timed_runs_per_sec(classic.run, classic.campaign, &classic_runs);
+  const double tiered_rps = timed_runs_per_sec(tiered.run, tiered.campaign, &tiered_runs);
+  std::printf("classic   %zu runs  %.1f runs/s\n", classic_runs, classic_rps);
+  std::printf("three-tier %zu runs  %.1f runs/s  (%.1fx per-run cost)\n", tiered_runs,
+              tiered_rps, tiered_rps > 0 ? classic_rps / tiered_rps : 0.0);
+
+  std::printf("PASS: classic campaigns unchanged by the topology subsystem\n");
+  return 0;
+}

@@ -154,10 +154,13 @@ plan::Plan build_campaign_plan(const RunConfig& base, const CampaignOptions& opt
   // touched are logged as pruned rather than silently absent from the file.
   // The model registry enumerates it (byte-identical to the classic
   // full_sweep for the paper default).
-  const inject::FaultList sweep =
+  inject::FaultList sweep =
       fault::build_sweep(base.workload.target_image, model_set_from(options),
                          /*functions=*/nullptr, options.iterations)
           .sampled(options.max_faults);
+  if (!base.topo.empty()) {
+    for (auto& f : sweep.faults) f.tier = base.topo.fault_tier;
+  }
   const plan::GoldenProfile profile =
       plan::golden_profile(base, options.seed, options.iterations);
   return plan::build_plan(base, sweep, profile, options.seed, options.iterations);
@@ -236,11 +239,16 @@ WorkloadSetResult run_workload_set(const RunConfig& base, const CampaignOptions&
   // a prefix slice would cover only the catalogue's first functions and badly
   // skew the outcome mix. The fault-model registry enumerates the sweep; the
   // paper default is byte-identical to the classic for_functions/full_sweep.
-  const inject::FaultList list =
+  inject::FaultList list =
       fault::build_sweep(base.workload.target_image, model_set_from(options),
                          options.profile_first ? &result.activated_functions : nullptr,
                          options.iterations)
           .sampled(options.max_faults);
+  // Fault ids in topology campaigns carry the tier prefix ("db/ReadFile...")
+  // so journals, plans and dist leases name the faulted tier explicitly.
+  if (!base.topo.empty()) {
+    for (auto& f : list.faults) f.tier = base.topo.fault_tier;
+  }
 
   // The executor applies the skip-uncalled rule (paper §4): once a function
   // proves uncalled, the rest of its faults are skipped. With profiling this
@@ -298,6 +306,15 @@ std::string serialize_run_line(const RunResult& r) {
   out << r.fault.id() << ' ' << (r.activated ? 1 : 0) << ' ' << outcome_code(r.outcome)
       << ' ' << (r.response_received ? 1 : 0) << ' ' << r.response_time.count_micros()
       << ' ' << r.restarts << ' ' << r.retries << ' ' << (r.client_finished ? 1 : 0);
+  // Topology extras ride after the classic eight fields; pre-topology parsers
+  // read exactly eight via >> and ignore trailing tokens, so old readers stay
+  // compatible and classic lines stay byte-identical.
+  if (r.topo) {
+    out << " topo " << r.topo->tier << ' ' << r.topo->user_outcome << ' '
+        << r.topo->requests_total << ' ' << r.topo->requests_ok << ' ' << r.topo->p50_us
+        << ' ' << r.topo->p95_us << ' ' << r.topo->p99_us << ' '
+        << r.topo->offered_rps_milli;
+  }
   return out.str();
 }
 
@@ -326,6 +343,21 @@ bool parse_run_line(const std::string& target_image, const std::string& line,
   out->restarts = restarts;
   out->retries = retries;
   out->client_finished = finished != 0;
+  out->topo.reset();
+  std::string tag;
+  if (ls >> tag) {
+    if (tag != "topo") return fail("bad run line trailer: " + tag);
+    TopoRunStats t;
+    ls >> t.tier >> t.user_outcome >> t.requests_total >> t.requests_ok >> t.p50_us >>
+        t.p95_us >> t.p99_us >> t.offered_rps_milli;
+    if (!ls) return fail("bad topo run line: " + line);
+    bool known_outcome = false;
+    for (std::string_view o : kTopoOutcomes) known_outcome |= t.user_outcome == o;
+    if (!known_outcome) return fail("bad topo outcome: " + t.user_outcome);
+    std::string rest;
+    if (ls >> rest) return fail("bad run line trailer: " + rest);
+    out->topo = std::move(t);
+  }
   return true;
 }
 
@@ -336,6 +368,16 @@ std::string serialize_workload_set(const WorkloadSetResult& set) {
   out << "middleware " << mw_code(set.base_config.middleware) << "\n";
   out << "watchd_version " << static_cast<int>(set.base_config.watchd_version) << "\n";
   out << "seed " << set.base_config.seed << "\n";
+  // Topology identity (absent for classic campaigns, keeping their files
+  // byte-identical). The canonical topology string never contains newlines.
+  if (!set.base_config.topo.empty()) {
+    const auto& t = set.base_config.topo;
+    out << "topology " << t.to_string() << "\n";
+    out << "topology_tier " << t.fault_tier << "\n";
+    out << "topology_rps_milli " << t.offered_rps_milli << "\n";
+    out << "topology_requests " << t.requests << "\n";
+    if (t.degraded_p95_ms > 0) out << "topology_degraded_p95_ms " << t.degraded_p95_ms << "\n";
+  }
   out << "functions";
   for (nt::Fn fn : set.activated_functions) out << ' ' << nt::to_string(fn);
   out << "\n";
@@ -383,6 +425,22 @@ std::optional<WorkloadSetResult> deserialize_workload_set(const std::string& tex
       set.base_config.watchd_version = static_cast<mw::WatchdVersion>(v);
     } else if (tag == "seed") {
       ls >> set.base_config.seed;
+    } else if (tag == "topology") {
+      std::string rest;
+      std::getline(ls, rest);
+      std::string topo_error;
+      const auto spec = topo::parse_topology(rest, &topo_error);
+      if (!spec) return fail(topo_error);
+      set.base_config.topo.tiers = spec->tiers;
+      set.base_config.topo.fault_tier = spec->fault_tier;
+    } else if (tag == "topology_tier") {
+      ls >> set.base_config.topo.fault_tier;
+    } else if (tag == "topology_rps_milli") {
+      ls >> set.base_config.topo.offered_rps_milli;
+    } else if (tag == "topology_requests") {
+      ls >> set.base_config.topo.requests;
+    } else if (tag == "topology_degraded_p95_ms") {
+      ls >> set.base_config.topo.degraded_p95_ms;
     } else if (tag == "functions") {
       std::string fn_name;
       while (ls >> fn_name) {
@@ -431,6 +489,17 @@ WorkloadSetResult load_or_run_workload_set(const RunConfig& base,
     const fault::ModelSet models = model_set_from(options);
     if (!models.is_paper_default()) {
       model_aware_key = sim::Rng::mix(key, sim::Rng::hash(models.to_string()));
+    }
+    // Topology campaigns likewise get their own slots; classic campaigns keep
+    // the exact pre-topology key (and their existing caches).
+    if (!base.topo.empty()) {
+      const auto& t = base.topo;
+      model_aware_key = sim::Rng::mix(
+          model_aware_key,
+          sim::Rng::hash(t.to_string() + "|" + t.fault_tier + "|" +
+                         std::to_string(t.offered_rps_milli) + "|" +
+                         std::to_string(t.requests) + "|" +
+                         std::to_string(t.degraded_p95_ms)));
     }
     char name[64];
     std::snprintf(name, sizeof name, "dts_%016llx.campaign",

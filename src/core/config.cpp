@@ -3,8 +3,10 @@
 #include <cctype>
 #include <charconv>
 #include <sstream>
+#include <vector>
 
 #include "fault/model.h"
+#include "topo/topology.h"
 
 namespace dts::core {
 
@@ -38,11 +40,39 @@ bool parse_double(const std::string& v, double* out) {
   }
 }
 
+/// The workload a tier's application corresponds to: the faulted tier
+/// determines the target image of the sweep, so topology campaigns reuse the
+/// classic workload identity (Apache2 = the worker process faults hit).
+std::string workload_for_app(const std::string& app) {
+  if (app == "apache") return "Apache2";
+  if (app == "iis") return "IIS";
+  return "SQL";
+}
+
+/// Splits a "link.<a>.<b>.<field>" key; false when it is not one.
+bool split_link_key(const std::string& key, std::string* a, std::string* b,
+                    std::string* field) {
+  if (key.rfind("link.", 0) != 0) return false;
+  const std::string rest = key.substr(5);
+  const auto d1 = rest.find('.');
+  if (d1 == std::string::npos) return false;
+  const auto d2 = rest.find('.', d1 + 1);
+  if (d2 == std::string::npos) return false;
+  *a = rest.substr(0, d1);
+  *b = rest.substr(d1 + 1, d2 - d1 - 1);
+  *field = rest.substr(d2 + 1);
+  return !a->empty() && !b->empty() && !field->empty();
+}
+
 }  // namespace
 
 std::optional<DtsConfig> parse_config(const std::string& text, std::string* error) {
   DtsConfig cfg;
   cfg.run.workload = iis_workload();  // default workload
+
+  bool workload_set = false;   // explicit `workload =` (conflicts with topology)
+  bool topo_keys_seen = false; // [topology] knobs that require a topology
+  std::string explicit_tier;   // `tier =`, validated once the topology is known
 
   std::string section;
   std::istringstream in(text);
@@ -62,7 +92,7 @@ std::optional<DtsConfig> parse_config(const std::string& text, std::string* erro
     if (line.front() == '[' && line.back() == ']') {
       section = lower(trim(line.substr(1, line.size() - 2)));
       if (section != "test" && section != "client" && section != "machine" &&
-          section != "middleware") {
+          section != "middleware" && section != "topology" && section != "network") {
         return fail("unknown section [" + section + "]");
       }
       continue;
@@ -76,11 +106,15 @@ std::optional<DtsConfig> parse_config(const std::string& text, std::string* erro
 
     if (section == "test") {
       if (key == "workload") {
+        if (!cfg.run.topo.empty()) {
+          return fail("workload and topology are mutually exclusive");
+        }
         try {
           cfg.run.workload = workload_by_name(value);
         } catch (const std::exception& e) {
           return fail(e.what());
         }
+        workload_set = true;
       } else if (key == "middleware") {
         const std::string m = lower(value);
         if (m == "none") cfg.run.middleware = mw::MiddlewareKind::kNone;
@@ -165,10 +199,97 @@ std::optional<DtsConfig> parse_config(const std::string& text, std::string* erro
       } else {
         return fail("unknown key '" + key + "' in [middleware]");
       }
+    } else if (section == "topology") {
+      if (key == "topology") {
+        if (workload_set) return fail("workload and topology are mutually exclusive");
+        std::string topo_error;
+        const auto spec = topo::parse_topology(value, &topo_error);
+        if (!spec) return fail(topo_error);
+        // Keep already-parsed knobs; only the structure (and the default
+        // fault tier) comes from the topology string.
+        cfg.run.topo.tiers = spec->tiers;
+        cfg.run.topo.fault_tier = spec->fault_tier;
+      } else if (key == "tier") {
+        explicit_tier = value;
+        topo_keys_seen = true;
+      } else if (key == "offered_rps_milli") {
+        if (!parse_int(value, &iv) || iv < 1) return fail("bad offered_rps_milli");
+        cfg.run.topo.offered_rps_milli = iv;
+        topo_keys_seen = true;
+      } else if (key == "requests") {
+        if (!parse_int(value, &iv) || iv < 1 || iv > 1000) return fail("bad requests");
+        cfg.run.topo.requests = static_cast<int>(iv);
+        topo_keys_seen = true;
+      } else if (key == "degraded_p95_ms") {
+        if (!parse_int(value, &iv) || iv < 0) return fail("bad degraded_p95_ms");
+        cfg.run.topo.degraded_p95_ms = iv;
+        topo_keys_seen = true;
+      } else {
+        return fail("unknown key '" + key + "' in [topology]");
+      }
+    } else if (section == "network") {
+      std::string la;
+      std::string lb;
+      std::string field;
+      if (key == "latency_us") {
+        if (!parse_int(value, &iv) || iv < 0) return fail("bad latency_us");
+        cfg.run.net.latency = sim::Duration::micros(iv);
+      } else if (key == "bytes_per_second") {
+        if (!parse_int(value, &iv) || iv < 1) return fail("bad bytes_per_second");
+        cfg.run.net.bytes_per_second = iv;
+      } else if (split_link_key(key, &la, &lb, &field)) {
+        if (field != "latency_us" && field != "bytes_per_second") {
+          return fail("unknown link field '" + field + "' in [network]");
+        }
+        if (!parse_int(value, &iv) || iv < (field == "latency_us" ? 0 : 1)) {
+          return fail("bad " + key);
+        }
+        topo::LinkOverride* link = nullptr;
+        for (auto& l : cfg.run.links) {
+          if ((l.a == la && l.b == lb) || (l.a == lb && l.b == la)) link = &l;
+        }
+        if (link == nullptr) {
+          cfg.run.links.push_back(topo::LinkOverride{la, lb, -1, -1});
+          link = &cfg.run.links.back();
+        }
+        if (field == "latency_us") link->latency_us = iv;
+        else link->bytes_per_second = iv;
+      } else {
+        return fail("unknown key '" + key + "' in [network]");
+      }
     } else {
       return fail("key outside of any section");
     }
   }
+
+  if (!cfg.run.topo.empty()) {
+    if (cfg.run.middleware != mw::MiddlewareKind::kNone) {
+      return fail("topology campaigns do not support middleware");
+    }
+    if (!explicit_tier.empty()) {
+      if (cfg.run.topo.find_tier(explicit_tier) == nullptr) {
+        return fail("tier '" + explicit_tier + "' is not in the topology");
+      }
+      cfg.run.topo.fault_tier = explicit_tier;
+    }
+    for (const auto& l : cfg.run.links) {
+      for (const std::string& end : {l.a, l.b}) {
+        if (end != "client" && cfg.run.topo.find_tier(end) == nullptr) {
+          return fail("link endpoint '" + end + "' is not a tier or 'client'");
+        }
+      }
+    }
+    // The faulted tier's application decides the sweep's target image.
+    try {
+      cfg.run.workload =
+          workload_by_name(workload_for_app(cfg.run.topo.find_tier(cfg.run.topo.fault_tier)->app));
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
+  } else if (topo_keys_seen || !cfg.run.links.empty()) {
+    return fail("[topology] knobs and link.* overrides require a topology");
+  }
+
   cfg.run.seed = cfg.campaign.seed;
   return cfg;
 }
@@ -176,7 +297,9 @@ std::optional<DtsConfig> parse_config(const std::string& text, std::string* erro
 std::string serialize_config(const DtsConfig& cfg) {
   std::ostringstream out;
   out << "[test]\n";
-  out << "workload = " << cfg.run.workload.name << "\n";
+  // Topology campaigns derive the workload from the faulted tier; emitting it
+  // here would trip the mutual-exclusion check on re-parse.
+  if (cfg.run.topo.empty()) out << "workload = " << cfg.run.workload.name << "\n";
   out << "middleware = " << lower(std::string(to_string(cfg.run.middleware))) << "\n";
   out << "watchd_version = " << static_cast<int>(cfg.run.watchd_version) << "\n";
   out << "seed = " << cfg.campaign.seed << "\n";
@@ -202,6 +325,37 @@ std::string serialize_config(const DtsConfig& cfg) {
       << cfg.run.mscs.pending_timeout.count_micros() / 1000000 << "\n";
   out << "mscs_restart_threshold = " << cfg.run.mscs.restart_threshold << "\n";
   out << "watchd_heartbeat = " << (cfg.run.watchd.heartbeat ? 1 : 0) << "\n";
+  if (!cfg.run.topo.empty()) {
+    out << "\n[topology]\n";
+    out << "topology = " << cfg.run.topo.to_string() << "\n";
+    out << "tier = " << cfg.run.topo.fault_tier << "\n";
+    out << "offered_rps_milli = " << cfg.run.topo.offered_rps_milli << "\n";
+    out << "requests = " << cfg.run.topo.requests << "\n";
+    if (cfg.run.topo.degraded_p95_ms > 0) {
+      out << "degraded_p95_ms = " << cfg.run.topo.degraded_p95_ms << "\n";
+    }
+  }
+  // [network] appears only when something differs from the defaults, so every
+  // classic config serializes byte-identically to the pre-topology pipeline.
+  if (cfg.run.net != nt::net::NetworkConfig{} || !cfg.run.links.empty()) {
+    out << "\n[network]\n";
+    const nt::net::NetworkConfig defaults{};
+    if (cfg.run.net.latency != defaults.latency) {
+      out << "latency_us = " << cfg.run.net.latency.count_micros() << "\n";
+    }
+    if (cfg.run.net.bytes_per_second != defaults.bytes_per_second) {
+      out << "bytes_per_second = " << cfg.run.net.bytes_per_second << "\n";
+    }
+    for (const auto& l : cfg.run.links) {
+      if (l.latency_us >= 0) {
+        out << "link." << l.a << "." << l.b << ".latency_us = " << l.latency_us << "\n";
+      }
+      if (l.bytes_per_second >= 0) {
+        out << "link." << l.a << "." << l.b << ".bytes_per_second = " << l.bytes_per_second
+            << "\n";
+      }
+    }
+  }
   return out.str();
 }
 

@@ -2,6 +2,8 @@
 // refinement splitting failures into wrong-response and no-response.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,30 @@ struct ClientReport {
   bool any_response() const;
 };
 
+/// User-visible outcome of a multi-tier run, as the propagation matrix
+/// classifies it (src/topo/): in severity order.
+constexpr std::string_view kTopoOutcomes[] = {
+    "masked",    // every request correct, latency within the threshold
+    "degraded",  // every request correct, but p95 latency over the threshold
+    "partial",   // some requests failed, some succeeded (partial outage)
+    "outage",    // no request succeeded (full outage)
+};
+
+/// Per-run statistics of the open-loop topology workload (absent for classic
+/// single-machine runs). Latency percentiles are over successful requests.
+struct TopoRunStats {
+  std::string tier;          // the tier the fault targeted
+  std::string user_outcome;  // one of kTopoOutcomes
+  int requests_total = 0;    // offered requests
+  int requests_ok = 0;       // correct replies
+  std::int64_t p50_us = 0;
+  std::int64_t p95_us = 0;
+  std::int64_t p99_us = 0;
+  std::int64_t offered_rps_milli = 0;  // the run's offered load
+
+  friend bool operator==(const TopoRunStats&, const TopoRunStats&) = default;
+};
+
 /// Result of one fault-injection run.
 struct RunResult {
   inject::FaultSpec fault;
@@ -69,6 +95,9 @@ struct RunResult {
   /// Per-request detail (paper §3: "the specific response to each individual
   /// request") — one entry per workload request, in order.
   std::vector<RequestResult> requests;
+
+  /// Multi-tier workload statistics; engaged only for topology campaigns.
+  std::optional<TopoRunStats> topo;
 
   /// One-line log form.
   std::string summary() const;

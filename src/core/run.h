@@ -9,6 +9,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "apps/apache.h"
 #include "apps/iis.h"
@@ -21,6 +22,7 @@
 #include "middleware/mscs.h"
 #include "middleware/watchd.h"
 #include "obs/span.h"
+#include "topo/topology.h"
 
 namespace dts::core {
 
@@ -67,6 +69,21 @@ struct RunConfig {
   apps::SqlServerConfig sql;
   mw::MscsConfig mscs;      // service_name filled from the workload
   mw::WatchdConfig watchd;  // service_name/version filled from the config
+
+  /// Multi-tier topology (src/topo/). Empty (the default) = the classic
+  /// single-machine run above, byte-identical to the pre-topology pipeline.
+  /// Non-empty replaces the target machine with the topology's machines and
+  /// the paper client with the open-loop workload generator; `workload` is
+  /// then derived from the faulted tier's application (so fault sweeps and
+  /// activation accounting target the right image) and middleware must be
+  /// none.
+  topo::TopologySpec topo;
+
+  /// Global network parameters ([network] section); default matches the
+  /// pre-configurable hard-coded values. `links` carries per-tier-pair
+  /// overrides, expanded to machine pairs when the topology is built.
+  nt::net::NetworkConfig net;
+  std::vector<topo::LinkOverride> links;
 };
 
 /// Executes one run. Exposes the interceptor for activation accounting.
@@ -102,6 +119,12 @@ class FaultInjectionRun {
 
  private:
   struct World;
+
+  /// Multi-tier path of execute(): builds the topology machines instead of
+  /// the single target, drives them with the open-loop generator, classifies
+  /// into RunResult::topo on top of the classic outcome axis.
+  RunResult execute_topology(const std::optional<inject::FaultSpec>& fault);
+
   RunConfig cfg_;
   inject::Interceptor interceptor_;
   std::unique_ptr<World> world_;

@@ -346,6 +346,10 @@ struct Coordinator::Impl {
       sig.example_fault = r.fault_id;
       sig.example_xi = exec_index;
       options.status->record_signature(sig);
+      if (slot.result.topo) {
+        options.status->record_topology(slot.result.topo->tier,
+                                        slot.result.topo->user_outcome);
+      }
     }
     progress(/*fresh=*/true);
   }
@@ -750,7 +754,7 @@ exec::CampaignResult Coordinator::run() {
   if (!im.options.journal_path.empty()) {
     std::string error;
     if (!im.journal.open(im.options.journal_path, key, im.options.resume, &error,
-                         im.welcome_config)) {
+                         im.welcome_config, im.base.topo.empty() ? 5 : 6)) {
       throw std::runtime_error(error);
     }
   }
@@ -816,6 +820,12 @@ core::WorkloadSetResult run_workload_set_distributed(
                               options.profile_first ? &result.activated_functions : nullptr,
                               options.iterations)
                .sampled(options.max_faults);
+    // Same tier stamping as run_workload_set: lease fault ids carry the
+    // topology tier prefix, so worker-side parsing, per-run seeds and run
+    // lines stay byte-identical to the in-process path.
+    if (!base.topo.empty()) {
+      for (auto& f : list.faults) f.tier = base.topo.fault_tier;
+    }
   }
 
   dist.journal_path = options.journal_path;

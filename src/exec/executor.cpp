@@ -119,6 +119,9 @@ void record_status_signature(obs::fleet::StatusBoard* status,
   sig.example_fault = fault_id;
   sig.example_xi = exec_index;
   status->record_signature(sig);
+  if (result.topo) {
+    status->record_topology(result.topo->tier, result.topo->user_outcome);
+  }
 }
 
 /// File name for an on-disk forensics dump: fault ids contain '.'/'#'/':',
@@ -436,7 +439,7 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
   if (!options_.journal_path.empty()) {
     std::string error;
     if (!journal.open(options_.journal_path, key, options_.resume, &error,
-                      options_.config_text)) {
+                      options_.config_text, base.topo.empty() ? 5 : 6)) {
       throw std::runtime_error(error);
     }
   }
@@ -555,6 +558,7 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
           rec.trace_digest = o.trace_digest;
           rec.call_context = o.call_context;
           rec.model = fault::model_annotation(fault);
+          rec.tier = fault.tier;
           journal.append(rec);
         }
         if (options_.stall != nullptr) {
@@ -690,6 +694,7 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
             rec.call_context = call_context;
             rec.forensics = std::move(forensics);
             rec.model = fault::model_annotation(fault);
+            rec.tier = fault.tier;
             journal.append(rec);
           }
 
@@ -835,7 +840,7 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
   if (!options_.journal_path.empty()) {
     std::string error;
     if (!journal.open(options_.journal_path, key, options_.resume, &error,
-                      options_.config_text)) {
+                      options_.config_text, base.topo.empty() ? 5 : 6)) {
       throw std::runtime_error(error);
     }
   }
@@ -939,6 +944,7 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
             rec.trace_digest = o.trace_digest;
             rec.call_context = o.call_context;
             rec.model = fault::model_annotation(entry.fault);
+            rec.tier = entry.fault.tier;
             journal.append(rec);
           }
           if (options_.stall != nullptr) {
@@ -1040,6 +1046,7 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
             rec.call_context = call_context;
             rec.forensics = std::move(forensics);
             rec.model = fault::model_annotation(entry.fault);
+            rec.tier = entry.fault.tier;
             journal.append(rec);
           }
 

@@ -16,9 +16,10 @@ using obs::json_escape;
 using obs::json_string_field;
 using obs::json_uint_field;
 
-std::string header_line(const JournalKey& key, const std::string& config_text) {
+std::string header_line(const JournalKey& key, const std::string& config_text,
+                        std::uint64_t version) {
   std::ostringstream out;
-  out << "{\"dts_journal\":5,\"workload\":\"" << json_escape(key.workload)
+  out << "{\"dts_journal\":" << version << ",\"workload\":\"" << json_escape(key.workload)
       << "\",\"middleware\":" << key.middleware
       << ",\"watchd_version\":" << key.watchd_version << ",\"seed\":" << key.seed
       << ",\"faults\":" << key.fault_count;
@@ -61,7 +62,7 @@ std::optional<JournalFile> read_journal_file(const std::string& path,
   if (!std::getline(in, line)) return fail("empty journal");
   JournalFile file;
   if (!json_uint_field(line, "dts_journal", &file.version) ||
-      file.version < 1 || file.version > 5) {
+      file.version < 1 || file.version > 6) {
     return fail("not a DTS run journal");
   }
   std::uint64_t mw = 0, wv = 0, faults = 0;
@@ -107,6 +108,8 @@ std::optional<JournalFile> read_journal_file(const std::string& path,
     (void)json_string_field(line, "cc", &rec.call_context);
     // v5 extra.
     (void)json_string_field(line, "fm", &rec.model);
+    // v6 extra.
+    (void)json_string_field(line, "tier", &rec.tier);
     file.records.push_back(std::move(rec));
   }
   return file;
@@ -137,7 +140,8 @@ std::optional<std::vector<JournalRecord>> read_journal(const std::string& path,
 }
 
 bool RunJournal::open(const std::string& path, const JournalKey& key, bool append,
-                      std::string* error, const std::string& config_text) {
+                      std::string* error, const std::string& config_text,
+                      std::uint64_t version) {
   std::lock_guard<std::mutex> lock(mu_);
   out_.open(path, append ? std::ios::app : std::ios::trunc);
   if (!out_) {
@@ -146,7 +150,7 @@ bool RunJournal::open(const std::string& path, const JournalKey& key, bool appen
   }
   // An append to a missing/empty file is still a fresh journal.
   if (!append || out_.tellp() == std::ofstream::pos_type(0)) {
-    out_ << header_line(key, config_text) << "\n" << std::flush;
+    out_ << header_line(key, config_text, version) << "\n" << std::flush;
   }
   return true;
 }
@@ -172,6 +176,9 @@ void RunJournal::append(const JournalRecord& rec) {
   }
   if (!rec.model.empty()) {
     out_ << ",\"fm\":\"" << json_escape(rec.model) << "\"";
+  }
+  if (!rec.tier.empty()) {
+    out_ << ",\"tier\":\"" << json_escape(rec.tier) << "\"";
   }
   // Forensics last: the dump is big and optional, the fixed fields stay
   // greppable at the front of the line.

@@ -39,10 +39,13 @@
 // ELIDED for the default axis (paper operator, transient) so default-model
 // journals differ from v4 only in the header version. `ntdts replay` uses it
 // to refuse silently-transient replays of records whose fault id names a
-// temporal mode but whose record predates the field. The reader is
-// field-based and accepts versions 1–5: older files resume cleanly under v5
-// (missing fields stay zero/empty), and newer records with fields an older
-// reader never knew about parse the same way.
+// temporal mode but whose record predates the field. v6 adds the multi-tier
+// topology axis (src/topo/): each record gains an optional "tier" naming the
+// tier the fault targeted, ELIDED when empty — and the v6 header version is
+// written only for topology campaigns, so single-tier journals stay
+// byte-identical to v5. The reader is field-based and accepts versions 1–6:
+// older files resume cleanly (missing fields stay zero/empty), and newer
+// records with fields an older reader never knew about parse the same way.
 #pragma once
 
 #include <cstdint>
@@ -91,6 +94,10 @@ struct JournalRecord {
   // v5 field; empty when reading an older journal AND for default-axis
   // faults (paper operator, transient) — fault::model_annotation form.
   std::string model;
+
+  // v6 field; empty when reading an older journal AND for classic
+  // single-tier campaigns — the topology tier the fault targeted.
+  std::string tier;
 };
 
 /// Reads the records of an existing journal. A missing file yields an empty
@@ -127,9 +134,12 @@ class RunJournal {
   /// existing content (resume). `config_text`, when non-empty, is embedded
   /// in the v4 header so `ntdts replay` can rebuild the exact run
   /// configuration; it is informational and not part of the resume identity
-  /// check (JournalKey). Returns false with *error on I/O failure.
+  /// check (JournalKey). `version` is the schema version stamped into the
+  /// header: 5 (the default, classic campaigns) or 6 (topology campaigns).
+  /// Returns false with *error on I/O failure.
   bool open(const std::string& path, const JournalKey& key, bool append,
-            std::string* error, const std::string& config_text = "");
+            std::string* error, const std::string& config_text = "",
+            std::uint64_t version = 5);
 
   bool is_open() const { return out_.is_open(); }
 

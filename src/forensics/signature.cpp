@@ -26,6 +26,9 @@ std::uint64_t signature_digest(const SignatureKey& key) {
   d = fold(d, key.call_context);
   d = fold(d, key.outcome);
   d = fold(d, key.span);
+  // The tier axis appeared with multi-tier topologies; folding it only when
+  // set keeps every classic (tier-less) digest byte-identical to before.
+  if (!key.tier.empty()) d = fold(d, key.tier);
   return d;
 }
 
@@ -71,6 +74,7 @@ SignatureKey signature_of(const core::RunResult& run,
   }
   key.outcome = std::string(exec::outcome_label(run.outcome));
   key.span = detection_span(run);
+  key.tier = run.fault.tier;
   return key;
 }
 

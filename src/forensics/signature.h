@@ -35,6 +35,9 @@ struct SignatureKey {
   std::string outcome;       // five-outcome label ("normal".."failure")
   std::string span;          // detection span: which recovery layers engaged
                              // ("none", "restart", "retry", "restart+retry")
+  std::string tier;          // topology tier the fault targeted; "" for
+                             // classic runs (folded into the digest only when
+                             // non-empty, so classic digests never change)
 
   friend bool operator==(const SignatureKey&, const SignatureKey&) = default;
 };

@@ -75,8 +75,8 @@ std::string FaultSpec::id() const {
                           : param_index < info.param_count()
                                 ? std::string(info.params[static_cast<std::size_t>(param_index)])
                                 : "param" + std::to_string(param_index);
-  std::string out = std::string(info.name) + "." + param + "#" + std::to_string(invocation) +
-                    ":" + std::string(to_string(type));
+  std::string out = (tier.empty() ? std::string() : tier + "/") + std::string(info.name) + "." +
+                    param + "#" + std::to_string(invocation) + ":" + std::string(to_string(type));
   // Temporal suffix only when non-default: paper-model ids stay byte-for-byte
   // what they were before the temporal axis existed.
   if (temporal == Temporal::kIntermittent) {
@@ -91,6 +91,18 @@ namespace {
 
 std::optional<FaultSpec> parse_impl(std::string_view target_image, std::string_view id,
                                     bool require_implemented) {
+  // Optional topology-tier prefix: "db/ReadFile.hFile#1:zero". The tier name
+  // never contains '/', '.', '#', or ':', so a '/' before the first '.'
+  // unambiguously separates it from the function name.
+  std::string tier;
+  if (const auto slash = id.find('/'); slash != std::string_view::npos) {
+    const auto first_dot = id.find('.');
+    if (slash == 0 || first_dot == std::string_view::npos || slash > first_dot) {
+      return std::nullopt;
+    }
+    tier = std::string(id.substr(0, slash));
+    id = id.substr(slash + 1);
+  }
   const auto dot = id.find('.');
   const auto hash = id.rfind('#');
   const auto colon = id.rfind(':');
@@ -156,6 +168,7 @@ std::optional<FaultSpec> parse_impl(std::string_view target_image, std::string_v
   spec.type = *type;
   spec.temporal = temporal;
   spec.period = period;
+  spec.tier = tier;
   return spec;
 }
 

@@ -105,9 +105,14 @@ struct FaultSpec {
   FaultType type = FaultType::kZero;
   Temporal temporal = Temporal::kTransient;
   int period = 0;  // kIntermittent only: fire every `period`-th invocation (>= 2)
+  // Topology tier the fault targets ("db" in "db/ReadFile.hFile#1:zero").
+  // Empty for classic single-machine campaigns, whose ids stay byte-for-byte
+  // unchanged — the prefix exists only when a multi-tier topology is active.
+  std::string tier;
 
   /// Human-readable id, e.g. "ReadFileEx.nNumberOfBytesToRead#1:zero",
-  /// "CreateFileA.ret#1:errnomem", "ReadFile.hFile#2:flip@sticky".
+  /// "CreateFileA.ret#1:errnomem", "ReadFile.hFile#2:flip@sticky",
+  /// "db/ReadFile.hFile#1:zero" (tier-prefixed, multi-tier campaigns only).
   std::string id() const;
 
   friend bool operator==(const FaultSpec&, const FaultSpec&) = default;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ntsim/kernel.h"  // Machine::name(), for per-link config resolution
+
 namespace dts::nt::net {
 
 // ---------------------------------------------------------------- Socket
@@ -9,7 +11,7 @@ namespace dts::nt::net {
 void Socket::send(std::string_view data) {
   if (closed_ || data.empty()) return;
   sim::Simulation& sim = net_->sim();
-  const auto& cfg = net_->config();
+  const NetworkConfig& cfg = cfg_;  // the link this connection was made over
   const auto transfer = sim::Duration::micros(
       static_cast<std::int64_t>(data.size()) * 1'000'000 /
       static_cast<std::int64_t>(cfg.bytes_per_second));
@@ -99,7 +101,7 @@ void Socket::close() {
   std::shared_ptr<Stream> tx = tx_;
   // The FIN travels with the usual latency but must not overtake in-flight
   // data on this stream (TCP ordering).
-  sim::TimePoint at = sim.now() + net_->config().latency;
+  sim::TimePoint at = sim.now() + cfg_.latency;
   if (at < tx->earliest_delivery) at = tx->earliest_delivery;
   tx->earliest_delivery = at;
   sim.schedule_at(at, [&sim, tx] {
@@ -161,12 +163,22 @@ bool Network::port_open(const std::string& machine, std::uint16_t port) const {
   return listeners_.contains(std::make_pair(machine, port));
 }
 
+void Network::set_link(const std::string& a, const std::string& b, NetworkConfig cfg) {
+  links_[a <= b ? std::make_pair(a, b) : std::make_pair(b, a)] = cfg;
+}
+
+const NetworkConfig& Network::link_config(const std::string& a, const std::string& b) const {
+  const auto it = links_.find(a <= b ? std::make_pair(a, b) : std::make_pair(b, a));
+  return it == links_.end() ? cfg_ : it->second;
+}
+
 sim::CoTask<std::shared_ptr<Socket>> Network::connect(Ctx c, const std::string& machine,
                                                       std::uint16_t port,
                                                       std::optional<sim::Duration> timeout) {
   (void)timeout;  // refusal is immediate in this model; see below
+  const NetworkConfig link = link_config(c.m().name(), machine);
   // SYN round trip.
-  co_await sleep_in_sim(c, cfg_.latency * 2);
+  co_await sleep_in_sim(c, link.latency * 2);
 
   auto it = listeners_.find(std::make_pair(machine, port));
   if (it == listeners_.end()) {
@@ -177,8 +189,8 @@ sim::CoTask<std::shared_ptr<Socket>> Network::connect(Ctx c, const std::string& 
 
   auto client_to_server = std::make_shared<Stream>();
   auto server_to_client = std::make_shared<Stream>();
-  auto client_sock = std::make_shared<Socket>(*this, server_to_client, client_to_server);
-  auto server_sock = std::make_shared<Socket>(*this, client_to_server, server_to_client);
+  auto client_sock = std::make_shared<Socket>(*this, server_to_client, client_to_server, link);
+  auto server_sock = std::make_shared<Socket>(*this, client_to_server, server_to_client, link);
   ++connections_;
 
   listener->pending_.push_back(std::move(server_sock));

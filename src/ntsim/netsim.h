@@ -28,6 +28,8 @@ struct NetworkConfig {
   sim::Duration latency = sim::Duration::millis(2);
   /// Link throughput; 10 Mbit/s Ethernet of the era.
   std::uint64_t bytes_per_second = 1'250'000;
+
+  friend bool operator==(const NetworkConfig&, const NetworkConfig&) = default;
 };
 
 class Network;
@@ -47,11 +49,14 @@ struct Stream {
   }
 };
 
-/// One endpoint of an established connection.
+/// One endpoint of an established connection. Each socket carries the
+/// NetworkConfig of the link it was established over (per-link overrides are
+/// resolved once, at connect time), so send/close costs follow that link.
 class Socket {
  public:
-  Socket(Network& net, std::shared_ptr<Stream> rx, std::shared_ptr<Stream> tx)
-      : net_(&net), rx_(std::move(rx)), tx_(std::move(tx)) {}
+  Socket(Network& net, std::shared_ptr<Stream> rx, std::shared_ptr<Stream> tx,
+         NetworkConfig cfg)
+      : net_(&net), rx_(std::move(rx)), tx_(std::move(tx)), cfg_(cfg) {}
   ~Socket() { close(); }
 
   Socket(const Socket&) = delete;
@@ -87,6 +92,7 @@ class Socket {
   Network* net_;
   std::shared_ptr<Stream> rx_;
   std::shared_ptr<Stream> tx_;
+  NetworkConfig cfg_;
   bool closed_ = false;
 };
 
@@ -127,6 +133,16 @@ class Network {
 
   sim::Simulation& sim() const { return *sim_; }
   const NetworkConfig& config() const { return cfg_; }
+
+  /// Overrides latency/bandwidth for the (a, b) machine pair, both
+  /// directions (the pair key is unordered). Connections established later
+  /// use the override; live sockets keep the config they connected with.
+  void set_link(const std::string& a, const std::string& b, NetworkConfig cfg);
+
+  /// The effective config between two machines: the per-link override if one
+  /// was set, the network default otherwise. A machine's link to itself
+  /// (loopback within the simulated LAN) resolves the same way.
+  const NetworkConfig& link_config(const std::string& a, const std::string& b) const;
 
   /// Opens a listening port on the named machine. Nullptr if the port is
   /// already bound.
@@ -172,6 +188,7 @@ class Network {
   sim::Simulation* sim_;
   NetworkConfig cfg_;
   std::map<std::pair<std::string, std::uint16_t>, Listener*> listeners_;
+  std::map<std::pair<std::string, std::string>, NetworkConfig> links_;  // key sorted
   std::uint64_t connections_ = 0;
 };
 

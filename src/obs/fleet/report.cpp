@@ -61,6 +61,22 @@ std::string html_escape(const std::string& text) {
   return out;
 }
 
+std::size_t topo_outcome_slot(const std::string& label) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (label == core::kTopoOutcomes[i]) return i;
+  }
+  return 0;  // unreachable: parse_run_line validated the label
+}
+
+// The propagation matrix renders only when some record actually carries
+// topology stats; classic reports are unchanged.
+bool has_topo_axis(const FleetReport& report) {
+  for (const ReportGroup& g : report.groups) {
+    if (g.topo_runs > 0) return true;
+  }
+  return false;
+}
+
 // The per-model matrix is worth a section only when some record actually
 // carries a non-default model annotation; a pure paper-model report would
 // just repeat the outcome matrix row for row.
@@ -172,6 +188,21 @@ FleetReport build_report(const std::vector<exec::JournalFile>& files,
       ++report.outcomes[outcome_slot(run.outcome)];
       ++g.model_outcomes[rec.model.empty() ? std::string(fault::kDefaultAnnotation)
                                            : rec.model][outcome_slot(run.outcome)];
+      if (run.topo) {
+        ++g.topo_runs;
+        ++g.tier_outcomes[run.topo->tier][topo_outcome_slot(run.topo->user_outcome)];
+        auto& curve = g.tier_p95_buckets[run.topo->tier];
+        if (curve.empty()) curve.assign(bounds.size() + 1, 0);
+        const double p95_s = static_cast<double>(run.topo->p95_us) / 1e6;
+        std::size_t slot = bounds.size();
+        for (std::size_t b = 0; b < bounds.size(); ++b) {
+          if (p95_s <= bounds[b]) {
+            slot = b;
+            break;
+          }
+        }
+        ++curve[slot];
+      }
       if (run.response_received) {
         ++g.responses;
         const double rt_s = run.response_time.to_seconds();
@@ -246,6 +277,43 @@ std::string render_report_markdown(const FleetReport& report) {
         out << "| " << config_label(g.key) << " | " << label << " | " << runs << " |";
         for (std::uint64_t c : counts) out << " " << c << " |";
         out << "\n";
+      }
+    }
+  }
+
+  if (has_topo_axis(report)) {
+    out << "\n## Per-tier fault propagation\n\n";
+    out << "| configuration | tier | runs |";
+    for (std::string_view o : core::kTopoOutcomes) out << " " << o << " |";
+    out << "\n|---|---|---:|";
+    for (std::size_t i = 0; i < 4; ++i) out << "---:|";
+    out << "\n";
+    for (const ReportGroup& g : report.groups) {
+      for (const auto& [tier, counts] : g.tier_outcomes) {
+        std::uint64_t runs = 0;
+        for (std::uint64_t c : counts) runs += c;
+        out << "| " << config_label(g.key) << " | " << tier << " | " << runs << " |";
+        for (std::uint64_t c : counts) out << " " << c << " |";
+        out << "\n";
+      }
+    }
+    for (const ReportGroup& g : report.groups) {
+      for (const auto& [tier, curve] : g.tier_p95_buckets) {
+        out << "\n### Degradation curve: " << config_label(g.key) << ", tier " << tier
+            << " (per-run p95)\n\n```\n";
+        const std::vector<double>& bounds = obs::response_time_buckets();
+        std::uint64_t max_count = 0;
+        for (std::uint64_t c : curve) max_count = std::max(max_count, c);
+        for (std::size_t i = 0; i < curve.size(); ++i) {
+          const std::string label =
+              i < bounds.size() ? "<= " + bound_label(bounds[i]) + "s" : "> last";
+          char line[160];
+          std::snprintf(line, sizeof line, "%10s %8llu %s\n", label.c_str(),
+                        static_cast<unsigned long long>(curve[i]),
+                        bar(curve[i], max_count).c_str());
+          out << line;
+        }
+        out << "```\n";
       }
     }
   }
@@ -350,6 +418,45 @@ std::string render_report_html(const FleetReport& report) {
       }
     }
     out << "</table>\n";
+  }
+
+  if (has_topo_axis(report)) {
+    out << "<h2>Per-tier fault propagation</h2>\n<table>\n"
+        << "<tr><th>configuration</th><th>tier</th><th>runs</th>";
+    for (std::string_view o : core::kTopoOutcomes) {
+      out << "<th>" << html_escape(std::string(o)) << "</th>";
+    }
+    out << "</tr>\n";
+    for (const ReportGroup& g : report.groups) {
+      for (const auto& [tier, counts] : g.tier_outcomes) {
+        std::uint64_t runs = 0;
+        for (std::uint64_t c : counts) runs += c;
+        out << "<tr><td>" << html_escape(config_label(g.key)) << "</td><td>"
+            << html_escape(tier) << "</td><td>" << runs << "</td>";
+        for (std::uint64_t c : counts) out << "<td>" << c << "</td>";
+        out << "</tr>\n";
+      }
+    }
+    out << "</table>\n";
+    for (const ReportGroup& g : report.groups) {
+      for (const auto& [tier, curve] : g.tier_p95_buckets) {
+        out << "<h3>Degradation curve: " << html_escape(config_label(g.key))
+            << ", tier " << html_escape(tier) << " (per-run p95)</h3>\n<pre>\n";
+        const std::vector<double>& bounds = obs::response_time_buckets();
+        std::uint64_t max_count = 0;
+        for (std::uint64_t c : curve) max_count = std::max(max_count, c);
+        for (std::size_t i = 0; i < curve.size(); ++i) {
+          const std::string label =
+              i < bounds.size() ? "<= " + bound_label(bounds[i]) + "s" : "> last";
+          char line[160];
+          std::snprintf(line, sizeof line, "%10s %8llu %s\n", label.c_str(),
+                        static_cast<unsigned long long>(curve[i]),
+                        bar(curve[i], max_count).c_str());
+          out << html_escape(line);
+        }
+        out << "</pre>\n";
+      }
+    }
   }
 
   if (!report.signatures.empty()) {

@@ -44,6 +44,19 @@ struct ReportGroup {
                                                 // +Inf last; responses only
   std::uint64_t responses = 0;
   double response_sum_s = 0.0;
+
+  /// Multi-tier axis (journal v6 / topo run-line extras): per-tier counts of
+  /// the four user-visible propagation outcomes, indexed like
+  /// core::kTopoOutcomes. Empty for classic campaigns — the propagation
+  /// matrix renders only when some record carries topology stats, so classic
+  /// reports are byte-identical to before.
+  std::map<std::string, std::array<std::uint64_t, 4>> tier_outcomes;
+  std::uint64_t topo_runs = 0;  // records carrying topology stats
+                                // (== Σ tier_outcomes counts, the matrix
+                                // reconciliation figure)
+  /// Degradation curve per tier: end-to-end p95 of each run bucketed over
+  /// response_time_buckets (+Inf last), successful-request latencies only.
+  std::map<std::string, std::vector<std::uint64_t>> tier_p95_buckets;
 };
 
 struct FleetReport {

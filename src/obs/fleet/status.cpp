@@ -126,6 +126,33 @@ void StatusBoard::record_signature(const SignatureEntry& e) {
   ++signature_total_;
 }
 
+void StatusBoard::record_topology(const std::string& tier, const std::string& outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tier_outcomes_[tier][outcome];
+  ++topo_total_;
+}
+
+std::string StatusBoard::topology_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"tiers\":[";
+  bool first = true;
+  for (const auto& [tier, counts] : tier_outcomes_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"tier\":\"" << obs::json_escape(tier) << "\",\"outcomes\":{";
+    bool inner_first = true;
+    for (const auto& [outcome, count] : counts) {
+      if (!inner_first) out << ",";
+      inner_first = false;
+      out << "\"" << obs::json_escape(outcome) << "\":" << count;
+    }
+    out << "}}";
+  }
+  out << "],\"total\":" << topo_total_ << "}";
+  return out.str();
+}
+
 std::string StatusBoard::signatures_json(std::size_t limit) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<const SignatureRow*> ranked;

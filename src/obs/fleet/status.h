@@ -71,6 +71,15 @@ class StatusBoard {
   /// Accumulates one run's failure signature into the live cluster table.
   void record_signature(const SignatureEntry& e);
 
+  /// Accumulates one multi-tier run's user-visible propagation outcome
+  /// ("masked".."outage") against the tier its fault targeted. Classic runs
+  /// never call this; /topology then reports an empty matrix.
+  void record_topology(const std::string& tier, const std::string& outcome);
+
+  /// /topology payload: the live per-tier propagation matrix plus a "total"
+  /// that reconciles against the number of record_topology() calls.
+  std::string topology_json() const;
+
   /// /status payload. When `events` is non-null its tail is embedded.
   std::string status_json(const FleetEventLog* events = nullptr) const;
 
@@ -102,6 +111,8 @@ class StatusBoard {
   std::map<std::string, std::uint64_t> outcomes_;
   std::map<std::string, SignatureRow> signatures_;  // id -> row
   std::uint64_t signature_total_ = 0;
+  std::map<std::string, std::map<std::string, std::uint64_t>> tier_outcomes_;
+  std::uint64_t topo_total_ = 0;
 };
 
 }  // namespace dts::obs::fleet

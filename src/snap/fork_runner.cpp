@@ -43,6 +43,12 @@ std::string unsupported_reason(const core::RunConfig& base, bool tracing) {
   }
   if (base.golden_capture > 0) return "golden-capture runs are not fault runs";
   if (base.checkpoints != nullptr) return "a checkpoint plan is already installed";
+  if (!base.topo.empty()) {
+    // The multi-tier path builds its machines inside execute_topology, after
+    // the checkpoint plan would have to be armed; full runs keep topology
+    // campaigns byte-identical under --snapshots=on.
+    return "multi-tier topology runs execute in full";
+  }
   return "";
 }
 

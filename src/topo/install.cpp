@@ -1,0 +1,244 @@
+#include "topo/install.h"
+
+#include <utility>
+
+namespace dts::topo {
+
+namespace {
+
+using nt::Ctx;
+
+/// Wire protocol between loadgen, balancers and relays: "REQ <id>\n" in,
+/// "OK <id>\n" / "ERR <id>\n" out.
+std::string request_id(const std::string& line) {
+  if (line.rfind("REQ ", 0) != 0) return "?";
+  std::string id = line.substr(4);
+  while (!id.empty() && (id.back() == '\n' || id.back() == '\r')) id.pop_back();
+  return id.empty() ? "?" : id;
+}
+
+bool http_ok(const std::string& reply, const std::string& expected_body) {
+  if (reply.rfind("HTTP/1.0 200", 0) != 0) return false;
+  const auto sep = reply.find("\r\n\r\n");
+  if (sep == std::string::npos) return false;
+  return reply.substr(sep + 4) == expected_body;
+}
+
+struct RelayParams {
+  std::string self;            // this instance's machine name
+  std::uint16_t app_port = 0;  // local application port
+  std::string check_request;   // wire bytes exercising the local app
+  bool http = false;           // verify as HTTP 200 + body vs exact reply
+  std::string expected;        // body (http) or whole reply (exact)
+  std::string next_lb;         // next tier's balancer machine; empty = last tier
+  sim::Duration ready_timeout;
+  sim::Duration ready_poll;
+  sim::Duration hop_timeout;
+};
+
+struct LbParams {
+  std::string self;
+  std::vector<std::string> backends;  // instance machines of this tier
+  sim::Duration ready_timeout;
+  sim::Duration ready_poll;
+  sim::Duration hop_timeout;
+};
+
+/// One request/reply exchange over a fresh connection; nullopt on refusal,
+/// reset or timeout.
+sim::CoTask<std::optional<std::string>> exchange(Ctx c, nt::net::Network* net,
+                                                 const std::string& machine,
+                                                 std::uint16_t port, const std::string& request,
+                                                 sim::Duration timeout, bool until_eof) {
+  const sim::TimePoint deadline = c.m().sim().now() + timeout;
+  auto sock = co_await net->connect(c, machine, port);
+  if (sock == nullptr) co_return std::nullopt;  // refused
+  sock->send(request);
+  if (!until_eof) {
+    const sim::Duration remaining = deadline - c.m().sim().now();
+    if (remaining <= sim::Duration{}) co_return std::nullopt;
+    co_return co_await sock->recv_until(c, "\n", 4096, remaining);
+  }
+  std::string reply;
+  for (;;) {
+    const sim::Duration remaining = deadline - c.m().sim().now();
+    if (remaining <= sim::Duration{}) co_return std::nullopt;
+    auto chunk = co_await sock->recv(c, 65536, remaining);
+    if (!chunk) co_return std::nullopt;  // timeout
+    if (chunk->empty()) break;           // EOF: reply complete
+    reply += *chunk;
+  }
+  if (reply.empty()) co_return std::nullopt;  // reset before any data
+  co_return reply;
+}
+
+/// Serves one accepted relay connection: local application check first, then
+/// the downstream chain; "OK" only when both succeed.
+sim::Task relay_conn(Ctx c, nt::net::Network* net, RelayParams p,
+                     std::shared_ptr<nt::net::Socket> sock) {
+  auto line = co_await sock->recv_until(c, "\n", 4096, p.hop_timeout);
+  if (!line) co_return;
+  const std::string id = request_id(*line);
+
+  bool ok = false;
+  auto reply = co_await exchange(c, net, p.self, p.app_port, p.check_request, p.hop_timeout,
+                                 /*until_eof=*/true);
+  if (reply) ok = p.http ? http_ok(*reply, p.expected) : *reply == p.expected;
+
+  if (ok && !p.next_lb.empty()) {
+    auto down = co_await exchange(c, net, p.next_lb, kLbPort, *line, p.hop_timeout,
+                                  /*until_eof=*/false);
+    ok = down && down->rfind("OK ", 0) == 0;
+  }
+  sock->send((ok ? "OK " : "ERR ") + id + "\n");
+}
+
+sim::Task relay_program(Ctx c, nt::net::Network* net, RelayParams p) {
+  // Wait (bounded) for the local application and the downstream balancer;
+  // listen regardless once the deadline passes so a dead dependency shows up
+  // as error replies, not refused connections the balancer cannot tell apart
+  // from a crashed relay.
+  const sim::TimePoint deadline = c.m().sim().now() + p.ready_timeout;
+  for (;;) {
+    const bool app_up = net->port_open(p.self, p.app_port);
+    const bool next_up = p.next_lb.empty() || net->port_open(p.next_lb, kLbPort);
+    if ((app_up && next_up) || c.m().sim().now() >= deadline) break;
+    co_await nt::sleep_in_sim(c, p.ready_poll);
+  }
+  auto listener = net->listen(p.self, kRelayPort);
+  if (listener == nullptr) co_return;
+  for (;;) {
+    auto sock = co_await listener->accept(c);
+    if (sock == nullptr) continue;
+    c.proc().spawn_thread([net, p, sock](Ctx tc) { return relay_conn(tc, net, p, sock); });
+  }
+}
+
+/// Serves one accepted balancer connection: round-robin over the backends,
+/// failing over on refusal, timeout or an error reply. Redundancy masking
+/// happens exactly here.
+sim::Task lb_conn(Ctx c, nt::net::Network* net, LbParams p, std::shared_ptr<std::size_t> rr,
+                  std::shared_ptr<nt::net::Socket> sock) {
+  auto line = co_await sock->recv_until(c, "\n", 4096, p.hop_timeout);
+  if (!line) co_return;
+  const std::string id = request_id(*line);
+
+  for (std::size_t attempt = 0; attempt < p.backends.size(); ++attempt) {
+    const std::string& backend = p.backends[(*rr)++ % p.backends.size()];
+    auto reply = co_await exchange(c, net, backend, kRelayPort, *line, p.hop_timeout,
+                                   /*until_eof=*/false);
+    if (reply && reply->rfind("OK ", 0) == 0) {
+      sock->send(*reply);
+      co_return;
+    }
+  }
+  sock->send("ERR " + id + "\n");
+}
+
+sim::Task lb_program(Ctx c, nt::net::Network* net, LbParams p) {
+  const sim::TimePoint deadline = c.m().sim().now() + p.ready_timeout;
+  for (;;) {
+    bool all_up = true;
+    for (const auto& backend : p.backends) {
+      all_up = all_up && net->port_open(backend, kRelayPort);
+    }
+    if (all_up || c.m().sim().now() >= deadline) break;
+    co_await nt::sleep_in_sim(c, p.ready_poll);
+  }
+  auto listener = net->listen(p.self, kLbPort);
+  if (listener == nullptr) co_return;
+  auto rr = std::make_shared<std::size_t>(0);
+  for (;;) {
+    auto sock = co_await listener->accept(c);
+    if (sock == nullptr) continue;
+    c.proc().spawn_thread(
+        [net, p, rr, sock](Ctx tc) { return lb_conn(tc, net, p, rr, sock); });
+  }
+}
+
+}  // namespace
+
+std::vector<nt::Machine*> TopologyRuntime::tier_instances(const std::string& tier) const {
+  std::vector<nt::Machine*> out;
+  for (const auto& [name, machine] : instance_machines_) {
+    if (name == tier) out.push_back(machine);
+  }
+  return out;
+}
+
+TopologyRuntime install_topology(sim::Simulation& sim, nt::net::Network& net,
+                                 std::vector<std::unique_ptr<nt::Machine>>& machines,
+                                 const TopologySpec& topo, const TierHostParams& params) {
+  TopologyRuntime rt;
+  nt::net::Network* np = &net;
+  for (std::size_t ti = 0; ti < topo.tiers.size(); ++ti) {
+    const TierSpec& tier = topo.tiers[ti];
+    TierRuntime tr;
+    tr.spec = tier;
+    tr.lb = lb_machine(tier);
+    const std::string next_lb =
+        ti + 1 < topo.tiers.size() ? lb_machine(topo.tiers[ti + 1]) : std::string();
+
+    for (int r = 0; r < tier.replicas; ++r) {
+      const std::string name = instance_machine(tier, r);
+      machines.push_back(std::make_unique<nt::Machine>(
+          sim, nt::MachineConfig{.name = name,
+                                 .cpu_scale = params.cpu_scale,
+                                 .jitter = params.jitter}));
+      nt::Machine& m = *machines.back();
+
+      RelayParams rp;
+      rp.self = name;
+      rp.next_lb = next_lb;
+      rp.ready_timeout = params.ready_timeout;
+      rp.ready_poll = params.ready_poll;
+      rp.hop_timeout = params.hop_timeout;
+      if (tier.app == "apache") {
+        rp.expected = apps::install_apache(m, net, params.apache);
+        m.scm().start_service(params.apache.service_name);
+        rp.app_port = params.apache.port;
+        rp.http = true;
+        rp.check_request = "GET /index.html HTTP/1.0\r\nHost: target\r\n\r\n";
+      } else if (tier.app == "iis") {
+        rp.expected = apps::install_iis(m, net, params.iis);
+        m.scm().start_service(params.iis.service_name);
+        rp.app_port = params.iis.port;
+        rp.http = true;
+        rp.check_request = "GET /index.html HTTP/1.0\r\nHost: target\r\n\r\n";
+      } else {  // sql_server (parse_topology admits nothing else)
+        rp.expected = apps::install_sql_server(m, net, params.sql);
+        m.scm().start_service(params.sql.service_name);
+        rp.app_port = params.sql.port;
+        rp.http = false;
+        rp.check_request = apps::sql_client_query() + "\n";
+      }
+      m.register_program("relayd.exe",
+                         [np, rp](Ctx c) { return relay_program(c, np, rp); });
+      m.start_process("relayd.exe", "relayd.exe");
+
+      tr.instances.push_back(name);
+      rt.instance_machines_.emplace_back(tier.name, &m);
+    }
+
+    machines.push_back(std::make_unique<nt::Machine>(
+        sim, nt::MachineConfig{.name = tr.lb,
+                               .cpu_scale = params.cpu_scale,
+                               .jitter = params.jitter}));
+    nt::Machine& lb = *machines.back();
+    LbParams lp;
+    lp.self = tr.lb;
+    lp.backends = tr.instances;
+    lp.ready_timeout = params.ready_timeout;
+    lp.ready_poll = params.ready_poll;
+    lp.hop_timeout = params.hop_timeout;
+    lb.register_program("lbd.exe", [np, lp](Ctx c) { return lb_program(c, np, lp); });
+    lb.start_process("lbd.exe", "lbd.exe");
+
+    rt.tiers.push_back(std::move(tr));
+  }
+  rt.front_machine = rt.tiers.front().lb;
+  rt.front_port = kLbPort;
+  return rt;
+}
+
+}  // namespace dts::topo

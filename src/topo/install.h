@@ -1,0 +1,87 @@
+// Instantiates a TopologySpec as simulated machines, applications and wiring
+// processes. Per tier:
+//
+//   <tier>-lb    runs lbd.exe — a round-robin balancer on port 7000 that
+//                fails over across the tier's instances on refusal, error
+//                reply or per-hop timeout (redundancy is what masks faults).
+//   <tier>-<i>   runs the tier's real application (apache/iis/sql_server,
+//                installed and started through the SCM exactly as in the
+//                single-machine runs) plus relayd.exe on port 7100, which
+//                serves "REQ <id>\n" by exercising the local application
+//                (static page fetch / SQL query, reply verified) and then
+//                forwarding the request to the next tier's balancer.
+//
+// A request is answered "OK <id>\n" only when the local check and the whole
+// downstream chain succeed, so a fault anywhere surfaces at the front unless
+// a balancer routes around it. Readiness is by induction: a relay listens
+// after its local app and the next tier's balancer port are up (bounded), a
+// balancer after its backends are up — so the front balancer port opening
+// means the whole topology is serving, which is what the workload generator
+// waits for.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/apache.h"
+#include "apps/iis.h"
+#include "apps/sql_server.h"
+#include "ntsim/kernel.h"
+#include "ntsim/netsim.h"
+#include "topo/topology.h"
+
+namespace dts::topo {
+
+struct TierHostParams {
+  apps::ApacheConfig apache;
+  apps::IisConfig iis;
+  apps::SqlServerConfig sql;
+
+  /// All topology machines run at control-box speed: a request traverses
+  /// every tier's application serially, and the chained costs must fit the
+  /// per-request timeout that the paper calibrated for one hop.
+  double cpu_scale = 0.25;
+  double jitter = 0.0;
+
+  /// Relay/balancer startup: how long to wait for the local application and
+  /// the downstream tier before listening anyway (a dead dependency then
+  /// degrades to error replies instead of refused connections).
+  sim::Duration ready_timeout = sim::Duration::seconds(90);
+  sim::Duration ready_poll = sim::Duration::millis(500);
+
+  /// Per-hop budget for one local check or one downstream exchange.
+  sim::Duration hop_timeout = sim::Duration::seconds(15);
+};
+
+struct TierRuntime {
+  TierSpec spec;
+  std::string lb;                      // balancer machine name
+  std::vector<std::string> instances;  // instance machine names, in order
+};
+
+struct TopologyRuntime {
+  std::vector<TierRuntime> tiers;  // front first
+  std::string front_machine;       // tiers.front().lb
+  std::uint16_t front_port = kLbPort;
+
+  /// Machines of the named tier's instances (owned by the caller's vector) —
+  /// the set the fault injector hooks.
+  std::vector<nt::Machine*> tier_instances(const std::string& tier) const;
+
+ private:
+  friend TopologyRuntime install_topology(sim::Simulation&, nt::net::Network&,
+                                          std::vector<std::unique_ptr<nt::Machine>>&,
+                                          const TopologySpec&, const TierHostParams&);
+  std::vector<std::pair<std::string, nt::Machine*>> instance_machines_;
+};
+
+/// Builds every machine and program of `topo`, appending the machines to
+/// `machines` (the network must outlive them). Applications are installed
+/// and their services started; relays and balancers are started as plain
+/// processes. Nothing executes until the simulation steps.
+TopologyRuntime install_topology(sim::Simulation& sim, nt::net::Network& net,
+                                 std::vector<std::unique_ptr<nt::Machine>>& machines,
+                                 const TopologySpec& topo, const TierHostParams& params);
+
+}  // namespace dts::topo

@@ -1,0 +1,44 @@
+// Open-loop workload generator for multi-tier campaigns: requests are issued
+// at the configured offered rate regardless of how fast earlier requests
+// complete (each in its own simulated thread), which is what makes queueing
+// delay visible as end-to-end latency — the degradation-curve measurement.
+// Contrast with the closed-loop paper clients (core/clients.h), which issue
+// one request at a time and retry; the generator never retries, so every
+// fault surfaces as a per-request outcome instead of being absorbed by the
+// retry protocol.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/outcome.h"
+#include "ntsim/netsim.h"
+#include "ntsim/process.h"
+#include "topo/topology.h"
+
+namespace dts::topo {
+
+struct LoadgenParams {
+  std::string front_machine;            // the front tier's balancer
+  std::uint16_t front_port = kLbPort;
+  int requests = 12;                    // total requests to issue
+  std::int64_t offered_rps_milli = 1000;  // open-loop rate, milli-requests/s
+
+  /// Per-request end-to-end budget (one attempt, no retries).
+  sim::Duration response_timeout = sim::Duration::seconds(15);
+
+  /// Bounded wait for the front balancer port before the first request.
+  sim::Duration server_up_timeout = sim::Duration::seconds(90);
+  sim::Duration server_up_poll = sim::Duration::millis(500);
+
+  std::shared_ptr<core::ClientReport> report;
+};
+
+/// The loadgen.exe program: waits for the front balancer, then issues
+/// `requests` requests at fixed inter-arrival spacing, each recorded as one
+/// RequestResult (ok / any_response / elapsed / detail) in the report. The
+/// report is finished once every issued request has completed or timed out.
+sim::Task loadgen_program(nt::Ctx c, nt::net::Network* net, LoadgenParams params);
+
+}  // namespace dts::topo

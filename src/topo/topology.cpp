@@ -1,0 +1,111 @@
+#include "topo/topology.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace dts::topo {
+
+namespace {
+
+bool valid_tier_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (char ch : name) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (std::islower(c) == 0 && std::isdigit(c) == 0 && ch != '-') return false;
+  }
+  return name != "client";  // reserved: the control machine in link config
+}
+
+bool valid_app(const std::string& app) {
+  return app == "apache" || app == "iis" || app == "sql_server";
+}
+
+std::string strip(const std::string& v) {
+  std::size_t b = 0;
+  while (b < v.size() && std::isspace(static_cast<unsigned char>(v[b])) != 0) ++b;
+  std::size_t e = v.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(v[e - 1])) != 0) --e;
+  return v.substr(b, e - b);
+}
+
+}  // namespace
+
+const TierSpec* TopologySpec::find_tier(const std::string& name) const {
+  for (const auto& t : tiers) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+int TopologySpec::tier_index(const std::string& name) const {
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    if (tiers[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string TopologySpec::to_string() const {
+  std::string out;
+  for (const auto& t : tiers) {
+    if (!out.empty()) out += " -> ";
+    out += t.name + ":" + std::to_string(t.replicas) + "*" + t.app;
+  }
+  return out;
+}
+
+std::string lb_machine(const TierSpec& tier) { return tier.name + "-lb"; }
+
+std::string instance_machine(const TierSpec& tier, int replica) {
+  return tier.name + "-" + std::to_string(replica + 1);
+}
+
+std::optional<TopologySpec> parse_topology(const std::string& text, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+
+  TopologySpec spec;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t arrow = text.find("->", pos);
+    const std::string token =
+        strip(arrow == std::string::npos ? text.substr(pos) : text.substr(pos, arrow - pos));
+    if (token.empty()) return fail("empty tier in topology");
+
+    const auto colon = token.find(':');
+    const auto star = token.find('*');
+    if (colon == std::string::npos || star == std::string::npos || star < colon) {
+      return fail("bad tier '" + token + "' (want name:replicas*app)");
+    }
+    TierSpec tier;
+    tier.name = strip(token.substr(0, colon));
+    if (!valid_tier_name(tier.name)) {
+      return fail("bad tier name '" + tier.name + "' (lowercase [a-z0-9-], 'client' reserved)");
+    }
+    if (spec.find_tier(tier.name) != nullptr) {
+      return fail("duplicate tier name '" + tier.name + "'");
+    }
+    const std::string rep = strip(token.substr(colon + 1, star - colon - 1));
+    auto [p, ec] = std::from_chars(rep.data(), rep.data() + rep.size(), tier.replicas);
+    if (ec != std::errc{} || p != rep.data() + rep.size() || tier.replicas < 1 ||
+        tier.replicas > 8) {
+      return fail("bad replica count '" + rep + "' in tier '" + tier.name + "' (1..8)");
+    }
+    tier.app = strip(token.substr(star + 1));
+    if (!valid_app(tier.app)) {
+      return fail("bad app '" + tier.app + "' in tier '" + tier.name +
+                  "' (apache|iis|sql_server)");
+    }
+    spec.tiers.push_back(std::move(tier));
+
+    if (arrow == std::string::npos) break;
+    pos = arrow + 2;
+    if (pos >= text.size()) return fail("trailing '->' in topology");
+  }
+  if (spec.tiers.empty()) return fail("empty topology");
+  spec.fault_tier = spec.tiers.back().name;
+  return spec;
+}
+
+}  // namespace dts::topo

@@ -1,0 +1,100 @@
+// Multi-tier service topologies (ROADMAP item 3): a declarative description
+// of a load-balanced deployment — "lb:2*apache -> app:2*iis -> db:1*sql_server"
+// — instantiated across multiple ntsim machines wired through netsim. Faults
+// target one named tier; the user-visible outcome is measured by an open-loop
+// workload generator (loadgen.h) driving the front tier, and classified into
+// the propagation outcomes masked / degraded / partial / outage.
+//
+// Grammar (whitespace-insensitive around tokens):
+//   topology  := tier ( "->" tier )*
+//   tier      := name ":" replicas "*" app
+//   name      := [a-z0-9-]+        (unique; "client" is reserved for the
+//                                   control machine in link configuration)
+//   replicas  := integer 1..8
+//   app       := "apache" | "iis" | "sql_server"
+//
+// Requests flow front tier -> back tier: each tier runs one round-robin
+// balancer machine "<name>-lb" plus `replicas` instance machines
+// "<name>-1".."<name>-N", each hosting the real application and a relay that
+// checks it locally before forwarding to the next tier's balancer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dts::topo {
+
+/// Balancer listening port (every tier's "<name>-lb" machine).
+inline constexpr std::uint16_t kLbPort = 7000;
+/// Relay listening port (every instance machine).
+inline constexpr std::uint16_t kRelayPort = 7100;
+
+struct TierSpec {
+  std::string name;      // "lb", "app", "db"
+  int replicas = 1;      // instance machines in the tier
+  std::string app;       // "apache" | "iis" | "sql_server"
+
+  friend bool operator==(const TierSpec&, const TierSpec&) = default;
+};
+
+/// A parsed topology plus the workload-generator knobs that ride with it in
+/// the campaign config ([topology] section). Default-constructed (no tiers)
+/// means a classic single-machine campaign — every topology-aware code path
+/// checks empty() first and stays byte-identical to the pre-topology code.
+struct TopologySpec {
+  std::vector<TierSpec> tiers;  // front (client-facing) tier first
+
+  /// Tier whose machines faults are injected into. Defaults to the last
+  /// (deepest) tier at parse time; overridden by `tier =` or `--tier=`.
+  std::string fault_tier;
+
+  /// Open-loop offered load, milli-requests per second (integer so config
+  /// and run-line serializations never format floats). 1000 = 1 req/s, which
+  /// keeps a single-replica back tier below saturation at the default costs.
+  std::int64_t offered_rps_milli = 1000;
+
+  /// Requests the generator issues per run.
+  int requests = 12;
+
+  /// p95 end-to-end latency above which an all-correct run classifies as
+  /// degraded-latency instead of masked, in ms. 0 = auto (half the client
+  /// response timeout).
+  std::int64_t degraded_p95_ms = 0;
+
+  bool empty() const { return tiers.empty(); }
+
+  const TierSpec* find_tier(const std::string& name) const;
+  int tier_index(const std::string& name) const;  // -1 when absent
+
+  /// Canonical topology string ("lb:2*apache -> app:2*iis -> db:1*sql_server");
+  /// round-trips through parse_topology. Empty for the empty topology.
+  std::string to_string() const;
+
+  friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
+};
+
+/// Machine naming scheme; install/report/link-expansion all agree on it.
+std::string lb_machine(const TierSpec& tier);
+std::string instance_machine(const TierSpec& tier, int replica);  // 0-based
+
+/// Parses a topology string. Validates tier-name syntax and uniqueness,
+/// replica bounds and app names; sets fault_tier to the last tier. Returns
+/// nullopt with *error set on malformed input. The workload knobs keep their
+/// defaults (they are configured separately).
+std::optional<TopologySpec> parse_topology(const std::string& text, std::string* error);
+
+/// Per-link network override from the [network] section: endpoints name
+/// tiers (or "client" for the control machine); values < 0 keep the global
+/// default for that axis.
+struct LinkOverride {
+  std::string a;
+  std::string b;
+  std::int64_t latency_us = -1;
+  std::int64_t bytes_per_second = -1;
+
+  friend bool operator==(const LinkOverride&, const LinkOverride&) = default;
+};
+
+}  // namespace dts::topo

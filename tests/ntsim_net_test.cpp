@@ -165,5 +165,153 @@ TEST(Net, RecvUntilFindsDelimiter) {
   EXPECT_EQ(line2, "Host: x\r\n");
 }
 
+// A network partition in this model is the listener going away (the service
+// died or was isolated): established connections reset, new connects are
+// refused, and a re-listen heals the partition for retrying clients. This is
+// the failover/retry contract the topology load balancer (src/topo/) builds
+// on.
+TEST(Net, PartitionThenReconnectHealsForRetryingClients) {
+  NetWorld w;
+  int refusals = 0;
+  bool reconnected = false;
+  std::optional<std::string> resumed;
+
+  w.server.register_program("server.exe", [&](Ctx c) -> sim::Task {
+    {
+      auto listener = w.net.listen("target", 80);
+      auto sock = co_await listener->accept(c);
+      sock->send("up");
+      co_await sleep_in_sim(c, Duration::millis(50));
+      sock->close();
+    }  // listener destroyed: the partition begins
+    co_await sleep_in_sim(c, Duration::millis(500));
+    // Partition heals: a fresh listener on the same port.
+    auto listener = w.net.listen("target", 80);
+    EXPECT_NE(listener, nullptr);
+    if (listener == nullptr) co_return;
+    auto sock = co_await listener->accept(c);
+    sock->send("back");
+    co_await sleep_in_sim(c, Duration::seconds(1));
+  });
+  w.client.register_program("client.exe", [&](Ctx c) -> sim::Task {
+    co_await sleep_in_sim(c, Duration::millis(10));
+    auto sock = co_await w.net.connect(c, "target", 80);
+    EXPECT_NE(sock, nullptr);
+    if (sock == nullptr) co_return;
+    (void)co_await sock->recv(c, 16, Duration::seconds(1));  // "up"
+    (void)co_await sock->recv(c, 16, Duration::seconds(2));  // EOF: partition
+    // Retry loop across the partition: refused until the server re-listens.
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      auto retry = co_await w.net.connect(c, "target", 80);
+      if (retry == nullptr) {
+        ++refusals;
+        co_await sleep_in_sim(c, Duration::millis(100));
+        continue;
+      }
+      reconnected = true;
+      resumed = co_await retry->recv(c, 16, Duration::seconds(1));
+      co_return;
+    }
+  });
+  w.server.start_process("server.exe", "server.exe");
+  w.client.start_process("client.exe", "client.exe");
+  w.simu.run_until(w.simu.now() + Duration::seconds(10));
+  EXPECT_GE(refusals, 1);
+  EXPECT_TRUE(reconnected);
+  EXPECT_EQ(resumed, "back");
+}
+
+// The peer closing its end wakes a blocked reader with EOF (empty string),
+// not a timeout — how relay daemons distinguish a dead backend from a slow
+// one.
+TEST(Net, PeerCloseDeliversEofToBlockedReader) {
+  NetWorld w;
+  std::optional<std::string> got;
+  sim::Duration waited{};
+  w.server.register_program("server.exe", [&](Ctx c) -> sim::Task {
+    auto listener = w.net.listen("target", 80);
+    auto sock = co_await listener->accept(c);
+    co_await sleep_in_sim(c, Duration::millis(30));
+    sock->close();  // no data ever sent
+    co_await sleep_in_sim(c, Duration::seconds(1));
+  });
+  w.client.register_program("client.exe", [&](Ctx c) -> sim::Task {
+    co_await sleep_in_sim(c, Duration::millis(10));
+    auto sock = co_await w.net.connect(c, "target", 80);
+    const auto t0 = c.m().sim().now();
+    got = co_await sock->recv(c, 16, Duration::seconds(30));
+    waited = c.m().sim().now() - t0;
+  });
+  w.server.start_process("server.exe", "server.exe");
+  w.client.start_process("client.exe", "client.exe");
+  w.simu.run_until(w.simu.now() + Duration::seconds(60));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());                    // EOF, not payload
+  EXPECT_LT(waited, Duration::seconds(1));      // and not a 30s timeout
+}
+
+// Per-link overrides ([network] link.*): the configured pair resolves the
+// same config in either endpoint order, and unconfigured pairs keep the
+// network default.
+TEST(Net, PerLinkConfigResolvesSymmetricallyWithDefaultFallback) {
+  NetWorld w;
+  net::NetworkConfig slow;
+  slow.latency = Duration::millis(25);
+  slow.bytes_per_second = 10'000;
+  w.net.set_link("control", "target", slow);
+
+  EXPECT_EQ(w.net.link_config("control", "target"), slow);
+  EXPECT_EQ(w.net.link_config("target", "control"), slow);  // order-blind
+  EXPECT_EQ(w.net.link_config("control", "other"), net::NetworkConfig{});
+}
+
+// The override actually shapes traffic: with 25ms latency on the link, even
+// a refused connect pays the SYN round trip, and an accepted transfer pays
+// latency + size/bandwidth.
+TEST(Net, PerLinkLatencyGovernsConnectAndTransfer) {
+  NetWorld w;
+  net::NetworkConfig slow;
+  slow.latency = Duration::millis(25);
+  slow.bytes_per_second = 10'000;  // 1000 bytes => 100ms serialization
+  w.net.set_link("control", "target", slow);
+
+  sim::Duration refusal{}, transfer{};
+  w.server.register_program("server.exe", [&](Ctx c) -> sim::Task {
+    co_await sleep_in_sim(c, Duration::millis(100));  // stay dark first
+    auto listener = w.net.listen("target", 80);
+    auto sock = co_await listener->accept(c);
+    sock->send(std::string(1000, 'x'));
+    co_await sleep_in_sim(c, Duration::seconds(5));
+  });
+  w.client.register_program("client.exe", [&](Ctx c) -> sim::Task {
+    auto t0 = c.m().sim().now();
+    auto refused = co_await w.net.connect(c, "target", 80);
+    refusal = c.m().sim().now() - t0;
+    EXPECT_EQ(refused, nullptr);
+
+    co_await sleep_in_sim(c, Duration::millis(200));  // server is up now
+    auto sock = co_await w.net.connect(c, "target", 80);
+    EXPECT_NE(sock, nullptr);
+    if (sock == nullptr) co_return;
+    t0 = c.m().sim().now();
+    std::size_t received = 0;
+    while (received < 1000) {
+      auto chunk = co_await sock->recv(c, 4096, Duration::seconds(10));
+      if (!chunk || chunk->empty()) break;
+      received += chunk->size();
+    }
+    transfer = c.m().sim().now() - t0;
+    EXPECT_EQ(received, 1000u);
+  });
+  w.server.start_process("server.exe", "server.exe");
+  w.client.start_process("client.exe", "client.exe");
+  w.simu.run_until(w.simu.now() + Duration::seconds(30));
+
+  EXPECT_GE(refusal, Duration::millis(50));  // SYN round trip over 25ms links
+  // Delivery = 25ms latency + 1000B / 10kB/s = 125ms, far above the 2ms
+  // default-link figure.
+  EXPECT_GE(transfer, Duration::millis(100));
+}
+
 }  // namespace
 }  // namespace dts::nt

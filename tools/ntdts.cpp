@@ -76,7 +76,7 @@ int usage() {
       "\n"
       "  ntdts run <config.ini> [output-dir] [--jobs=N] [--resume] [--max-faults=N]\n"
       "            [--plan=PATH | --plan-auto | --exhaustive] [--ci-width=X]\n"
-      "            [--snapshots=on|off] [--model=NAME[,NAME...]]\n"
+      "            [--snapshots=on|off] [--model=NAME[,NAME...]] [--tier=NAME]\n"
       "            [--trace=off|failures|all]\n"
       "            [--forensics-depth=N] [--metrics-out=PATH]\n"
       "        --jobs=N   parallel campaign workers (0 = all hardware threads;\n"
@@ -89,6 +89,8 @@ int usage() {
       "                   faultlib-style operators), oserror (error-return /\n"
       "                   delayed / dropped completions), temporal (intermittent\n"
       "                   and persistent variants of the paper operators)\n"
+      "        --tier=NAME  multi-tier campaigns ([topology] section): inject\n"
+      "                   into tier NAME instead of the config's faulted tier\n"
       "        --resume   continue an interrupted campaign from its run journal\n"
       "        --max-faults=N  cap the sweep at N faults (evenly sampled; 0 = all)\n"
       "        --plan=PATH  execute a saved campaign plan (see 'ntdts plan')\n"
@@ -115,7 +117,8 @@ int usage() {
       "        --http=host:port  serve live observability over HTTP while the\n"
       "                   campaign runs: /metrics (Prometheus), /status (JSON:\n"
       "                   leases, per-worker rates, ETA), /runs?worker=&outcome=\n"
-      "                   (journal tail); port 0 = ephemeral, printed on start\n"
+      "                   (journal tail), /topology (live per-tier propagation\n"
+      "                   matrix); port 0 = ephemeral, printed on start\n"
       "  ntdts worker --connect=host:port [--io-timeout-ms=N]\n"
       "        join a distributed campaign as a worker process\n"
       "  ntdts plan <config.ini> [plan.json] [--ci-width=X]\n"
@@ -590,6 +593,7 @@ struct RunFlags {
   std::optional<std::size_t> max_faults;
   std::optional<bool> snapshots;
   std::optional<std::string> models;  // canonical ModelSet CSV ("" = default)
+  std::string tier;  // --tier= override of the faulted topology tier
 
   // Distributed mode (either flag selects it).
   std::optional<int> dist_workers;
@@ -620,6 +624,24 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
   if (flags.max_faults) cfg->campaign.max_faults = *flags.max_faults;
   if (flags.snapshots) cfg->campaign.snapshots = *flags.snapshots;
   if (flags.models) cfg->campaign.models = *flags.models;
+  if (!flags.tier.empty()) {
+    if (cfg->run.topo.empty()) {
+      std::cerr << "ntdts run: --tier requires a [topology] section in "
+                << config_path << "\n";
+      return 2;
+    }
+    const topo::TierSpec* t = cfg->run.topo.find_tier(flags.tier);
+    if (t == nullptr) {
+      std::cerr << "ntdts run: --tier=" << flags.tier << " is not a tier of '"
+                << cfg->run.topo.to_string() << "'\n";
+      return 2;
+    }
+    cfg->run.topo.fault_tier = flags.tier;
+    // The faulted tier decides the sweep's target image (same derivation the
+    // config parser applies for the `tier =` key).
+    cfg->run.workload = core::workload_by_name(
+        t->app == "apache" ? "Apache2" : (t->app == "iis" ? "IIS" : "SQL"));
+  }
   cfg->campaign.plan.mode = flags.plan_mode;
   cfg->campaign.plan.plan_file = flags.plan_file;
   cfg->campaign.plan.ci_half_width = flags.ci_width;
@@ -718,13 +740,19 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
       r.body = status_board.signatures_json();
       return r;
     });
+    http.handle("/topology", [&status_board](const obs::fleet::HttpRequest&) {
+      obs::fleet::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = status_board.topology_json();
+      return r;
+    });
     std::string herr;
     if (!http.start(hp->first, hp->second, &herr)) {
       std::cerr << "ntdts run: " << herr << "\n";
       return 2;
     }
     std::cerr << "live observability at http://" << hp->first << ":" << http.port()
-              << "/{metrics,status,runs,signatures}\n";
+              << "/{metrics,status,runs,signatures,topology}\n";
   }
 
   core::WorkloadSetResult set;
@@ -1046,6 +1074,28 @@ int main(int argc, char** argv) {
           std::cerr << "ntdts run: unknown flag '" << a
                     << "' — did you mean --model=<name>[,<name>...]? valid models: "
                     << fault::valid_model_names() << "\n";
+          return 2;
+        } else if (a.rfind("--tier=", 0) == 0) {
+          flags.tier = a.substr(7);
+          if (flags.tier.empty()) {
+            std::cerr << "ntdts: --tier expects a tier name from the campaign's "
+                         "topology\n";
+            return 2;
+          }
+        } else if (a.rfind("--tier", 0) == 0) {
+          // Same misspelling guard for the topology axis (--tiers=, ...): a
+          // typo'd tier must not silently fault the config's default tier.
+          std::cerr << "ntdts run: unknown flag '" << a
+                    << "' — did you mean --tier=<name>? the name must match a "
+                       "tier of the [topology] section\n";
+          return 2;
+        } else if (a.rfind("--topo", 0) == 0) {
+          // Topologies are config-only; catch --topology= etc. before the
+          // generic unknown-flag line so the pointer is actionable.
+          std::cerr << "ntdts run: unknown flag '" << a
+                    << "' — topologies are configured in the [topology] section "
+                       "of the campaign config (topology = lb:2*apache -> ...); "
+                       "use --tier=<name> to override the faulted tier\n";
           return 2;
         } else if (a.rfind("--lease-size=", 0) == 0) {
           const std::string value = a.substr(13);
