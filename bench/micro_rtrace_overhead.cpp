@@ -1,0 +1,211 @@
+// micro_rtrace_overhead — guards request tracing's two cost contracts
+// (DESIGN §obs/rtrace, decision 16):
+//
+//   1. `rtrace = off` is byte-identical to the untraced pipeline: no run
+//      carries a trace, the journal stays schema v6 with no "rt" trailer
+//      anywhere in its bytes, and the campaign serializes deterministically
+//      and round-trips byte-identically.
+//   2. `rtrace = failures` journals a parseable v7 "rt" trailer (non-zero
+//      path digest, non-empty span set) for every failed or non-masked run,
+//      and costs < 3% of the untraced campaign's throughput (override with
+//      DTS_BENCH_RTRACE_MAX_OVERHEAD, in percent).
+//
+// Both are hard assertions; the binary exits 1 on violation. Reports
+// untraced vs traced runs/sec and the journaled trace sizes. Campaign
+// metrics flow through the shared bench registry, so DTS_BENCH_METRICS_OUT
+// exports Prometheus text + a Chrome trace at exit like every other harness.
+//
+// Environment knobs:
+//   DTS_BENCH_TRIALS     timing rounds, best-of (default 3)
+//   DTS_BENCH_FAULT_CAP  cap faults per campaign (default 24)
+//   DTS_BENCH_SEED       campaign seed (default 7)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "paper_common.h"
+#include "core/config.h"
+#include "exec/journal.h"
+#include "obs/rtrace/rtrace.h"
+
+namespace {
+
+using namespace dts;
+
+std::size_t trials() {
+  const char* v = std::getenv("DTS_BENCH_TRIALS");
+  const std::size_t n = v != nullptr ? std::strtoull(v, nullptr, 10) : 3;
+  return n == 0 ? 1 : n;
+}
+
+std::size_t fault_cap() {
+  const std::size_t cap = bench::fault_cap();
+  return cap == 0 ? 24 : cap;
+}
+
+double max_overhead_pct() {
+  const char* v = std::getenv("DTS_BENCH_RTRACE_MAX_OVERHEAD");
+  return v != nullptr ? std::strtod(v, nullptr) : 3.0;
+}
+
+core::DtsConfig parse_or_exit(const std::string& text) {
+  std::string error;
+  auto cfg = core::parse_config(text, &error);
+  if (!cfg) {
+    std::fprintf(stderr, "FAIL: config did not parse: %s\n", error.c_str());
+    std::exit(1);
+  }
+  return *cfg;
+}
+
+double timed_runs_per_sec(const core::RunConfig& cfg,
+                          const core::CampaignOptions& opt, std::size_t* runs_out) {
+  double best = 0.0;
+  const std::size_t n = trials();
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto set = core::run_workload_set(cfg, opt);
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    *runs_out = set.runs.size();
+    best = std::max(best, static_cast<double>(set.runs.size()) / dt.count());
+  }
+  return best;
+}
+
+std::string three_tier_config(const char* rtrace_line) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "[test]\nmiddleware = none\nseed = %llu\nmax_faults = %zu\n"
+                "[topology]\ntopology = lb:2*apache -> app:2*iis -> db:1*sql_server\n"
+                "tier = db\n%s",
+                static_cast<unsigned long long>(bench::bench_seed()), fault_cap(),
+                rtrace_line);
+  return buf;
+}
+
+std::string slurp(const std::string& path) {
+  std::string out;
+  if (FILE* f = std::fopen(path.c_str(), "rb")) {
+    char chunk[4096];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) out.append(chunk, n);
+    std::fclose(f);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const core::DtsConfig untraced = parse_or_exit(three_tier_config(""));
+  const core::DtsConfig off = parse_or_exit(three_tier_config("rtrace = off\n"));
+  const core::DtsConfig traced = parse_or_exit(three_tier_config("rtrace = failures\n"));
+
+  const auto temp = std::filesystem::temp_directory_path();
+  const std::string off_journal = (temp / "dts_rtrace_off_journal.jsonl").string();
+  const std::string traced_journal = (temp / "dts_rtrace_on_journal.jsonl").string();
+  std::filesystem::remove(off_journal);
+  std::filesystem::remove(traced_journal);
+  std::string error;
+
+  // --- contract 1: off is byte-identical to the untraced pipeline ---------
+  core::CampaignOptions opt = untraced.campaign;
+  opt.metrics = &bench::bench_registry();
+  const std::string baseline =
+      core::serialize_workload_set(core::run_workload_set(untraced.run, opt));
+
+  core::CampaignOptions off_opt = off.campaign;
+  off_opt.metrics = &bench::bench_registry();
+  off_opt.journal_path = off_journal;
+  const std::string off_bytes =
+      core::serialize_workload_set(core::run_workload_set(off.run, off_opt));
+  if (off_bytes != baseline) {
+    std::fprintf(stderr, "FAIL: rtrace=off campaign diverged from untraced bytes\n");
+    return 1;
+  }
+  const auto reloaded = core::deserialize_workload_set(off_bytes, &error);
+  if (!reloaded || core::serialize_workload_set(*reloaded) != baseline) {
+    std::fprintf(stderr, "FAIL: rtrace=off round-trip diverged: %s\n", error.c_str());
+    return 1;
+  }
+  const auto off_file = exec::read_journal_file(off_journal, &error);
+  if (!off_file) {
+    std::fprintf(stderr, "FAIL: off journal unreadable: %s\n", error.c_str());
+    return 1;
+  }
+  if (off_file->version != 6) {
+    std::fprintf(stderr, "FAIL: rtrace=off journal is v%llu, want v6\n",
+                 static_cast<unsigned long long>(off_file->version));
+    return 1;
+  }
+  if (slurp(off_journal).find("\"rt\"") != std::string::npos) {
+    std::fprintf(stderr, "FAIL: rtrace=off journal bytes carry an rt trailer\n");
+    return 1;
+  }
+  std::filesystem::remove(off_journal);
+  std::printf("rtrace=off byte-identical to untraced (journal v6, rt-free): ok\n");
+
+  // --- contract 2a: failures journals parseable v7 traces -----------------
+  core::CampaignOptions traced_opt = traced.campaign;
+  traced_opt.metrics = &bench::bench_registry();
+  traced_opt.journal_path = traced_journal;
+  (void)core::run_workload_set(traced.run, traced_opt);
+  const auto traced_file = exec::read_journal_file(traced_journal, &error);
+  std::filesystem::remove(traced_journal);
+  if (!traced_file) {
+    std::fprintf(stderr, "FAIL: traced journal unreadable: %s\n", error.c_str());
+    return 1;
+  }
+  if (traced_file->version != 7) {
+    std::fprintf(stderr, "FAIL: traced journal is v%llu, want v7\n",
+                 static_cast<unsigned long long>(traced_file->version));
+    return 1;
+  }
+  std::size_t traced_records = 0, spans = 0;
+  for (const auto& rec : traced_file->records) {
+    if (rec.rtrace.empty()) continue;
+    ++traced_records;
+    if (obs::rtrace::digest_of_serialized(rec.rtrace) == 0) {
+      std::fprintf(stderr, "FAIL: record %s has a zero path digest\n",
+                   rec.fault_id.c_str());
+      return 1;
+    }
+    const auto rt = obs::rtrace::RunTrace::parse(rec.rtrace);
+    if (!rt || rt->spans.empty()) {
+      std::fprintf(stderr, "FAIL: record %s rt trailer did not parse\n",
+                   rec.fault_id.c_str());
+      return 1;
+    }
+    spans += rt->spans.size();
+  }
+  if (traced_records == 0) {
+    std::fprintf(stderr, "FAIL: no journal record carries a request trace\n");
+    return 1;
+  }
+  std::printf("rtrace=failures journal v7: %zu traced records, %zu spans: ok\n",
+              traced_records, spans);
+
+  // --- contract 2b: tracing costs < max_overhead_pct ----------------------
+  std::size_t untraced_runs = 0, traced_runs = 0;
+  core::CampaignOptions time_opt = untraced.campaign;
+  const double untraced_rps = timed_runs_per_sec(untraced.run, time_opt, &untraced_runs);
+  core::CampaignOptions traced_time_opt = traced.campaign;
+  const double traced_rps =
+      timed_runs_per_sec(traced.run, traced_time_opt, &traced_runs);
+  const double overhead_pct =
+      untraced_rps > 0 ? (1.0 - traced_rps / untraced_rps) * 100.0 : 0.0;
+  std::printf("untraced %zu runs  %.1f runs/s\n", untraced_runs, untraced_rps);
+  std::printf("traced   %zu runs  %.1f runs/s  (%.2f%% overhead)\n", traced_runs,
+              traced_rps, overhead_pct);
+  if (overhead_pct > max_overhead_pct()) {
+    std::fprintf(stderr, "FAIL: tracing overhead %.2f%% exceeds %.2f%%\n",
+                 overhead_pct, max_overhead_pct());
+    return 1;
+  }
+
+  std::printf("PASS: request tracing free at off, < %.1f%% at failures\n",
+              max_overhead_pct());
+  return 0;
+}

@@ -500,6 +500,15 @@ WorkloadSetResult load_or_run_workload_set(const RunConfig& base,
                          std::to_string(t.offered_rps_milli) + "|" +
                          std::to_string(t.requests) + "|" +
                          std::to_string(t.degraded_p95_ms)));
+      // Request tracing changes the wire bytes (the rt= token), so traced and
+      // untraced campaigns must never share a cache slot. Off-mode keeps the
+      // pre-rtrace key exactly.
+      if (base.rtrace != obs::rtrace::RtraceMode::kOff) {
+        model_aware_key = sim::Rng::mix(
+            model_aware_key,
+            sim::Rng::hash("rtrace=" +
+                           std::string(obs::rtrace::to_string(base.rtrace))));
+      }
     }
     char name[64];
     std::snprintf(name, sizeof name, "dts_%016llx.campaign",

@@ -224,6 +224,11 @@ std::optional<DtsConfig> parse_config(const std::string& text, std::string* erro
         if (!parse_int(value, &iv) || iv < 0) return fail("bad degraded_p95_ms");
         cfg.run.topo.degraded_p95_ms = iv;
         topo_keys_seen = true;
+      } else if (key == "rtrace") {
+        if (!obs::rtrace::rtrace_mode_from_string(value, &cfg.run.rtrace)) {
+          return fail("bad rtrace mode '" + value + "' (off|failures|all)");
+        }
+        topo_keys_seen = true;
       } else {
         return fail("unknown key '" + key + "' in [topology]");
       }
@@ -333,6 +338,11 @@ std::string serialize_config(const DtsConfig& cfg) {
     out << "requests = " << cfg.run.topo.requests << "\n";
     if (cfg.run.topo.degraded_p95_ms > 0) {
       out << "degraded_p95_ms = " << cfg.run.topo.degraded_p95_ms << "\n";
+    }
+    // Elided at off, so untraced topology configs serialize byte-identically
+    // to the pre-rtrace pipeline.
+    if (cfg.run.rtrace != obs::rtrace::RtraceMode::kOff) {
+      out << "rtrace = " << obs::rtrace::to_string(cfg.run.rtrace) << "\n";
     }
   }
   // [network] appears only when something differs from the defaults, so every

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "inject/fault.h"
+#include "obs/rtrace/rtrace.h"
 #include "sim/time.h"
 
 namespace dts::core {
@@ -98,6 +99,11 @@ struct RunResult {
 
   /// Multi-tier workload statistics; engaged only for topology campaigns.
   std::optional<TopoRunStats> topo;
+
+  /// Causal request trace (obs/rtrace/); engaged only for topology campaigns
+  /// with a non-off rtrace mode. Never part of run-line serialization — the
+  /// journal carries it as the optional v7 "rt" trailer instead.
+  std::optional<obs::rtrace::RunTrace> rtrace;
 
   /// One-line log form.
   std::string summary() const;

@@ -32,6 +32,7 @@ struct FaultInjectionRun::World {
   topo::TopologyRuntime topo_rt;
   std::shared_ptr<ClientReport> report = std::make_shared<ClientReport>();
   obs::SpanLog spans;  // middleware latency spans (detection/recovery)
+  obs::rtrace::TraceLog rtrace;  // per-hop request spans (topology runs)
 };
 
 namespace {
@@ -238,6 +239,7 @@ RunResult FaultInjectionRun::execute_topology(const std::optional<inject::FaultS
   World& w = *world_;
 
   // --- build the tier machines and their wiring --------------------------------
+  w.rtrace.set_enabled(cfg_.rtrace != obs::rtrace::RtraceMode::kOff);
   topo::TierHostParams hp;
   hp.apache = cfg_.apache;
   hp.iis = cfg_.iis;
@@ -246,6 +248,7 @@ RunResult FaultInjectionRun::execute_topology(const std::optional<inject::FaultS
   hp.hop_timeout = cfg_.client.response_timeout;
   hp.ready_timeout = cfg_.client.server_up_timeout;
   hp.ready_poll = cfg_.client.server_up_poll;
+  hp.trace = &w.rtrace;
   w.topo_rt = topo::install_topology(w.simulation, w.network, w.machines, cfg_.topo, hp);
 
   // Per-link network overrides: tier names (or "client") expand to the
@@ -299,6 +302,7 @@ RunResult FaultInjectionRun::execute_topology(const std::optional<inject::FaultS
   lg.server_up_timeout = cfg_.client.server_up_timeout;
   lg.server_up_poll = cfg_.client.server_up_poll;
   lg.report = w.report;
+  lg.trace = &w.rtrace;
   nt::net::Network* net = &w.network;
   w.control.register_program(
       "loadgen.exe", [net, lg](nt::Ctx c) { return topo::loadgen_program(c, net, lg); });
@@ -354,6 +358,20 @@ RunResult FaultInjectionRun::execute_topology(const std::optional<inject::FaultS
     ts.user_outcome = "masked";
   }
   result.topo = ts;
+
+  // Finalize the request trace: stamp the injection onto the span the
+  // corruption landed in, compute critical-path attribution and the
+  // propagation-path digest.
+  if (cfg_.rtrace != obs::rtrace::RtraceMode::kOff) {
+    obs::rtrace::FinalizeParams fp;
+    if (fault) fp.fault_id = fault->id();
+    if (interceptor_.injected()) {
+      fp.injection_us =
+          (interceptor_.injection_time() - sim::TimePoint{}).count_micros();
+      fp.injection_machine = interceptor_.injection_machine();
+    }
+    result.rtrace = obs::rtrace::finalize_trace(w.rtrace.take_spans(), fp);
+  }
 
   // The classic five-way axis collapses to success/failure here: the
   // open-loop generator has no retry protocol and topology runs carry no

@@ -79,6 +79,12 @@ struct RunConfig {
   /// none.
   topo::TopologySpec topo;
 
+  /// Request tracing for topology runs (obs/rtrace/): off keeps the wire
+  /// bytes — and therefore every campaign output — byte-identical to the
+  /// untraced pipeline; failures/all collect per-hop causal spans. Ignored
+  /// for classic runs (there is no request topology to trace).
+  obs::rtrace::RtraceMode rtrace = obs::rtrace::RtraceMode::kOff;
+
   /// Global network parameters ([network] section); default matches the
   /// pre-configurable hard-coded values. `links` carries per-tier-pair
   /// overrides, expanded to machine pairs when the topology is built.

@@ -58,6 +58,29 @@ bool forensics_wanted(obs::TraceMode mode, const core::RunResult& r) {
   return false;
 }
 
+/// Journal schema version for this campaign: classic campaigns stay v5
+/// byte-for-byte, untraced topology campaigns stay v6 byte-for-byte, and only
+/// topology campaigns with request tracing enabled mint v7 (the "rt" trailer).
+std::uint64_t journal_version(const core::RunConfig& base) {
+  if (base.topo.empty()) return 5;
+  return base.rtrace == obs::rtrace::RtraceMode::kOff ? 6 : 7;
+}
+
+/// Whether this run's trace is journaled. kFailures keeps the journal lean:
+/// only runs that failed outright or whose users saw degraded service carry
+/// their span tree (masked runs still contributed to the path digest axis of
+/// live signatures, which needs no journal bytes).
+bool rtrace_wanted(obs::rtrace::RtraceMode mode, const core::RunResult& r) {
+  switch (mode) {
+    case obs::rtrace::RtraceMode::kOff: return false;
+    case obs::rtrace::RtraceMode::kAll: return true;
+    case obs::rtrace::RtraceMode::kFailures:
+      return r.outcome == core::Outcome::kFailure ||
+             (r.topo && r.topo->user_outcome != "masked");
+  }
+  return false;
+}
+
 std::vector<std::string> forensics_context(const core::RunResult& r) {
   std::vector<std::string> out;
   std::string line = "outcome: ";
@@ -121,6 +144,17 @@ void record_status_signature(obs::fleet::StatusBoard* status,
   status->record_signature(sig);
   if (result.topo) {
     status->record_topology(result.topo->tier, result.topo->user_outcome);
+  }
+  if (result.rtrace) {
+    obs::fleet::TraceEntry tr;
+    tr.fault_id = fault_id;
+    tr.tier = result.topo ? result.topo->tier : "";
+    tr.user_outcome = result.topo ? result.topo->user_outcome : "";
+    tr.digest = obs::rtrace::digest_hex(result.rtrace->digest);
+    tr.spans = result.rtrace->spans.size();
+    tr.requests = result.rtrace->requests.size();
+    tr.injected = result.rtrace->injected_span != 0;
+    status->record_trace(std::move(tr));
   }
 }
 
@@ -439,7 +473,7 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
   if (!options_.journal_path.empty()) {
     std::string error;
     if (!journal.open(options_.journal_path, key, options_.resume, &error,
-                      options_.config_text, base.topo.empty() ? 5 : 6)) {
+                      options_.config_text, journal_version(base))) {
       throw std::runtime_error(error);
     }
   }
@@ -559,6 +593,9 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
           rec.call_context = o.call_context;
           rec.model = fault::model_annotation(fault);
           rec.tier = fault.tier;
+          if (slot.result.rtrace && rtrace_wanted(base.rtrace, slot.result)) {
+            rec.rtrace = slot.result.rtrace->serialize();
+          }
           journal.append(rec);
         }
         if (options_.stall != nullptr) {
@@ -695,6 +732,9 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
             rec.forensics = std::move(forensics);
             rec.model = fault::model_annotation(fault);
             rec.tier = fault.tier;
+            if (slot.result.rtrace && rtrace_wanted(base.rtrace, slot.result)) {
+              rec.rtrace = slot.result.rtrace->serialize();
+            }
             journal.append(rec);
           }
 
@@ -730,11 +770,24 @@ CampaignResult CampaignExecutor::run(const core::RunConfig& base,
                                  "middleware detection/recovery latency (sim seconds)")
                   .observe(span.duration().to_seconds());
             }
-            metrics->add_complete_event(
-                fault_id, "run", worker, run_start_us, wall_s * 1e6,
-                {{"outcome", std::string(outcome_label(slot.result.outcome))},
-                 {"sim_s", sim::to_string(slot.result.sim_elapsed)},
-                 {"xi", exec_index}});
+            obs::Labels event_args = {
+                {"outcome", std::string(outcome_label(slot.result.outcome))},
+                {"sim_s", sim::to_string(slot.result.sim_elapsed)},
+                {"xi", exec_index}};
+            if (slot.result.topo) {
+              // Topology runs label their timeline slice with the targeted
+              // tier and replica, so a Perfetto row reads "db fault on
+              // sql_server-0 degraded" without a journal cross-reference.
+              event_args.emplace_back("tier", slot.result.topo->tier);
+              if (!run.interceptor().injection_machine().empty()) {
+                event_args.emplace_back("replica",
+                                        run.interceptor().injection_machine());
+              }
+              event_args.emplace_back("user_outcome",
+                                      slot.result.topo->user_outcome);
+            }
+            metrics->add_complete_event(fault_id, "run", worker, run_start_us,
+                                        wall_s * 1e6, event_args);
           }
         }
 
@@ -840,7 +893,7 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
   if (!options_.journal_path.empty()) {
     std::string error;
     if (!journal.open(options_.journal_path, key, options_.resume, &error,
-                      options_.config_text, base.topo.empty() ? 5 : 6)) {
+                      options_.config_text, journal_version(base))) {
       throw std::runtime_error(error);
     }
   }
@@ -945,6 +998,9 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
             rec.call_context = o.call_context;
             rec.model = fault::model_annotation(entry.fault);
             rec.tier = entry.fault.tier;
+            if (o.result.rtrace && rtrace_wanted(base.rtrace, o.result)) {
+              rec.rtrace = o.result.rtrace->serialize();
+            }
             journal.append(rec);
           }
           if (options_.stall != nullptr) {
@@ -1047,6 +1103,9 @@ PlanCampaignResult CampaignExecutor::run_plan(const core::RunConfig& base,
             rec.forensics = std::move(forensics);
             rec.model = fault::model_annotation(entry.fault);
             rec.tier = entry.fault.tier;
+            if (r.rtrace && rtrace_wanted(base.rtrace, r)) {
+              rec.rtrace = r.rtrace->serialize();
+            }
             journal.append(rec);
           }
 

@@ -62,7 +62,7 @@ std::optional<JournalFile> read_journal_file(const std::string& path,
   if (!std::getline(in, line)) return fail("empty journal");
   JournalFile file;
   if (!json_uint_field(line, "dts_journal", &file.version) ||
-      file.version < 1 || file.version > 6) {
+      file.version < 1 || file.version > 7) {
     return fail("not a DTS run journal");
   }
   std::uint64_t mw = 0, wv = 0, faults = 0;
@@ -110,6 +110,8 @@ std::optional<JournalFile> read_journal_file(const std::string& path,
     (void)json_string_field(line, "fm", &rec.model);
     // v6 extra.
     (void)json_string_field(line, "tier", &rec.tier);
+    // v7 extra.
+    (void)json_string_field(line, "rt", &rec.rtrace);
     file.records.push_back(std::move(rec));
   }
   return file;
@@ -179,6 +181,9 @@ void RunJournal::append(const JournalRecord& rec) {
   }
   if (!rec.tier.empty()) {
     out_ << ",\"tier\":\"" << json_escape(rec.tier) << "\"";
+  }
+  if (!rec.rtrace.empty()) {
+    out_ << ",\"rt\":\"" << json_escape(rec.rtrace) << "\"";
   }
   // Forensics last: the dump is big and optional, the fixed fields stay
   // greppable at the front of the line.

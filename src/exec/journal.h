@@ -43,9 +43,15 @@
 // topology axis (src/topo/): each record gains an optional "tier" naming the
 // tier the fault targeted, ELIDED when empty — and the v6 header version is
 // written only for topology campaigns, so single-tier journals stay
-// byte-identical to v5. The reader is field-based and accepts versions 1–6:
-// older files resume cleanly (missing fields stay zero/empty), and newer
-// records with fields an older reader never knew about parse the same way.
+// byte-identical to v5. v7 adds causal request tracing (src/obs/rtrace/):
+// each record gains an optional "rt" carrying the run's serialized request
+// trace (propagation-path digest + per-hop spans, RunTrace::serialize), and
+// the v7 header version is written only for topology campaigns with a
+// non-off rtrace mode — classic journals stay v5 and untraced topology
+// journals stay v6, both byte-identical to before. The reader is field-based
+// and accepts versions 1–7: older files resume cleanly (missing fields stay
+// zero/empty), and newer records with fields an older reader never knew
+// about parse the same way.
 #pragma once
 
 #include <cstdint>
@@ -98,6 +104,11 @@ struct JournalRecord {
   // v6 field; empty when reading an older journal AND for classic
   // single-tier campaigns — the topology tier the fault targeted.
   std::string tier;
+
+  // v7 field; empty when reading an older journal, for untraced campaigns,
+  // and for runs the rtrace mode elides — the serialized request trace
+  // (obs::rtrace::RunTrace::serialize / ::parse).
+  std::string rtrace;
 };
 
 /// Reads the records of an existing journal. A missing file yields an empty
@@ -135,8 +146,9 @@ class RunJournal {
   /// in the v4 header so `ntdts replay` can rebuild the exact run
   /// configuration; it is informational and not part of the resume identity
   /// check (JournalKey). `version` is the schema version stamped into the
-  /// header: 5 (the default, classic campaigns) or 6 (topology campaigns).
-  /// Returns false with *error on I/O failure.
+  /// header: 5 (the default, classic campaigns), 6 (topology campaigns) or
+  /// 7 (topology campaigns with request tracing). Returns false with *error
+  /// on I/O failure.
   bool open(const std::string& path, const JournalKey& key, bool append,
             std::string* error, const std::string& config_text = "",
             std::uint64_t version = 5);

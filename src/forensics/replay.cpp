@@ -153,6 +153,14 @@ std::optional<ReplayResult> replay_record(const exec::JournalFile& file,
       rec.trace_digest == 0 || rec.trace_digest == out.trace_digest;
   out.call_context_match =
       rec.call_context.empty() || rec.call_context == out.call_context;
+  // Propagation-path verification (v7): the header config carries the rtrace
+  // mode, so a traced campaign replays traced and the span shape must
+  // reproduce exactly. Records without "rt" (untraced, or a masked run under
+  // --rtrace=failures) have nothing to compare — vacuously true.
+  if (out.run.rtrace) out.rtrace_digest = out.run.rtrace->digest;
+  out.rtrace_digest_match =
+      rec.rtrace.empty() ||
+      obs::rtrace::digest_of_serialized(rec.rtrace) == out.rtrace_digest;
   return out;
 }
 

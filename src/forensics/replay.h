@@ -39,18 +39,21 @@ struct ReplayResult {
   std::string call_context;     // corrupted-call context (empty: never fired)
   std::string forensics;        // full forensics dump of the replayed run
   std::string config_source;    // "journal header (v4)" / "journal key defaults"
+  std::uint64_t rtrace_digest = 0;  // replayed propagation-path digest (v7)
 
   // Comparisons against the journal record. Digest/context comparisons are
-  // vacuously true when the record predates v4 (no "td"/"cc" fields).
+  // vacuously true when the record predates v4 (no "td"/"cc" fields); the
+  // rtrace comparison is vacuously true when the record carries no "rt" (v7).
   bool outcome_match = false;
   bool run_line_match = false;
   bool trace_digest_match = false;
   bool call_context_match = false;
+  bool rtrace_digest_match = false;
   std::string journal_outcome;  // the record's outcome label, for display
 
   bool matches() const {
     return outcome_match && run_line_match && trace_digest_match &&
-           call_context_match;
+           call_context_match && rtrace_digest_match;
   }
 };
 

@@ -26,9 +26,11 @@ std::uint64_t signature_digest(const SignatureKey& key) {
   d = fold(d, key.call_context);
   d = fold(d, key.outcome);
   d = fold(d, key.span);
-  // The tier axis appeared with multi-tier topologies; folding it only when
-  // set keeps every classic (tier-less) digest byte-identical to before.
+  // The tier axis appeared with multi-tier topologies, the path axis with
+  // request tracing; folding each only when set keeps every digest minted
+  // before its axis existed byte-identical to before.
   if (!key.tier.empty()) d = fold(d, key.tier);
+  if (!key.path.empty()) d = fold(d, key.path);
   return d;
 }
 
@@ -75,6 +77,12 @@ SignatureKey signature_of(const core::RunResult& run,
   key.outcome = std::string(exec::outcome_label(run.outcome));
   key.span = detection_span(run);
   key.tier = run.fault.tier;
+  // Live runs carry their trace in the result; journal-sourced callers set
+  // the axis themselves from the record's "rt" payload (the run line never
+  // carries the trace).
+  if (run.rtrace && run.rtrace->digest != 0) {
+    key.path = obs::rtrace::digest_hex(run.rtrace->digest);
+  }
   return key;
 }
 

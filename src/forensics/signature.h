@@ -38,6 +38,11 @@ struct SignatureKey {
   std::string tier;          // topology tier the fault targeted; "" for
                              // classic runs (folded into the digest only when
                              // non-empty, so classic digests never change)
+  std::string path;          // propagation-path digest (16-hex) of the run's
+                             // request trace; "" for untraced runs (folded
+                             // only when non-empty, same guarantee as tier) —
+                             // splits "db fault masked by app failover" from
+                             // "db fault surfaced as outage" clusters
 
   friend bool operator==(const SignatureKey&, const SignatureKey&) = default;
 };

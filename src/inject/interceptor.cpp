@@ -157,6 +157,10 @@ void Interceptor::on_call(const nt::Process& proc, nt::CallRecord& rec) {
         ctx.invocation = count;
         ctx.path_digest = path_digest_;  // the path that LED here, pre-fold
         context_ = ctx;
+        // Where and when in the simulated world the corruption landed — what
+        // request tracing (obs/rtrace/) needs to stamp the enclosing span.
+        injection_time_ = proc.machine().sim().now();
+        injection_machine_ = proc.machine().name();
       }
       injected_ = true;
     }

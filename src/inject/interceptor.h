@@ -48,6 +48,8 @@ class Interceptor final : public nt::SyscallHook {
     injected_ = false;
     effective_ = false;
     context_.reset();
+    injection_time_ = sim::TimePoint{};
+    injection_machine_.clear();
   }
   void disarm() { armed_.reset(); }
   const std::optional<FaultSpec>& armed() const { return armed_; }
@@ -96,6 +98,11 @@ class Interceptor final : public nt::SyscallHook {
     std::string to_string() const;
   };
   const std::optional<CallContext>& injection_context() const { return context_; }
+
+  /// Sim time and machine of the first firing (valid when injected()):
+  /// request tracing uses them to stamp the span the corruption landed in.
+  sim::TimePoint injection_time() const { return injection_time_; }
+  const std::string& injection_machine() const { return injection_machine_; }
 
   /// Rolling trajectory digests (see file comment). Both start at the FNV
   /// offset basis, so a freshly constructed interceptor on any host agrees.
@@ -178,6 +185,8 @@ class Interceptor final : public nt::SyscallHook {
   std::uint64_t trace_digest_ = 14695981039346656037ull;  // FNV-1a offset
   std::uint64_t path_digest_ = 14695981039346656037ull;
   std::optional<CallContext> context_;
+  sim::TimePoint injection_time_{};
+  std::string injection_machine_;
 
   std::map<std::pair<std::string, nt::Fn>, int> counts_;
   std::map<std::string, std::set<nt::Fn>> called_;

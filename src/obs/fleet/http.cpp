@@ -1,6 +1,8 @@
 #include "obs/fleet/http.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
@@ -47,6 +49,7 @@ struct HttpEndpoint::Impl {
   std::thread thread;
   std::atomic<bool> stopping{false};
   bool started = false;
+  std::chrono::steady_clock::time_point start_time;
 
   void serve() {
     while (!stopping.load(std::memory_order_relaxed)) {
@@ -89,6 +92,18 @@ struct HttpEndpoint::Impl {
         resp = {405, "text/plain; charset=utf-8", "method not allowed\n"};
       } else if (auto it = routes.find(req.path); it != routes.end()) {
         resp = it->second(req);
+      } else if (req.path == "/healthz") {
+        // Built-in liveness probe: a user handler on /healthz (above) wins,
+        // otherwise every endpoint answers without registration.
+        const double up = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start_time)
+                              .count();
+        char body[160];
+        std::snprintf(body, sizeof body,
+                      "{\"status\":\"ok\",\"version\":\"%.64s\","
+                      "\"uptime_s\":%.3f}",
+                      options.version.c_str(), up);
+        resp = {200, "application/json", body};
       } else {
         resp = {404, "text/plain; charset=utf-8", "not found\n"};
       }
@@ -131,6 +146,7 @@ bool HttpEndpoint::start(const std::string& host, std::uint16_t port,
     return false;
   }
   impl_->started = true;
+  impl_->start_time = std::chrono::steady_clock::now();
   impl_->thread = std::thread([impl = impl_.get()] { impl->serve(); });
   return true;
 }

@@ -36,6 +36,11 @@ class HttpEndpoint {
   struct Options {
     int io_timeout_ms = 2000;        // per-connection read and write deadline
     std::size_t max_request = 8192;  // request-head size cap
+    // Reported by the built-in /healthz route: every endpoint answers
+    // GET /healthz with 200 and {"status","version","uptime_s"} JSON unless a
+    // user handler claims the path. Unknown paths stay 404 with a bounded
+    // body.
+    std::string version = "dts-journal-v7";
   };
 
   HttpEndpoint();

@@ -89,6 +89,80 @@ bool has_model_axis(const FleetReport& report) {
   return false;
 }
 
+// The request-trace sections render only when some record carries a v7 "rt"
+// payload; untraced reports are unchanged.
+bool has_rtrace_axis(const FleetReport& report) {
+  for (const ReportGroup& g : report.groups) {
+    if (g.traced_runs > 0) return true;
+  }
+  return false;
+}
+
+std::string ms(std::int64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1fms", static_cast<double>(us) / 1e3);
+  return buf;
+}
+
+/// The request a human debugs first: injected beats clean, failed beats ok,
+/// then slowest wins.
+const obs::rtrace::RequestTrace* worst_request(const obs::rtrace::RunTrace& rt) {
+  const auto score = [](const obs::rtrace::RequestTrace& r) {
+    return (r.injected ? 4 : 0) + (r.ok ? 0 : 2);
+  };
+  const obs::rtrace::RequestTrace* best = nullptr;
+  for (const obs::rtrace::RequestTrace& r : rt.requests) {
+    if (best == nullptr || score(r) > score(*best) ||
+        (score(r) == score(*best) && r.elapsed_us > best->elapsed_us)) {
+      best = &r;
+    }
+  }
+  return best;
+}
+
+/// Plain-text span waterfall of the exemplar's worst request, plus that
+/// request's per-tier critical-path attribution. Span ids are minted in
+/// begin order, so a parent's id is always below its children's — one pass
+/// computes nesting depth.
+std::string waterfall_text(const obs::rtrace::RunTrace& rt) {
+  const obs::rtrace::RequestTrace* req = worst_request(rt);
+  if (req == nullptr) return "";
+  std::ostringstream out;
+  out << "request #" << req->trace << " (" << (req->ok ? "ok" : "failed") << ", "
+      << ms(req->elapsed_us) << (req->injected ? ", carries the injection" : "")
+      << ")\n";
+  std::map<int, int> depth;
+  std::int64_t origin = 0;
+  bool have_origin = false;
+  for (const obs::rtrace::TraceSpan& s : rt.spans) {
+    if (s.trace != req->trace) continue;
+    if (!have_origin) {
+      origin = s.begin_us;
+      have_origin = true;
+    }
+    const auto it = depth.find(s.parent);
+    const int d = s.parent == 0 || it == depth.end() ? 0 : it->second + 1;
+    depth[s.id] = d;
+    char line[200];
+    std::snprintf(line, sizeof line, "  %*s%-9s %-8s %-14s [%9.1f -%9.1f ms] %s%s\n",
+                  d * 2, "", s.name.c_str(), s.tier.c_str(), s.replica.c_str(),
+                  static_cast<double>(s.begin_us - origin) / 1e3,
+                  static_cast<double>(s.end_us - origin) / 1e3, s.outcome.c_str(),
+                  s.injected ? "   <-- fault injected here" : "");
+    out << line;
+  }
+  out << "critical-path attribution:\n";
+  for (const obs::rtrace::TierAttribution& t : req->tiers) {
+    char line[200];
+    std::snprintf(line, sizeof line,
+                  "  %-8s service %10s   failover-retry %10s   queue %10s\n",
+                  t.tier.c_str(), ms(t.service_us).c_str(), ms(t.retry_us).c_str(),
+                  ms(t.queue_us).c_str());
+    out << line;
+  }
+  return out.str();
+}
+
 void render_histogram_lines(const ReportGroup& g,
                             const std::function<void(const std::string&, std::uint64_t,
                                                      const std::string&)>& emit) {
@@ -182,8 +256,44 @@ FleetReport build_report(const std::vector<exec::JournalFile>& files,
                        rec.exec_index, campaign);
         continue;
       }
-      signatures.add(forensics::signature_of(run, rec.call_context), rec.fault_id,
-                     rec.exec_index, campaign);
+      forensics::SignatureKey sig_key =
+          forensics::signature_of(run, rec.call_context);
+      // The propagation-path axis: parsed run lines never carry the trace, so
+      // the journal record's "rt" payload supplies it here (exactly what the
+      // live path of signature_of reads from RunResult::rtrace).
+      if (!rec.rtrace.empty()) {
+        const std::uint64_t path = obs::rtrace::digest_of_serialized(rec.rtrace);
+        if (path != 0) sig_key.path = obs::rtrace::digest_hex(path);
+      }
+      signatures.add(sig_key, rec.fault_id, rec.exec_index, campaign);
+      if (!rec.rtrace.empty()) {
+        if (const auto rt = obs::rtrace::RunTrace::parse(rec.rtrace)) {
+          ++g.traced_runs;
+          for (const obs::rtrace::TierAttribution& t : rt->totals) {
+            bool found = false;
+            for (obs::rtrace::TierAttribution& agg : g.rtrace_totals) {
+              if (agg.tier == t.tier) {
+                agg.service_us += t.service_us;
+                agg.retry_us += t.retry_us;
+                agg.queue_us += t.queue_us;
+                found = true;
+                break;
+              }
+            }
+            if (!found) g.rtrace_totals.push_back(t);
+          }
+          const int rank = run.topo ? static_cast<int>(topo_outcome_slot(
+                                          run.topo->user_outcome))
+                                    : 0;
+          if (rank > g.rtrace_example_rank) {
+            g.rtrace_example_rank = rank;
+            g.rtrace_example = rec.rtrace;
+            g.rtrace_example_fault = rec.fault_id;
+            g.rtrace_example_outcome =
+                run.topo ? run.topo->user_outcome : std::string("-");
+          }
+        }
+      }
       ++g.outcomes[outcome_slot(run.outcome)];
       ++report.outcomes[outcome_slot(run.outcome)];
       ++g.model_outcomes[rec.model.empty() ? std::string(fault::kDefaultAnnotation)
@@ -315,6 +425,28 @@ std::string render_report_markdown(const FleetReport& report) {
         }
         out << "```\n";
       }
+    }
+  }
+
+  if (has_rtrace_axis(report)) {
+    out << "\n## Request traces\n\n";
+    out << "| configuration | traced runs | tier | service | failover retry | "
+           "queue |\n";
+    out << "|---|---:|---|---:|---:|---:|\n";
+    for (const ReportGroup& g : report.groups) {
+      for (const auto& t : g.rtrace_totals) {
+        out << "| " << config_label(g.key) << " | " << g.traced_runs << " | "
+            << t.tier << " | " << ms(t.service_us) << " | " << ms(t.retry_us)
+            << " | " << ms(t.queue_us) << " |\n";
+      }
+    }
+    for (const ReportGroup& g : report.groups) {
+      if (g.rtrace_example.empty()) continue;
+      const auto rt = obs::rtrace::RunTrace::parse(g.rtrace_example);
+      if (!rt) continue;
+      out << "\n### Critical path: " << config_label(g.key) << ", fault "
+          << g.rtrace_example_fault << " (" << g.rtrace_example_outcome
+          << ")\n\n```\n" << waterfall_text(*rt) << "```\n";
     }
   }
 
@@ -456,6 +588,30 @@ std::string render_report_html(const FleetReport& report) {
         }
         out << "</pre>\n";
       }
+    }
+  }
+
+  if (has_rtrace_axis(report)) {
+    out << "<h2>Request traces</h2>\n<table>\n"
+        << "<tr><th>configuration</th><th>traced runs</th><th>tier</th>"
+        << "<th>service</th><th>failover retry</th><th>queue</th></tr>\n";
+    for (const ReportGroup& g : report.groups) {
+      for (const auto& t : g.rtrace_totals) {
+        out << "<tr><td>" << html_escape(config_label(g.key)) << "</td><td>"
+            << g.traced_runs << "</td><td>" << html_escape(t.tier) << "</td><td>"
+            << ms(t.service_us) << "</td><td>" << ms(t.retry_us) << "</td><td>"
+            << ms(t.queue_us) << "</td></tr>\n";
+      }
+    }
+    out << "</table>\n";
+    for (const ReportGroup& g : report.groups) {
+      if (g.rtrace_example.empty()) continue;
+      const auto rt = obs::rtrace::RunTrace::parse(g.rtrace_example);
+      if (!rt) continue;
+      out << "<h3>Critical path: " << html_escape(config_label(g.key))
+          << ", fault " << html_escape(g.rtrace_example_fault) << " ("
+          << html_escape(g.rtrace_example_outcome) << ")</h3>\n<pre>\n"
+          << html_escape(waterfall_text(*rt)) << "</pre>\n";
     }
   }
 

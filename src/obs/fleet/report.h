@@ -16,6 +16,7 @@
 #include "core/outcome.h"
 #include "exec/journal.h"
 #include "forensics/signature.h"
+#include "obs/rtrace/rtrace.h"
 
 namespace dts::obs {
 class MetricsRegistry;
@@ -57,6 +58,18 @@ struct ReportGroup {
   /// Degradation curve per tier: end-to-end p95 of each run bucketed over
   /// response_time_buckets (+Inf last), successful-request latencies only.
   std::map<std::string, std::vector<std::uint64_t>> tier_p95_buckets;
+
+  /// Request-trace axis (journal v7 "rt"): per-tier critical-path attribution
+  /// summed over every traced run, plus one exemplar — the worst-severity
+  /// traced run merged (outage > partial > degraded > masked) — rendered as a
+  /// span waterfall. Empty for untraced campaigns, so their reports are
+  /// byte-identical to before.
+  std::uint64_t traced_runs = 0;
+  std::vector<obs::rtrace::TierAttribution> rtrace_totals;
+  std::string rtrace_example;          // serialized RunTrace ("rt" payload)
+  std::string rtrace_example_fault;    // its fault id
+  std::string rtrace_example_outcome;  // its user-visible outcome
+  int rtrace_example_rank = -1;        // severity rank of the exemplar
 };
 
 struct FleetReport {

@@ -153,6 +153,32 @@ std::string StatusBoard::topology_json() const {
   return out.str();
 }
 
+void StatusBoard::record_trace(TraceEntry e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (traces_.size() == run_capacity_) traces_.pop_front();
+  traces_.push_back(std::move(e));
+  ++trace_total_;
+}
+
+std::string StatusBoard::traces_json(std::size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t skip = traces_.size() > limit ? traces_.size() - limit : 0;
+  std::ostringstream out;
+  out << "{\"traces\":[";
+  for (std::size_t i = skip; i < traces_.size(); ++i) {
+    const TraceEntry& e = traces_[i];
+    if (i > skip) out << ",";
+    out << "{\"fault\":\"" << obs::json_escape(e.fault_id) << "\",\"tier\":\""
+        << obs::json_escape(e.tier) << "\",\"user_outcome\":\""
+        << obs::json_escape(e.user_outcome) << "\",\"path\":\""
+        << obs::json_escape(e.digest) << "\",\"spans\":" << e.spans
+        << ",\"requests\":" << e.requests
+        << ",\"injected\":" << (e.injected ? 1 : 0) << "}";
+  }
+  out << "],\"total\":" << trace_total_ << "}";
+  return out.str();
+}
+
 std::string StatusBoard::signatures_json(std::size_t limit) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<const SignatureRow*> ranked;

@@ -59,6 +59,18 @@ struct SignatureEntry {
   std::string example_xi;
 };
 
+/// One traced multi-tier run (see obs/rtrace/) — again rendered strings and
+/// counts only, so the HTTP layer stays free of rtrace types.
+struct TraceEntry {
+  std::string fault_id;
+  std::string tier;          // tier the fault targeted
+  std::string user_outcome;  // "masked".."outage"
+  std::string digest;        // 16-hex propagation-path digest
+  std::size_t spans = 0;
+  std::size_t requests = 0;
+  bool injected = false;  // the firing was attributed to a span
+};
+
 class StatusBoard {
  public:
   /// Keeps the last `run_capacity` completed runs for /runs.
@@ -97,6 +109,13 @@ class StatusBoard {
   /// number of record_signature() calls.
   std::string signatures_json(std::size_t limit = 64) const;
 
+  /// Retains one traced run for /traces (same bounded tail policy as /runs).
+  void record_trace(TraceEntry e);
+
+  /// /traces payload: the retained traced-run tail, newest last, plus a
+  /// "total" that reconciles against the number of record_trace() calls.
+  std::string traces_json(std::size_t limit = 64) const;
+
  private:
   struct SignatureRow {
     SignatureEntry entry;
@@ -113,6 +132,8 @@ class StatusBoard {
   std::uint64_t signature_total_ = 0;
   std::map<std::string, std::map<std::string, std::uint64_t>> tier_outcomes_;
   std::uint64_t topo_total_ = 0;
+  std::deque<TraceEntry> traces_;
+  std::uint64_t trace_total_ = 0;
 };
 
 }  // namespace dts::obs::fleet

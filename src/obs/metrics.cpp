@@ -264,14 +264,18 @@ std::string MetricsRegistry::prometheus_text() const {
       case Kind::kHistogram:
         out << "# TYPE " << name << " histogram\n";
         for (const auto& [ls, h] : fam.histograms) {
+          std::vector<std::uint64_t> cum;
+          cum.reserve(h->bounds().size() + 1);
           std::uint64_t cumulative = 0;
           for (std::size_t i = 0; i < h->bounds().size(); ++i) {
             cumulative += h->bucket_count(i);
+            cum.push_back(cumulative);
             out << name << "_bucket"
                 << labels_with(ls, "le", number(h->bounds()[i])) << " "
                 << cumulative << "\n";
           }
           cumulative += h->bucket_count(h->bounds().size());
+          cum.push_back(cumulative);
           out << name << "_bucket" << labels_with(ls, "le", "+Inf") << " "
               << cumulative << "\n";
           out << name << "_sum" << ls << " " << number(h->sum()) << "\n";
@@ -280,6 +284,28 @@ std::string MetricsRegistry::prometheus_text() const {
           // reading count independently could expose count != +Inf bucket
           // under concurrent writers — a torn scrape Prometheus rejects.
           out << name << "_count" << ls << " " << cumulative << "\n";
+          // Summary-style quantile estimates from the same bucket snapshot
+          // (nearest rank, reported as the bucket's upper bound; observations
+          // past the last finite bound clamp to it). Additive only: classic
+          // consumers parsing _bucket/_sum/_count are untouched.
+          if (cumulative > 0 && !h->bounds().empty()) {
+            struct Quantile {
+              const char* label;
+              double frac;
+            };
+            for (const Quantile q :
+                 {Quantile{"0.5", 0.5}, Quantile{"0.95", 0.95},
+                  Quantile{"0.99", 0.99}}) {
+              const std::uint64_t rank = static_cast<std::uint64_t>(
+                  std::ceil(q.frac * static_cast<double>(cumulative)));
+              std::size_t bucket = 0;
+              while (bucket < h->bounds().size() - 1 && cum[bucket] < rank) {
+                ++bucket;
+              }
+              out << name << labels_with(ls, "quantile", q.label) << " "
+                  << number(h->bounds()[bucket]) << "\n";
+            }
+          }
         }
         break;
     }

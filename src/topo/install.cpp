@@ -9,12 +9,21 @@ namespace {
 using nt::Ctx;
 
 /// Wire protocol between loadgen, balancers and relays: "REQ <id>\n" in,
-/// "OK <id>\n" / "ERR <id>\n" out.
+/// "OK <id>\n" / "ERR <id>\n" out. With request tracing on the line carries
+/// a trailing " rt=<trace>:<span>" token (ids are bare integers, so the
+/// space truncation never changes an untraced id).
 std::string request_id(const std::string& line) {
   if (line.rfind("REQ ", 0) != 0) return "?";
   std::string id = line.substr(4);
   while (!id.empty() && (id.back() == '\n' || id.back() == '\r')) id.pop_back();
+  const std::size_t space = id.find(' ');
+  if (space != std::string::npos) id.resize(space);
   return id.empty() ? "?" : id;
+}
+
+/// Current sim time in µs — the span timestamp base.
+std::int64_t now_us(Ctx c) {
+  return (c.m().sim().now() - sim::TimePoint{}).count_micros();
 }
 
 bool http_ok(const std::string& reply, const std::string& expected_body) {
@@ -26,6 +35,7 @@ bool http_ok(const std::string& reply, const std::string& expected_body) {
 
 struct RelayParams {
   std::string self;            // this instance's machine name
+  std::string tier;            // owning tier's name (span label)
   std::uint16_t app_port = 0;  // local application port
   std::string check_request;   // wire bytes exercising the local app
   bool http = false;           // verify as HTTP 200 + body vs exact reply
@@ -34,14 +44,17 @@ struct RelayParams {
   sim::Duration ready_timeout;
   sim::Duration ready_poll;
   sim::Duration hop_timeout;
+  obs::rtrace::TraceLog* trace = nullptr;  // null/disabled = tracing off
 };
 
 struct LbParams {
   std::string self;
+  std::string tier;                   // owning tier's name (span label)
   std::vector<std::string> backends;  // instance machines of this tier
   sim::Duration ready_timeout;
   sim::Duration ready_poll;
   sim::Duration hop_timeout;
+  obs::rtrace::TraceLog* trace = nullptr;  // null/disabled = tracing off
 };
 
 /// One request/reply exchange over a fresh connection; nullopt on refusal,
@@ -73,23 +86,46 @@ sim::CoTask<std::optional<std::string>> exchange(Ctx c, nt::net::Network* net,
 }
 
 /// Serves one accepted relay connection: local application check first, then
-/// the downstream chain; "OK" only when both succeed.
+/// the downstream chain; "OK" only when both succeed. With tracing on, the
+/// connection, the local check and the downstream forward each become a span,
+/// and the forwarded line carries the forward span as the new parent.
 sim::Task relay_conn(Ctx c, nt::net::Network* net, RelayParams p,
                      std::shared_ptr<nt::net::Socket> sock) {
   auto line = co_await sock->recv_until(c, "\n", 4096, p.hop_timeout);
   if (!line) co_return;
   const std::string id = request_id(*line);
+  const auto wire = obs::rtrace::parse_wire(*line);
+  obs::rtrace::TraceLog* tl =
+      p.trace != nullptr && p.trace->enabled() && wire ? p.trace : nullptr;
+  const int span = tl != nullptr ? tl->begin_span(wire->trace, wire->span, "relay",
+                                                  p.tier, p.self, now_us(c))
+                                 : 0;
 
   bool ok = false;
+  const int check = tl != nullptr ? tl->begin_span(wire->trace, span, "app.check",
+                                                   p.tier, p.self, now_us(c))
+                                  : 0;
   auto reply = co_await exchange(c, net, p.self, p.app_port, p.check_request, p.hop_timeout,
                                  /*until_eof=*/true);
   if (reply) ok = p.http ? http_ok(*reply, p.expected) : *reply == p.expected;
+  if (tl != nullptr) {
+    tl->end_span(check, now_us(c), ok ? "ok" : (reply ? "err" : "timeout"));
+  }
 
   if (ok && !p.next_lb.empty()) {
-    auto down = co_await exchange(c, net, p.next_lb, kLbPort, *line, p.hop_timeout,
+    const int fwd = tl != nullptr ? tl->begin_span(wire->trace, span, "forward",
+                                                   p.tier, p.self, now_us(c))
+                                  : 0;
+    const std::string downstream =
+        tl != nullptr ? obs::rtrace::rewrite_wire(id, wire->trace, fwd) : *line;
+    auto down = co_await exchange(c, net, p.next_lb, kLbPort, downstream, p.hop_timeout,
                                   /*until_eof=*/false);
     ok = down && down->rfind("OK ", 0) == 0;
+    if (tl != nullptr) {
+      tl->end_span(fwd, now_us(c), ok ? "ok" : (down ? "err" : "timeout"));
+    }
   }
+  if (tl != nullptr) tl->end_span(span, now_us(c), ok ? "ok" : "err");
   sock->send((ok ? "OK " : "ERR ") + id + "\n");
 }
 
@@ -122,16 +158,35 @@ sim::Task lb_conn(Ctx c, nt::net::Network* net, LbParams p, std::shared_ptr<std:
   auto line = co_await sock->recv_until(c, "\n", 4096, p.hop_timeout);
   if (!line) co_return;
   const std::string id = request_id(*line);
+  const auto wire = obs::rtrace::parse_wire(*line);
+  obs::rtrace::TraceLog* tl =
+      p.trace != nullptr && p.trace->enabled() && wire ? p.trace : nullptr;
+  const int span = tl != nullptr ? tl->begin_span(wire->trace, wire->span, "lb",
+                                                  p.tier, p.self, now_us(c))
+                                 : 0;
 
   for (std::size_t attempt = 0; attempt < p.backends.size(); ++attempt) {
     const std::string& backend = p.backends[(*rr)++ % p.backends.size()];
-    auto reply = co_await exchange(c, net, backend, kRelayPort, *line, p.hop_timeout,
+    // One span per failover attempt, labelled with the backend tried — the
+    // failed ones are the trace's record of redundancy masking at work.
+    const int att = tl != nullptr ? tl->begin_span(wire->trace, span, "attempt",
+                                                   p.tier, backend, now_us(c))
+                                  : 0;
+    const std::string request =
+        tl != nullptr ? obs::rtrace::rewrite_wire(id, wire->trace, att) : *line;
+    auto reply = co_await exchange(c, net, backend, kRelayPort, request, p.hop_timeout,
                                    /*until_eof=*/false);
-    if (reply && reply->rfind("OK ", 0) == 0) {
+    const bool ok = reply && reply->rfind("OK ", 0) == 0;
+    if (tl != nullptr) {
+      tl->end_span(att, now_us(c), ok ? "ok" : (reply ? "err" : "timeout"));
+    }
+    if (ok) {
+      if (tl != nullptr) tl->end_span(span, now_us(c), "ok");
       sock->send(*reply);
       co_return;
     }
   }
+  if (tl != nullptr) tl->end_span(span, now_us(c), "err");
   sock->send("ERR " + id + "\n");
 }
 
@@ -189,10 +244,12 @@ TopologyRuntime install_topology(sim::Simulation& sim, nt::net::Network& net,
 
       RelayParams rp;
       rp.self = name;
+      rp.tier = tier.name;
       rp.next_lb = next_lb;
       rp.ready_timeout = params.ready_timeout;
       rp.ready_poll = params.ready_poll;
       rp.hop_timeout = params.hop_timeout;
+      rp.trace = params.trace;
       if (tier.app == "apache") {
         rp.expected = apps::install_apache(m, net, params.apache);
         m.scm().start_service(params.apache.service_name);
@@ -227,10 +284,12 @@ TopologyRuntime install_topology(sim::Simulation& sim, nt::net::Network& net,
     nt::Machine& lb = *machines.back();
     LbParams lp;
     lp.self = tr.lb;
+    lp.tier = tier.name;
     lp.backends = tr.instances;
     lp.ready_timeout = params.ready_timeout;
     lp.ready_poll = params.ready_poll;
     lp.hop_timeout = params.hop_timeout;
+    lp.trace = params.trace;
     lb.register_program("lbd.exe", [np, lp](Ctx c) { return lb_program(c, np, lp); });
     lb.start_process("lbd.exe", "lbd.exe");
 

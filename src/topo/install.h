@@ -29,6 +29,7 @@
 #include "apps/sql_server.h"
 #include "ntsim/kernel.h"
 #include "ntsim/netsim.h"
+#include "obs/rtrace/rtrace.h"
 #include "topo/topology.h"
 
 namespace dts::topo {
@@ -52,6 +53,11 @@ struct TierHostParams {
 
   /// Per-hop budget for one local check or one downstream exchange.
   sim::Duration hop_timeout = sim::Duration::seconds(15);
+
+  /// Request-trace collector (null or disabled = off). When enabled, relays
+  /// and balancers parse/rewrite the "rt=" token of every request line and
+  /// record one span per hop/attempt (see obs/rtrace/rtrace.h).
+  obs::rtrace::TraceLog* trace = nullptr;
 };
 
 struct TierRuntime {

@@ -9,28 +9,42 @@ namespace {
 using nt::Ctx;
 
 /// One open-loop request: single attempt, single connection, hard deadline.
+/// With tracing on, the request id doubles as the trace id and this thread
+/// owns the root span; the reply check uses the bare id, so traced and
+/// untraced replies verify identically.
 sim::Task request_thread(Ctx c, nt::net::Network* net, LoadgenParams p, int id) {
   core::RequestResult result;
   result.attempts = 1;
   const sim::TimePoint t0 = c.m().sim().now();
+  const auto us = [&c] { return (c.m().sim().now() - sim::TimePoint{}).count_micros(); };
+  obs::rtrace::TraceLog* tl = p.trace != nullptr && p.trace->enabled() ? p.trace : nullptr;
+  const int root =
+      tl != nullptr ? tl->begin_span(id, 0, "request", "client", "control", us()) : 0;
+  std::string outcome = "refused";
 
   auto sock = co_await net->connect(c, p.front_machine, p.front_port);
   if (sock == nullptr) {
     result.detail = "connection refused";
   } else {
-    sock->send("REQ " + std::to_string(id) + "\n");
+    std::string line = "REQ " + std::to_string(id);
+    if (tl != nullptr) line += " " + obs::rtrace::wire_token(id, root);
+    sock->send(line + "\n");
     auto reply = co_await sock->recv_until(c, "\n", 4096, p.response_timeout);
     if (!reply) {
       result.detail = "no reply";  // timeout or connection reset
+      outcome = "timeout";
     } else {
       result.any_response = true;
       if (*reply == "OK " + std::to_string(id) + "\n") {
         result.ok = true;
+        outcome = "ok";
       } else {
         result.detail = "error reply";
+        outcome = "err";
       }
     }
   }
+  if (tl != nullptr) tl->end_span(root, us(), outcome);
   result.elapsed = c.m().sim().now() - t0;
   p.report->requests.push_back(std::move(result));
 }

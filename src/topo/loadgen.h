@@ -15,6 +15,7 @@
 #include "core/outcome.h"
 #include "ntsim/netsim.h"
 #include "ntsim/process.h"
+#include "obs/rtrace/rtrace.h"
 #include "topo/topology.h"
 
 namespace dts::topo {
@@ -33,6 +34,11 @@ struct LoadgenParams {
   sim::Duration server_up_poll = sim::Duration::millis(500);
 
   std::shared_ptr<core::ClientReport> report;
+
+  /// Request tracing (null or disabled = off): each request's id doubles as
+  /// its trace id, the request gets a root span, and the wire line carries
+  /// the "rt=" context for the tiers to propagate (obs/rtrace/rtrace.h).
+  obs::rtrace::TraceLog* trace = nullptr;
 };
 
 /// The loadgen.exe program: waits for the front balancer, then issues

@@ -316,10 +316,48 @@ TEST(FleetHttp, ServesRoutesParsesQueriesAndRejectsUnknown) {
   EXPECT_NE(head.find("HTTP/1.0 200"), std::string::npos);
   EXPECT_EQ(head.find("pong"), std::string::npos);
 
-  EXPECT_NE(http_get(http.port(), "/nope").find("HTTP/1.0 404"), std::string::npos);
+  const std::string missing = http_get(http.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+  // The 404 body is fixed and bounded — no echo of the requested path.
+  EXPECT_NE(missing.find("Content-Length: 10"), std::string::npos);
+  EXPECT_NE(missing.find("not found\n"), std::string::npos);
+  EXPECT_EQ(missing.find("/nope"), std::string::npos);
   EXPECT_NE(http_get(http.port(), "/ping", "POST").find("HTTP/1.0 405"),
             std::string::npos);
   http.stop();
+}
+
+TEST(FleetHttp, HealthzIsBuiltInAndUserRoutesCanOverrideIt) {
+  obs::fleet::HttpEndpoint::Options opts;
+  opts.version = "fleet-test-1.2";
+  obs::fleet::HttpEndpoint http(opts);
+  std::string error;
+  ASSERT_TRUE(http.start("127.0.0.1", 0, &error)) << error;
+
+  // No registration needed: every endpoint answers the liveness probe.
+  const std::string healthz = http_get(http.port(), "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(healthz.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(healthz.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(healthz.find("\"version\":\"fleet-test-1.2\""), std::string::npos);
+  EXPECT_NE(healthz.find("\"uptime_s\":"), std::string::npos);
+
+  // HEAD gets the same status with an empty body.
+  const std::string head = http_get(http.port(), "/healthz", "HEAD");
+  EXPECT_NE(head.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_EQ(head.find("status"), std::string::npos);
+  http.stop();
+
+  // A user handler on the same path wins over the built-in.
+  obs::fleet::HttpEndpoint custom;
+  custom.handle("/healthz", [](const obs::fleet::HttpRequest&) {
+    return obs::fleet::HttpResponse{200, "text/plain; charset=utf-8", "custom"};
+  });
+  ASSERT_TRUE(custom.start("127.0.0.1", 0, &error)) << error;
+  const std::string overridden = http_get(custom.port(), "/healthz");
+  EXPECT_NE(overridden.find("custom"), std::string::npos);
+  EXPECT_EQ(overridden.find("uptime_s"), std::string::npos);
+  custom.stop();
 }
 
 // A client that connects and never sends costs the endpoint at most one

@@ -228,6 +228,15 @@ TEST(Metrics, PrometheusTextParses) {
   EXPECT_NE(text.find("dts_resp_seconds_bucket{workload=\"IIS\",le=\"+Inf\"} 3"),
             std::string::npos);
   EXPECT_NE(text.find("dts_resp_seconds_count{workload=\"IIS\"} 3"), std::string::npos);
+  // Summary-style quantile estimates ride along (nearest rank over the same
+  // bucket snapshot, reported as bucket upper bounds; the 90.0 observation
+  // lives past the last finite bound, so p95/p99 clamp to it).
+  EXPECT_NE(text.find("dts_resp_seconds{workload=\"IIS\",quantile=\"0.5\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("dts_resp_seconds{workload=\"IIS\",quantile=\"0.95\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("dts_resp_seconds{workload=\"IIS\",quantile=\"0.99\"} 5"),
+            std::string::npos);
 
   std::istringstream lines(text);
   std::string line;

@@ -42,6 +42,8 @@
 // a distributed campaign ship their metric snapshots to the coordinator, so
 // the endpoint sees the whole fleet.
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -64,6 +66,7 @@
 #include "obs/fleet/stall.h"
 #include "obs/fleet/status.h"
 #include "obs/metrics.h"
+#include "obs/rtrace/rtrace.h"
 #include "obs/trace.h"
 
 namespace {
@@ -77,7 +80,7 @@ int usage() {
       "  ntdts run <config.ini> [output-dir] [--jobs=N] [--resume] [--max-faults=N]\n"
       "            [--plan=PATH | --plan-auto | --exhaustive] [--ci-width=X]\n"
       "            [--snapshots=on|off] [--model=NAME[,NAME...]] [--tier=NAME]\n"
-      "            [--trace=off|failures|all]\n"
+      "            [--trace=off|failures|all] [--rtrace=off|failures|all]\n"
       "            [--forensics-depth=N] [--metrics-out=PATH]\n"
       "        --jobs=N   parallel campaign workers (0 = all hardware threads;\n"
       "                   output is byte-identical at any job count)\n"
@@ -104,6 +107,10 @@ int usage() {
       "                   0 = off, keeping outcome counts exact)\n"
       "        --trace=M  per-run syscall tracing: 'failures' dumps forensics for\n"
       "                   failed/restarted runs, 'all' for every run (default off)\n"
+      "        --rtrace=M cross-tier request tracing (needs [topology]): every\n"
+      "                   request hop becomes a causal span; 'failures' journals\n"
+      "                   spans for failed/non-masked runs, 'all' for every run\n"
+      "                   (default off — off-mode output is byte-identical)\n"
       "        --forensics-depth=N  ring depth: last N calls kept per run (default 32)\n"
       "        --metrics-out=PATH   write campaign metrics as Prometheus text to PATH\n"
       "                   and a Chrome trace timeline to PATH.trace.json\n"
@@ -118,7 +125,8 @@ int usage() {
       "                   campaign runs: /metrics (Prometheus), /status (JSON:\n"
       "                   leases, per-worker rates, ETA), /runs?worker=&outcome=\n"
       "                   (journal tail), /topology (live per-tier propagation\n"
-      "                   matrix); port 0 = ephemeral, printed on start\n"
+      "                   matrix), /traces (traced-run tail), /healthz (liveness:\n"
+      "                   uptime + version); port 0 = ephemeral, printed on start\n"
       "  ntdts worker --connect=host:port [--io-timeout-ms=N]\n"
       "        join a distributed campaign as a worker process\n"
       "  ntdts plan <config.ini> [plan.json] [--ci-width=X]\n"
@@ -246,6 +254,11 @@ int cmd_replay(int argc, char** argv) {
             << (replay->call_context.empty() ? "(fault never fired)"
                                              : replay->call_context)
             << (replay->call_context_match ? "" : "   <-- MISMATCH") << "\n";
+  std::cout << "request trace:    "
+            << (rec->rtrace.empty()
+                    ? "(not journaled — untraced record)"
+                    : (replay->rtrace_digest_match ? "match" : "MISMATCH"))
+            << "\n";
   std::cout << "\n" << replay->forensics;
   if (!replay->matches()) {
     std::cerr << "\nREPLAY MISMATCH: the journaled run and the replay were fed "
@@ -594,6 +607,9 @@ struct RunFlags {
   std::optional<bool> snapshots;
   std::optional<std::string> models;  // canonical ModelSet CSV ("" = default)
   std::string tier;  // --tier= override of the faulted topology tier
+  // --rtrace= override of the config's [topology] rtrace mode (absent = keep
+  // the config's choice, which defaults to off).
+  std::optional<obs::rtrace::RtraceMode> rtrace;
 
   // Distributed mode (either flag selects it).
   std::optional<int> dist_workers;
@@ -641,6 +657,15 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
     // config parser applies for the `tier =` key).
     cfg->run.workload = core::workload_by_name(
         t->app == "apache" ? "Apache2" : (t->app == "iis" ? "IIS" : "SQL"));
+  }
+  if (flags.rtrace) {
+    if (cfg->run.topo.empty() &&
+        *flags.rtrace != obs::rtrace::RtraceMode::kOff) {
+      std::cerr << "ntdts run: --rtrace requires a [topology] section in "
+                << config_path << " (request tracing spans multi-tier hops)\n";
+      return 2;
+    }
+    cfg->run.rtrace = *flags.rtrace;
   }
   cfg->campaign.plan.mode = flags.plan_mode;
   cfg->campaign.plan.plan_file = flags.plan_file;
@@ -746,13 +771,20 @@ int cmd_run(const std::string& config_path, const std::string& out_dir,
       r.body = status_board.topology_json();
       return r;
     });
+    http.handle("/traces", [&status_board](const obs::fleet::HttpRequest&) {
+      obs::fleet::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = status_board.traces_json();
+      return r;
+    });
+    // /healthz is built into the endpoint (uptime + version JSON).
     std::string herr;
     if (!http.start(hp->first, hp->second, &herr)) {
       std::cerr << "ntdts run: " << herr << "\n";
       return 2;
     }
     std::cerr << "live observability at http://" << hp->first << ":" << http.port()
-              << "/{metrics,status,runs,signatures,topology}\n";
+              << "/{metrics,status,runs,signatures,topology,traces,healthz}\n";
   }
 
   core::WorkloadSetResult set;
@@ -1089,6 +1121,21 @@ int main(int argc, char** argv) {
                     << "' — did you mean --tier=<name>? the name must match a "
                        "tier of the [topology] section\n";
           return 2;
+        } else if (a.rfind("--rtrace=", 0) == 0) {
+          obs::rtrace::RtraceMode mode;
+          if (!obs::rtrace::rtrace_mode_from_string(a.substr(9), &mode)) {
+            std::cerr << "ntdts: --rtrace expects off|failures|all, got '"
+                      << a.substr(9) << "'\n";
+            return 2;
+          }
+          flags.rtrace = mode;
+        } else if (a.rfind("--rtrace", 0) == 0) {
+          // Misspelling guard (--rtraces=, --rtrace-mode=, ...): a typo'd
+          // tracing axis must not silently run untraced.
+          std::cerr << "ntdts run: unknown flag '" << a
+                    << "' — did you mean --rtrace=off|failures|all? request "
+                       "tracing needs a [topology] section in the config\n";
+          return 2;
         } else if (a.rfind("--topo", 0) == 0) {
           // Topologies are config-only; catch --topology= etc. before the
           // generic unknown-flag line so the pointer is actionable.
@@ -1143,6 +1190,13 @@ int main(int argc, char** argv) {
                        "--trace (forensics capture is in-process only)\n";
           return 2;
         }
+        if (flags.rtrace.value_or(obs::rtrace::RtraceMode::kOff) !=
+            obs::rtrace::RtraceMode::kOff) {
+          std::cerr << "ntdts run: --workers/--listen cannot be combined with "
+                       "--rtrace (span collection is in-process only; worker "
+                       "results travel as run lines, which never carry spans)\n";
+          return 2;
+        }
         if (flags.jobs) {
           std::cerr << "ntdts run: --jobs selects in-process parallelism; use "
                        "--workers=N for a distributed campaign\n";
@@ -1157,6 +1211,14 @@ int main(int argc, char** argv) {
       if (flags.snapshots.value_or(false) && flags.trace != obs::TraceMode::kOff) {
         std::cerr << "ntdts run: --snapshots=on cannot be combined with --trace "
                      "(a forked run's trace would be missing its skipped prefix)\n";
+        return 2;
+      }
+      if (flags.snapshots.value_or(false) &&
+          flags.rtrace.value_or(obs::rtrace::RtraceMode::kOff) !=
+              obs::rtrace::RtraceMode::kOff) {
+        std::cerr << "ntdts run: --snapshots=on cannot be combined with "
+                     "--rtrace (span collection crosses the fork boundary only "
+                     "as a run line, which never carries spans)\n";
         return 2;
       }
       return cmd_run(argv[2], out_dir, flags);
